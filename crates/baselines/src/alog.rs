@@ -1,0 +1,233 @@
+//! Append-only persistent event log shared by the native baselines.
+//!
+//! Entries are 32 bytes — `(kind, a, b, stamp)` — matching Atlas's
+//! 32-bytes-per-store format (at most two entries per cache-line
+//! write-back, Section IV-B of the iDO paper). An entry is *valid by
+//! content*: its kind word is nonzero, so an append publishes with a single
+//! persist fence and recovery scans until the first zero kind.
+
+use ido_nvm::{PmemHandle, PAddr};
+
+/// Entry kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Kind {
+    /// UNDO: `(addr, old_value)`.
+    Undo = 1,
+    /// FASE/transaction begin.
+    Begin = 2,
+    /// FASE/transaction commit.
+    Commit = 3,
+    /// Lock acquired: `(lock, observed release stamp)`.
+    LockAcquire = 4,
+    /// Lock released: `(lock, stamp)`.
+    LockRelease = 5,
+    /// REDO: `(addr, new_value)`.
+    Redo = 6,
+}
+
+impl Kind {
+    /// Decodes a stored kind word.
+    pub fn from_word(w: u64) -> Option<Kind> {
+        match w {
+            1 => Some(Kind::Undo),
+            2 => Some(Kind::Begin),
+            3 => Some(Kind::Commit),
+            4 => Some(Kind::LockAcquire),
+            5 => Some(Kind::LockRelease),
+            6 => Some(Kind::Redo),
+            _ => None,
+        }
+    }
+}
+
+/// Bytes per entry.
+pub const ENTRY_BYTES: usize = 32;
+
+/// An append-only log region with a volatile write cursor.
+#[derive(Debug, Clone)]
+pub struct AppendLog {
+    base: PAddr,
+    capacity: usize,
+    cursor: usize,
+}
+
+impl AppendLog {
+    /// Views (and, on first use, owns the cursor of) a log region. The
+    /// cursor starts at the scanned end so re-attachment appends after
+    /// surviving entries.
+    pub fn attach(h: &mut PmemHandle, base: PAddr, capacity: usize) -> AppendLog {
+        let mut log = AppendLog { base, capacity, cursor: 0 };
+        log.cursor = log.scan_len(h);
+        log
+    }
+
+    /// Bytes required for `capacity` entries.
+    pub fn size_for(capacity: usize) -> usize {
+        capacity * ENTRY_BYTES
+    }
+
+    /// Base address.
+    pub fn base(&self) -> PAddr {
+        self.base
+    }
+
+    /// Entries appended (volatile view).
+    pub fn len(&self) -> usize {
+        self.cursor
+    }
+
+    /// True when no entries have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.cursor == 0
+    }
+
+    fn entry_addr(&self, i: usize) -> PAddr {
+        assert!(i < self.capacity, "append log overflow");
+        self.base + i * ENTRY_BYTES
+    }
+
+    /// Entries valid after a crash (content scan).
+    pub fn scan_len(&self, h: &mut PmemHandle) -> usize {
+        for i in 0..self.capacity {
+            if Kind::from_word(h.read_u64(self.entry_addr(i))).is_none() {
+                return i;
+            }
+        }
+        self.capacity
+    }
+
+    /// Appends one entry: four cached stores, one write-back, one fence.
+    pub fn append(&mut self, h: &mut PmemHandle, kind: Kind, a: u64, b: u64, stamp: u64) {
+        self.append_batch(h, &[(kind, a, b, stamp)]);
+    }
+
+    /// Appends several entries under a single fence.
+    pub fn append_batch(&mut self, h: &mut PmemHandle, entries: &[(Kind, u64, u64, u64)]) {
+        for (k, (kind, a, b, stamp)) in entries.iter().enumerate() {
+            let e = self.entry_addr(self.cursor + k);
+            h.write_u64(e + 8, *a);
+            h.write_u64(e + 16, *b);
+            h.write_u64(e + 24, *stamp);
+            h.write_u64(e, *kind as u64); // kind last: torn entries invisible
+            h.clwb(e);
+        }
+        h.sfence();
+        self.cursor += entries.len();
+    }
+
+    /// Appends one entry with non-temporal stores and **no fence**
+    /// (Mnemosyne's raw-word log mode; the commit fence orders them).
+    pub fn append_nt(&mut self, h: &mut PmemHandle, kind: Kind, a: u64, b: u64) {
+        let e = self.entry_addr(self.cursor);
+        h.nt_store_u64(e + 8, a);
+        h.nt_store_u64(e + 16, b);
+        h.nt_store_u64(e + 24, 0);
+        h.nt_store_u64(e, kind as u64);
+        self.cursor += 1;
+    }
+
+    /// Reads entry `i`.
+    pub fn read(&self, h: &mut PmemHandle, i: usize) -> (Option<Kind>, u64, u64, u64) {
+        let e = self.entry_addr(i);
+        (
+            Kind::from_word(h.read_u64(e)),
+            h.read_u64(e + 8),
+            h.read_u64(e + 16),
+            h.read_u64(e + 24),
+        )
+    }
+
+    /// Durably retires the log (zeroes the used prefix).
+    pub fn reset(&mut self, h: &mut PmemHandle) {
+        let used = self.cursor.max(self.scan_len(h));
+        for i in 0..used {
+            let e = self.entry_addr(i);
+            h.write_u64(e, 0);
+            h.clwb(e);
+        }
+        h.sfence();
+        self.cursor = 0;
+    }
+
+    /// Cheaply invalidates the whole log by zeroing entry 0 (the content
+    /// scan then sees an empty log). Used on the Mnemosyne commit path.
+    pub fn invalidate(&mut self, h: &mut PmemHandle) {
+        h.nt_store_u64(self.entry_addr(0), 0);
+        h.sfence();
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_nvm::{PmemPool, PoolConfig};
+
+    fn setup() -> (PmemPool, AppendLog) {
+        let p = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = p.handle();
+        let log = AppendLog::attach(&mut h, 4096, 64);
+        (p, log)
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let (p, mut log) = setup();
+        let mut h = p.handle();
+        log.append(&mut h, Kind::Undo, 1, 2, 3);
+        log.append(&mut h, Kind::Commit, 0, 0, 4);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.read(&mut h, 0), (Some(Kind::Undo), 1, 2, 3));
+        assert_eq!(log.read(&mut h, 1), (Some(Kind::Commit), 0, 0, 4));
+    }
+
+    #[test]
+    fn fenced_entries_survive_crash_and_cursor_reattaches() {
+        let (p, mut log) = setup();
+        let mut h = p.handle();
+        log.append(&mut h, Kind::Undo, 1, 2, 3);
+        drop(h);
+        p.crash(0);
+        let mut h = p.handle();
+        let log2 = AppendLog::attach(&mut h, 4096, 64);
+        assert_eq!(log2.len(), 1);
+        let _ = log;
+    }
+
+    #[test]
+    fn nt_append_is_durable_without_fence() {
+        let (p, mut log) = setup();
+        let mut h = p.handle();
+        log.append_nt(&mut h, Kind::Redo, 9, 10);
+        drop(h);
+        p.crash(0);
+        let mut h = p.handle();
+        assert_eq!(log.scan_len(&mut h), 1);
+    }
+
+    #[test]
+    fn reset_and_invalidate_empty_the_scan() {
+        let (p, mut log) = setup();
+        let mut h = p.handle();
+        log.append(&mut h, Kind::Undo, 1, 2, 3);
+        log.reset(&mut h);
+        assert_eq!(log.scan_len(&mut h), 0);
+        log.append(&mut h, Kind::Redo, 4, 5, 6);
+        log.invalidate(&mut h);
+        assert_eq!(log.scan_len(&mut h), 0);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn batch_uses_single_fence() {
+        let (p, mut log) = setup();
+        let mut h = p.handle();
+        let f0 = h.stats().fences;
+        log.append_batch(
+            &mut h,
+            &[(Kind::Undo, 1, 1, 1), (Kind::Undo, 2, 2, 2), (Kind::Undo, 3, 3, 3)],
+        );
+        assert_eq!(h.stats().fences - f0, 1);
+    }
+}

@@ -1,0 +1,437 @@
+//! Native Atlas session: per-store UNDO logging with cross-FASE dependence
+//! tracking and consistent-cut rollback recovery.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ido_core::Session;
+use ido_nvm::alloc::NvAllocator;
+use ido_nvm::{NvmError, PmemHandle, PmemPool, PAddr};
+
+use crate::alog::{AppendLog, Kind};
+use crate::registry::LogRegistry;
+
+const ROOT: &str = "atlas_sessions";
+/// Per-store CPU cost of Atlas's compiler-inserted persistent-access
+/// detection and dependence bookkeeping (the overhead Section V-A blames
+/// for Atlas's single-threaded cost on Redis).
+pub const TRACKING_NS: u64 = 500;
+
+/// Factory for [`AtlasSession`]s; owns the global timestamp counter and
+/// the last-release table used for happens-before tracking.
+#[derive(Debug, Clone)]
+pub struct AtlasRuntime {
+    registry: LogRegistry,
+    stamp: Arc<AtomicU64>,
+    last_release: Arc<Mutex<HashMap<PAddr, u64>>>,
+}
+
+impl AtlasRuntime {
+    /// Formats `pool` for Atlas with per-session log capacity
+    /// `log_entries`.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn format(pool: &PmemPool, log_entries: usize) -> Result<AtlasRuntime, NvmError> {
+        Ok(AtlasRuntime {
+            registry: LogRegistry::format_pool(pool, ROOT, log_entries)?,
+            stamp: Arc::new(AtomicU64::new(1)),
+            last_release: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// Installs on a formatted pool, sharing `alloc`.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn install(
+        pool: &PmemPool,
+        alloc: NvAllocator,
+        log_entries: usize,
+    ) -> Result<AtlasRuntime, NvmError> {
+        Ok(AtlasRuntime {
+            registry: LogRegistry::install(pool, alloc, ROOT, log_entries)?,
+            stamp: Arc::new(AtomicU64::new(1)),
+            last_release: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// Opens a per-thread session.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn session(&self, pool: &PmemPool) -> Result<AtlasSession, NvmError> {
+        Ok(AtlasSession {
+            handle: pool.handle(),
+            alloc: self.registry.allocator(),
+            log: self.registry.new_log(pool)?,
+            stamp: Arc::clone(&self.stamp),
+            last_release: Arc::clone(&self.last_release),
+            fase_depth: 0,
+            deferred: BTreeSet::new(),
+        })
+    }
+}
+
+/// An Atlas per-thread session.
+#[derive(Debug)]
+pub struct AtlasSession {
+    handle: PmemHandle,
+    alloc: NvAllocator,
+    log: AppendLog,
+    stamp: Arc<AtomicU64>,
+    last_release: Arc<Mutex<HashMap<PAddr, u64>>>,
+    fase_depth: u32,
+    /// FASE store addresses; Atlas defers data write-back to FASE end.
+    deferred: BTreeSet<PAddr>,
+}
+
+impl AtlasSession {
+    fn next_stamp(&self) -> u64 {
+        self.stamp.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn fase_end(&mut self) {
+        // Flush the FASE's deferred stores, then publish the commit record.
+        for addr in std::mem::take(&mut self.deferred) {
+            self.handle.clwb(addr);
+        }
+        self.handle.sfence();
+        let stamp = self.next_stamp();
+        self.log.append(&mut self.handle, Kind::Commit, 0, 0, stamp);
+    }
+}
+
+impl Session for AtlasSession {
+    fn scheme_name(&self) -> &'static str {
+        "Atlas"
+    }
+
+    fn handle(&mut self) -> &mut PmemHandle {
+        &mut self.handle
+    }
+
+    fn load(&mut self, addr: PAddr) -> u64 {
+        self.handle.read_u64(addr)
+    }
+
+    fn store(&mut self, addr: PAddr, value: u64) {
+        if self.fase_depth > 0 {
+            self.handle.advance(TRACKING_NS);
+            let old = self.handle.read_u64(addr);
+            let stamp = self.next_stamp();
+            self.log.append(&mut self.handle, Kind::Undo, addr as u64, old, stamp);
+            self.handle.write_u64(addr, value);
+            self.deferred.insert(addr);
+        } else {
+            self.handle.write_u64(addr, value);
+        }
+    }
+
+    fn alloc(&mut self, bytes: usize) -> Result<PAddr, NvmError> {
+        self.alloc.alloc(&mut self.handle, bytes)
+    }
+
+    fn free(&mut self, addr: PAddr) -> Result<(), NvmError> {
+        self.alloc.free(&mut self.handle, addr)
+    }
+
+    fn on_lock_acquired(&mut self, holder: PAddr) {
+        if self.fase_depth == 0 {
+            let stamp = self.next_stamp();
+            self.log.append(&mut self.handle, Kind::Begin, 0, 0, stamp);
+        }
+        self.fase_depth += 1;
+        self.handle.advance(TRACKING_NS);
+        let observed = *self
+            .last_release
+            .lock()
+            .expect("release table")
+            .get(&holder)
+            .unwrap_or(&0);
+        let stamp = self.next_stamp();
+        self.log.append(&mut self.handle, Kind::LockAcquire, holder as u64, observed, stamp);
+    }
+
+    fn on_lock_releasing(&mut self, holder: PAddr) {
+        self.handle.advance(TRACKING_NS);
+        let stamp = self.next_stamp();
+        self.last_release.lock().expect("release table").insert(holder, stamp);
+        self.log.append(&mut self.handle, Kind::LockRelease, holder as u64, stamp, stamp);
+        self.fase_depth = self.fase_depth.saturating_sub(1);
+        if self.fase_depth == 0 {
+            self.fase_end();
+        }
+    }
+
+    fn durable_begin(&mut self) {
+        if self.fase_depth == 0 {
+            let stamp = self.next_stamp();
+            self.log.append(&mut self.handle, Kind::Begin, 0, 0, stamp);
+        }
+        self.fase_depth += 1;
+    }
+
+    fn durable_end(&mut self) {
+        self.fase_depth = self.fase_depth.saturating_sub(1);
+        if self.fase_depth == 0 {
+            self.fase_end();
+        }
+    }
+
+    fn boundary(&mut self, _outputs: &[u64]) {
+        // Atlas logs per store; region boundaries are iDO-specific.
+    }
+}
+
+/// Result of [`atlas_recover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtlasRecovery {
+    /// FASEs rolled back (interrupted + dependence-invalidated).
+    pub rolled_back: usize,
+    /// UNDO entries applied.
+    pub undo_applied: usize,
+    /// Total log entries scanned (grows with pre-crash history — Table I).
+    pub entries_scanned: usize,
+    /// Simulated nanoseconds spent scanning and rolling back.
+    pub scan_ns: u64,
+}
+
+/// Atlas recovery: scan all session logs, compute the consistent cut via
+/// the recorded happens-before edges, and roll back invalidated FASEs in
+/// reverse timestamp order.
+///
+/// # Errors
+/// Propagates registry attachment failures.
+pub fn atlas_recover(pool: &PmemPool) -> Result<AtlasRecovery, NvmError> {
+    let registry = LogRegistry::attach(pool, ROOT)?;
+    let mut h = pool.handle();
+    let t0 = h.clock_ns();
+
+    struct Fase {
+        committed: bool,
+        undo: Vec<(u64, u64, u64)>,
+        acquires: Vec<(u64, u64)>,
+        releases: Vec<(u64, u64)>,
+    }
+    let mut fases: Vec<Fase> = Vec::new();
+    let mut scanned = 0;
+    for log in registry.logs(pool) {
+        let n = log.scan_len(&mut h);
+        scanned += n;
+        let mut cur: Option<Fase> = None;
+        for i in 0..n {
+            let (kind, a, b, stamp) = log.read(&mut h, i);
+            match kind {
+                Some(Kind::Begin) => {
+                    if let Some(f) = cur.take() {
+                        fases.push(f);
+                    }
+                    cur = Some(Fase {
+                        committed: false,
+                        undo: Vec::new(),
+                        acquires: Vec::new(),
+                        releases: Vec::new(),
+                    });
+                }
+                Some(Kind::Undo) => {
+                    if let Some(f) = cur.as_mut() {
+                        f.undo.push((a, b, stamp));
+                    }
+                }
+                Some(Kind::LockAcquire) => {
+                    if let Some(f) = cur.as_mut() {
+                        f.acquires.push((a, b));
+                    }
+                }
+                Some(Kind::LockRelease) => {
+                    if let Some(f) = cur.as_mut() {
+                        f.releases.push((a, b));
+                    }
+                }
+                Some(Kind::Commit) => {
+                    if let Some(mut f) = cur.take() {
+                        f.committed = true;
+                        fases.push(f);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(f) = cur.take() {
+            fases.push(f);
+        }
+    }
+
+    // Consistent cut: interrupted FASEs invalidate their dependents.
+    let mut release_owner: HashMap<(u64, u64), usize> = HashMap::new();
+    for (fi, f) in fases.iter().enumerate() {
+        for &(lock, stamp) in &f.releases {
+            release_owner.insert((lock, stamp), fi);
+        }
+    }
+    let mut undone: Vec<bool> = fases.iter().map(|f| !f.committed).collect();
+    loop {
+        let mut changed = false;
+        for fi in 0..fases.len() {
+            if undone[fi] {
+                continue;
+            }
+            for &(lock, observed) in &fases[fi].acquires {
+                if observed != 0 {
+                    if let Some(&owner) = release_owner.get(&(lock, observed)) {
+                        if undone[owner] {
+                            undone[fi] = true;
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut rollback: Vec<(u64, u64, u64)> = Vec::new();
+    for (fi, f) in fases.iter().enumerate() {
+        if undone[fi] {
+            rollback.extend(&f.undo);
+        }
+    }
+    rollback.sort_by_key(|&(_, _, s)| std::cmp::Reverse(s));
+    for &(addr, old, _) in &rollback {
+        h.write_u64(addr as PAddr, old);
+        h.clwb(addr as PAddr);
+    }
+    h.sfence();
+    for mut log in registry.logs(pool) {
+        log.reset(&mut h);
+    }
+
+    Ok(AtlasRecovery {
+        rolled_back: undone.iter().filter(|u| **u).count(),
+        undo_applied: rollback.len(),
+        entries_scanned: scanned,
+        scan_ns: h.clock_ns() - t0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_core::SimLock;
+    use ido_nvm::PoolConfig;
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig::small_for_tests())
+    }
+
+    #[test]
+    fn committed_fase_survives_crash() {
+        let p = pool();
+        let rt = AtlasRuntime::format(&p, 256).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let mut lock = SimLock::new(&mut s).unwrap();
+        let cell = s.alloc(8).unwrap();
+        lock.acquire(&mut s);
+        s.store(cell, 7);
+        lock.release(&mut s);
+        drop(s);
+        p.crash(0);
+        let r = atlas_recover(&p).unwrap();
+        assert_eq!(r.rolled_back, 0);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 7);
+    }
+
+    #[test]
+    fn interrupted_fase_is_rolled_back() {
+        let p = pool();
+        let rt = AtlasRuntime::format(&p, 256).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let mut lock = SimLock::new(&mut s).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.store(cell, 1); // pre-FASE init
+        s.handle().persist(cell, 8);
+        lock.acquire(&mut s);
+        s.store(cell, 99);
+        s.handle().persist(cell, 8); // evil: store already persisted
+        drop(s); // crash mid-FASE
+        p.crash(0);
+        let r = atlas_recover(&p).unwrap();
+        assert_eq!(r.rolled_back, 1);
+        assert_eq!(r.undo_applied, 1);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 1, "UNDO restores the pre-FASE value");
+    }
+
+    #[test]
+    fn dependent_committed_fase_is_also_rolled_back() {
+        // FASE A (interrupted) releases a lock; FASE B acquires it, sees
+        // A's value, and commits. Atlas must roll back both.
+        let p = pool();
+        let rt = AtlasRuntime::format(&p, 256).unwrap();
+        let mut sa = rt.session(&p).unwrap();
+        let mut sb = rt.session(&p).unwrap();
+        let mut l1 = SimLock::new(&mut sa).unwrap();
+        let mut l2 = SimLock::new(&mut sa).unwrap();
+        let cell = sa.alloc(16).unwrap();
+
+        // A: cross-lock FASE that releases l1 mid-FASE and never finishes.
+        l1.acquire(&mut sa);
+        l2.acquire(&mut sa);
+        sa.store(cell, 10);
+        l1.release(&mut sa); // depth 2 -> 1: still inside the FASE
+        // (crash before releasing l2)
+
+        // B: acquires l1 after A released it -> happens-before edge.
+        l1.acquire(&mut sb);
+        let seen = sb.load(cell);
+        sb.store(cell + 8, seen);
+        l1.release(&mut sb); // B commits
+
+        drop(sa);
+        drop(sb);
+        p.crash(0);
+        let r = atlas_recover(&p).unwrap();
+        assert_eq!(r.rolled_back, 2, "the committed dependent must also roll back");
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 0);
+        assert_eq!(h.read_u64(cell + 8), 0);
+    }
+
+    #[test]
+    fn log_scan_grows_with_history() {
+        let p = pool();
+        let rt = AtlasRuntime::format(&p, 4096).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let mut lock = SimLock::new(&mut s).unwrap();
+        let cell = s.alloc(8).unwrap();
+        for _ in 0..50 {
+            lock.acquire(&mut s);
+            s.store(cell, 1);
+            lock.release(&mut s);
+        }
+        drop(s);
+        p.crash(0);
+        let r = atlas_recover(&p).unwrap();
+        assert!(r.entries_scanned >= 50 * 4, "every FASE leaves log entries to scan");
+        assert_eq!(r.rolled_back, 0);
+    }
+
+    #[test]
+    fn one_fence_per_store_plus_tracking() {
+        let p = pool();
+        let rt = AtlasRuntime::format(&p, 256).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.durable_begin();
+        let f0 = s.handle().stats().fences;
+        s.store(cell, 1);
+        assert_eq!(s.handle().stats().fences - f0, 1);
+        s.durable_end();
+    }
+}

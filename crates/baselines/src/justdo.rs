@@ -1,0 +1,227 @@
+//! Native JUSTDO logging session.
+//!
+//! JUSTDO persists a ⟨pc, addr, value⟩ record immediately before every
+//! store, and the store itself must persist before the next record can
+//! overwrite the log — two persist-fence sequences per store. Lock
+//! operations update a lock-intention and a lock-ownership record, costing
+//! two fences each. The original system additionally forbids caching FASE
+//! state in registers; we charge that as a fixed per-access CPU overhead
+//! (`NO_REG_CACHE_NS`), matching how the paper's improved JUSTDO (with the
+//! stack already in NVM) still pays for memory-resident temporaries.
+
+use ido_core::Session;
+use ido_nvm::alloc::NvAllocator;
+use ido_nvm::{NvmError, PmemHandle, PmemPool, PAddr};
+
+use crate::registry::LogRegistry;
+
+const ROOT: &str = "justdo_sessions";
+/// Extra CPU cost per persistent access from the no-register-caching rule.
+pub const NO_REG_CACHE_NS: u64 = 12;
+
+/// Factory for [`JustDoSession`]s.
+#[derive(Debug, Clone)]
+pub struct JustDoRuntime {
+    registry: LogRegistry,
+}
+
+impl JustDoRuntime {
+    /// Formats `pool` for JUSTDO.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn format(pool: &PmemPool) -> Result<JustDoRuntime, NvmError> {
+        Ok(JustDoRuntime { registry: LogRegistry::format_pool(pool, ROOT, 8)? })
+    }
+
+    /// Installs on a formatted pool, sharing `alloc`.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn install(pool: &PmemPool, alloc: NvAllocator) -> Result<JustDoRuntime, NvmError> {
+        Ok(JustDoRuntime { registry: LogRegistry::install(pool, alloc, ROOT, 8)? })
+    }
+
+    /// Opens a per-thread session.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn session(&self, pool: &PmemPool) -> Result<JustDoSession, NvmError> {
+        let log = self.registry.new_log(pool)?;
+        Ok(JustDoSession {
+            handle: pool.handle(),
+            alloc: self.registry.allocator(),
+            log_base: log.base(),
+            fase_depth: 0,
+        })
+    }
+}
+
+/// A JUSTDO per-thread session. The log region holds the single active
+/// ⟨pc, addr, value⟩ record (JUSTDO overwrites in place) plus the two
+/// lock-tracking words.
+#[derive(Debug)]
+pub struct JustDoSession {
+    handle: PmemHandle,
+    alloc: NvAllocator,
+    log_base: PAddr,
+    fase_depth: u32,
+}
+
+impl JustDoSession {
+    fn record_addr(&self) -> PAddr {
+        self.log_base // (active, addr, value) share the first line
+    }
+
+    fn lock_words(&self) -> PAddr {
+        self.log_base + 64
+    }
+}
+
+impl Session for JustDoSession {
+    fn scheme_name(&self) -> &'static str {
+        "JUSTDO"
+    }
+
+    fn handle(&mut self) -> &mut PmemHandle {
+        &mut self.handle
+    }
+
+    fn load(&mut self, addr: PAddr) -> u64 {
+        self.handle.advance(NO_REG_CACHE_NS);
+        self.handle.read_u64(addr)
+    }
+
+    fn store(&mut self, addr: PAddr, value: u64) {
+        if self.fase_depth > 0 {
+            // Fence 1: the log record persists before the store.
+            let rec = self.record_addr();
+            self.handle.write_u64(rec + 8, addr as u64);
+            self.handle.write_u64(rec + 16, value);
+            self.handle.write_u64(rec, 1); // active marker (the "pc")
+            self.handle.clwb(rec);
+            self.handle.sfence();
+            // Fence 2: the store persists before the next record.
+            self.handle.advance(NO_REG_CACHE_NS);
+            self.handle.write_u64(addr, value);
+            self.handle.clwb(addr);
+            self.handle.sfence();
+        } else {
+            self.handle.write_u64(addr, value);
+        }
+    }
+
+    fn alloc(&mut self, bytes: usize) -> Result<PAddr, NvmError> {
+        self.alloc.alloc(&mut self.handle, bytes)
+    }
+
+    fn free(&mut self, addr: PAddr) -> Result<(), NvmError> {
+        self.alloc.free(&mut self.handle, addr)
+    }
+
+    fn on_lock_acquired(&mut self, holder: PAddr) {
+        self.fase_depth += 1;
+        // Intention record, fence; ownership record, fence.
+        let lw = self.lock_words();
+        self.handle.write_u64(lw, holder as u64);
+        self.handle.clwb(lw);
+        self.handle.sfence();
+        self.handle.write_u64(lw + 8, 1);
+        self.handle.clwb(lw + 8);
+        self.handle.sfence();
+    }
+
+    fn on_lock_releasing(&mut self, _holder: PAddr) {
+        let lw = self.lock_words();
+        self.handle.write_u64(lw + 8, 0);
+        self.handle.clwb(lw + 8);
+        self.handle.sfence();
+        self.handle.write_u64(lw, 0);
+        self.handle.clwb(lw);
+        self.handle.sfence();
+        self.fase_depth = self.fase_depth.saturating_sub(1);
+        if self.fase_depth == 0 {
+            self.durable_end_inner();
+        }
+    }
+
+    fn durable_begin(&mut self) {
+        self.fase_depth += 1;
+    }
+
+    fn durable_end(&mut self) {
+        self.fase_depth = self.fase_depth.saturating_sub(1);
+        if self.fase_depth == 0 {
+            self.durable_end_inner();
+        }
+    }
+
+    fn boundary(&mut self, _outputs: &[u64]) {
+        // JUSTDO has no region concept: every store is its own log event.
+    }
+}
+
+impl JustDoSession {
+    fn durable_end_inner(&mut self) {
+        let rec = self.record_addr();
+        self.handle.write_u64(rec, 0);
+        self.handle.clwb(rec);
+        self.handle.sfence();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_core::SimLock;
+    use ido_nvm::PoolConfig;
+
+    #[test]
+    fn two_fences_per_store_inside_fase() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let rt = JustDoRuntime::format(&pool).unwrap();
+        let mut s = rt.session(&pool).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.durable_begin();
+        let f0 = s.handle().stats().fences;
+        s.store(cell, 1);
+        assert_eq!(s.handle().stats().fences - f0, 2);
+        s.durable_end();
+    }
+
+    #[test]
+    fn stores_inside_fase_are_immediately_durable() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let rt = JustDoRuntime::format(&pool).unwrap();
+        let mut s = rt.session(&pool).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.durable_begin();
+        s.store(cell, 42);
+        drop(s); // crash before durable_end
+        pool.crash(0);
+        let mut h = pool.handle();
+        assert_eq!(h.read_u64(cell), 42);
+    }
+
+    #[test]
+    fn lock_ops_cost_two_fences_each() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let rt = JustDoRuntime::format(&pool).unwrap();
+        let mut s = rt.session(&pool).unwrap();
+        let mut lock = SimLock::new(&mut s).unwrap();
+        let f0 = s.handle().stats().fences;
+        lock.acquire(&mut s);
+        assert_eq!(s.handle().stats().fences - f0, 2);
+    }
+
+    #[test]
+    fn stores_outside_fase_are_plain() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let rt = JustDoRuntime::format(&pool).unwrap();
+        let mut s = rt.session(&pool).unwrap();
+        let cell = s.alloc(8).unwrap();
+        let f0 = s.handle().stats().fences;
+        s.store(cell, 1);
+        assert_eq!(s.handle().stats().fences, f0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Native implementations of the failure-atomicity baselines the iDO paper
+//! compares against, all behind `ido-core`'s [`Session`](ido_core::Session)
+//! trait so the same persistent data structure runs under every runtime —
+//! exactly as the paper links each benchmark against each system.
+//!
+//! | Runtime | Logging | Cost signature |
+//! |---|---|---|
+//! | [`JustDoSession`] | ⟨pc, addr, value⟩ per store, resumption | two persist fences **per store**, plus memory-resident temporaries (no register caching) |
+//! | [`AtlasSession`] | per-store UNDO + happens-before lock entries | one fence per store/lock op + dependence-tracking CPU cost; data writes-back deferred to FASE end |
+//! | [`MnemosyneSession`] | REDO write set, non-temporal log appends | near-zero per-store cost, two fences per transaction, **global lock** serialization |
+//! | [`NvmlSession`] | object-granularity UNDO (`TX_ADD`), deduplicated | one fence per *object*, no lock instrumentation, no dependence tracking |
+//! | [`NvthreadsSession`] | page-granularity REDO at FASE end | page-copy cost at first touch + page-log cost per dirty page |
+//!
+//! Recovery: [`atlas_recover`] performs the consistent-cut computation and
+//! rollback (log-scan cost grows with history — the mechanism behind the
+//! paper's Table I), [`nvml_recover`] rolls back uncommitted transactions,
+//! and [`redo_recover`] replays committed REDO logs.
+
+#![deny(missing_docs)]
+
+pub mod alog;
+mod atlas;
+mod justdo;
+mod mnemosyne;
+mod nvml;
+mod nvthreads;
+mod registry;
+
+pub use atlas::{atlas_recover, AtlasRecovery, AtlasRuntime, AtlasSession};
+pub use justdo::{JustDoRuntime, JustDoSession};
+pub use mnemosyne::{MnemosyneRuntime, MnemosyneSession};
+pub use nvml::{nvml_recover, NvmlRuntime, NvmlSession};
+pub use nvthreads::{redo_recover, NvthreadsRuntime, NvthreadsSession};
+pub use registry::LogRegistry;

@@ -1,0 +1,269 @@
+//! Native Mnemosyne session: REDO-logged durable transactions.
+//!
+//! The paper runs Mnemosyne by treating each FASE as a transaction under a
+//! single global lock (its C++ transactions cannot express hand-over-hand
+//! locking). Stores are buffered in a volatile write set and appended to a
+//! persistent REDO log with cheap non-temporal stores; commit pays two
+//! fences, publishes the write set in place, and retires the log. Program
+//! locks are subsumed by the global transaction lock, which is what caps
+//! Mnemosyne's scalability in Figs. 5 and 7.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use ido_core::Session;
+use ido_nvm::alloc::NvAllocator;
+use ido_nvm::{NvmError, PmemHandle, PmemPool, PAddr};
+
+use crate::alog::{AppendLog, Kind};
+use crate::registry::LogRegistry;
+
+const ROOT: &str = "mnemosyne_sessions";
+
+/// Factory for [`MnemosyneSession`]s; owns the global transaction lock's
+/// DES availability time.
+#[derive(Debug, Clone)]
+pub struct MnemosyneRuntime {
+    registry: LogRegistry,
+    global_available_at: Arc<Mutex<u64>>,
+}
+
+impl MnemosyneRuntime {
+    /// Formats `pool` for Mnemosyne with per-session REDO capacity
+    /// `log_entries`.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn format(pool: &PmemPool, log_entries: usize) -> Result<MnemosyneRuntime, NvmError> {
+        Ok(MnemosyneRuntime {
+            registry: LogRegistry::format_pool(pool, ROOT, log_entries)?,
+            global_available_at: Arc::new(Mutex::new(0)),
+        })
+    }
+
+    /// Installs on a formatted pool, sharing `alloc`.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn install(
+        pool: &PmemPool,
+        alloc: NvAllocator,
+        log_entries: usize,
+    ) -> Result<MnemosyneRuntime, NvmError> {
+        Ok(MnemosyneRuntime {
+            registry: LogRegistry::install(pool, alloc, ROOT, log_entries)?,
+            global_available_at: Arc::new(Mutex::new(0)),
+        })
+    }
+
+    /// Opens a per-thread session.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn session(&self, pool: &PmemPool) -> Result<MnemosyneSession, NvmError> {
+        Ok(MnemosyneSession {
+            handle: pool.handle(),
+            alloc: self.registry.allocator(),
+            log: self.registry.new_log(pool)?,
+            global_available_at: Arc::clone(&self.global_available_at),
+            fase_depth: 0,
+            write_set: BTreeMap::new(),
+        })
+    }
+}
+
+/// A Mnemosyne per-thread session.
+#[derive(Debug)]
+pub struct MnemosyneSession {
+    handle: PmemHandle,
+    alloc: NvAllocator,
+    log: AppendLog,
+    global_available_at: Arc<Mutex<u64>>,
+    fase_depth: u32,
+    write_set: BTreeMap<PAddr, u64>,
+}
+
+impl MnemosyneSession {
+    fn tx_begin(&mut self) {
+        // Acquire the global transaction lock (DES: wait until available).
+        let avail = *self.global_available_at.lock().expect("global lock time");
+        if self.handle.clock_ns() < avail {
+            self.handle.set_clock_ns(avail);
+        }
+        self.handle.advance(ido_core::LOCK_NS);
+        self.write_set.clear();
+    }
+
+    fn tx_commit(&mut self) {
+        // Order the NT log appends, publish the commit record.
+        self.handle.sfence();
+        self.log.append_nt(&mut self.handle, Kind::Commit, 0, 0);
+        self.handle.sfence();
+        // Apply the write set in place and persist it.
+        for (addr, v) in std::mem::take(&mut self.write_set) {
+            self.handle.write_u64(addr, v);
+            self.handle.clwb(addr);
+        }
+        self.handle.sfence();
+        self.log.invalidate(&mut self.handle);
+        // Release the global lock.
+        self.handle.advance(ido_core::LOCK_NS);
+        *self.global_available_at.lock().expect("global lock time") = self.handle.clock_ns();
+    }
+}
+
+impl Session for MnemosyneSession {
+    fn scheme_name(&self) -> &'static str {
+        "Mnemosyne"
+    }
+
+    fn handle(&mut self) -> &mut PmemHandle {
+        &mut self.handle
+    }
+
+    fn load(&mut self, addr: PAddr) -> u64 {
+        if self.fase_depth > 0 {
+            if let Some(v) = self.write_set.get(&addr) {
+                self.handle.advance(1);
+                return *v;
+            }
+        }
+        self.handle.read_u64(addr)
+    }
+
+    fn store(&mut self, addr: PAddr, value: u64) {
+        if self.fase_depth > 0 {
+            self.write_set.insert(addr, value);
+            self.log.append_nt(&mut self.handle, Kind::Redo, addr as u64, value);
+        } else {
+            self.handle.write_u64(addr, value);
+        }
+    }
+
+    fn alloc(&mut self, bytes: usize) -> Result<PAddr, NvmError> {
+        self.alloc.alloc(&mut self.handle, bytes)
+    }
+
+    fn free(&mut self, addr: PAddr) -> Result<(), NvmError> {
+        self.alloc.free(&mut self.handle, addr)
+    }
+
+    fn on_lock_acquired(&mut self, _holder: PAddr) {
+        // Program locks are subsumed by the global transaction lock.
+        if self.fase_depth == 0 {
+            self.tx_begin();
+        }
+        self.fase_depth += 1;
+    }
+
+    fn on_lock_releasing(&mut self, _holder: PAddr) {
+        self.fase_depth = self.fase_depth.saturating_sub(1);
+        if self.fase_depth == 0 {
+            self.tx_commit();
+        }
+    }
+
+    fn durable_begin(&mut self) {
+        if self.fase_depth == 0 {
+            self.tx_begin();
+        }
+        self.fase_depth += 1;
+    }
+
+    fn durable_end(&mut self) {
+        self.fase_depth = self.fase_depth.saturating_sub(1);
+        if self.fase_depth == 0 {
+            self.tx_commit();
+        }
+    }
+
+    fn boundary(&mut self, _outputs: &[u64]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_nvm::PoolConfig;
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig::small_for_tests())
+    }
+
+    #[test]
+    fn read_own_writes_through_write_set() {
+        let p = pool();
+        let rt = MnemosyneRuntime::format(&p, 64).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.durable_begin();
+        s.store(cell, 5);
+        assert_eq!(s.load(cell), 5);
+        s.durable_end();
+        assert_eq!(s.load(cell), 5);
+    }
+
+    #[test]
+    fn uncommitted_txn_leaves_memory_untouched() {
+        let p = pool();
+        let rt = MnemosyneRuntime::format(&p, 64).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.store(cell, 1);
+        s.handle().persist(cell, 8);
+        s.durable_begin();
+        s.store(cell, 99); // buffered only
+        drop(s); // crash before commit
+        p.crash(0);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 1, "REDO buffering never dirties memory early");
+    }
+
+    #[test]
+    fn committed_but_unapplied_txn_is_replayable() {
+        let p = pool();
+        let rt = MnemosyneRuntime::format(&p, 64).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.durable_begin();
+        s.store(cell, 42);
+        s.durable_end();
+        drop(s);
+        p.crash(0);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 42, "commit path persists the write set");
+    }
+
+    #[test]
+    fn global_lock_serializes_transactions() {
+        let p = pool();
+        let rt = MnemosyneRuntime::format(&p, 64).unwrap();
+        let mut s1 = rt.session(&p).unwrap();
+        let mut s2 = rt.session(&p).unwrap();
+        let cell = s1.alloc(8).unwrap();
+        s1.durable_begin();
+        s1.store(cell, 1);
+        s1.durable_end();
+        let t1_end = s1.clock_ns();
+        // s2's clock starts at 0 but its txn must wait for s1's commit.
+        s2.durable_begin();
+        assert!(s2.clock_ns() >= t1_end);
+        s2.durable_end();
+    }
+
+    #[test]
+    fn per_store_cost_is_cheap_nt_appends() {
+        let p = pool();
+        let rt = MnemosyneRuntime::format(&p, 256).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let cell = s.alloc(128).unwrap();
+        s.durable_begin();
+        let f0 = s.handle().stats().fences;
+        for k in 0..16 {
+            s.store(cell + k * 8, k as u64);
+        }
+        assert_eq!(s.handle().stats().fences - f0, 0, "no fences until commit");
+        s.durable_end();
+        let f1 = s.handle().stats().fences;
+        assert!(f1 - f0 <= 4, "commit pays a small constant number of fences");
+    }
+}

@@ -1,0 +1,269 @@
+//! Native NVThreads session: page-granularity REDO logging.
+//!
+//! NVThreads runs critical sections on private page copies (OS page
+//! protection): the first store to each page pays a copy-on-write page
+//! duplication, and lock release writes the dirty pages to a persistent
+//! REDO log before publishing them. We buffer stores in a write set
+//! (observationally equivalent to page copies for data-race-free programs)
+//! and charge the page-granular costs: `PAGE_COPY_NS` per first touch and
+//! `PAGE_LOG_NS` per dirty page at commit.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ido_core::Session;
+use ido_nvm::alloc::NvAllocator;
+use ido_nvm::{NvmError, PmemHandle, PmemPool, PAddr};
+
+use crate::alog::{AppendLog, Kind};
+use crate::registry::LogRegistry;
+
+const ROOT: &str = "nvthreads_sessions";
+/// Page size assumed by the page-protection machinery.
+pub const PAGE_BYTES: usize = 4096;
+/// Cost of the copy-on-write duplication at first touch of a page.
+pub const PAGE_COPY_NS: u64 = 1200;
+/// Cost of writing one dirty page to the redo log at commit.
+pub const PAGE_LOG_NS: u64 = 2500;
+
+/// Factory for [`NvthreadsSession`]s.
+#[derive(Debug, Clone)]
+pub struct NvthreadsRuntime {
+    registry: LogRegistry,
+}
+
+impl NvthreadsRuntime {
+    /// Formats `pool` for NVThreads with per-session log capacity
+    /// `log_entries`.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn format(pool: &PmemPool, log_entries: usize) -> Result<NvthreadsRuntime, NvmError> {
+        Ok(NvthreadsRuntime { registry: LogRegistry::format_pool(pool, ROOT, log_entries)? })
+    }
+
+    /// Installs on a formatted pool, sharing `alloc`.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn install(
+        pool: &PmemPool,
+        alloc: NvAllocator,
+        log_entries: usize,
+    ) -> Result<NvthreadsRuntime, NvmError> {
+        Ok(NvthreadsRuntime { registry: LogRegistry::install(pool, alloc, ROOT, log_entries)? })
+    }
+
+    /// Opens a per-thread session.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn session(&self, pool: &PmemPool) -> Result<NvthreadsSession, NvmError> {
+        Ok(NvthreadsSession {
+            handle: pool.handle(),
+            alloc: self.registry.allocator(),
+            log: self.registry.new_log(pool)?,
+            fase_depth: 0,
+            write_set: BTreeMap::new(),
+            dirty_pages: BTreeSet::new(),
+        })
+    }
+}
+
+/// An NVThreads per-thread session.
+#[derive(Debug)]
+pub struct NvthreadsSession {
+    handle: PmemHandle,
+    alloc: NvAllocator,
+    log: AppendLog,
+    fase_depth: u32,
+    write_set: BTreeMap<PAddr, u64>,
+    dirty_pages: BTreeSet<usize>,
+}
+
+impl NvthreadsSession {
+    fn commit(&mut self) {
+        let pages = self.dirty_pages.len() as u64;
+        self.handle.advance(pages * PAGE_LOG_NS);
+        let entries: Vec<_> = self
+            .write_set
+            .iter()
+            .map(|(a, v)| (Kind::Redo, *a as u64, *v, 0))
+            .collect();
+        if !entries.is_empty() {
+            self.log.append_batch(&mut self.handle, &entries);
+        }
+        self.log.append(&mut self.handle, Kind::Commit, 0, 0, 0);
+        for (addr, v) in std::mem::take(&mut self.write_set) {
+            self.handle.write_u64(addr, v);
+            self.handle.clwb(addr);
+        }
+        self.handle.sfence();
+        self.log.reset(&mut self.handle);
+        self.dirty_pages.clear();
+    }
+}
+
+impl Session for NvthreadsSession {
+    fn scheme_name(&self) -> &'static str {
+        "NVThreads"
+    }
+
+    fn handle(&mut self) -> &mut PmemHandle {
+        &mut self.handle
+    }
+
+    fn load(&mut self, addr: PAddr) -> u64 {
+        if self.fase_depth > 0 {
+            if let Some(v) = self.write_set.get(&addr) {
+                self.handle.advance(1);
+                return *v;
+            }
+        }
+        self.handle.read_u64(addr)
+    }
+
+    fn store(&mut self, addr: PAddr, value: u64) {
+        if self.fase_depth > 0 {
+            if self.dirty_pages.insert(addr / PAGE_BYTES) {
+                self.handle.advance(PAGE_COPY_NS);
+            }
+            self.write_set.insert(addr, value);
+        } else {
+            self.handle.write_u64(addr, value);
+        }
+    }
+
+    fn alloc(&mut self, bytes: usize) -> Result<PAddr, NvmError> {
+        self.alloc.alloc(&mut self.handle, bytes)
+    }
+
+    fn free(&mut self, addr: PAddr) -> Result<(), NvmError> {
+        self.alloc.free(&mut self.handle, addr)
+    }
+
+    fn on_lock_acquired(&mut self, _holder: PAddr) {
+        self.fase_depth += 1;
+    }
+
+    fn on_lock_releasing(&mut self, _holder: PAddr) {
+        self.fase_depth = self.fase_depth.saturating_sub(1);
+        if self.fase_depth == 0 {
+            self.commit();
+        }
+    }
+
+    fn durable_begin(&mut self) {
+        self.fase_depth += 1;
+    }
+
+    fn durable_end(&mut self) {
+        self.fase_depth = self.fase_depth.saturating_sub(1);
+        if self.fase_depth == 0 {
+            self.commit();
+        }
+    }
+
+    fn boundary(&mut self, _outputs: &[u64]) {}
+}
+
+/// Result of [`redo_recover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedoRecovery {
+    /// Committed logs replayed.
+    pub replayed: usize,
+    /// Uncommitted logs discarded.
+    pub discarded: usize,
+}
+
+/// Replays committed-but-unretired REDO logs; discards uncommitted ones.
+///
+/// # Errors
+/// Propagates registry attachment failures.
+pub fn redo_recover(pool: &PmemPool) -> Result<RedoRecovery, NvmError> {
+    let registry = LogRegistry::attach(pool, ROOT)?;
+    let mut h = pool.handle();
+    let mut out = RedoRecovery { replayed: 0, discarded: 0 };
+    for mut log in registry.logs(pool) {
+        let n = log.scan_len(&mut h);
+        if n == 0 {
+            continue;
+        }
+        let committed = (0..n).any(|i| log.read(&mut h, i).0 == Some(Kind::Commit));
+        if committed {
+            for i in 0..n {
+                let (kind, a, b, _) = log.read(&mut h, i);
+                if kind == Some(Kind::Redo) {
+                    h.write_u64(a as PAddr, b);
+                    h.clwb(a as PAddr);
+                }
+            }
+            h.sfence();
+            out.replayed += 1;
+        } else {
+            out.discarded += 1;
+        }
+        log.reset(&mut h);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_nvm::PoolConfig;
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig::small_for_tests())
+    }
+
+    #[test]
+    fn first_touch_pays_page_copy() {
+        let p = pool();
+        let rt = NvthreadsRuntime::format(&p, 256).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let cell = s.alloc(8192).unwrap();
+        s.durable_begin();
+        let t0 = s.clock_ns();
+        s.store(cell, 1);
+        let after_first = s.clock_ns();
+        s.store(cell + 8, 2); // same page: no copy
+        let after_second = s.clock_ns();
+        assert!(after_first - t0 >= PAGE_COPY_NS);
+        assert!(after_second - after_first < PAGE_COPY_NS);
+        s.durable_end();
+    }
+
+    #[test]
+    fn uncommitted_fase_discarded() {
+        let p = pool();
+        let rt = NvthreadsRuntime::format(&p, 256).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.store(cell, 1);
+        s.handle().persist(cell, 8);
+        s.durable_begin();
+        s.store(cell, 99);
+        drop(s);
+        p.crash(0);
+        let r = redo_recover(&p).unwrap();
+        assert_eq!(r.replayed, 0);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 1);
+    }
+
+    #[test]
+    fn committed_fase_durable() {
+        let p = pool();
+        let rt = NvthreadsRuntime::format(&p, 256).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.durable_begin();
+        s.store(cell, 7);
+        assert_eq!(s.load(cell), 7, "read own buffered write");
+        s.durable_end();
+        drop(s);
+        p.crash(0);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 7);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-scheme persistent session registries.
+//!
+//! Each baseline runtime registers its per-thread logs under a named root
+//! so recovery can find them after a crash — the analog of the iDO paper's
+//! global linked list of `iDO_Log`s (Fig. 3).
+
+use ido_nvm::alloc::NvAllocator;
+use ido_nvm::root::RootTable;
+use ido_nvm::{NvmError, PmemHandle, PmemPool, PAddr};
+
+use crate::alog::AppendLog;
+
+/// Maximum sessions per registry.
+pub const MAX_SESSIONS: usize = 256;
+
+/// A registry of per-session append logs under one root name.
+#[derive(Debug, Clone)]
+pub struct LogRegistry {
+    alloc: NvAllocator,
+    base: PAddr,
+    capacity_entries: usize,
+}
+
+impl LogRegistry {
+    /// Formats the pool (root table + allocator) and installs a registry.
+    /// Call once per pool; sibling registries should use
+    /// [`LogRegistry::install`].
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn format_pool(
+        pool: &PmemPool,
+        root: &str,
+        capacity_entries: usize,
+    ) -> Result<LogRegistry, NvmError> {
+        let mut h = pool.handle();
+        RootTable::format(&mut h);
+        let alloc = NvAllocator::format(&mut h, pool.size());
+        Self::install_with(&mut h, alloc, root, capacity_entries)
+    }
+
+    /// Installs a registry on an already formatted pool.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn install(
+        pool: &PmemPool,
+        alloc: NvAllocator,
+        root: &str,
+        capacity_entries: usize,
+    ) -> Result<LogRegistry, NvmError> {
+        let mut h = pool.handle();
+        RootTable::attach(&mut h)?;
+        Self::install_with(&mut h, alloc, root, capacity_entries)
+    }
+
+    fn install_with(
+        h: &mut PmemHandle,
+        alloc: NvAllocator,
+        root: &str,
+        capacity_entries: usize,
+    ) -> Result<LogRegistry, NvmError> {
+        let base = alloc.alloc(h, 16 + MAX_SESSIONS * 8)?;
+        h.write_u64(base, 0);
+        h.write_u64(base + 8, capacity_entries as u64);
+        h.persist(base, 16);
+        RootTable.set_root(h, root, base)?;
+        Ok(LogRegistry { alloc, base, capacity_entries })
+    }
+
+    /// Re-attaches to a registry after a crash.
+    ///
+    /// # Errors
+    /// Returns [`NvmError::CorruptHeader`] if the root is missing.
+    pub fn attach(pool: &PmemPool, root: &str) -> Result<LogRegistry, NvmError> {
+        let mut h = pool.handle();
+        RootTable::attach(&mut h)?;
+        let base = RootTable.root(&mut h, root).ok_or(NvmError::CorruptHeader {
+            detail: format!("missing registry root `{root}`"),
+        })?;
+        let capacity_entries = h.read_u64(base + 8) as usize;
+        Ok(LogRegistry { alloc: NvAllocator::attach(), base, capacity_entries })
+    }
+
+    /// The shared persistent allocator.
+    pub fn allocator(&self) -> NvAllocator {
+        self.alloc.clone()
+    }
+
+    /// Allocates, registers, and returns a new session log.
+    ///
+    /// # Errors
+    /// Propagates allocation failures; errors when the registry is full.
+    pub fn new_log(&self, pool: &PmemPool) -> Result<AppendLog, NvmError> {
+        let mut h = pool.handle();
+        let n = h.read_u64(self.base) as usize;
+        if n >= MAX_SESSIONS {
+            return Err(NvmError::RootTableFull);
+        }
+        let bytes = AppendLog::size_for(self.capacity_entries);
+        let log_base = self.alloc.alloc(&mut h, bytes)?;
+        // Zero the first entry so the content scan sees an empty log.
+        h.write_u64(log_base, 0);
+        h.persist(log_base, 8);
+        h.write_u64(self.base + 16 + n * 8, log_base as u64);
+        h.persist(self.base + 16 + n * 8, 8);
+        h.write_u64(self.base, (n + 1) as u64);
+        h.persist(self.base, 8);
+        Ok(AppendLog::attach(&mut h, log_base, self.capacity_entries))
+    }
+
+    /// All registered logs (for recovery scans).
+    pub fn logs(&self, pool: &PmemPool) -> Vec<AppendLog> {
+        let mut h = pool.handle();
+        let n = h.read_u64(self.base) as usize;
+        (0..n)
+            .map(|i| {
+                let base = h.read_u64(self.base + 16 + i * 8) as PAddr;
+                AppendLog::attach(&mut h, base, self.capacity_entries)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_nvm::PoolConfig;
+
+    #[test]
+    fn format_register_attach() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let reg = LogRegistry::format_pool(&pool, "test_logs", 64).unwrap();
+        let mut log = reg.new_log(&pool).unwrap();
+        let mut h = pool.handle();
+        log.append(&mut h, crate::alog::Kind::Undo, 1, 2, 3);
+        drop(h);
+        pool.crash(0);
+        let reg2 = LogRegistry::attach(&pool, "test_logs").unwrap();
+        let logs = reg2.logs(&pool);
+        assert_eq!(logs.len(), 1);
+        let mut h = pool.handle();
+        assert_eq!(logs[0].scan_len(&mut h), 1);
+    }
+
+    #[test]
+    fn two_registries_coexist() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let a = LogRegistry::format_pool(&pool, "a_logs", 16).unwrap();
+        let b = LogRegistry::install(&pool, a.allocator(), "b_logs", 16).unwrap();
+        a.new_log(&pool).unwrap();
+        b.new_log(&pool).unwrap();
+        b.new_log(&pool).unwrap();
+        assert_eq!(a.logs(&pool).len(), 1);
+        assert_eq!(b.logs(&pool).len(), 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benches of the full pipeline: compile → instrument → execute
+//! a complete workload in the VM under each scheme. Measures the harness's
+//! real (host) cost, and doubles as a regression guard on interpreter
+//! performance.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ido_compiler::Scheme;
+use ido_nvm::PoolConfig;
+use ido_vm::VmConfig;
+use ido_workloads::micro::{MapSpec, StackSpec};
+use ido_workloads::run_workload;
+
+fn cfg() -> VmConfig {
+    VmConfig {
+        pool: PoolConfig { size: 16 << 20, ..PoolConfig::default() },
+        log_entries: 1 << 14,
+        ..VmConfig::default()
+    }
+}
+
+fn bench_stack_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_stack_4t_x_100ops");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    for scheme in [Scheme::Origin, Scheme::Ido, Scheme::Atlas, Scheme::JustDo] {
+        g.bench_function(BenchmarkId::from_parameter(scheme.name()), |b| {
+            b.iter(|| run_workload(scheme, &StackSpec, 4, 100, cfg()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_map_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_map_8t_x_100ops");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    let spec = MapSpec { buckets: 64, key_range: 1024 };
+    for scheme in [Scheme::Origin, Scheme::Ido] {
+        g.bench_function(BenchmarkId::from_parameter(scheme.name()), |b| {
+            b.iter(|| run_workload(scheme, &spec, 8, 100, cfg()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stack_pipeline, bench_map_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Criterion benches of the native runtimes' logging primitives: the real
+//! CPU cost (not simulated time) of each scheme's instrumentation.
+//!
+//! The unit measured is one FASE performing four stores — the shape of a
+//! typical data-structure operation. Append-only logs (Atlas, NVML) grow
+//! without bound during normal execution, so measurement proceeds in
+//! chunks with a fresh pool per chunk, keeping the logs within capacity
+//! while timing only the operations themselves.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ido_baselines::{AtlasRuntime, JustDoRuntime, MnemosyneRuntime, NvmlRuntime, NvthreadsRuntime};
+use ido_core::{IdoRuntime, OriginSession, Session, SimLock};
+use ido_nvm::{PmemPool, PoolConfig};
+
+const CHUNK: u64 = 8_000;
+const LOG_CAP: usize = 1 << 19; // 512k entries: above CHUNK × NVML's ~18 entries/FASE
+
+fn pool() -> PmemPool {
+    PmemPool::new(PoolConfig { size: 32 << 20, ..PoolConfig::default() })
+}
+
+fn session_for(name: &str, p: &PmemPool) -> Box<dyn Session> {
+    match name {
+        "origin" => Box::new(OriginSession::format(p)),
+        "ido" => Box::new(IdoRuntime::format(p).unwrap().session(p).unwrap()),
+        "justdo" => Box::new(JustDoRuntime::format(p).unwrap().session(p).unwrap()),
+        "atlas" => Box::new(AtlasRuntime::format(p, LOG_CAP).unwrap().session(p).unwrap()),
+        "mnemosyne" => Box::new(MnemosyneRuntime::format(p, LOG_CAP).unwrap().session(p).unwrap()),
+        "nvml" => Box::new(NvmlRuntime::format(p, LOG_CAP).unwrap().session(p).unwrap()),
+        "nvthreads" => Box::new(NvthreadsRuntime::format(p, LOG_CAP).unwrap().session(p).unwrap()),
+        other => panic!("unknown scheme {other}"),
+    }
+}
+
+/// Times `iters` four-store FASEs, in fresh-pool chunks.
+fn timed_fases(name: &str, iters: u64) -> Duration {
+    let mut total = Duration::ZERO;
+    let mut remaining = iters;
+    while remaining > 0 {
+        let chunk = remaining.min(CHUNK);
+        let p = pool();
+        let mut s = session_for(name, &p);
+        let cell = s.alloc(1 << 12).unwrap();
+        let start = Instant::now();
+        for i in 0..chunk {
+            s.durable_begin();
+            s.boundary(&[cell as u64, i]);
+            for k in 0..4u64 {
+                s.store(cell + ((i * 32 + k * 8) & 0xFF8) as usize, i ^ k);
+            }
+            s.boundary(&[]);
+            s.durable_end();
+        }
+        total += start.elapsed();
+        remaining -= chunk;
+    }
+    total
+}
+
+fn bench_fase_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fase_four_stores");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    for name in ["origin", "ido", "justdo", "atlas", "mnemosyne", "nvml", "nvthreads"] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_custom(|iters| timed_fases(name, iters));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ido_boundary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ido_boundary_outputs");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    for outputs in [0usize, 2, 4, 8, 16] {
+        g.bench_function(BenchmarkId::from_parameter(outputs), |b| {
+            b.iter_custom(|iters| {
+                let p = pool();
+                let rt = IdoRuntime::format(&p).unwrap();
+                let mut s = rt.session(&p).unwrap();
+                s.durable_begin();
+                let vals: Vec<u64> = (0..outputs as u64).collect();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    s.boundary(&vals);
+                }
+                let d = start.elapsed();
+                s.durable_end();
+                d
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_lock_tracking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_acquire_release");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    for name in ["ido", "justdo", "atlas"] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                let mut remaining = iters;
+                while remaining > 0 {
+                    let chunk = remaining.min(CHUNK);
+                    let p = pool();
+                    let mut s = session_for(name, &p);
+                    let mut lock = SimLock::new(s.as_mut()).unwrap();
+                    let start = Instant::now();
+                    for _ in 0..chunk {
+                        lock.acquire(s.as_mut());
+                        lock.release(s.as_mut());
+                    }
+                    total += start.elapsed();
+                    remaining -= chunk;
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fase_cycle, bench_ido_boundary, bench_lock_tracking);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 7: Microbenchmark throughput as a function of thread count, for
+//! the four JUSTDO data structures (stack, queue, ordered list, hash map).
+//!
+//! Paper shape to reproduce: iDO matches or outperforms the other
+//! FASE-based schemes everywhere, especially at high thread counts; the
+//! hash map scales near-linearly under iDO (no runtime synchronization
+//! beyond the program's own locks) while Mnemosyne saturates on its global
+//! lock; the stack serializes for everyone; Mnemosyne wins at low thread
+//! counts on the ordered list (it logs no lock operations) but iDO
+//! overtakes it as extracted parallelism wins.
+
+use ido_bench::{
+    bench_config, curves_to_rows, format_curves, ops_per_thread, sweep_threads, write_csv,
+    THREAD_SWEEP,
+};
+use ido_compiler::Scheme;
+use ido_workloads::micro::{ListSpec, MapSpec, QueueSpec, StackSpec};
+use ido_workloads::WorkloadSpec;
+
+fn main() {
+    let schemes =
+        [Scheme::Origin, Scheme::Ido, Scheme::Atlas, Scheme::Mnemosyne, Scheme::JustDo];
+    let ops = ops_per_thread(300);
+    let cfg = bench_config(512, 1 << 17);
+
+    let specs: Vec<(&str, Box<dyn WorkloadSpec>)> = vec![
+        ("stack", Box::new(StackSpec)),
+        ("queue", Box::new(QueueSpec)),
+        ("ordered-list", Box::new(ListSpec { key_range: 256 })),
+        ("hash-map", Box::new(MapSpec { buckets: 128, key_range: 4096 })),
+    ];
+
+    for (name, spec) in &specs {
+        let curves = sweep_threads(spec.as_ref(), &schemes, &THREAD_SWEEP, ops, cfg);
+        println!("{}", format_curves(&format!("Fig. 7 — {name}"), &curves));
+        write_csv(&format!("fig7_{name}"), "threads,scheme,mops", &curves_to_rows(&curves));
+
+        // Shape summaries.
+        let at = |si: usize, t: usize| {
+            curves[si].points.iter().find(|(tt, _)| *tt == t).map_or(0.0, |(_, m)| *m)
+        };
+        let ido64 = at(1, 64);
+        let mnemo64 = at(3, 64);
+        let ido1 = at(1, 1);
+        println!(
+            "shape ({name}): iDO 64T/1T scaling = {:.1}x; iDO/Mnemosyne at 64T = {:.2}",
+            ido64 / ido1,
+            ido64 / mnemo64
+        );
+    }
+}

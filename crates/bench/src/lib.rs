@@ -1,0 +1,165 @@
+//! Shared plumbing for the figure/table harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the index). This library provides the common sweep
+//! drivers, result table formatting, and CSV output (written under
+//! `target/figures/`).
+
+#![deny(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use ido_compiler::Scheme;
+use ido_nvm::{LatencyModel, PoolConfig};
+use ido_vm::VmConfig;
+use ido_workloads::{run_workload, RunStats, WorkloadSpec};
+
+/// Thread counts used by the scalability sweeps (the paper's x-axis).
+pub const THREAD_SWEEP: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Returns a VM configuration sized for the harness workloads.
+pub fn bench_config(pool_mib: usize, log_entries: usize) -> VmConfig {
+    VmConfig {
+        pool: PoolConfig { size: pool_mib << 20, ..PoolConfig::default() },
+        log_entries,
+        ..VmConfig::default()
+    }
+}
+
+/// Applies an extra NVM delay (the Fig. 9 knob) to a config.
+pub fn with_nvm_delay(mut cfg: VmConfig, delay_ns: u64) -> VmConfig {
+    cfg.pool.latency = LatencyModel::with_nvm_delay(delay_ns);
+    cfg
+}
+
+/// Number of operations per thread, overridable with `IDO_BENCH_OPS`.
+pub fn ops_per_thread(default: u64) -> u64 {
+    std::env::var("IDO_BENCH_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One measured curve: throughput per thread count for one scheme.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Scheme measured.
+    pub scheme: Scheme,
+    /// `(threads, Mops/s)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Runs a thread sweep for several schemes over one workload.
+pub fn sweep_threads(
+    spec: &dyn WorkloadSpec,
+    schemes: &[Scheme],
+    threads: &[usize],
+    ops: u64,
+    cfg: VmConfig,
+) -> Vec<Curve> {
+    schemes
+        .iter()
+        .map(|&scheme| Curve {
+            scheme,
+            points: threads
+                .iter()
+                .map(|&t| {
+                    let stats = run_workload(scheme, spec, t, ops, cfg);
+                    (t, stats.mops())
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Runs one point and returns full stats.
+pub fn run_point(
+    spec: &dyn WorkloadSpec,
+    scheme: Scheme,
+    threads: usize,
+    ops: u64,
+    cfg: VmConfig,
+) -> RunStats {
+    run_workload(scheme, spec, threads, ops, cfg)
+}
+
+/// Renders curves as an aligned text table (threads down, schemes across).
+pub fn format_curves(title: &str, curves: &[Curve]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==  (Mops/s, simulated)");
+    let _ = write!(out, "{:>8}", "threads");
+    for c in curves {
+        let _ = write!(out, "{:>12}", c.scheme.name());
+    }
+    let _ = writeln!(out);
+    let n = curves.first().map_or(0, |c| c.points.len());
+    for i in 0..n {
+        let _ = write!(out, "{:>8}", curves[0].points[i].0);
+        for c in curves {
+            let _ = write!(out, "{:>12.3}", c.points[i].1);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes curves as CSV under `target/figures/<name>.csv`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = PathBuf::from("target/figures");
+    let _ = fs::create_dir_all(&dir);
+    let mut body = String::from(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if fs::write(&path, body).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Converts curves to CSV rows `threads,scheme,mops`.
+pub fn curves_to_rows(curves: &[Curve]) -> Vec<String> {
+    let mut rows = Vec::new();
+    for c in curves {
+        for (t, m) in &c.points {
+            rows.push(format!("{t},{},{m:.4}", c.scheme.name()));
+        }
+    }
+    rows
+}
+
+/// The relative-throughput summary used in the shape checks: ratio of each
+/// scheme's peak to Origin's peak.
+pub fn peak(curve: &Curve) -> f64 {
+    curve.points.iter().map(|(_, m)| *m).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_workloads::micro::StackSpec;
+
+    #[test]
+    fn sweep_produces_points_for_each_scheme() {
+        let curves = sweep_threads(
+            &StackSpec,
+            &[Scheme::Origin, Scheme::Ido],
+            &[1, 2],
+            20,
+            bench_config(8, 2048),
+        );
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].points.len(), 2);
+        assert!(peak(&curves[0]) > 0.0);
+        let table = format_curves("test", &curves);
+        assert!(table.contains("Origin") && table.contains("iDO"));
+    }
+
+    #[test]
+    fn csv_rows_match_points() {
+        let curves = vec![Curve { scheme: Scheme::Ido, points: vec![(1, 2.5), (2, 3.5)] }];
+        let rows = curves_to_rows(&curves);
+        assert_eq!(rows, vec!["1,iDO,2.5000", "2,iDO,3.5000"]);
+    }
+}

@@ -1,0 +1,375 @@
+//! FASE inference: the lock-depth dataflow analysis.
+//!
+//! A FASE (failure-atomic section) is a maximal region of code in which at
+//! least one lock is held, beginning at an outermost acquire and ending at
+//! the release that drops the last lock (Section II-B). Programmer
+//! durable-region markers contribute to the same depth count so that
+//! single-threaded durable code (the Redis use case) is handled uniformly.
+//!
+//! The analysis computes the lock depth *before* every instruction. For the
+//! analysis to succeed the program must be **lock-balanced**: every join
+//! point must be reached with one consistent depth, and depth must never go
+//! negative. These are exactly the conditions under which FASEs are
+//! statically inferable, matching the iDO compiler's assumption that FASEs
+//! are confined to a single function.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use ido_ir::cfg::Cfg;
+use ido_ir::{BlockId, Function, Inst};
+
+/// Problems that make FASEs statically uninferable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaseError {
+    /// A join point is reachable with two different lock depths.
+    InconsistentDepth {
+        /// The function name.
+        func: String,
+        /// The offending block.
+        block: BlockId,
+        /// The two depths observed.
+        depths: (u32, u32),
+    },
+    /// An unlock appears with no lock held.
+    NegativeDepth {
+        /// The function name.
+        func: String,
+        /// The offending position.
+        pos: (BlockId, usize),
+    },
+    /// The function returns while still holding a lock.
+    ReturnInsideFase {
+        /// The function name.
+        func: String,
+        /// The offending position.
+        pos: (BlockId, usize),
+    },
+    /// A call appears inside a FASE. The paper assumes each FASE is
+    /// confined to a single function (Section IV-A); callees must be
+    /// inlined by the front end.
+    CallInsideFase {
+        /// The function name.
+        func: String,
+        /// The offending position.
+        pos: (BlockId, usize),
+    },
+}
+
+impl fmt::Display for FaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaseError::InconsistentDepth { func, block, depths } => write!(
+                f,
+                "function `{func}`: block bb{} reachable with lock depths {} and {}",
+                block.0, depths.0, depths.1
+            ),
+            FaseError::NegativeDepth { func, pos } => {
+                write!(f, "function `{func}`: unlock with no lock held at {pos:?}")
+            }
+            FaseError::ReturnInsideFase { func, pos } => {
+                write!(f, "function `{func}`: return while holding a lock at {pos:?}")
+            }
+            FaseError::CallInsideFase { func, pos } => {
+                write!(f, "function `{func}`: call inside a FASE at {pos:?} (inline it)")
+            }
+        }
+    }
+}
+
+impl Error for FaseError {}
+
+/// Lock depth before each instruction of one function.
+#[derive(Debug, Clone)]
+pub struct FaseMap {
+    depth_before: Vec<Vec<u32>>, // [block][inst]
+}
+
+impl FaseMap {
+    /// Runs the analysis.
+    ///
+    /// # Errors
+    /// Returns a [`FaseError`] if the function is not lock-balanced or
+    /// violates the single-function FASE assumption.
+    pub fn analyze(func: &Function, cfg: &Cfg) -> Result<FaseMap, FaseError> {
+        let n = func.num_blocks();
+        let name = func.name().to_string();
+        let mut entry_depth: Vec<Option<u32>> = vec![None; n];
+        entry_depth[0] = Some(0);
+        let mut depth_before: Vec<Vec<u32>> =
+            func.blocks().iter().map(|bb| vec![0; bb.insts.len()]).collect();
+        let mut work: VecDeque<BlockId> = VecDeque::new();
+        work.push_back(BlockId(0));
+        let mut visited = vec![false; n];
+        while let Some(b) = work.pop_front() {
+            let bi = b.0 as usize;
+            if std::mem::replace(&mut visited[bi], true) {
+                continue;
+            }
+            let mut depth = entry_depth[bi].expect("queued block has entry depth");
+            for (i, inst) in func.block(b).insts.iter().enumerate() {
+                depth_before[bi][i] = depth;
+                match inst {
+                    Inst::Lock { .. } | Inst::DurableBegin => depth += 1,
+                    Inst::Unlock { .. } | Inst::DurableEnd => {
+                        if depth == 0 {
+                            return Err(FaseError::NegativeDepth { func: name, pos: (b, i) });
+                        }
+                        depth -= 1;
+                    }
+                    Inst::Call { .. } if depth > 0 => {
+                        return Err(FaseError::CallInsideFase { func: name, pos: (b, i) });
+                    }
+                    Inst::Ret { .. } if depth > 0 => {
+                        return Err(FaseError::ReturnInsideFase { func: name, pos: (b, i) });
+                    }
+                    _ => {}
+                }
+            }
+            for s in func.block(b).successors() {
+                let si = s.0 as usize;
+                match entry_depth[si] {
+                    None => {
+                        entry_depth[si] = Some(depth);
+                        work.push_back(s);
+                    }
+                    Some(d) if d != depth => {
+                        return Err(FaseError::InconsistentDepth {
+                            func: name,
+                            block: s,
+                            depths: (d, depth),
+                        });
+                    }
+                    Some(_) => {
+                        if !visited[si] {
+                            work.push_back(s);
+                        }
+                    }
+                }
+            }
+        }
+        let _ = cfg; // CFG is implicit in successor edges; kept for API symmetry
+        Ok(FaseMap { depth_before })
+    }
+
+    /// Lock depth immediately before the instruction at `(b, i)`.
+    pub fn depth_before(&self, b: BlockId, i: usize) -> u32 {
+        self.depth_before[b.0 as usize][i]
+    }
+
+    /// True if the instruction at `(b, i)` executes inside a FASE (at least
+    /// one lock held before it, or it is itself mid-FASE).
+    pub fn in_fase(&self, b: BlockId, i: usize) -> bool {
+        self.depth_before(b, i) > 0
+    }
+
+    /// True if the `Lock`/`DurableBegin` at `(b, i)` begins a FASE.
+    pub fn is_outermost_acquire(&self, b: BlockId, i: usize) -> bool {
+        self.depth_before(b, i) == 0
+    }
+
+    /// True if the `Unlock`/`DurableEnd` at `(b, i)` ends a FASE.
+    pub fn is_final_release(&self, b: BlockId, i: usize) -> bool {
+        self.depth_before(b, i) == 1
+    }
+
+    /// Total static instructions inside FASEs (diagnostics).
+    pub fn fase_inst_count(&self) -> usize {
+        self.depth_before.iter().flatten().filter(|d| **d > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_ir::{Operand, ProgramBuilder};
+
+    fn build(f: impl FnOnce(&mut ido_ir::FunctionBuilder<'_>)) -> Function {
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.new_function("t", 2);
+        f(&mut fb);
+        let id = fb.finish().unwrap();
+        pb.finish().function(id).clone()
+    }
+
+    #[test]
+    fn nested_locks_single_fase() {
+        // Fig. 2(a): nested locks.
+        let func = build(|f| {
+            let l1 = f.param(0);
+            let l2 = f.param(1);
+            f.lock(l1);
+            f.lock(l2);
+            f.unlock(l2);
+            f.unlock(l1);
+            f.ret(None);
+        });
+        let cfg = Cfg::new(&func);
+        let m = FaseMap::analyze(&func, &cfg).unwrap();
+        assert!(m.is_outermost_acquire(BlockId(0), 0));
+        assert!(!m.is_outermost_acquire(BlockId(0), 1));
+        assert!(!m.is_final_release(BlockId(0), 2));
+        assert!(m.is_final_release(BlockId(0), 3));
+        assert_eq!(m.depth_before(BlockId(0), 2), 2);
+    }
+
+    #[test]
+    fn cross_locks_single_fase() {
+        // Fig. 2(b): hand-over-hand. Depth never reaches 0 in the middle.
+        let func = build(|f| {
+            let l1 = f.param(0);
+            let l2 = f.param(1);
+            f.lock(l1);
+            f.lock(l2);
+            f.unlock(l1);
+            f.unlock(l2);
+            f.ret(None);
+        });
+        let cfg = Cfg::new(&func);
+        let m = FaseMap::analyze(&func, &cfg).unwrap();
+        assert!(m.in_fase(BlockId(0), 2), "still in FASE between the releases");
+        assert!(m.is_final_release(BlockId(0), 3));
+        assert!(!m.is_final_release(BlockId(0), 2));
+    }
+
+    #[test]
+    fn durable_region_counts_as_fase() {
+        let func = build(|f| {
+            let p = f.param(0);
+            f.durable_begin();
+            f.store(p, 0, 1i64);
+            f.durable_end();
+            f.ret(None);
+        });
+        let cfg = Cfg::new(&func);
+        let m = FaseMap::analyze(&func, &cfg).unwrap();
+        assert!(m.in_fase(BlockId(0), 1));
+        assert!(!m.in_fase(BlockId(0), 0));
+        assert_eq!(m.fase_inst_count(), 2); // the store and the durable_end
+    }
+
+    #[test]
+    fn unlock_without_lock_rejected() {
+        let func = build(|f| {
+            let l = f.param(0);
+            f.unlock(l);
+            f.ret(None);
+        });
+        let cfg = Cfg::new(&func);
+        assert!(matches!(
+            FaseMap::analyze(&func, &cfg),
+            Err(FaseError::NegativeDepth { .. })
+        ));
+    }
+
+    #[test]
+    fn return_inside_fase_rejected() {
+        let func = build(|f| {
+            let l = f.param(0);
+            f.lock(l);
+            f.ret(None);
+        });
+        let cfg = Cfg::new(&func);
+        assert!(matches!(
+            FaseMap::analyze(&func, &cfg),
+            Err(FaseError::ReturnInsideFase { .. })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_join_rejected() {
+        let func = build(|f| {
+            let c = f.param(0);
+            let l = f.param(1);
+            let t = f.new_block();
+            let j = f.new_block();
+            f.branch(c, t, j);
+            f.switch_to(t);
+            f.lock(l);
+            f.jump(j); // j reachable with depth 0 and 1
+            f.switch_to(j);
+            f.unlock(l);
+            f.ret(None);
+        });
+        let cfg = Cfg::new(&func);
+        assert!(matches!(
+            FaseMap::analyze(&func, &cfg),
+            Err(FaseError::InconsistentDepth { .. })
+        ));
+    }
+
+    #[test]
+    fn call_inside_fase_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("callee");
+        let mut fb = pb.new_function("t", 1);
+        let l = fb.param(0);
+        fb.lock(l);
+        fb.call(callee, vec![], None);
+        fb.unlock(l);
+        fb.ret(None);
+        let id = fb.finish().unwrap();
+        let mut g = pb.new_function("callee", 0);
+        g.ret(None);
+        g.finish().unwrap();
+        let prog = pb.finish();
+        let func = prog.function(id);
+        let cfg = Cfg::new(func);
+        assert!(matches!(
+            FaseMap::analyze(func, &cfg),
+            Err(FaseError::CallInsideFase { .. })
+        ));
+    }
+
+    #[test]
+    fn call_outside_fase_allowed() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("callee");
+        let mut fb = pb.new_function("t", 1);
+        let l = fb.param(0);
+        fb.call(callee, vec![], None);
+        fb.lock(l);
+        fb.unlock(l);
+        fb.ret(None);
+        let id = fb.finish().unwrap();
+        let mut g = pb.new_function("callee", 0);
+        g.ret(None);
+        g.finish().unwrap();
+        let prog = pb.finish();
+        let func = prog.function(id);
+        let cfg = Cfg::new(func);
+        assert!(FaseMap::analyze(func, &cfg).is_ok());
+    }
+
+    #[test]
+    fn loop_inside_fase_converges() {
+        let func = build(|f| {
+            let l = f.param(0);
+            let n = f.param(1);
+            let i = f.new_reg();
+            let c = f.new_reg();
+            let head = f.new_block();
+            let body = f.new_block();
+            let exit = f.new_block();
+            f.lock(l);
+            f.mov(i, 0i64);
+            f.jump(head);
+            f.switch_to(head);
+            f.bin(ido_ir::BinOp::Lt, c, i, n);
+            f.branch(c, body, exit);
+            f.switch_to(body);
+            f.bin(ido_ir::BinOp::Add, i, i, 1i64);
+            f.jump(head);
+            f.switch_to(exit);
+            f.unlock(l);
+            f.ret(None);
+        });
+        let cfg = Cfg::new(&func);
+        let m = FaseMap::analyze(&func, &cfg).unwrap();
+        assert!(m.in_fase(BlockId(1), 0));
+        assert!(m.in_fase(BlockId(2), 0));
+        assert!(m.is_final_release(BlockId(3), 0));
+    }
+}

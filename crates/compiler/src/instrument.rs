@@ -1,0 +1,531 @@
+//! Per-scheme instrumentation passes.
+//!
+//! Each pass takes the same source program and weaves in the runtime
+//! operations its scheme needs. The ordering of operations around lock
+//! acquires and releases is load-bearing; the layouts are:
+//!
+//! **iDO** (one persist fence per lock operation, Section III-B):
+//! ```text
+//! lock L
+//! rt.fase_begin            (outermost only; bookkeeping, no fence)
+//! rt.ido_lock_acquired L   (record indirect holder; 1 fence)
+//! rt.ido_boundary          (persist outputs, advance recovery_pc)
+//! ... FASE body with rt.ido_boundary at every region entry ...
+//! rt.ido_boundary          (final boundary: everything persisted)
+//! rt.ido_lock_releasing L  (clear lock_array entry; 1 fence)
+//! rt.fase_end              (outermost only; clears recovery_pc)
+//! unlock L
+//! ```
+//!
+//! A crash between `lock` and `ido_lock_acquired` loses the lock to
+//! recovery ("robbed lock"), which is harmless because the boundary after
+//! the acquire guarantees no FASE instruction has executed. A crash after
+//! `ido_lock_releasing` but before `unlock` resumes at the releasing op;
+//! the VM treats lock operations as idempotent during recovery (acquiring a
+//! lock already held by the thread, or releasing one it does not hold, is a
+//! no-op), mirroring the JUSTDO/iDO runtimes.
+//!
+//! The baseline layouts follow their papers: JUSTDO logs ⟨pc, addr, value⟩
+//! before every store (plus register shadowing for its no-register-caching
+//! rule), Atlas appends a persisted UNDO entry before every store and
+//! happens-before entries at lock operations, Mnemosyne brackets the FASE
+//! in a REDO transaction, NVML snapshots target objects (`TX_ADD`), and
+//! NVThreads notes dirty pages.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use ido_ir::cfg::Cfg;
+use ido_ir::liveness::{Liveness, Var};
+use ido_ir::{
+    verify_function, BlockId, Function, Inst, Program, Reg, RegClass, RtOp, StackSlot, VerifyError,
+};
+
+use crate::fase::{FaseError, FaseMap};
+use crate::scheme::Scheme;
+
+/// Errors produced while lowering a program for a scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// FASE inference failed.
+    Fase(FaseError),
+    /// The instrumented output failed structural verification (an internal
+    /// error — please report it).
+    Verify(VerifyError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Fase(e) => write!(f, "fase inference failed: {e}"),
+            CompileError::Verify(e) => write!(f, "instrumented code invalid: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Fase(e) => Some(e),
+            CompileError::Verify(e) => Some(e),
+        }
+    }
+}
+
+impl From<FaseError> for CompileError {
+    fn from(e: FaseError) -> Self {
+        CompileError::Fase(e)
+    }
+}
+
+impl From<VerifyError> for CompileError {
+    fn from(e: VerifyError) -> Self {
+        CompileError::Verify(e)
+    }
+}
+
+/// A program lowered for one scheme, ready for the VM.
+#[derive(Debug, Clone)]
+pub struct Instrumented {
+    /// The instrumented program.
+    pub program: Program,
+    /// The scheme it was lowered for.
+    pub scheme: Scheme,
+}
+
+/// Ordered insertion stages at a single position (earlier stages execute
+/// first).
+const STAGES: usize = 5;
+const ST_FASE_BEGIN: usize = 0;
+const ST_LOCK_ACQ: usize = 1;
+const ST_BOUNDARY: usize = 2;
+const ST_LOCK_REL: usize = 3;
+const ST_FASE_END: usize = 4;
+
+type Insertions = BTreeMap<(BlockId, usize), [Vec<Inst>; STAGES]>;
+
+fn push(ins: &mut Insertions, pos: (BlockId, usize), stage: usize, inst: Inst) {
+    ins.entry(pos).or_default()[stage].push(inst);
+}
+
+/// Lowers `program` for `scheme`.
+///
+/// # Errors
+/// Returns [`CompileError::Fase`] when a function is not lock-balanced or
+/// violates the single-function FASE assumption.
+pub fn instrument_program(mut program: Program, scheme: Scheme) -> Result<Instrumented, CompileError> {
+    let n = program.functions().len();
+    for i in 0..n {
+        instrument_function(program.function_mut(ido_ir::FuncId(i as u32)), scheme)?;
+    }
+    Ok(Instrumented { program, scheme })
+}
+
+fn instrument_function(func: &mut Function, scheme: Scheme) -> Result<(), CompileError> {
+    // Phase 2 (idempotent region formation) runs first for iDO because its
+    // WAR repair mutates the code the later phases see.
+    let analysis = if scheme == Scheme::Ido { Some(ido_idem::partition(func)) } else { None };
+
+    let cfg = Cfg::new(func);
+    let fase = FaseMap::analyze(func, &cfg)?;
+    if scheme == Scheme::Origin {
+        return Ok(());
+    }
+    let liveness = Liveness::new(func, &cfg);
+
+    let mut ins: Insertions = BTreeMap::new();
+
+    // Region boundaries (iDO only), inside FASEs.
+    if let Some(analysis) = &analysis {
+        for &(b, i) in analysis.cuts() {
+            if !fase.in_fase(b, i) {
+                continue;
+            }
+            let live = liveness.live_before(func, b, i);
+            let mut out_regs: Vec<Reg> = Vec::new();
+            let mut out_slots: Vec<StackSlot> = Vec::new();
+            for v in live {
+                match v {
+                    // The register class only selects the log array; ids are
+                    // unique across classes, so Int is recorded here and the
+                    // VM re-derives the class from the id when logging.
+                    Var::Reg(id) => out_regs.push(Reg { id, class: RegClass::Int }),
+                    Var::Slot(s) => out_slots.push(StackSlot(s)),
+                }
+            }
+            push(&mut ins, (b, i), ST_BOUNDARY, Inst::Rt(RtOp::IdoBoundary { out_regs, out_slots }));
+        }
+    }
+
+    // Lock, durable-marker, and store instrumentation.
+    for (bi, bb) in func.blocks().iter().enumerate() {
+        let b = BlockId(bi as u32);
+        for (i, inst) in bb.insts.iter().enumerate() {
+            match inst {
+                Inst::Lock { lock } => {
+                    let outer = fase.is_outermost_acquire(b, i);
+                    let after = (b, i + 1);
+                    match scheme {
+                        Scheme::Ido => {
+                            if outer {
+                                push(&mut ins, after, ST_FASE_BEGIN, Inst::Rt(RtOp::FaseBegin));
+                            }
+                            push(
+                                &mut ins,
+                                after,
+                                ST_LOCK_ACQ,
+                                Inst::Rt(RtOp::IdoLockAcquired { lock: *lock }),
+                            );
+                        }
+                        Scheme::JustDo => {
+                            if outer {
+                                push(&mut ins, after, ST_FASE_BEGIN, Inst::Rt(RtOp::FaseBegin));
+                            }
+                            push(
+                                &mut ins,
+                                after,
+                                ST_LOCK_ACQ,
+                                Inst::Rt(RtOp::JustDoLockAcquired { lock: *lock }),
+                            );
+                        }
+                        Scheme::Atlas => {
+                            if outer {
+                                push(&mut ins, after, ST_FASE_BEGIN, Inst::Rt(RtOp::FaseBegin));
+                            }
+                            push(
+                                &mut ins,
+                                after,
+                                ST_LOCK_ACQ,
+                                Inst::Rt(RtOp::AtlasLockAcquired { lock: *lock }),
+                            );
+                        }
+                        Scheme::Mnemosyne => {
+                            if outer {
+                                push(&mut ins, after, ST_LOCK_ACQ, Inst::Rt(RtOp::TxBegin));
+                            }
+                        }
+                        Scheme::Nvml | Scheme::Nvthreads => {
+                            if outer {
+                                push(&mut ins, after, ST_FASE_BEGIN, Inst::Rt(RtOp::FaseBegin));
+                            }
+                        }
+                        Scheme::Origin => unreachable!("handled above"),
+                    }
+                }
+                Inst::Unlock { lock } => {
+                    let fin = fase.is_final_release(b, i);
+                    let at = (b, i);
+                    match scheme {
+                        Scheme::Ido => {
+                            push(
+                                &mut ins,
+                                at,
+                                ST_LOCK_REL,
+                                Inst::Rt(RtOp::IdoLockReleasing { lock: *lock }),
+                            );
+                            if fin {
+                                push(&mut ins, at, ST_FASE_END, Inst::Rt(RtOp::FaseEnd));
+                            }
+                        }
+                        Scheme::JustDo => {
+                            push(
+                                &mut ins,
+                                at,
+                                ST_LOCK_REL,
+                                Inst::Rt(RtOp::JustDoLockReleasing { lock: *lock }),
+                            );
+                            if fin {
+                                push(&mut ins, at, ST_FASE_END, Inst::Rt(RtOp::FaseEnd));
+                            }
+                        }
+                        Scheme::Atlas => {
+                            push(
+                                &mut ins,
+                                at,
+                                ST_LOCK_REL,
+                                Inst::Rt(RtOp::AtlasLockReleasing { lock: *lock }),
+                            );
+                            if fin {
+                                push(&mut ins, at, ST_FASE_END, Inst::Rt(RtOp::FaseEnd));
+                            }
+                        }
+                        Scheme::Mnemosyne => {
+                            if fin {
+                                push(&mut ins, at, ST_LOCK_REL, Inst::Rt(RtOp::TxCommit));
+                            }
+                        }
+                        Scheme::Nvml | Scheme::Nvthreads => {
+                            if fin {
+                                push(&mut ins, at, ST_FASE_END, Inst::Rt(RtOp::FaseEnd));
+                            }
+                        }
+                        Scheme::Origin => unreachable!("handled above"),
+                    }
+                }
+                Inst::DurableBegin => {
+                    let after = (b, i + 1);
+                    let op = match scheme {
+                        Scheme::Mnemosyne => RtOp::TxBegin,
+                        _ => RtOp::FaseBegin,
+                    };
+                    if fase.is_outermost_acquire(b, i) {
+                        push(&mut ins, after, ST_FASE_BEGIN, Inst::Rt(op));
+                    }
+                }
+                Inst::DurableEnd => {
+                    let op = match scheme {
+                        Scheme::Mnemosyne => RtOp::TxCommit,
+                        _ => RtOp::FaseEnd,
+                    };
+                    if fase.is_final_release(b, i) {
+                        push(&mut ins, (b, i), ST_FASE_END, Inst::Rt(op));
+                    }
+                }
+                Inst::Store { base, offset, src } if fase.in_fase(b, i) => {
+                    let at = (b, i);
+                    match scheme {
+                        Scheme::JustDo => push(
+                            &mut ins,
+                            at,
+                            ST_BOUNDARY,
+                            Inst::Rt(RtOp::JustDoLog { base: *base, offset: *offset, value: *src }),
+                        ),
+                        Scheme::Atlas => push(
+                            &mut ins,
+                            at,
+                            ST_BOUNDARY,
+                            Inst::Rt(RtOp::AtlasUndoLog { base: *base, offset: *offset }),
+                        ),
+                        Scheme::Nvml => push(
+                            &mut ins,
+                            at,
+                            ST_BOUNDARY,
+                            Inst::Rt(RtOp::NvmlTxAdd { base: *base, offset: *offset }),
+                        ),
+                        Scheme::Nvthreads => push(
+                            &mut ins,
+                            at,
+                            ST_BOUNDARY,
+                            Inst::Rt(RtOp::NvthreadsPageTouch { base: *base, offset: *offset }),
+                        ),
+                        _ => {}
+                    }
+                }
+                Inst::StoreStack { slot, src } if fase.in_fase(b, i) => {
+                    let at = (b, i);
+                    match scheme {
+                        Scheme::JustDo => push(
+                            &mut ins,
+                            at,
+                            ST_BOUNDARY,
+                            Inst::Rt(RtOp::JustDoLogStack { slot: *slot, value: *src }),
+                        ),
+                        Scheme::Atlas => push(
+                            &mut ins,
+                            at,
+                            ST_BOUNDARY,
+                            Inst::Rt(RtOp::AtlasUndoLogStack { slot: *slot }),
+                        ),
+                        Scheme::Nvml => push(
+                            &mut ins,
+                            at,
+                            ST_BOUNDARY,
+                            Inst::Rt(RtOp::NvmlTxAddStack { slot: *slot }),
+                        ),
+                        Scheme::Nvthreads => push(
+                            &mut ins,
+                            at,
+                            ST_BOUNDARY,
+                            Inst::Rt(RtOp::NvthreadsPageTouchStack { slot: *slot }),
+                        ),
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+            // JUSTDO's no-register-caching rule: shadow every definition
+            // made inside a FASE through to persistent memory.
+            if scheme == Scheme::JustDo && fase.in_fase(b, i) {
+                if let Some(d) = inst.def_reg() {
+                    push(&mut ins, (b, i + 1), ST_LOCK_ACQ, Inst::Rt(RtOp::JustDoShadow { reg: d }));
+                }
+            }
+        }
+    }
+
+    apply_insertions(func, ins);
+    verify_function(func)?;
+    Ok(())
+}
+
+/// Applies insertions highest-position-first so indices stay valid.
+fn apply_insertions(func: &mut Function, ins: Insertions) {
+    for ((b, i), stages) in ins.into_iter().rev() {
+        let bb = func.block_mut(b);
+        let flat: Vec<Inst> = stages.into_iter().flatten().collect();
+        for (k, inst) in flat.into_iter().enumerate() {
+            bb.insts.insert(i + k, inst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_ir::{Operand, ProgramBuilder};
+
+    /// lock; load; store; unlock — one FASE with one store.
+    fn sample_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("op", 2);
+        let l = f.param(0);
+        let p = f.param(1);
+        let v = f.new_reg();
+        f.lock(l);
+        f.load(v, p, 0);
+        f.store(p, 8, Operand::Reg(v));
+        f.unlock(l);
+        f.ret(None);
+        f.finish().unwrap();
+        pb.finish()
+    }
+
+    fn count_ops(prog: &Program, pred: impl Fn(&RtOp) -> bool) -> usize {
+        prog.functions()
+            .iter()
+            .flat_map(|f| f.iter_insts())
+            .filter(|(_, i)| matches!(i, Inst::Rt(rt) if pred(rt)))
+            .count()
+    }
+
+    #[test]
+    fn origin_is_unchanged() {
+        let prog = sample_program();
+        let before = prog.function(ido_ir::FuncId(0)).num_insts();
+        let out = instrument_program(prog, Scheme::Origin).unwrap();
+        assert_eq!(out.program.function(ido_ir::FuncId(0)).num_insts(), before);
+    }
+
+    #[test]
+    fn ido_inserts_lock_tracking_and_boundaries() {
+        let out = instrument_program(sample_program(), Scheme::Ido).unwrap();
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::IdoLockAcquired { .. })), 1);
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::IdoLockReleasing { .. })), 1);
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::FaseBegin)), 1);
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::FaseEnd)), 1);
+        assert!(count_ops(&out.program, |r| matches!(r, RtOp::IdoBoundary { .. })) >= 2);
+    }
+
+    #[test]
+    fn ido_orders_ops_correctly_around_locks() {
+        let out = instrument_program(sample_program(), Scheme::Ido).unwrap();
+        let f = out.program.function(ido_ir::FuncId(0));
+        let insts: Vec<&Inst> = f.blocks().iter().flat_map(|b| &b.insts).collect();
+        let idx = |pred: &dyn Fn(&Inst) -> bool| insts.iter().position(|i| pred(i)).unwrap();
+        let lock = idx(&|i| matches!(i, Inst::Lock { .. }));
+        let begin = idx(&|i| matches!(i, Inst::Rt(RtOp::FaseBegin)));
+        let acq = idx(&|i| matches!(i, Inst::Rt(RtOp::IdoLockAcquired { .. })));
+        let rel = idx(&|i| matches!(i, Inst::Rt(RtOp::IdoLockReleasing { .. })));
+        let end = idx(&|i| matches!(i, Inst::Rt(RtOp::FaseEnd)));
+        let unlock = idx(&|i| matches!(i, Inst::Unlock { .. }));
+        assert!(lock < begin && begin < acq, "lock, fase_begin, then acquire record");
+        assert!(rel < end && end < unlock, "release record, fase_end, then unlock");
+    }
+
+    #[test]
+    fn justdo_logs_every_store_and_shadows_defs() {
+        let out = instrument_program(sample_program(), Scheme::JustDo).unwrap();
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::JustDoLog { .. })), 1);
+        // The load inside the FASE defines `v`, which must be shadowed.
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::JustDoShadow { .. })), 1);
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::JustDoLockAcquired { .. })), 1);
+    }
+
+    #[test]
+    fn atlas_undo_logs_before_stores() {
+        let out = instrument_program(sample_program(), Scheme::Atlas).unwrap();
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::AtlasUndoLog { .. })), 1);
+        let f = out.program.function(ido_ir::FuncId(0));
+        let insts: Vec<&Inst> = f.blocks().iter().flat_map(|b| &b.insts).collect();
+        let undo = insts.iter().position(|i| matches!(i, Inst::Rt(RtOp::AtlasUndoLog { .. })));
+        let store = insts.iter().position(|i| matches!(i, Inst::Store { .. }));
+        assert!(undo.unwrap() < store.unwrap(), "undo entry precedes the store");
+    }
+
+    #[test]
+    fn mnemosyne_brackets_fase_in_txn() {
+        let out = instrument_program(sample_program(), Scheme::Mnemosyne).unwrap();
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::TxBegin)), 1);
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::TxCommit)), 1);
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::AtlasUndoLog { .. })), 0);
+    }
+
+    #[test]
+    fn nvthreads_touches_pages() {
+        let out = instrument_program(sample_program(), Scheme::Nvthreads).unwrap();
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::NvthreadsPageTouch { .. })), 1);
+    }
+
+    #[test]
+    fn nvml_adds_tx_ranges() {
+        let out = instrument_program(sample_program(), Scheme::Nvml).unwrap();
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::NvmlTxAdd { .. })), 1);
+    }
+
+    #[test]
+    fn stores_outside_fases_not_instrumented() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("no_fase", 1);
+        let p = f.param(0);
+        f.store(p, 0, 1i64); // persistent read/write outside FASE (allowed if race-free)
+        f.ret(None);
+        f.finish().unwrap();
+        let out = instrument_program(pb.finish(), Scheme::Atlas).unwrap();
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::AtlasUndoLog { .. })), 0);
+    }
+
+    #[test]
+    fn durable_region_instrumented_like_fase() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("durable", 1);
+        let p = f.param(0);
+        f.durable_begin();
+        f.store(p, 0, 7i64);
+        f.durable_end();
+        f.ret(None);
+        f.finish().unwrap();
+        let prog = pb.finish();
+        let out = instrument_program(prog.clone(), Scheme::Ido).unwrap();
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::FaseBegin)), 1);
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::FaseEnd)), 1);
+        let out = instrument_program(prog, Scheme::Mnemosyne).unwrap();
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::TxBegin)), 1);
+        assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::TxCommit)), 1);
+    }
+
+    #[test]
+    fn unbalanced_program_reports_fase_error() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("bad", 1);
+        let l = f.param(0);
+        f.unlock(l);
+        f.ret(None);
+        f.finish().unwrap();
+        assert!(matches!(
+            instrument_program(pb.finish(), Scheme::Ido),
+            Err(CompileError::Fase(FaseError::NegativeDepth { .. }))
+        ));
+    }
+
+    #[test]
+    fn instrumented_output_verifies_for_all_schemes() {
+        for scheme in Scheme::ALL {
+            let out = instrument_program(sample_program(), scheme).unwrap();
+            for f in out.program.functions() {
+                verify_function(f).unwrap();
+            }
+        }
+    }
+}

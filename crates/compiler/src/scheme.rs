@@ -1,0 +1,89 @@
+//! The failure-atomicity schemes compared in the paper's evaluation.
+
+/// A failure-atomicity scheme (Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scheme {
+    /// Uninstrumented, crash-vulnerable code — the performance baseline.
+    Origin,
+    /// iDO logging: recovery via resumption at idempotent-region
+    /// granularity (the paper's contribution).
+    Ido,
+    /// JUSTDO logging: recovery via resumption with a log entry per store.
+    JustDo,
+    /// Atlas: lock-inferred FASEs with per-store UNDO logging and
+    /// cross-FASE dependence tracking.
+    Atlas,
+    /// Mnemosyne: REDO-logged durable transactions (FASEs treated as
+    /// transactions on a single global lock, as in the paper).
+    Mnemosyne,
+    /// NVML: programmer-annotated object-granularity UNDO logging.
+    Nvml,
+    /// NVThreads: page-granularity REDO logging at lock release.
+    Nvthreads,
+}
+
+impl Scheme {
+    /// All schemes, in the order the paper's figures present them.
+    pub const ALL: [Scheme; 7] = [
+        Scheme::Origin,
+        Scheme::Ido,
+        Scheme::Atlas,
+        Scheme::Mnemosyne,
+        Scheme::JustDo,
+        Scheme::Nvml,
+        Scheme::Nvthreads,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Origin => "Origin",
+            Scheme::Ido => "iDO",
+            Scheme::JustDo => "JUSTDO",
+            Scheme::Atlas => "Atlas",
+            Scheme::Mnemosyne => "Mnemosyne",
+            Scheme::Nvml => "NVML",
+            Scheme::Nvthreads => "NVThreads",
+        }
+    }
+
+    /// True for schemes that recover by resuming interrupted FASEs forward
+    /// (rather than rolling back or replaying).
+    pub fn recovers_by_resumption(self) -> bool {
+        matches!(self, Scheme::Ido | Scheme::JustDo)
+    }
+
+    /// True for schemes that must track cross-FASE dependences (Table II).
+    pub fn needs_dependence_tracking(self) -> bool {
+        matches!(self, Scheme::Atlas | Scheme::Nvthreads)
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<_> = Scheme::ALL.iter().map(|s| s.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Scheme::ALL.len());
+    }
+
+    #[test]
+    fn table_two_properties() {
+        assert!(Scheme::Ido.recovers_by_resumption());
+        assert!(Scheme::JustDo.recovers_by_resumption());
+        assert!(!Scheme::Atlas.recovers_by_resumption());
+        assert!(Scheme::Atlas.needs_dependence_tracking());
+        assert!(!Scheme::Ido.needs_dependence_tracking());
+        assert!(!Scheme::Mnemosyne.needs_dependence_tracking());
+    }
+}

@@ -1,0 +1,514 @@
+//! The native iDO runtime: sessions, region boundaries, and recovery.
+
+use ido_nvm::alloc::NvAllocator;
+use ido_nvm::root::RootTable;
+use ido_nvm::{line_of, NvmError, PmemHandle, PmemPool, PAddr};
+use std::collections::BTreeSet;
+
+use crate::log::{NativeIdoLog, LOCK_SLOTS, LOG_BYTES, OUT_SLOTS};
+use crate::session::Session;
+
+const REGISTRY_ROOT: &str = "ido_native_sessions";
+const MAX_SESSIONS: usize = 256;
+
+/// The iDO runtime: a factory for [`IdoSession`]s plus the recovery
+/// manager. One `IdoRuntime` per pool.
+#[derive(Debug, Clone)]
+pub struct IdoRuntime {
+    alloc: NvAllocator,
+    registry: PAddr,
+}
+
+impl IdoRuntime {
+    /// Formats `pool` for iDO and installs the session registry.
+    ///
+    /// # Errors
+    /// Returns an error if the pool is too small for the registry.
+    pub fn format(pool: &PmemPool) -> Result<IdoRuntime, NvmError> {
+        let mut h = pool.handle();
+        let roots = RootTable::format(&mut h);
+        let alloc = NvAllocator::format(&mut h, pool.size());
+        let registry = alloc.alloc(&mut h, 8 + MAX_SESSIONS * 8)?;
+        h.write_u64(registry, 0);
+        h.persist(registry, 8);
+        roots.set_root(&mut h, REGISTRY_ROOT, registry)?;
+        roots.mark_in_use(&mut h);
+        Ok(IdoRuntime { alloc, registry })
+    }
+
+    /// Attaches to an already formatted pool (e.g. after a crash).
+    ///
+    /// # Errors
+    /// Returns [`NvmError::CorruptHeader`] if the pool was never formatted.
+    pub fn attach(pool: &PmemPool) -> Result<IdoRuntime, NvmError> {
+        let mut h = pool.handle();
+        let roots = RootTable::attach(&mut h)?;
+        let registry = roots.root(&mut h, REGISTRY_ROOT).ok_or(NvmError::CorruptHeader {
+            detail: "missing iDO session registry".into(),
+        })?;
+        Ok(IdoRuntime { alloc: NvAllocator::attach(), registry })
+    }
+
+    /// Opens a new per-thread session, allocating and registering its
+    /// persistent log.
+    ///
+    /// # Errors
+    /// Returns [`NvmError::OutOfMemory`] when the pool (or the registry) is
+    /// exhausted.
+    pub fn session(&self, pool: &PmemPool) -> Result<IdoSession, NvmError> {
+        let mut h = pool.handle();
+        let n = h.read_u64(self.registry) as usize;
+        if n >= MAX_SESSIONS {
+            return Err(NvmError::OutOfMemory { requested: LOG_BYTES });
+        }
+        let base = self.alloc.alloc(&mut h, LOG_BYTES)?;
+        let log = NativeIdoLog { base };
+        log.clear(&mut h);
+        h.write_u64(self.registry + 8 + n * 8, base as u64);
+        h.persist(self.registry + 8 + n * 8, 8);
+        h.write_u64(self.registry, (n + 1) as u64);
+        h.persist(self.registry, 8);
+        Ok(IdoSession {
+            handle: h,
+            alloc: self.alloc.clone(),
+            log,
+            fase_depth: 0,
+            region_seq: 0,
+            region_stores: BTreeSet::new(),
+            lock_mirror: [None; LOCK_SLOTS],
+        })
+    }
+
+    /// Scans the session registry after a crash and inventories every
+    /// interrupted FASE (steps 1–2 of the paper's recovery procedure).
+    ///
+    /// # Errors
+    /// Propagates pool-attachment errors.
+    pub fn recover(pool: &PmemPool) -> Result<(IdoRuntime, Vec<InterruptedFase>), NvmError> {
+        let rt = IdoRuntime::attach(pool)?;
+        let mut h = pool.handle();
+        let n = h.read_u64(rt.registry) as usize;
+        let mut fases = Vec::new();
+        for i in 0..n {
+            let base = h.read_u64(rt.registry + 8 + i * 8) as PAddr;
+            let log = NativeIdoLog { base };
+            let seq = h.read_u64(log.region_seq());
+            let locks: Vec<PAddr> = log.held_locks(&mut h).into_iter().map(|(_, l)| l).collect();
+            if seq != 0 {
+                fases.push(InterruptedFase {
+                    session_index: i,
+                    op_token: h.read_u64(log.op_token()),
+                    region_seq: seq,
+                    outputs: log.outputs(&mut h),
+                    locks,
+                });
+            } else if !locks.is_empty() {
+                // Robbed-lock case: the thread recorded a holder but never
+                // reached its first boundary; nothing executed under the
+                // lock, so just clear the stale records.
+                h.write_u64(log.lock_bitmap(), 0);
+                h.persist(log.lock_bitmap(), 8);
+            }
+        }
+        Ok((rt, fases))
+    }
+
+    /// Builds a recovery session bound to an interrupted FASE's existing
+    /// log, with its lock array re-mirrored, ready for a [`Resumable`] to
+    /// execute the FASE forward to completion (steps 3–5 of the recovery
+    /// procedure).
+    ///
+    /// # Errors
+    /// Propagates registry read failures.
+    pub fn recovery_session(
+        &self,
+        pool: &PmemPool,
+        fase: &InterruptedFase,
+    ) -> Result<IdoSession, NvmError> {
+        let mut h = pool.handle();
+        let base = h.read_u64(self.registry + 8 + fase.session_index * 8) as PAddr;
+        let log = NativeIdoLog { base };
+        let mut lock_mirror = [None; LOCK_SLOTS];
+        for (slot, holder) in log.held_locks(&mut h) {
+            lock_mirror[slot] = Some(holder);
+        }
+        Ok(IdoSession {
+            handle: h,
+            alloc: self.alloc.clone(),
+            log,
+            fase_depth: fase.locks.len().max(1) as u32,
+            region_seq: fase.region_seq,
+            region_stores: BTreeSet::new(),
+            lock_mirror,
+        })
+    }
+}
+
+/// One interrupted FASE found by [`IdoRuntime::recover`]: everything the
+/// resumption needs — which operation was running (`op_token`), which
+/// idempotent region it was in (`region_seq`), the region's logged inputs
+/// (`outputs` of the preceding region), and the locks to reacquire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterruptedFase {
+    /// Index of the session in the registry.
+    pub session_index: usize,
+    /// Application-defined operation token (see [`Session::set_op_token`]).
+    pub op_token: u64,
+    /// The region sequence number the FASE had reached.
+    pub region_seq: u64,
+    /// The logged output slots (the interrupted region's inputs).
+    pub outputs: [u64; OUT_SLOTS],
+    /// Indirect lock holders recorded in the `lock_array`.
+    pub locks: Vec<PAddr>,
+}
+
+/// An operation that can be resumed from an idempotent-region boundary.
+///
+/// Library-directed analog of the compiler's recovery-via-resumption: the
+/// operation inspects `fase.region_seq` (which boundary it had passed) and
+/// `fase.outputs` (that boundary's logged values) and re-executes forward
+/// to the end of the FASE. `ido-structures` implements this for its
+/// persistent stack as the reference pattern.
+pub trait Resumable {
+    /// Runs the interrupted operation to completion. Must end the FASE
+    /// (matching `durable_end`/lock releases) so the log is cleared.
+    fn resume(&mut self, session: &mut IdoSession, fase: &InterruptedFase);
+}
+
+/// A native iDO per-thread session.
+#[derive(Debug)]
+pub struct IdoSession {
+    handle: PmemHandle,
+    alloc: NvAllocator,
+    log: NativeIdoLog,
+    fase_depth: u32,
+    region_seq: u64,
+    region_stores: BTreeSet<PAddr>,
+    lock_mirror: [Option<PAddr>; LOCK_SLOTS],
+}
+
+impl IdoSession {
+    /// The session's persistent log (for assertions in tests).
+    pub fn log(&self) -> NativeIdoLog {
+        self.log
+    }
+
+    /// Current region sequence (0 outside FASEs until the first boundary).
+    pub fn region_seq(&self) -> u64 {
+        self.region_seq
+    }
+
+    fn fase_begin(&mut self) {
+        // Deliberately do NOT clear `region_stores`: stores issued before
+        // the FASE (e.g. node preparation outside the critical section)
+        // must be written back by the FASE's first boundary so the data a
+        // resumed region links to is durable.
+    }
+
+    fn fase_end(&mut self) {
+        // Persist any stores of the final region, then retire the marker.
+        let had_stores = !self.region_stores.is_empty();
+        for addr in std::mem::take(&mut self.region_stores) {
+            self.handle.clwb(addr);
+        }
+        if had_stores {
+            self.handle.sfence();
+        }
+        self.handle.write_u64(self.log.region_seq(), 0);
+        self.handle.clwb(self.log.region_seq());
+        self.handle.sfence();
+        self.region_seq = 0;
+    }
+}
+
+impl Session for IdoSession {
+    fn scheme_name(&self) -> &'static str {
+        "iDO"
+    }
+
+    fn handle(&mut self) -> &mut PmemHandle {
+        &mut self.handle
+    }
+
+    fn load(&mut self, addr: PAddr) -> u64 {
+        self.handle.read_u64(addr)
+    }
+
+    fn store(&mut self, addr: PAddr, value: u64) {
+        self.handle.write_u64(addr, value);
+        self.region_stores.insert(addr);
+    }
+
+    fn alloc(&mut self, bytes: usize) -> Result<PAddr, NvmError> {
+        self.alloc.alloc(&mut self.handle, bytes)
+    }
+
+    fn free(&mut self, addr: PAddr) -> Result<(), NvmError> {
+        self.alloc.free(&mut self.handle, addr)
+    }
+
+    fn on_lock_acquired(&mut self, holder: PAddr) {
+        if self.fase_depth == 0 {
+            self.fase_begin();
+        }
+        self.fase_depth += 1;
+        let slot = self
+            .lock_mirror
+            .iter()
+            .position(Option::is_none)
+            .expect("lock_array full");
+        self.lock_mirror[slot] = Some(holder);
+        let slot_addr = self.log.lock_slot(slot);
+        let bitmap = self.log.lock_bitmap();
+        self.handle.write_u64(slot_addr, holder as u64);
+        let bm = self.handle.read_u64(bitmap);
+        self.handle.write_u64(bitmap, bm | (1 << slot));
+        self.handle.clwb(slot_addr);
+        self.handle.clwb(bitmap);
+        // No fence: callers place a region boundary immediately after the
+        // acquire (as the compiler does), and its first fence drains these
+        // write-backs before the recovery marker advances — the paper's
+        // ordering with zero standalone fences.
+    }
+
+    fn on_lock_releasing(&mut self, holder: PAddr) {
+        if let Some(slot) = self.lock_mirror.iter().position(|s| *s == Some(holder)) {
+            self.lock_mirror[slot] = None;
+            let bitmap = self.log.lock_bitmap();
+            let bm = self.handle.read_u64(bitmap);
+            self.handle.write_u64(bitmap, bm & !(1u64 << slot));
+            self.handle.write_u64(self.log.lock_slot(slot), 0);
+            self.handle.clwb(self.log.lock_slot(slot));
+            self.handle.clwb(bitmap);
+            self.handle.sfence(); // single fence
+        }
+        self.fase_depth = self.fase_depth.saturating_sub(1);
+        if self.fase_depth == 0 {
+            self.fase_end();
+        }
+    }
+
+    fn durable_begin(&mut self) {
+        if self.fase_depth == 0 {
+            self.fase_begin();
+        }
+        self.fase_depth += 1;
+    }
+
+    fn durable_end(&mut self) {
+        self.fase_depth = self.fase_depth.saturating_sub(1);
+        if self.fase_depth == 0 {
+            self.fase_end();
+        }
+    }
+
+    fn boundary(&mut self, outputs: &[u64]) {
+        assert!(outputs.len() <= OUT_SLOTS, "too many region outputs");
+        // Step 1: persist outputs (persist-coalesced) and tracked stores.
+        let mut lines = BTreeSet::new();
+        for (i, v) in outputs.iter().enumerate() {
+            let a = self.log.out_slot(i);
+            self.handle.write_u64(a, *v);
+            lines.insert(line_of(a));
+        }
+        for line in lines {
+            self.handle.clwb(line * ido_nvm::CACHE_LINE);
+        }
+        for addr in std::mem::take(&mut self.region_stores) {
+            self.handle.clwb(addr);
+        }
+        self.handle.sfence();
+        // Step 2: advance the recovery marker.
+        self.region_seq += 1;
+        self.handle.write_u64(self.log.region_seq(), self.region_seq);
+        self.handle.clwb(self.log.region_seq());
+        self.handle.sfence();
+    }
+
+    fn set_op_token(&mut self, token: u64) {
+        self.handle.write_u64(self.log.op_token(), token);
+        self.handle.clwb(self.log.op_token()); // ordered by the next boundary fence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simlock::SimLock;
+    use ido_nvm::PoolConfig;
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig::small_for_tests())
+    }
+
+    #[test]
+    fn format_attach_session_roundtrip() {
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let s = rt.session(&p).unwrap();
+        drop(s);
+        assert!(IdoRuntime::attach(&p).is_ok());
+    }
+
+    #[test]
+    fn boundary_persists_outputs_and_stores() {
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.durable_begin();
+        s.set_op_token(7);
+        s.store(cell, 123);
+        s.boundary(&[10, 20, 30]);
+        // Crash now: the store and the outputs must be durable.
+        let log = s.log();
+        drop(s);
+        p.crash(0);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 123);
+        assert_eq!(h.read_u64(log.out_slot(0)), 10);
+        assert_eq!(h.read_u64(log.out_slot(2)), 30);
+        assert_eq!(h.read_u64(log.region_seq()), 1);
+        assert_eq!(h.read_u64(log.op_token()), 7);
+    }
+
+    #[test]
+    fn fase_end_clears_marker_durably() {
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.durable_begin();
+        s.store(cell, 5);
+        s.boundary(&[]);
+        s.durable_end();
+        drop(s);
+        p.crash(0);
+        let (_, fases) = IdoRuntime::recover(&p).unwrap();
+        assert!(fases.is_empty(), "completed FASE must not appear interrupted");
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 5, "completed FASE is durable");
+    }
+
+    #[test]
+    fn interrupted_fase_is_inventoried_with_locks_and_outputs() {
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let mut lock = SimLock::new(&mut s).unwrap();
+        lock.acquire(&mut s);
+        s.set_op_token(42);
+        s.boundary(&[1, 2]);
+        // Crash mid-FASE (session dropped without release).
+        drop(s);
+        p.crash(0);
+        let (_, fases) = IdoRuntime::recover(&p).unwrap();
+        assert_eq!(fases.len(), 1);
+        let f = &fases[0];
+        assert_eq!(f.op_token, 42);
+        assert_eq!(f.region_seq, 1);
+        assert_eq!(f.outputs[0], 1);
+        assert_eq!(f.outputs[1], 2);
+        assert_eq!(f.locks, vec![lock.holder()]);
+    }
+
+    #[test]
+    fn robbed_lock_is_cleared_when_no_boundary_reached() {
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let mut lock = SimLock::new(&mut s).unwrap();
+        lock.acquire(&mut s); // recorded, but no boundary yet
+        let log = s.log();
+        drop(s);
+        p.crash(0);
+        let (_, fases) = IdoRuntime::recover(&p).unwrap();
+        assert!(fases.is_empty());
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(log.lock_bitmap()), 0, "stale lock record cleared");
+    }
+
+    #[test]
+    fn recovery_session_restores_lock_mirror_and_can_finish_fase() {
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let mut lock = SimLock::new(&mut s).unwrap();
+        let cell = s.alloc(8).unwrap();
+        lock.acquire(&mut s);
+        s.boundary(&[cell as u64]);
+        s.store(cell, 9); // unflushed: may or may not survive
+        drop(s);
+        p.crash(0);
+
+        let (rt, fases) = IdoRuntime::recover(&p).unwrap();
+        assert_eq!(fases.len(), 1);
+        let mut rs = rt.recovery_session(&p, &fases[0]).unwrap();
+        // Re-execute the interrupted region: its input (the cell address)
+        // comes from the logged outputs.
+        let cell_in = fases[0].outputs[0] as PAddr;
+        rs.store(cell_in, 9);
+        rs.boundary(&[]);
+        let mut lock = SimLock::from_holder(fases[0].locks[0]);
+        lock.release(&mut rs);
+        drop(rs);
+        p.crash(1);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 9, "resumed FASE completed durably");
+        let (_, fases) = IdoRuntime::recover(&p).unwrap();
+        assert!(fases.is_empty());
+    }
+
+    #[test]
+    fn lock_ops_amortize_to_at_most_one_fence_each() {
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let mut lock = SimLock::new(&mut s).unwrap();
+        let f0 = s.handle().stats().fences;
+        lock.acquire(&mut s);
+        let f1 = s.handle().stats().fences;
+        assert_eq!(f1 - f0, 0, "acquire write-back drains at the next boundary");
+        s.boundary(&[]);
+        assert_eq!(
+            s.handle().pending_writebacks(),
+            0,
+            "boundary fenced the lock record"
+        );
+        let f1 = s.handle().stats().fences;
+        lock.release(&mut s);
+        let f2 = s.handle().stats().fences;
+        // Release = 1 fence for the array + fase_end's marker fence.
+        assert!(f2 - f1 <= 3);
+    }
+
+    #[test]
+    fn eight_outputs_coalesce_into_one_line_flush() {
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        s.durable_begin();
+        let before = s.handle().stats().lines_persisted;
+        s.boundary(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let after = s.handle().stats().lines_persisted;
+        assert!(after - before <= 3, "8 outputs + marker need at most 3 lines");
+        s.durable_end();
+    }
+
+    #[test]
+    fn nested_locks_form_one_fase() {
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let mut l1 = SimLock::new(&mut s).unwrap();
+        let mut l2 = SimLock::new(&mut s).unwrap();
+        l1.acquire(&mut s);
+        l2.acquire(&mut s);
+        s.boundary(&[]);
+        assert_eq!(s.region_seq(), 1);
+        l2.release(&mut s);
+        assert_ne!(s.region_seq(), 0, "inner release does not end the FASE");
+        l1.release(&mut s);
+        assert_eq!(s.region_seq(), 0, "outer release ends the FASE");
+    }
+}

@@ -1,0 +1,71 @@
+//! Native iDO runtime library — the paper's contribution as an adoptable
+//! Rust API.
+//!
+//! This crate packages iDO logging (MICRO 2018) as a runtime library over
+//! the simulated-NVM substrate in `ido-nvm`:
+//!
+//! * a per-thread persistent **iDO log** ([`log::NativeIdoLog`]) holding the
+//!   current region sequence, an operation token, the output-value slots
+//!   (the paper's `intRF`/`floatRF`), and the `lock_array` of indirect lock
+//!   holders;
+//! * **region boundaries** ([`Session::boundary`]) that persist a region's
+//!   outputs with persist coalescing (contiguous log slots, up to eight per
+//!   cache-line write-back), write back the heap stores tracked at run
+//!   time, and advance the recovery marker — two persist fences per region
+//!   instead of two per store;
+//! * **indirect locking** ([`SimLock`]): transient locks identified by
+//!   immutable persistent holder cells; acquiring records the holder in the
+//!   `lock_array` with a *single* persist fence (Section III-B);
+//! * a **recovery manager** ([`IdoRuntime::recover`]) that re-attaches the
+//!   pool, inventories interrupted FASEs (with their logged outputs and
+//!   held locks), reassigns locks, and drives [`Resumable`] operations
+//!   forward to the end of their FASE — recovery via resumption.
+//!
+//! Two execution styles share this crate:
+//!
+//! * **Compiler-directed** (the paper's design): programs written in the
+//!   `ido-ir` IR are partitioned into idempotent regions by `ido-idem`,
+//!   instrumented by `ido-compiler`, and executed/recovered by `ido-vm`.
+//!   That pipeline is the canonical, exhaustively crash-tested path.
+//! * **Library-directed** (this crate used directly): hand-written
+//!   persistent data structures place `boundary()` calls where the compiler
+//!   would have, and implement [`Resumable`] to make their operations
+//!   region-resumable. The `ido-structures` crate shows both patterns.
+//!
+//! All timing flows through `ido-nvm`'s latency model, so code written
+//! against this crate is simultaneously a functional persistence runtime
+//! and a deterministic performance model.
+//!
+//! # Example
+//!
+//! ```
+//! use ido_nvm::{PmemPool, PoolConfig};
+//! use ido_core::{IdoRuntime, Session, SimLock};
+//!
+//! let pool = PmemPool::new(PoolConfig::default());
+//! let rt = IdoRuntime::format(&pool)?;
+//! let mut s = rt.session(&pool)?;
+//! let mut lock = SimLock::new(&mut s)?;
+//! let cell = s.alloc(8)?;
+//!
+//! lock.acquire(&mut s);          // FASE begins; holder recorded (1 fence)
+//! s.boundary(&[cell as u64]);    // region boundary: inputs now recoverable
+//! let v = s.load(cell);
+//! s.store(cell, v + 1);          // tracked; written back at next boundary
+//! s.boundary(&[]);               // persist outputs before the release
+//! lock.release(&mut s);          // FASE ends
+//! # Ok::<(), ido_nvm::NvmError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod ido;
+pub mod log;
+mod origin;
+mod session;
+mod simlock;
+
+pub use ido::{IdoRuntime, IdoSession, InterruptedFase, Resumable};
+pub use origin::OriginSession;
+pub use session::{Session, LOCK_NS};
+pub use simlock::SimLock;

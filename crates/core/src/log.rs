@@ -1,0 +1,136 @@
+//! Persistent layout of the native per-thread iDO log.
+//!
+//! Mirrors Fig. 3 of the paper: a recovery marker (here a region sequence
+//! number plus an operation token, the native analogs of `recovery_pc`),
+//! fixed-position output-value slots (`intRF`/`floatRF`), and the
+//! `lock_array` of indirect lock holders with its live-slot bitmap.
+
+use ido_nvm::{PmemHandle, PAddr};
+
+/// Number of lock-array slots per thread.
+pub const LOCK_SLOTS: usize = 16;
+
+/// Number of output-value slots per thread. The paper observes >99% of
+/// regions have fewer than 5 live-in registers, so 16 slots (two cache
+/// lines) is generous.
+pub const OUT_SLOTS: usize = 16;
+
+const REGION_SEQ: usize = 0;
+const OP_TOKEN: usize = 8;
+const LOCK_BITMAP: usize = 16;
+const LOCK_ARRAY: usize = 24;
+const OUTPUTS: usize = LOCK_ARRAY + LOCK_SLOTS * 8;
+
+/// Total bytes of one native iDO log.
+pub const LOG_BYTES: usize = OUTPUTS + OUT_SLOTS * 8;
+
+/// View over one thread's persistent iDO log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NativeIdoLog {
+    /// Base address in the pool.
+    pub base: PAddr,
+}
+
+impl NativeIdoLog {
+    /// Address of the region sequence word (0 = not inside a FASE).
+    pub fn region_seq(&self) -> PAddr {
+        self.base + REGION_SEQ
+    }
+
+    /// Address of the operation-token word (application-defined; identifies
+    /// the interrupted operation for [`crate::Resumable`] recovery).
+    pub fn op_token(&self) -> PAddr {
+        self.base + OP_TOKEN
+    }
+
+    /// Address of the lock-array live-slot bitmap.
+    pub fn lock_bitmap(&self) -> PAddr {
+        self.base + LOCK_BITMAP
+    }
+
+    /// Address of lock-array slot `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= LOCK_SLOTS`.
+    pub fn lock_slot(&self, i: usize) -> PAddr {
+        assert!(i < LOCK_SLOTS);
+        self.base + LOCK_ARRAY + i * 8
+    }
+
+    /// Address of output slot `i`. Slots are contiguous, so persisting `k`
+    /// outputs costs `ceil(k/8)` line write-backs — the paper's persist
+    /// coalescing.
+    ///
+    /// # Panics
+    /// Panics if `i >= OUT_SLOTS`.
+    pub fn out_slot(&self, i: usize) -> PAddr {
+        assert!(i < OUT_SLOTS);
+        self.base + OUTPUTS + i * 8
+    }
+
+    /// Zeroes the log durably.
+    pub fn clear(&self, h: &mut PmemHandle) {
+        for off in (0..LOG_BYTES).step_by(8) {
+            h.write_u64(self.base + off, 0);
+        }
+        h.persist(self.base, LOG_BYTES);
+    }
+
+    /// Reads the held locks (bitmap-filtered slots).
+    pub fn held_locks(&self, h: &mut PmemHandle) -> Vec<(usize, PAddr)> {
+        let bm = h.read_u64(self.lock_bitmap());
+        (0..LOCK_SLOTS)
+            .filter(|i| bm & (1 << i) != 0)
+            .map(|i| (i, h.read_u64(self.lock_slot(i)) as PAddr))
+            .collect()
+    }
+
+    /// Reads all output slots.
+    pub fn outputs(&self, h: &mut PmemHandle) -> [u64; OUT_SLOTS] {
+        let mut out = [0u64; OUT_SLOTS];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = h.read_u64(self.out_slot(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_nvm::{PmemPool, PoolConfig};
+
+    #[test]
+    fn layout_fields_are_disjoint_and_ordered() {
+        let l = NativeIdoLog { base: 4096 };
+        assert!(l.region_seq() < l.op_token());
+        assert!(l.op_token() < l.lock_bitmap());
+        assert!(l.lock_bitmap() < l.lock_slot(0));
+        assert!(l.lock_slot(LOCK_SLOTS - 1) < l.out_slot(0));
+        assert_eq!(l.out_slot(1) - l.out_slot(0), 8);
+        assert!(LOG_BYTES >= (l.out_slot(OUT_SLOTS - 1) - 4096) + 8);
+    }
+
+    #[test]
+    fn clear_and_held_locks_roundtrip() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = pool.handle();
+        let l = NativeIdoLog { base: 4096 };
+        l.clear(&mut h);
+        h.write_u64(l.lock_slot(2), 800);
+        h.write_u64(l.lock_bitmap(), 0b100);
+        assert_eq!(l.held_locks(&mut h), vec![(2, 800)]);
+        l.clear(&mut h);
+        assert!(l.held_locks(&mut h).is_empty());
+    }
+
+    #[test]
+    fn outputs_coalesce_into_few_lines() {
+        // 8 consecutive output slots share a cache line.
+        let l = NativeIdoLog { base: 4096 };
+        let first_line = ido_nvm::line_of(l.out_slot(0));
+        let eighth_line = ido_nvm::line_of(l.out_slot(7));
+        // They span at most 2 lines regardless of base alignment.
+        assert!(eighth_line - first_line <= 1);
+    }
+}

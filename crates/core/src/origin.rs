@@ -1,0 +1,108 @@
+//! The uninstrumented baseline session ("Origin" in the paper's figures).
+//!
+//! Performs no logging, no write-backs, and no fences — fast and
+//! crash-vulnerable. It is both the performance baseline and the simplest
+//! example of implementing [`Session`].
+
+use ido_nvm::alloc::NvAllocator;
+use ido_nvm::root::RootTable;
+use ido_nvm::{NvmError, PmemHandle, PmemPool, PAddr};
+
+use crate::session::Session;
+
+/// A session with no persistence guarantees.
+#[derive(Debug)]
+pub struct OriginSession {
+    handle: PmemHandle,
+    alloc: NvAllocator,
+}
+
+impl OriginSession {
+    /// Formats `pool` and opens a session (convenience for tests and
+    /// single-runtime programs).
+    pub fn format(pool: &PmemPool) -> OriginSession {
+        let mut handle = pool.handle();
+        RootTable::format(&mut handle);
+        let alloc = NvAllocator::format(&mut handle, pool.size());
+        OriginSession { handle, alloc }
+    }
+
+    /// Opens a session on an already formatted pool, sharing `alloc`.
+    pub fn attach(pool: &PmemPool, alloc: NvAllocator) -> OriginSession {
+        OriginSession { handle: pool.handle(), alloc }
+    }
+
+    /// The shared allocator (clone it into sibling sessions).
+    pub fn allocator(&self) -> NvAllocator {
+        self.alloc.clone()
+    }
+}
+
+impl Session for OriginSession {
+    fn scheme_name(&self) -> &'static str {
+        "Origin"
+    }
+
+    fn handle(&mut self) -> &mut PmemHandle {
+        &mut self.handle
+    }
+
+    fn load(&mut self, addr: PAddr) -> u64 {
+        self.handle.read_u64(addr)
+    }
+
+    fn store(&mut self, addr: PAddr, value: u64) {
+        self.handle.write_u64(addr, value);
+    }
+
+    fn alloc(&mut self, bytes: usize) -> Result<PAddr, NvmError> {
+        self.alloc.alloc(&mut self.handle, bytes)
+    }
+
+    fn free(&mut self, addr: PAddr) -> Result<(), NvmError> {
+        self.alloc.free(&mut self.handle, addr)
+    }
+
+    fn on_lock_acquired(&mut self, _holder: PAddr) {}
+
+    fn on_lock_releasing(&mut self, _holder: PAddr) {}
+
+    fn durable_begin(&mut self) {}
+
+    fn durable_end(&mut self) {}
+
+    fn boundary(&mut self, _outputs: &[u64]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_nvm::PoolConfig;
+
+    #[test]
+    fn origin_never_persists() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut s = OriginSession::format(&pool);
+        let a = s.alloc(8).unwrap();
+        s.store(a, 77);
+        s.boundary(&[1, 2, 3]);
+        assert_eq!(s.load(a), 77);
+        drop(s);
+        pool.crash(0);
+        let mut h = pool.handle();
+        assert_eq!(h.read_u64(a), 0, "origin work is lost on crash");
+    }
+
+    #[test]
+    fn origin_issues_no_fences() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut s = OriginSession::format(&pool);
+        let a = s.alloc(8).unwrap();
+        let before = s.handle().stats().fences;
+        s.durable_begin();
+        s.store(a, 1);
+        s.boundary(&[]);
+        s.durable_end();
+        assert_eq!(s.handle().stats().fences, before);
+    }
+}

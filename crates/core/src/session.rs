@@ -1,0 +1,104 @@
+//! The `Session` trait: the per-thread interface every persistence scheme
+//! implements.
+
+use ido_nvm::{NvmError, PmemHandle, PAddr};
+
+/// Simulated cost of an uncontended lock or unlock operation, in ns.
+pub const LOCK_NS: u64 = 20;
+
+/// A per-thread session with a persistence runtime.
+///
+/// Persistent data structures are written against this trait so that the
+/// same structure code runs under iDO and under every baseline scheme
+/// (`ido-baselines`), exactly as the paper links the same benchmarks
+/// against each runtime.
+///
+/// The FASE lifecycle is driven by [`crate::SimLock`] (lock-delineated
+/// FASEs) or by [`Session::durable_begin`]/[`Session::durable_end`]
+/// (programmer-delineated FASEs, the Redis model). Implementations keep a
+/// FASE depth counter and trigger their begin/end work on the 0↔1
+/// transitions.
+pub trait Session {
+    /// The scheme's display name (matches the paper's figures).
+    fn scheme_name(&self) -> &'static str;
+
+    /// Direct access to the thread's pool handle (clock, statistics, raw
+    /// memory operations for structure layout work outside FASEs).
+    fn handle(&mut self) -> &mut PmemHandle;
+
+    /// A persistent load.
+    fn load(&mut self, addr: PAddr) -> u64;
+
+    /// A persistent store, routed through the scheme (logged, buffered, or
+    /// tracked as the scheme requires).
+    fn store(&mut self, addr: PAddr, value: u64);
+
+    /// Allocates persistent memory.
+    ///
+    /// # Errors
+    /// Returns [`NvmError::OutOfMemory`] when the pool is exhausted.
+    fn alloc(&mut self, bytes: usize) -> Result<PAddr, NvmError>;
+
+    /// Frees persistent memory.
+    ///
+    /// # Errors
+    /// Returns [`NvmError::InvalidFree`] for addresses that are not live
+    /// allocations.
+    fn free(&mut self, addr: PAddr) -> Result<(), NvmError>;
+
+    /// Called by [`crate::SimLock::acquire`] after the transient lock is
+    /// held. `holder` is the lock's persistent indirect-holder address.
+    fn on_lock_acquired(&mut self, holder: PAddr);
+
+    /// Called by [`crate::SimLock::release`] before the transient lock is
+    /// released.
+    fn on_lock_releasing(&mut self, holder: PAddr);
+
+    /// Begins a programmer-delineated durable region.
+    fn durable_begin(&mut self);
+
+    /// Ends a programmer-delineated durable region.
+    fn durable_end(&mut self);
+
+    /// An idempotent-region boundary with the region's output values
+    /// (`Def ∩ LiveOut`). Placed where the iDO compiler would insert one;
+    /// a no-op under schemes that log per store.
+    fn boundary(&mut self, outputs: &[u64]);
+
+    /// Records an application-defined token identifying the operation the
+    /// current FASE performs, so [`crate::Resumable`] recovery can dispatch
+    /// to the right continuation. No-op for schemes that do not resume.
+    fn set_op_token(&mut self, token: u64) {
+        let _ = token;
+    }
+
+    /// The thread's simulated clock, in nanoseconds.
+    fn clock_ns(&mut self) -> u64 {
+        self.handle().clock_ns()
+    }
+
+    /// Jumps the simulated clock forward (DES lock waits).
+    fn set_clock_ns(&mut self, ns: u64) {
+        self.handle().set_clock_ns(ns);
+    }
+
+    /// Charges `ns` of CPU time.
+    fn advance(&mut self, ns: u64) {
+        self.handle().advance(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &mut dyn Session) {}
+    }
+
+    #[test]
+    fn lock_cost_is_small() {
+        assert!(LOCK_NS < 100);
+    }
+}

@@ -1,0 +1,115 @@
+//! Indirect locks for the discrete-event execution model.
+//!
+//! A [`SimLock`] is a *transient* mutex paired with an immutable persistent
+//! *indirect lock holder* cell (Section III-B). The transient half lives in
+//! this struct and vanishes with the process; the holder address is what
+//! sessions record in their persistent `lock_array`s, and what recovery
+//! uses to mint fresh transient locks.
+//!
+//! Timing follows the discrete-event model used by the throughput harness:
+//! each session carries a simulated clock, and acquiring a lock advances
+//! the acquirer's clock to the lock's `available_at` time — so lock
+//! contention appears as elapsed simulated time, exactly like the VM's
+//! min-clock scheduler.
+
+use ido_nvm::{NvmError, PAddr};
+
+use crate::session::{Session, LOCK_NS};
+
+/// A DES mutex with a persistent indirect holder.
+#[derive(Debug, Clone)]
+pub struct SimLock {
+    holder: PAddr,
+    available_at: u64,
+}
+
+impl SimLock {
+    /// Creates a lock, allocating its persistent holder cell.
+    ///
+    /// # Errors
+    /// Returns [`NvmError::OutOfMemory`] when the pool is exhausted.
+    pub fn new(s: &mut dyn Session) -> Result<SimLock, NvmError> {
+        let holder = s.alloc(8)?;
+        Ok(SimLock { holder, available_at: 0 })
+    }
+
+    /// Re-creates the transient lock for an existing holder (recovery path:
+    /// "the recovery procedure allocates a new transient lock for every
+    /// indirect lock holder").
+    pub fn from_holder(holder: PAddr) -> SimLock {
+        SimLock { holder, available_at: 0 }
+    }
+
+    /// The persistent indirect-holder address.
+    pub fn holder(&self) -> PAddr {
+        self.holder
+    }
+
+    /// Acquires the lock: waits (in simulated time) until it is available,
+    /// then records the holder in the session's lock array.
+    pub fn acquire(&mut self, s: &mut dyn Session) {
+        let now = s.clock_ns().max(self.available_at);
+        s.set_clock_ns(now);
+        s.advance(LOCK_NS);
+        s.on_lock_acquired(self.holder);
+    }
+
+    /// Releases the lock: clears the session's lock-array entry, then makes
+    /// the lock available at the releaser's current time.
+    pub fn release(&mut self, s: &mut dyn Session) {
+        s.on_lock_releasing(self.holder);
+        s.advance(LOCK_NS);
+        self.available_at = s.clock_ns();
+    }
+
+    /// The simulated time at which the lock next becomes free.
+    pub fn available_at(&self) -> u64 {
+        self.available_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::OriginSession;
+    use ido_nvm::{PmemPool, PoolConfig};
+
+    fn session() -> OriginSession {
+        let pool = PmemPool::new(PoolConfig::default());
+        OriginSession::format(&pool)
+    }
+
+    #[test]
+    fn acquire_waits_until_available() {
+        let mut s = session();
+        let mut l = SimLock::new(&mut s).unwrap();
+        l.acquire(&mut s);
+        s.advance(1000);
+        l.release(&mut s);
+        let release_time = s.clock_ns();
+        // A second session (fresh clock) must wait for the release.
+        let mut s2 = session();
+        // give s2 the same pool? Not needed for timing semantics.
+        l.acquire(&mut s2);
+        assert!(s2.clock_ns() >= release_time);
+    }
+
+    #[test]
+    fn uncontended_acquire_is_cheap() {
+        let mut s = session();
+        let mut l = SimLock::new(&mut s).unwrap();
+        let t0 = s.clock_ns();
+        l.acquire(&mut s);
+        l.release(&mut s);
+        assert!(s.clock_ns() - t0 <= 2 * LOCK_NS + 10);
+    }
+
+    #[test]
+    fn from_holder_preserves_identity() {
+        let mut s = session();
+        let l = SimLock::new(&mut s).unwrap();
+        let l2 = SimLock::from_holder(l.holder());
+        assert_eq!(l.holder(), l2.holder());
+        assert_eq!(l2.available_at(), 0);
+    }
+}

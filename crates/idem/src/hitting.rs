@@ -1,0 +1,166 @@
+//! The cut-selection core: minimum interval stabbing.
+//!
+//! De Kruijf et al. phrase cut placement as a *hitting set* problem: every
+//! antidependent (load, store) pair defines an interval of legal cut
+//! positions — after the load, at or before the store — and the compiler
+//! must choose a minimum set of positions hitting every interval. On a
+//! straight line (one basic block) the intervals are one-dimensional and
+//! the problem is the classic **interval point cover**, solved optimally by
+//! the greedy right-endpoint rule. The region partitioner in
+//! [`crate::regions`] applies exactly that rule online (cut immediately
+//! before the first violating store, which resets the outstanding-load
+//! set); this module provides the offline algorithm plus the optimality
+//! guarantee, and the test suite proves the two agree.
+
+/// A half-open interval `(after, at_or_before]` of legal cut positions for
+/// one antidependence: the cut must fall strictly after the load's
+/// position and at or before the store's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CutInterval {
+    /// Position of the load (exclusive lower bound for the cut).
+    pub load: usize,
+    /// Position of the store (inclusive upper bound for the cut).
+    pub store: usize,
+}
+
+impl CutInterval {
+    /// True if a cut placed immediately before position `p` separates the
+    /// pair, i.e. `load < p <= store`.
+    pub fn hit_by(&self, p: usize) -> bool {
+        self.load < p && p <= self.store
+    }
+}
+
+/// Computes a minimum set of cut positions hitting every interval, by the
+/// greedy right-endpoint rule (optimal for 1-D intervals: any solution
+/// must stab the earliest-ending interval somewhere ≤ its end, and
+/// choosing exactly its end dominates every alternative).
+///
+/// Returns positions in ascending order. Intervals with `load >= store`
+/// are impossible to cut (the "store" is the load itself) and are ignored.
+pub fn min_stabbing(intervals: &[CutInterval]) -> Vec<usize> {
+    let mut iv: Vec<CutInterval> =
+        intervals.iter().copied().filter(|i| i.load < i.store).collect();
+    iv.sort_by_key(|i| i.store);
+    let mut cuts = Vec::new();
+    let mut last: Option<usize> = None;
+    for i in iv {
+        if let Some(p) = last {
+            if i.hit_by(p) {
+                continue;
+            }
+        }
+        cuts.push(i.store);
+        last = Some(i.store);
+    }
+    cuts
+}
+
+/// True if `cuts` hits every (cuttable) interval.
+pub fn covers(intervals: &[CutInterval], cuts: &[usize]) -> bool {
+    intervals
+        .iter()
+        .filter(|i| i.load < i.store)
+        .all(|i| cuts.iter().any(|&p| i.hit_by(p)))
+}
+
+/// Exhaustive minimum hitting-set size, for optimality testing only
+/// (exponential; keep inputs small).
+pub fn brute_force_min(intervals: &[CutInterval], max_pos: usize) -> usize {
+    let positions: Vec<usize> = (1..=max_pos).collect();
+    for k in 0..=positions.len() {
+        if subsets_of_size(&positions, k).any(|s| covers(intervals, &s)) {
+            return k;
+        }
+    }
+    positions.len()
+}
+
+fn subsets_of_size(items: &[usize], k: usize) -> impl Iterator<Item = Vec<usize>> + '_ {
+    let n = items.len();
+    (0u64..(1 << n)).filter_map(move |mask| {
+        if mask.count_ones() as usize != k {
+            return None;
+        }
+        Some(
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| items[i])
+                .collect(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_interval_cut_at_store() {
+        let iv = [CutInterval { load: 0, store: 3 }];
+        let cuts = min_stabbing(&iv);
+        assert_eq!(cuts, vec![3]);
+        assert!(covers(&iv, &cuts));
+    }
+
+    #[test]
+    fn nested_intervals_share_one_cut() {
+        // load0..store5 contains load2..store3: one cut at 3 hits both.
+        let iv = [
+            CutInterval { load: 0, store: 5 },
+            CutInterval { load: 2, store: 3 },
+        ];
+        assert_eq!(min_stabbing(&iv), vec![3]);
+    }
+
+    #[test]
+    fn disjoint_intervals_need_one_cut_each() {
+        let iv = [
+            CutInterval { load: 0, store: 2 },
+            CutInterval { load: 4, store: 6 },
+            CutInterval { load: 8, store: 9 },
+        ];
+        let cuts = min_stabbing(&iv);
+        assert_eq!(cuts, vec![2, 6, 9]);
+    }
+
+    #[test]
+    fn chained_overlaps_covered_greedily() {
+        // (0,3], (2,5], (4,7]: cuts at 3 and 7 suffice.
+        let iv = [
+            CutInterval { load: 0, store: 3 },
+            CutInterval { load: 2, store: 5 },
+            CutInterval { load: 4, store: 7 },
+        ];
+        let cuts = min_stabbing(&iv);
+        assert_eq!(cuts.len(), 2);
+        assert!(covers(&iv, &cuts));
+    }
+
+    #[test]
+    fn uncuttable_interval_ignored() {
+        let iv = [CutInterval { load: 3, store: 3 }];
+        assert!(min_stabbing(&iv).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        /// The greedy solution always covers, and matches the brute-force
+        /// optimum in size.
+        #[test]
+        fn greedy_is_optimal(
+            raw in prop::collection::vec((0usize..10, 1usize..11), 1..6)
+        ) {
+            let iv: Vec<CutInterval> = raw
+                .into_iter()
+                .map(|(a, b)| CutInterval { load: a.min(b.saturating_sub(1)), store: b.max(a + 1).min(10) })
+                .collect();
+            let greedy = min_stabbing(&iv);
+            prop_assert!(covers(&iv, &greedy));
+            let optimal = brute_force_min(&iv, 10);
+            prop_assert_eq!(greedy.len(), optimal, "greedy {:?} vs optimum {}", greedy, optimal);
+        }
+    }
+}

@@ -1,0 +1,832 @@
+//! Region cut placement, construction, and the register-WAR fixup.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ido_ir::alias::{alias, mem_access, AccessKind, AliasResult, MemLoc};
+use ido_ir::cfg::Cfg;
+use ido_ir::liveness::{reg_var, slot_var, Liveness, Var};
+use ido_ir::{BlockId, Function, Inst, Operand, Reg, StackSlot};
+
+/// A code position: `(block, instruction index)`. A *cut at `p`* means a
+/// region boundary immediately **before** the instruction at `p`.
+pub type Pos = (BlockId, usize);
+
+/// Alias-analysis precision used when detecting memory antidependences.
+/// The paper notes (Section V-C) that region sizes depend directly on the
+/// alias analysis; this knob exists for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AliasMode {
+    /// LLVM-basicAA-like: stack slots exact, same-base offsets exact,
+    /// different bases may alias. The paper's configuration.
+    #[default]
+    Basic,
+    /// No alias analysis at all: every store conflicts with every
+    /// outstanding load — the lower bound on region sizes.
+    None,
+    /// Oracle precision: only provably-identical locations conflict
+    /// (different heap bases assumed disjoint). An *upper bound* on region
+    /// sizes for the ablation study — unsound as a compilation mode, so
+    /// [`partition`] never uses it; analysis only.
+    Precise,
+}
+
+/// Dense identifier of a region within one function's analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+/// One idempotent region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// This region's id.
+    pub id: RegionId,
+    /// Entry position (always a cut).
+    pub entry: Pos,
+    /// Member instruction positions, in block-major order.
+    pub members: Vec<Pos>,
+    /// Input registers: live at entry and used in the region. These are the
+    /// values recovery must restore from the persistent register file.
+    pub input_regs: Vec<Reg>,
+    /// Input stack slots (live at entry, used in the region). Restored in
+    /// place from NVM, so they need no log slots — but they must never be
+    /// overwritten in-region, which the antidependence cuts guarantee.
+    pub input_slots: Vec<StackSlot>,
+    /// Output registers (`Def ∩ LiveOut`, Eq. 1): persisted into the log at
+    /// the region's end.
+    pub output_regs: Vec<Reg>,
+    /// Output stack slots (written back at the region's end).
+    pub output_slots: Vec<StackSlot>,
+    /// Static count of heap stores in the region.
+    pub heap_stores: usize,
+    /// Static count of stack stores in the region.
+    pub stack_stores: usize,
+}
+
+impl Region {
+    /// Total static persistent stores (heap + stack).
+    pub fn num_stores(&self) -> usize {
+        self.heap_stores + self.stack_stores
+    }
+
+    /// Number of input registers (the paper's Fig. 8 "live-in registers").
+    pub fn num_inputs(&self) -> usize {
+        self.input_regs.len()
+    }
+}
+
+/// The full partition of one function into idempotent regions.
+#[derive(Debug, Clone)]
+pub struct RegionAnalysis {
+    regions: Vec<Region>,
+    region_of: BTreeMap<Pos, RegionId>,
+    cuts: BTreeSet<Pos>,
+}
+
+impl RegionAnalysis {
+    /// All regions, indexed by [`RegionId`].
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// A region by id.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.0 as usize]
+    }
+
+    /// The region containing the instruction at `pos`.
+    pub fn region_at(&self, pos: Pos) -> Option<RegionId> {
+        self.region_of.get(&pos).copied()
+    }
+
+    /// All cut positions (region entries), including implicit single-entry
+    /// joins.
+    pub fn cuts(&self) -> &BTreeSet<Pos> {
+        &self.cuts
+    }
+
+    /// True if a region boundary lies immediately before `pos`.
+    pub fn is_cut(&self, pos: Pos) -> bool {
+        self.cuts.contains(&pos)
+    }
+}
+
+/// Outstanding-loads abstract state for antidependence detection.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Outstanding {
+    locs: BTreeSet<MemLoc>,
+    /// Set when a tracked heap location's base register was redefined: its
+    /// address is no longer describable, so any later store may alias it.
+    wildcard: bool,
+}
+
+impl Outstanding {
+    fn clear(&mut self) {
+        self.locs.clear();
+        self.wildcard = false;
+    }
+
+    fn note_load(&mut self, loc: MemLoc) {
+        self.locs.insert(loc);
+    }
+
+    fn note_def(&mut self, r: Reg) {
+        let before = self.locs.len();
+        self.locs.retain(|l| !matches!(l, MemLoc::Heap { base, .. } if *base == r));
+        if self.locs.len() != before {
+            self.wildcard = true;
+        }
+    }
+
+    fn store_conflicts(&self, loc: MemLoc, mode: AliasMode) -> bool {
+        if mode == AliasMode::None {
+            return !self.locs.is_empty() || self.wildcard;
+        }
+        if mode == AliasMode::Precise {
+            return self
+                .locs
+                .iter()
+                .any(|l| matches!(alias(*l, loc, true), AliasResult::Must));
+        }
+        if self.wildcard && matches!(loc, MemLoc::Heap { .. }) {
+            return true;
+        }
+        self.locs.iter().any(|l| {
+            // Bases are tracked precisely (redefinitions invalidate), so
+            // same-base offset reasoning is valid here.
+            !matches!(alias(*l, loc, true), AliasResult::No)
+        })
+    }
+
+    fn merge(&mut self, other: &Outstanding) -> bool {
+        let n = self.locs.len();
+        let w = self.wildcard;
+        self.locs.extend(other.locs.iter().copied());
+        self.wildcard |= other.wildcard;
+        self.locs.len() != n || self.wildcard != w
+    }
+}
+
+/// Computes the region partition of `func` without mutating it. If the
+/// function still contains register WAR violations (an input register
+/// redefined inside its region), the analysis reports them faithfully; use
+/// [`partition`] to repair them.
+pub fn analyze(func: &Function) -> RegionAnalysis {
+    analyze_with(func, AliasMode::Basic)
+}
+
+/// [`analyze`] with an explicit alias-analysis precision (ablation knob).
+pub fn analyze_with(func: &Function, mode: AliasMode) -> RegionAnalysis {
+    let cfg = Cfg::new(func);
+    let liveness = Liveness::new(func, &cfg);
+    let mut cuts = structural_cuts(func, &cfg);
+    add_antidep_cuts(func, &cfg, &mut cuts, mode);
+    build(func, &cfg, &liveness, cuts)
+}
+
+/// Computes the region partition, repairing register antidependences on
+/// region inputs by renaming (see the crate docs). Mutates `func` by
+/// renaming defs and inserting `RegionMarker` + compensation `mov`s; returns
+/// the final analysis, which is guaranteed WAR-free.
+pub fn partition(func: &mut Function) -> RegionAnalysis {
+    loop {
+        let analysis = analyze(func);
+        match find_war_violation(func, &analysis) {
+            Some((pos, r)) => apply_war_fixup(func, pos, r),
+            None => return analysis,
+        }
+    }
+}
+
+/// Finds the first definition of a region-input register inside its own
+/// region, if any.
+pub fn find_war_violation(func: &Function, analysis: &RegionAnalysis) -> Option<(Pos, Reg)> {
+    for region in &analysis.regions {
+        for &(b, i) in &region.members {
+            let inst = &func.block(b).insts[i];
+            if let Some(d) = inst.def_reg() {
+                if region.input_regs.contains(&d) {
+                    return Some(((b, i), d));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Renames the definition at `pos` (of input register `r`) to a fresh
+/// register, inserts a region marker after it, and begins the successor
+/// region with `mov r, r'`.
+fn apply_war_fixup(func: &mut Function, pos: Pos, r: Reg) {
+    let fresh = func.fresh_reg(r.class);
+    let (b, i) = pos;
+    let bb = func.block_mut(b);
+    rename_def(&mut bb.insts[i], r, fresh);
+    bb.insts.insert(i + 1, Inst::RegionMarker);
+    bb.insts.insert(i + 2, Inst::Mov { dst: r, src: Operand::Reg(fresh) });
+}
+
+fn rename_def(inst: &mut Inst, from: Reg, to: Reg) {
+    match inst {
+        Inst::Mov { dst, .. }
+        | Inst::Bin { dst, .. }
+        | Inst::LoadStack { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::Alloc { dst, .. } => {
+            assert_eq!(*dst, from, "rename target mismatch");
+            *dst = to;
+        }
+        Inst::Call { ret: Some(dst), .. } => {
+            assert_eq!(*dst, from, "rename target mismatch");
+            *dst = to;
+        }
+        other => panic!("instruction {other} does not define a register"),
+    }
+}
+
+/// Structural cuts: the function entry, lock/durable-region boundaries,
+/// runtime calls, and explicit `RegionMarker`s. Loop back edges are *not*
+/// cut (see below).
+fn structural_cuts(func: &Function, cfg: &Cfg) -> BTreeSet<Pos> {
+    let mut cuts = BTreeSet::new();
+    cuts.insert((BlockId(0), 0));
+    for (bi, bb) in func.blocks().iter().enumerate() {
+        let b = BlockId(bi as u32);
+        let len = bb.insts.len();
+        for (i, inst) in bb.insts.iter().enumerate() {
+            match inst {
+                // Boundary after acquire: the robbed-lock effect (Sec. III-B)
+                // relies on no FASE instruction preceding this boundary.
+                Inst::Lock { .. } | Inst::DurableBegin
+                    if i + 1 < len => {
+                        cuts.insert((b, i + 1));
+                    }
+                // Boundary before release: everything the FASE did under the
+                // lock is persisted before the lock can be stolen.
+                Inst::Unlock { .. } | Inst::DurableEnd => {
+                    cuts.insert((b, i));
+                }
+                // Runtime calls with external side effects delimit regions
+                // on both sides so they are never re-executed.
+                Inst::Call { .. } | Inst::Alloc { .. } | Inst::Free { .. } => {
+                    cuts.insert((b, i));
+                    if i + 1 < len {
+                        cuts.insert((b, i + 1));
+                    }
+                }
+                Inst::RegionMarker => {
+                    cuts.insert((b, i));
+                }
+                _ => {}
+            }
+        }
+    }
+    // Loop back edges are deliberately *not* structural cuts: a read-only
+    // traversal loop is idempotent as a whole (restarting it from the region
+    // entry re-traverses from scratch), which is exactly why the paper's
+    // Redis read paths are nearly free under iDO. Loop-carried memory
+    // antidependences are found by the cross-block fixpoint (which
+    // propagates around back edges), and loop-carried register WARs are
+    // repaired by `partition`'s fixup, which inserts its own boundary.
+    let _ = cfg.back_edges();
+    cuts
+}
+
+/// Adds cuts breaking every memory antidependence (load followed by a
+/// possibly-aliasing store with no intervening cut). Cuts are placed
+/// immediately before the violating store — the right-endpoint greedy rule,
+/// optimal for the interval-stabbing formulation.
+fn add_antidep_cuts(func: &Function, cfg: &Cfg, cuts: &mut BTreeSet<Pos>, mode: AliasMode) {
+    loop {
+        let block_in = outstanding_fixpoint(func, cfg, cuts);
+        let mut new_cuts = Vec::new();
+        for (bi, bb) in func.blocks().iter().enumerate() {
+            let b = BlockId(bi as u32);
+            let mut state = block_in[bi].clone();
+            for (i, inst) in bb.insts.iter().enumerate() {
+                if cuts.contains(&(b, i)) {
+                    state.clear();
+                }
+                if let Some((loc, kind)) = mem_access(inst) {
+                    match kind {
+                        AccessKind::Load => state.note_load(loc),
+                        AccessKind::Store => {
+                            if state.store_conflicts(loc, mode) {
+                                new_cuts.push((b, i));
+                                state.clear();
+                            }
+                        }
+                    }
+                }
+                if let Some(d) = inst.def_reg() {
+                    state.note_def(d);
+                }
+            }
+        }
+        if new_cuts.is_empty() {
+            return;
+        }
+        cuts.extend(new_cuts);
+    }
+}
+
+/// Forward fixpoint: outstanding loads at each block entry, given `cuts`.
+fn outstanding_fixpoint(func: &Function, cfg: &Cfg, cuts: &BTreeSet<Pos>) -> Vec<Outstanding> {
+    let n = func.num_blocks();
+    let mut block_in: Vec<Outstanding> = vec![Outstanding::default(); n];
+    let mut block_out: Vec<Outstanding> = vec![Outstanding::default(); n];
+    let rpo = cfg.rpo();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &rpo {
+            let bi = b.0 as usize;
+            let mut input = Outstanding::default();
+            for &p in cfg.preds(b) {
+                input.merge(&block_out[p.0 as usize]);
+            }
+            if input != block_in[bi] {
+                block_in[bi] = input.clone();
+                changed = true;
+            }
+            let mut state = input;
+            for (i, inst) in func.block(b).insts.iter().enumerate() {
+                if cuts.contains(&(b, i)) {
+                    state.clear();
+                }
+                if let Some((loc, AccessKind::Load)) = mem_access(inst) {
+                    state.note_load(loc);
+                }
+                if let Some(d) = inst.def_reg() {
+                    state.note_def(d);
+                }
+            }
+            if state != block_out[bi] {
+                block_out[bi] = state;
+                changed = true;
+            }
+        }
+    }
+    block_in
+}
+
+/// Builds regions from the cut set: assigns every instruction to a region,
+/// adding implicit cuts at joins whose predecessors disagree (single-entry
+/// enforcement), then computes per-region inputs, outputs, and store counts.
+fn build(
+    func: &Function,
+    cfg: &Cfg,
+    liveness: &Liveness,
+    mut cuts: BTreeSet<Pos>,
+) -> RegionAnalysis {
+    let reachable = cfg.reachable();
+    for (bi, r) in reachable.iter().enumerate() {
+        if !*r {
+            // Unreachable code gets its own region; it never executes.
+            cuts.insert((BlockId(bi as u32), 0));
+        }
+    }
+
+    // Membership assignment. A block head that is not a cut inherits its
+    // predecessors' region. Predecessors not yet assigned (back edges) are
+    // treated optimistically; after the pass, any head whose predecessors
+    // disagree with its assignment becomes an implicit cut (single-entry
+    // enforcement) and the pass restarts. Cuts only grow, so this
+    // terminates.
+    let (region_of, entries) = loop {
+        let mut region_of: BTreeMap<Pos, RegionId> = BTreeMap::new();
+        let mut entries: Vec<Pos> = Vec::new();
+        for &b in &cfg.rpo() {
+            let bb = func.block(b);
+            let mut cur: Option<RegionId> = None;
+            for i in 0..bb.insts.len() {
+                let pos = (b, i);
+                let id = if cuts.contains(&pos) {
+                    entries.push(pos);
+                    RegionId(entries.len() as u32 - 1)
+                } else if let Some(cur) = cur {
+                    cur
+                } else {
+                    // Inherit from the first already-assigned predecessor.
+                    let known = cfg
+                        .preds(b)
+                        .iter()
+                        .filter(|p| reachable[p.0 as usize])
+                        .find_map(|p| {
+                            let last = func.block(*p).insts.len() - 1;
+                            region_of.get(&(*p, last)).copied()
+                        });
+                    match known {
+                        Some(r) => r,
+                        None => {
+                            // No assigned predecessor at all: treat as entry.
+                            entries.push(pos);
+                            RegionId(entries.len() as u32 - 1)
+                        }
+                    }
+                };
+                region_of.insert(pos, id);
+                cur = Some(id);
+            }
+        }
+        // Consistency check: every non-cut head must agree with all of its
+        // reachable predecessors.
+        let mut new_cuts = Vec::new();
+        for (bi, bb) in func.blocks().iter().enumerate() {
+            let b = BlockId(bi as u32);
+            if !reachable[bi] || cuts.contains(&(b, 0)) || bb.insts.is_empty() {
+                continue;
+            }
+            let my = region_of[&(b, 0)];
+            let disagrees = cfg.preds(b).iter().any(|p| {
+                if !reachable[p.0 as usize] {
+                    return false;
+                }
+                let last = func.block(*p).insts.len() - 1;
+                region_of.get(&(*p, last)) != Some(&my)
+            });
+            if disagrees {
+                new_cuts.push((b, 0));
+            }
+        }
+        if new_cuts.is_empty() {
+            break (region_of, entries);
+        }
+        cuts.extend(new_cuts);
+    };
+
+    // Collect members per region.
+    let mut members: Vec<Vec<Pos>> = vec![Vec::new(); entries.len()];
+    for (&pos, &id) in &region_of {
+        members[id.0 as usize].push(pos);
+    }
+
+    let mut regions = Vec::with_capacity(entries.len());
+    for (idx, entry) in entries.iter().enumerate() {
+        let id = RegionId(idx as u32);
+        let mems = std::mem::take(&mut members[idx]);
+
+        // Used and defined variables.
+        let mut used_regs: BTreeSet<Reg> = BTreeSet::new();
+        let mut used_slots: BTreeSet<StackSlot> = BTreeSet::new();
+        let mut def_regs: BTreeSet<Reg> = BTreeSet::new();
+        let mut def_slots: BTreeSet<StackSlot> = BTreeSet::new();
+        let mut heap_stores = 0;
+        let mut stack_stores = 0;
+        for &(b, i) in &mems {
+            let inst = &func.block(b).insts[i];
+            used_regs.extend(inst.uses());
+            used_slots.extend(inst.stack_uses());
+            def_regs.extend(inst.def_reg());
+            def_slots.extend(inst.stack_def());
+            match inst {
+                Inst::Store { .. } => heap_stores += 1,
+                Inst::StoreStack { .. } => stack_stores += 1,
+                _ => {}
+            }
+        }
+
+        // Inputs: live at entry ∩ used in region.
+        let entry_live = liveness.live_before(func, entry.0, entry.1);
+        let input_regs: Vec<Reg> = used_regs
+            .iter()
+            .copied()
+            .filter(|r| entry_live.contains(&reg_var(*r)))
+            .collect();
+        let input_slots: Vec<StackSlot> = used_slots
+            .iter()
+            .copied()
+            .filter(|s| entry_live.contains(&slot_var(*s)))
+            .collect();
+
+        // Outputs: Def ∩ LiveOut over all exits.
+        let mut exit_live: BTreeSet<Var> = BTreeSet::new();
+        for &(b, i) in &mems {
+            let inst = &func.block(b).insts[i];
+            if inst.is_terminator() {
+                for s in inst.targets() {
+                    if region_of.get(&(s, 0)) != Some(&id) {
+                        exit_live.extend(liveness.live_in(s));
+                    }
+                }
+            } else {
+                let next = (b, i + 1);
+                if region_of.get(&next) != Some(&id) {
+                    exit_live.extend(liveness.live_before(func, b, i + 1));
+                }
+            }
+        }
+        let output_regs: Vec<Reg> =
+            def_regs.iter().copied().filter(|r| exit_live.contains(&reg_var(*r))).collect();
+        let output_slots: Vec<StackSlot> =
+            def_slots.iter().copied().filter(|s| exit_live.contains(&slot_var(*s))).collect();
+
+        regions.push(Region {
+            id,
+            entry: *entry,
+            members: mems,
+            input_regs,
+            input_slots,
+            output_regs,
+            output_slots,
+            heap_stores,
+            stack_stores,
+        });
+    }
+
+    RegionAnalysis { regions, region_of, cuts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_ir::{BinOp, ProgramBuilder};
+
+    fn single_func(build: impl FnOnce(&mut ido_ir::FunctionBuilder<'_>)) -> Function {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("t", 2);
+        build(&mut f);
+        let id = f.finish().unwrap();
+        pb.finish().function(id).clone()
+    }
+
+    #[test]
+    fn straightline_loads_one_region() {
+        let f = single_func(|f| {
+            let p = f.param(0);
+            let a = f.new_reg();
+            let b = f.new_reg();
+            f.load(a, p, 0);
+            f.load(b, p, 8);
+            f.ret(Some(Operand::Reg(b)));
+        });
+        let an = analyze(&f);
+        assert_eq!(an.regions().len(), 1, "pure loads never cut");
+    }
+
+    #[test]
+    fn load_then_aliasing_store_is_cut() {
+        let f = single_func(|f| {
+            let p = f.param(0);
+            let a = f.new_reg();
+            f.load(a, p, 0);
+            f.store(p, 0, 5i64); // WAR on mem[p]
+            f.ret(None);
+        });
+        let an = analyze(&f);
+        assert_eq!(an.regions().len(), 2);
+        assert!(an.is_cut((BlockId(0), 1)), "cut placed immediately before the store");
+    }
+
+    #[test]
+    fn store_then_load_is_not_cut() {
+        let f = single_func(|f| {
+            let p = f.param(0);
+            let a = f.new_reg();
+            f.store(p, 0, 5i64);
+            f.load(a, p, 0);
+            f.ret(Some(Operand::Reg(a)));
+        });
+        let an = analyze(&f);
+        assert_eq!(an.regions().len(), 1, "RAW is re-executable; only WAR cuts");
+    }
+
+    #[test]
+    fn disjoint_offsets_do_not_cut() {
+        let f = single_func(|f| {
+            let p = f.param(0);
+            let a = f.new_reg();
+            f.load(a, p, 0);
+            f.store(p, 8, 5i64); // provably disjoint word
+            f.ret(None);
+        });
+        assert_eq!(analyze(&f).regions().len(), 1);
+    }
+
+    #[test]
+    fn different_bases_conservatively_cut() {
+        let f = single_func(|f| {
+            let p = f.param(0);
+            let q = f.param(1);
+            let a = f.new_reg();
+            f.load(a, p, 0);
+            f.store(q, 0, 5i64); // basicAA: may alias
+            f.ret(None);
+        });
+        assert_eq!(analyze(&f).regions().len(), 2);
+    }
+
+    #[test]
+    fn base_redefinition_makes_store_conflict() {
+        // load mem[p]; p = p'; store mem[p] — pointer chase: conservative cut.
+        let f = single_func(|f| {
+            let p = f.param(0);
+            let a = f.new_reg();
+            f.load(a, p, 0);
+            f.mov(p, Operand::Reg(a)); // p redefined (chase)
+            f.store(p, 0, 1i64);
+            f.ret(None);
+        });
+        let an = analyze(&f);
+        assert!(an.regions().len() >= 2);
+    }
+
+    #[test]
+    fn lock_and_unlock_are_boundaries() {
+        let f = single_func(|f| {
+            let p = f.param(0);
+            f.lock(p);
+            f.store(p, 8, 1i64);
+            f.unlock(p);
+            f.ret(None);
+        });
+        let an = analyze(&f);
+        // cut after lock (index 1) and before unlock (index 2)
+        assert!(an.is_cut((BlockId(0), 1)));
+        assert!(an.is_cut((BlockId(0), 2)));
+    }
+
+    #[test]
+    fn counting_loop_is_one_idempotent_region() {
+        // i is initialized *inside* the region, so re-executing the whole
+        // loop from the entry is deterministic: no cuts are needed at all.
+        let f = single_func(|f| {
+            let n = f.param(0);
+            let i = f.new_reg();
+            let c = f.new_reg();
+            let head = f.new_block();
+            let body = f.new_block();
+            let exit = f.new_block();
+            f.mov(i, 0i64);
+            f.jump(head);
+            f.switch_to(head);
+            f.bin(BinOp::Lt, c, i, n);
+            f.branch(c, body, exit);
+            f.switch_to(body);
+            f.bin(BinOp::Add, i, i, 1i64);
+            f.jump(head);
+            f.switch_to(exit);
+            f.ret(None);
+        });
+        let an = analyze(&f);
+        assert_eq!(an.regions().len(), 1, "pure counting loop stays one region");
+        assert!(find_war_violation(&f, &an).is_none());
+    }
+
+    #[test]
+    fn traversal_loop_with_loop_carried_store_is_cut() {
+        // Each iteration loads a node then stores to it: the cross-iteration
+        // WAR must be found by the fixpoint propagating around the back edge.
+        let f = single_func(|f| {
+            let cur = f.param(0);
+            let v = f.new_reg();
+            let head = f.new_block();
+            let exit = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            f.load(v, cur, 8); // read node value
+            f.store(cur, 8, 1i64); // same-word WAR within the iteration
+            f.load(cur, cur, 0); // chase next pointer (redefines base)
+            f.branch(cur, head, exit);
+            f.switch_to(exit);
+            f.ret(None);
+        });
+        let an = analyze(&f);
+        assert!(an.regions().len() >= 2, "the WAR inside/around the loop must cut");
+    }
+
+    #[test]
+    fn join_from_two_regions_is_single_entry() {
+        // bb0 branches to bb1 / bb2; bb1 contains an alloc (cut), so bb1 and
+        // bb2 end in different regions; their join must start a new region.
+        let f = single_func(|f| {
+            let c = f.param(0);
+            let l = f.new_block();
+            let r = f.new_block();
+            let j = f.new_block();
+            f.branch(c, l, r);
+            f.switch_to(l);
+            let x = f.new_reg();
+            f.alloc(x, 16i64);
+            f.jump(j);
+            f.switch_to(r);
+            f.jump(j);
+            f.switch_to(j);
+            f.ret(None);
+        });
+        let an = analyze(&f);
+        assert!(an.is_cut((BlockId(3), 0)), "join of differing regions starts fresh");
+    }
+
+    #[test]
+    fn war_violation_detected_and_repaired() {
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.new_function("w", 2);
+        let p = fb.param(0);
+        let v = fb.param(1); // live-in at the entry region
+        fb.bin(BinOp::Add, v, v, 1i64); // v is a region input, redefined: WAR
+        fb.store(p, 0, Operand::Reg(v));
+        fb.ret(None);
+        let id = fb.finish().unwrap();
+        let mut prog = pb.finish();
+        let func = prog.function_mut(id);
+
+        let before = analyze(func);
+        assert!(find_war_violation(func, &before).is_some());
+
+        let after = partition(func);
+        assert!(find_war_violation(func, &after).is_none(), "partition repairs all WARs");
+        // The repair introduced a marker and a compensation mov.
+        let has_marker = func.iter_insts().any(|(_, i)| matches!(i, Inst::RegionMarker));
+        assert!(has_marker);
+    }
+
+    #[test]
+    fn loop_increment_repair_converges() {
+        // while (i < n) { i = i + 1 } — the classic loop-carried WAR.
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.new_function("l", 1);
+        let n = fb.param(0);
+        let i = fb.new_reg();
+        let c = fb.new_reg();
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.mov(i, 0i64);
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.bin(BinOp::Lt, c, i, n);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.bin(BinOp::Add, i, i, 1i64);
+        fb.jump(head);
+        fb.switch_to(exit);
+        fb.ret(Some(Operand::Reg(i)));
+        let id = fb.finish().unwrap();
+        let mut prog = pb.finish();
+        let func = prog.function_mut(id);
+        let an = partition(func);
+        assert!(find_war_violation(func, &an).is_none());
+    }
+
+    #[test]
+    fn inputs_and_outputs_follow_equation_one() {
+        // Region: a = mem[p]; b = a + 1; then cut (alloc); then use b.
+        let f = single_func(|f| {
+            let p = f.param(0);
+            let a = f.new_reg();
+            let b = f.new_reg();
+            f.load(a, p, 0);
+            f.bin(BinOp::Add, b, a, 1i64);
+            let t = f.new_reg();
+            f.alloc(t, 8i64); // cut before and after
+            f.store(t, 0, Operand::Reg(b));
+            f.ret(None);
+        });
+        let an = analyze(&f);
+        let first = &an.regions()[0];
+        assert_eq!(first.entry, (BlockId(0), 0));
+        assert!(first.input_regs.contains(&Reg::int(0)), "p is an input");
+        assert!(first.output_regs.contains(&Reg::int(3)), "b is live-out and defined");
+        assert!(
+            !first.output_regs.contains(&Reg::int(2)),
+            "a dies inside the region: not an output"
+        );
+    }
+
+    #[test]
+    fn store_counts_are_per_region() {
+        let f = single_func(|f| {
+            let p = f.param(0);
+            f.store(p, 0, 1i64);
+            f.store(p, 8, 2i64);
+            let s = f.new_stack_slot();
+            f.store_stack(s, 3i64);
+            f.ret(None);
+        });
+        let an = analyze(&f);
+        assert_eq!(an.regions().len(), 1);
+        assert_eq!(an.regions()[0].heap_stores, 2);
+        assert_eq!(an.regions()[0].stack_stores, 1);
+        assert_eq!(an.regions()[0].num_stores(), 3);
+    }
+
+    #[test]
+    fn every_instruction_belongs_to_exactly_one_region() {
+        let f = single_func(|f| {
+            let p = f.param(0);
+            let a = f.new_reg();
+            f.lock(p);
+            f.load(a, p, 8);
+            f.store(p, 8, 1i64);
+            f.unlock(p);
+            f.ret(None);
+        });
+        let an = analyze(&f);
+        let mut count = 0;
+        for ((b, i), _) in f.iter_insts() {
+            assert!(an.region_at((b, i)).is_some(), "({b:?},{i}) unassigned");
+            count += 1;
+        }
+        let member_total: usize = an.regions().iter().map(|r| r.members.len()).sum();
+        assert_eq!(member_total, count);
+    }
+}

@@ -1,0 +1,130 @@
+//! Static region statistics (the static counterpart of the paper's Fig. 8).
+//!
+//! Dynamic (execution-weighted) distributions are collected by the VM
+//! profiler in `ido-vm`; this module summarizes the static shape of a
+//! partition: how many stores each region contains and how many live-in
+//! registers each region needs — the two quantities that determine iDO's
+//! logging advantage (stores covered per log operation) and logging cost
+//! (cache lines per log operation).
+
+use crate::regions::RegionAnalysis;
+
+/// Histogram-style summary of a region partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticRegionSummary {
+    /// Number of regions.
+    pub region_count: usize,
+    /// `stores_hist[k]` = number of regions with exactly `k` stores
+    /// (saturating at the last bucket).
+    pub stores_hist: Vec<usize>,
+    /// `inputs_hist[k]` = number of regions with exactly `k` input
+    /// registers (saturating at the last bucket).
+    pub inputs_hist: Vec<usize>,
+    /// Total static instructions across regions.
+    pub total_insts: usize,
+}
+
+/// Number of histogram buckets (0..=9, last bucket saturates: "9+").
+pub const HIST_BUCKETS: usize = 10;
+
+/// Per-partition statistics extractor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegionStats;
+
+impl RegionStats {
+    /// Summarizes `analysis`.
+    pub fn summarize(analysis: &RegionAnalysis) -> StaticRegionSummary {
+        let mut stores_hist = vec![0usize; HIST_BUCKETS];
+        let mut inputs_hist = vec![0usize; HIST_BUCKETS];
+        let mut total_insts = 0;
+        for r in analysis.regions() {
+            let s = r.num_stores().min(HIST_BUCKETS - 1);
+            stores_hist[s] += 1;
+            let i = r.num_inputs().min(HIST_BUCKETS - 1);
+            inputs_hist[i] += 1;
+            total_insts += r.members.len();
+        }
+        StaticRegionSummary {
+            region_count: analysis.regions().len(),
+            stores_hist,
+            inputs_hist,
+            total_insts,
+        }
+    }
+}
+
+impl StaticRegionSummary {
+    /// Fraction of regions with at least `k` stores.
+    pub fn frac_stores_at_least(&self, k: usize) -> f64 {
+        if self.region_count == 0 {
+            return 0.0;
+        }
+        let n: usize = self.stores_hist.iter().skip(k).sum();
+        n as f64 / self.region_count as f64
+    }
+
+    /// Fraction of regions with fewer than `k` input registers (the paper
+    /// reports >99% of dynamic regions have fewer than 5).
+    pub fn frac_inputs_below(&self, k: usize) -> f64 {
+        if self.region_count == 0 {
+            return 0.0;
+        }
+        let n: usize = self.inputs_hist.iter().take(k).sum();
+        n as f64 / self.region_count as f64
+    }
+
+    /// Mean static region length in instructions.
+    pub fn mean_region_len(&self) -> f64 {
+        if self.region_count == 0 {
+            0.0
+        } else {
+            self.total_insts as f64 / self.region_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::analyze;
+    use ido_ir::{Operand, ProgramBuilder};
+
+    #[test]
+    fn summary_counts_regions_and_buckets() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("t", 1);
+        let p = f.param(0);
+        // Region 1: two stores. Then alloc (cuts). Region 3: zero stores.
+        f.store(p, 0, 1i64);
+        f.store(p, 8, 2i64);
+        let a = f.new_reg();
+        f.alloc(a, 8i64);
+        let v = f.new_reg();
+        f.load(v, p, 0);
+        f.ret(Some(Operand::Reg(v)));
+        let id = f.finish().unwrap();
+        let prog = pb.finish();
+        let an = analyze(prog.function(id));
+        let s = RegionStats::summarize(&an);
+        assert_eq!(s.region_count, an.regions().len());
+        assert_eq!(s.stores_hist.iter().sum::<usize>(), s.region_count);
+        assert_eq!(s.inputs_hist.iter().sum::<usize>(), s.region_count);
+        assert!(s.stores_hist[2] >= 1, "one region has two stores");
+        assert!(s.frac_stores_at_least(2) > 0.0);
+        assert!(s.mean_region_len() > 0.0);
+        assert!(s.frac_inputs_below(5) > 0.0);
+    }
+
+    #[test]
+    fn empty_summary_is_stable() {
+        let s = StaticRegionSummary {
+            region_count: 0,
+            stores_hist: vec![0; HIST_BUCKETS],
+            inputs_hist: vec![0; HIST_BUCKETS],
+            total_insts: 0,
+        };
+        assert_eq!(s.frac_stores_at_least(1), 0.0);
+        assert_eq!(s.frac_inputs_below(5), 0.0);
+        assert_eq!(s.mean_region_len(), 0.0);
+    }
+}

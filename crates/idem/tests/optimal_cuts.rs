@@ -1,0 +1,56 @@
+//! The online partitioner's antidependence cuts are *optimal* on
+//! straight-line code: its cut count equals the minimum interval-stabbing
+//! number of the program's antidependence intervals.
+
+use ido_idem::antidep::all_intra_block_pairs;
+use ido_idem::hitting::{min_stabbing, CutInterval};
+use ido_idem::analyze;
+use ido_ir::{Operand, ProgramBuilder};
+use proptest::prelude::*;
+
+/// Builds a single-block program from (is_store, param, offset) triples.
+fn straight_line(ops: &[(bool, u8, u8)]) -> ido_ir::Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.new_function("t", 3);
+    let params = [f.param(0), f.param(1), f.param(2)];
+    for &(is_store, p, off) in ops {
+        let base = params[p as usize % 3];
+        let offset = (off as i64 % 4) * 8;
+        if is_store {
+            f.store(base, offset, Operand::Imm(1));
+        } else {
+            let d = f.new_reg();
+            f.load(d, base, offset);
+        }
+    }
+    f.ret(None);
+    f.finish().unwrap();
+    pb.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn partitioner_cut_count_is_optimal(
+        ops in prop::collection::vec((prop::bool::ANY, 0u8..3, 0u8..4), 1..10)
+    ) {
+        let prog = straight_line(&ops);
+        let func = prog.function(ido_ir::FuncId(0));
+        // The partitioner's antidependence cuts = regions beyond the entry.
+        let analysis = analyze(func);
+        let partitioner_cuts = analysis.cuts().len() - 1; // minus the entry cut
+        // The optimal count from the interval-stabbing formulation of the
+        // same pairs.
+        let pairs = all_intra_block_pairs(func);
+        let intervals: Vec<CutInterval> = pairs
+            .iter()
+            .map(|p| CutInterval { load: p.load.1, store: p.store.1 })
+            .collect();
+        let optimal = min_stabbing(&intervals).len();
+        prop_assert_eq!(
+            partitioner_cuts, optimal,
+            "partitioner used {} cuts, optimum is {}", partitioner_cuts, optimal
+        );
+    }
+}

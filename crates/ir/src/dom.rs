@@ -1,0 +1,140 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::Cfg;
+use crate::func::BlockId;
+
+/// Immediate-dominator table for one function's CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    idom: Vec<Option<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes dominators over `cfg`. Unreachable blocks get no idom.
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        let rpo = cfg.rpo();
+        let reachable = cfg.reachable();
+        // rpo position of each block, used as the comparison key.
+        let mut pos = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            pos[b.0 as usize] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(BlockId(0));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let bi = b.0 as usize;
+                if !reachable[bi] {
+                    continue;
+                }
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &pos, p, cur),
+                    });
+                }
+                if new_idom != idom[bi] {
+                    idom[bi] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom }
+    }
+
+    /// Immediate dominator of `b` (the entry's idom is itself; unreachable
+    /// blocks have none).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b.0 == 0 {
+            None
+        } else {
+            self.idom[b.0 as usize]
+        }
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(next) if next != cur => cur = next,
+                _ => return cur == a,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    pos: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while pos[a.0 as usize] > pos[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed block must have idom");
+        }
+        while pos[b.0 as usize] > pos[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed block must have idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    /// Diamond: 0 -> {1,2} -> 3, plus 3 -> 4.
+    fn diamond_cfg() -> Cfg {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("d", 1);
+        let c = f.param(0);
+        let l = f.new_block();
+        let r = f.new_block();
+        let j = f.new_block();
+        let e = f.new_block();
+        f.branch(c, l, r);
+        f.switch_to(l);
+        f.jump(j);
+        f.switch_to(r);
+        f.jump(j);
+        f.switch_to(j);
+        f.jump(e);
+        f.switch_to(e);
+        f.ret(None);
+        let id = f.finish().unwrap();
+        let p = pb.finish();
+        Cfg::new(p.function(id))
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let dt = DomTree::new(&diamond_cfg());
+        assert_eq!(dt.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(3)), Some(BlockId(0)), "join is dominated by the fork");
+        assert_eq!(dt.idom(BlockId(4)), Some(BlockId(3)));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let dt = DomTree::new(&diamond_cfg());
+        assert!(dt.dominates(BlockId(0), BlockId(0)));
+        assert!(dt.dominates(BlockId(0), BlockId(4)));
+        assert!(dt.dominates(BlockId(3), BlockId(4)));
+        assert!(!dt.dominates(BlockId(1), BlockId(3)));
+        assert!(!dt.dominates(BlockId(4), BlockId(0)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Functions, basic blocks, and programs.
+
+use crate::inst::Inst;
+use crate::reg::{Reg, RegClass};
+
+/// Identifier of a basic block within its function. Block 0 is the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Identifier of a function within its [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// A program counter: a precise dynamic position in the code. Instrumented
+/// runtimes persist these (e.g. iDO's `recovery_pc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pc {
+    /// Function.
+    pub func: FuncId,
+    /// Block within the function.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub index: u32,
+}
+
+impl Pc {
+    /// Packs the PC into a single word for persistent logging.
+    pub fn encode(self) -> u64 {
+        ((self.func.0 as u64) << 40) | ((self.block.0 as u64) << 20) | self.index as u64
+    }
+
+    /// Unpacks a PC previously packed with [`Pc::encode`].
+    pub fn decode(word: u64) -> Pc {
+        Pc {
+            func: FuncId((word >> 40) as u32),
+            block: BlockId(((word >> 20) & 0xF_FFFF) as u32),
+            index: (word & 0xF_FFFF) as u32,
+        }
+    }
+}
+
+/// A basic block: a straight-line instruction sequence ending in a
+/// terminator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BasicBlock {
+    /// The instructions; the last one is the terminator.
+    pub insts: Vec<Inst>,
+}
+
+impl BasicBlock {
+    /// The block's terminator.
+    ///
+    /// # Panics
+    /// Panics if the block is empty (only possible mid-construction).
+    pub fn terminator(&self) -> &Inst {
+        self.insts.last().expect("empty basic block")
+    }
+
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        self.terminator().targets()
+    }
+}
+
+/// A function: parameters, blocks, registers, and stack frame shape.
+#[derive(Debug, Clone)]
+pub struct Function {
+    name: String,
+    params: Vec<Reg>,
+    blocks: Vec<BasicBlock>,
+    next_reg: u32,
+    n_stack_slots: u32,
+}
+
+impl Function {
+    pub(crate) fn new(name: String, params: Vec<Reg>, next_reg: u32) -> Self {
+        Function { name, params, blocks: Vec::new(), next_reg, n_stack_slots: 0 }
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameter registers, bound by callers in order.
+    pub fn params(&self) -> &[Reg] {
+        &self.params
+    }
+
+    /// All basic blocks, indexed by [`BlockId`].
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// A block by id.
+    pub fn block(&self, b: BlockId) -> &BasicBlock {
+        &self.blocks[b.0 as usize]
+    }
+
+    /// Mutable access for instrumentation passes.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[b.0 as usize]
+    }
+
+    pub(crate) fn push_block(&mut self, bb: BasicBlock) -> BlockId {
+        self.blocks.push(bb);
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// One-past-the-highest register id (register ids are dense).
+    pub fn num_regs(&self) -> u32 {
+        self.next_reg
+    }
+
+    /// Allocates a fresh integer register (used by renaming passes).
+    pub fn fresh_reg(&mut self, class: RegClass) -> Reg {
+        let r = Reg { id: self.next_reg, class };
+        self.next_reg += 1;
+        r
+    }
+
+    /// Number of stack slots in the frame.
+    pub fn num_stack_slots(&self) -> u32 {
+        self.n_stack_slots
+    }
+
+    pub(crate) fn set_stack_slots(&mut self, n: u32) {
+        self.n_stack_slots = n;
+    }
+
+    /// Total static instruction count.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Iterates over `(Pc-like position, instruction)` pairs in block order.
+    pub fn iter_insts(&self) -> impl Iterator<Item = ((BlockId, usize), &Inst)> {
+        self.blocks.iter().enumerate().flat_map(|(b, bb)| {
+            bb.insts
+                .iter()
+                .enumerate()
+                .map(move |(i, inst)| ((BlockId(b as u32), i), inst))
+        })
+    }
+}
+
+/// A whole program: a set of functions sharing a call graph.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    funcs: Vec<Function>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    pub(crate) fn push_function(&mut self, f: Function) -> FuncId {
+        self.funcs.push(f);
+        FuncId(self.funcs.len() as u32 - 1)
+    }
+
+    /// All functions, indexed by [`FuncId`].
+    pub fn functions(&self) -> &[Function] {
+        &self.funcs
+    }
+
+    /// A function by id.
+    pub fn function(&self, f: FuncId) -> &Function {
+        &self.funcs[f.0 as usize]
+    }
+
+    /// Mutable access for instrumentation passes.
+    pub fn function_mut(&mut self, f: FuncId) -> &mut Function {
+        &mut self.funcs[f.0 as usize]
+    }
+
+    /// Looks a function up by name.
+    pub fn find(&self, name: &str) -> Option<FuncId> {
+        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_encode_roundtrip() {
+        let pc = Pc { func: FuncId(7), block: BlockId(513), index: 1029 };
+        assert_eq!(Pc::decode(pc.encode()), pc);
+    }
+
+    #[test]
+    fn pc_encode_zero() {
+        let pc = Pc { func: FuncId(0), block: BlockId(0), index: 0 };
+        assert_eq!(pc.encode(), 0);
+        assert_eq!(Pc::decode(0), pc);
+    }
+}

@@ -1,0 +1,509 @@
+//! Instruction set.
+
+use crate::func::{BlockId, FuncId};
+use crate::reg::{Operand, Reg, StackSlot};
+
+/// Binary ALU operations. Comparison operators produce 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (division by zero yields 0, like a trap handler that
+    /// returns a default — keeps the interpreter total).
+    Div,
+    /// Signed remainder (remainder by zero yields 0).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (modulo 64).
+    Shl,
+    /// Logical shift right (modulo 64).
+    Shr,
+    /// Equality (1 if equal).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+/// A lock identity as seen by instrumentation: the operand that will resolve
+/// at run time to the persistent address of the lock's *indirect lock holder*
+/// (Section III-B of the paper).
+pub type LockToken = Operand;
+
+/// Runtime operations inserted by the per-scheme instrumentation passes.
+///
+/// These are the "library calls" the iDO compiler (and the baseline
+/// compilers) weave into the program. Their semantics — including exactly
+/// which cache-line write-backs and persist fences they perform — are
+/// implemented by the VM's scheme runtimes, so their persistence cost is
+/// charged faithfully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtOp {
+    /// Marks entry into a FASE (outermost lock acquired or durable region
+    /// begun). Bookkeeping only.
+    FaseBegin,
+    /// Marks exit from a FASE. For schemes with deferred work (Atlas flush,
+    /// Mnemosyne/NVML commit) this is where it happens.
+    FaseEnd,
+
+    // --- iDO (the paper's contribution) ---
+    /// Idempotent region boundary: persist the ending region's outputs
+    /// (listed registers and stack slots, persist-coalesced into as few
+    /// cache lines as possible), write back heap stores tracked at run time,
+    /// fence, update `recovery_pc` to the next instruction, fence.
+    IdoBoundary {
+        /// Output registers of the ending region (`Def ∩ LiveOut`).
+        out_regs: Vec<Reg>,
+        /// Output stack slots of the ending region.
+        out_slots: Vec<StackSlot>,
+    },
+    /// Record the indirect lock holder in the thread's `lock_array`
+    /// immediately after acquiring `lock`. Costs a single fence.
+    IdoLockAcquired {
+        /// The lock's indirect-holder address operand.
+        lock: LockToken,
+    },
+    /// Clear the `lock_array` entry immediately before releasing `lock`.
+    /// Costs a single fence.
+    IdoLockReleasing {
+        /// The lock's indirect-holder address operand.
+        lock: LockToken,
+    },
+
+    // --- JUSTDO logging ---
+    /// Persist `(pc, addr, value)` in the thread's JUSTDO log immediately
+    /// before the following store; two persist-fence sequences per store as
+    /// in the original system.
+    JustDoLog {
+        /// Base register of the following store's address.
+        base: Reg,
+        /// Byte offset of the following store.
+        offset: i64,
+        /// Value about to be stored.
+        value: Operand,
+    },
+    /// JUSTDO lock-intention + lock-ownership log update at acquire
+    /// (two persist fences).
+    JustDoLockAcquired {
+        /// The lock operand.
+        lock: LockToken,
+    },
+    /// JUSTDO lock release logging (two persist fences).
+    JustDoLockReleasing {
+        /// The lock operand.
+        lock: LockToken,
+    },
+    /// JUSTDO log entry for a stack-slot store.
+    JustDoLogStack {
+        /// Slot about to be stored.
+        slot: StackSlot,
+        /// Value about to be stored.
+        value: Operand,
+    },
+    /// JUSTDO "no register caching" shadow: the value just defined in `reg`
+    /// is written through to a persistent shadow slot (write-back issued;
+    /// ordered by the next log fence). This models the original system's
+    /// prohibition on caching FASE state in registers.
+    JustDoShadow {
+        /// The register that was just defined.
+        reg: Reg,
+    },
+
+    // --- Atlas (UNDO) ---
+    /// Append an UNDO entry `(addr, old value)` for the following store and
+    /// persist it before the store may execute.
+    AtlasUndoLog {
+        /// Base register of the following store's address.
+        base: Reg,
+        /// Byte offset of the following store.
+        offset: i64,
+    },
+    /// Atlas happens-before log entry for a lock acquire (persisted).
+    AtlasLockAcquired {
+        /// The lock operand.
+        lock: LockToken,
+    },
+    /// Atlas happens-before log entry for a lock release (persisted).
+    AtlasLockReleasing {
+        /// The lock operand.
+        lock: LockToken,
+    },
+    /// Atlas UNDO entry for a stack-slot store.
+    AtlasUndoLogStack {
+        /// Slot about to be stored.
+        slot: StackSlot,
+    },
+
+    // --- Mnemosyne (REDO transactions) ---
+    /// Begin a durable transaction (global-lock model of the paper's
+    /// single-global-lock transactional treatment of FASEs).
+    TxBegin,
+    /// Commit: persist the redo log (non-temporal appends were already
+    /// durable), fence, apply the write set in place, mark committed.
+    TxCommit,
+
+    // --- NVML-style annotated UNDO ---
+    /// Snapshot the 64-byte object containing the following store's target
+    /// into the transaction's UNDO log and persist it (`TX_ADD`).
+    NvmlTxAdd {
+        /// Base register of the following store's address.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// NVML `TX_ADD` for a stack-slot store.
+    NvmlTxAddStack {
+        /// Slot about to be stored.
+        slot: StackSlot,
+    },
+
+    // --- NVThreads (page-granularity REDO) ---
+    /// Note that the following store dirties a page; the first store to each
+    /// page in a FASE pays a page-copy cost, and `FaseEnd` writes dirty
+    /// pages to the redo log.
+    NvthreadsPageTouch {
+        /// Base register of the following store's address.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// NVThreads page-dirty note for a stack-slot store.
+    NvthreadsPageTouchStack {
+        /// Slot about to be stored.
+        slot: StackSlot,
+    },
+}
+
+impl RtOp {
+    /// Registers read by this runtime op.
+    pub fn uses(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        match self {
+            RtOp::IdoBoundary { out_regs, .. } => v.extend(out_regs.iter().copied()),
+            RtOp::IdoLockAcquired { lock }
+            | RtOp::IdoLockReleasing { lock }
+            | RtOp::JustDoLockAcquired { lock }
+            | RtOp::JustDoLockReleasing { lock }
+            | RtOp::AtlasLockAcquired { lock }
+            | RtOp::AtlasLockReleasing { lock } => v.extend(lock.as_reg()),
+            RtOp::JustDoLog { base, value, .. } => {
+                v.push(*base);
+                v.extend(value.as_reg());
+            }
+            RtOp::JustDoLogStack { value, .. } => v.extend(value.as_reg()),
+            RtOp::JustDoShadow { reg } => v.push(*reg),
+            RtOp::AtlasUndoLog { base, .. }
+            | RtOp::NvmlTxAdd { base, .. }
+            | RtOp::NvthreadsPageTouch { base, .. } => v.push(*base),
+            RtOp::AtlasUndoLogStack { .. }
+            | RtOp::NvmlTxAddStack { .. }
+            | RtOp::NvthreadsPageTouchStack { .. } => {}
+            RtOp::FaseBegin | RtOp::FaseEnd | RtOp::TxBegin | RtOp::TxCommit => {}
+        }
+        v
+    }
+
+    /// Stack slots read by this runtime op (the iDO boundary persists output
+    /// slots, which reads them; per-store logs read the slot's old value).
+    pub fn stack_uses(&self) -> Vec<StackSlot> {
+        match self {
+            RtOp::IdoBoundary { out_slots, .. } => out_slots.clone(),
+            RtOp::AtlasUndoLogStack { slot }
+            | RtOp::NvmlTxAddStack { slot }
+            | RtOp::NvthreadsPageTouchStack { slot } => vec![*slot],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// One IR instruction. The last instruction of every basic block is a
+/// terminator ([`Inst::Jump`], [`Inst::Branch`], or [`Inst::Ret`]); no other
+/// instruction may be a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = a <op> b`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = stack[slot]`.
+    LoadStack {
+        /// Destination register.
+        dst: Reg,
+        /// Source slot.
+        slot: StackSlot,
+    },
+    /// `stack[slot] = src`.
+    StoreStack {
+        /// Destination slot.
+        slot: StackSlot,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = mem[base + offset]` (persistent heap load).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address base register.
+        base: Reg,
+        /// Byte offset (must keep the address 8-byte aligned).
+        offset: i64,
+    },
+    /// `mem[base + offset] = src` (persistent heap store).
+    Store {
+        /// Address base register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+        /// Value stored.
+        src: Operand,
+    },
+    /// `dst = nv_malloc(size)`.
+    Alloc {
+        /// Receives the new allocation's address.
+        dst: Reg,
+        /// Allocation size in bytes.
+        size: Operand,
+    },
+    /// `nv_free(base)`.
+    Free {
+        /// Address register of the allocation to free.
+        base: Reg,
+    },
+    /// Acquire the mutex identified by `lock`.
+    Lock {
+        /// Lock identity operand (resolves to the indirect holder address).
+        lock: LockToken,
+    },
+    /// Release the mutex identified by `lock`.
+    Unlock {
+        /// Lock identity operand.
+        lock: LockToken,
+    },
+    /// Begin a programmer-delineated durable region (single-threaded FASE).
+    DurableBegin,
+    /// End a programmer-delineated durable region.
+    DurableEnd,
+    /// Call another function in the program.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument operands, bound to the callee's parameter registers.
+        args: Vec<Operand>,
+        /// Register receiving the return value, if used.
+        ret: Option<Reg>,
+    },
+    /// An explicit idempotent-region boundary marker, inserted by the
+    /// register-WAR fixup in `ido-idem`. A region cut lies immediately
+    /// before this instruction; it is otherwise a no-op.
+    RegionMarker,
+    /// Advances the simulated clock by a fixed number of nanoseconds
+    /// without side effects — a simulation hook standing in for application
+    /// compute (command parsing, key hashing) that the IR does not model
+    /// instruction-by-instruction. Pure and idempotent.
+    Delay {
+        /// Nanoseconds of application compute to charge.
+        ns: u64,
+    },
+    /// A runtime operation inserted by instrumentation.
+    Rt(RtOp),
+    /// Unconditional jump.
+    Jump {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Conditional branch: non-zero `cond` goes to `then_bb`.
+    Branch {
+        /// Condition operand.
+        cond: Operand,
+        /// Taken target.
+        then_bb: BlockId,
+        /// Fall-through target.
+        else_bb: BlockId,
+    },
+    /// Return from the function.
+    Ret {
+        /// Optional return value.
+        val: Option<Operand>,
+    },
+}
+
+impl Inst {
+    /// The register defined (written) by this instruction, if any.
+    pub fn def_reg(&self) -> Option<Reg> {
+        match self {
+            Inst::Mov { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::LoadStack { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Alloc { dst, .. } => Some(*dst),
+            Inst::Call { ret, .. } => *ret,
+            _ => None,
+        }
+    }
+
+    /// Registers read by this instruction.
+    pub fn uses(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        match self {
+            Inst::Mov { src, .. } => v.extend(src.as_reg()),
+            Inst::Bin { a, b, .. } => {
+                v.extend(a.as_reg());
+                v.extend(b.as_reg());
+            }
+            Inst::LoadStack { .. } => {}
+            Inst::StoreStack { src, .. } => v.extend(src.as_reg()),
+            Inst::Load { base, .. } => v.push(*base),
+            Inst::Store { base, src, .. } => {
+                v.push(*base);
+                v.extend(src.as_reg());
+            }
+            Inst::Alloc { size, .. } => v.extend(size.as_reg()),
+            Inst::Free { base } => v.push(*base),
+            Inst::Lock { lock } | Inst::Unlock { lock } => v.extend(lock.as_reg()),
+            Inst::DurableBegin | Inst::DurableEnd => {}
+            Inst::Call { args, .. } => {
+                for a in args {
+                    v.extend(a.as_reg());
+                }
+            }
+            Inst::RegionMarker | Inst::Delay { .. } => {}
+            Inst::Rt(rt) => v.extend(rt.uses()),
+            Inst::Jump { .. } => {}
+            Inst::Branch { cond, .. } => v.extend(cond.as_reg()),
+            Inst::Ret { val } => {
+                if let Some(o) = val {
+                    v.extend(o.as_reg());
+                }
+            }
+        }
+        v
+    }
+
+    /// The stack slot written by this instruction, if any.
+    pub fn stack_def(&self) -> Option<StackSlot> {
+        match self {
+            Inst::StoreStack { slot, .. } => Some(*slot),
+            _ => None,
+        }
+    }
+
+    /// Stack slots read by this instruction.
+    pub fn stack_uses(&self) -> Vec<StackSlot> {
+        match self {
+            Inst::LoadStack { slot, .. } => vec![*slot],
+            Inst::Rt(rt) => rt.stack_uses(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// True for block terminators.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Jump { .. } | Inst::Branch { .. } | Inst::Ret { .. })
+    }
+
+    /// Successor blocks of a terminator (empty for `Ret` and non-terminators).
+    pub fn targets(&self) -> Vec<BlockId> {
+        match self {
+            Inst::Jump { target } => vec![*target],
+            Inst::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            _ => Vec::new(),
+        }
+    }
+
+    /// True if this instruction writes persistent heap memory.
+    pub fn is_heap_store(&self) -> bool {
+        matches!(self, Inst::Store { .. })
+    }
+
+    /// True if this instruction reads persistent heap memory.
+    pub fn is_heap_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::RegClass;
+
+    fn r(id: u32) -> Reg {
+        Reg { id, class: RegClass::Int }
+    }
+
+    #[test]
+    fn def_use_of_alu() {
+        let i = Inst::Bin { op: BinOp::Add, dst: r(0), a: Operand::Reg(r(1)), b: Operand::Imm(3) };
+        assert_eq!(i.def_reg(), Some(r(0)));
+        assert_eq!(i.uses(), vec![r(1)]);
+    }
+
+    #[test]
+    fn def_use_of_memory_ops() {
+        let st = Inst::Store { base: r(1), offset: 8, src: Operand::Reg(r(2)) };
+        assert_eq!(st.def_reg(), None);
+        assert_eq!(st.uses(), vec![r(1), r(2)]);
+        assert!(st.is_heap_store());
+        let ld = Inst::Load { dst: r(0), base: r(1), offset: 0 };
+        assert_eq!(ld.def_reg(), Some(r(0)));
+        assert!(ld.is_heap_load());
+    }
+
+    #[test]
+    fn stack_def_use() {
+        let st = Inst::StoreStack { slot: StackSlot(2), src: Operand::Imm(1) };
+        assert_eq!(st.stack_def(), Some(StackSlot(2)));
+        let ld = Inst::LoadStack { dst: r(0), slot: StackSlot(2) };
+        assert_eq!(ld.stack_uses(), vec![StackSlot(2)]);
+    }
+
+    #[test]
+    fn terminators_and_targets() {
+        let j = Inst::Jump { target: BlockId(3) };
+        assert!(j.is_terminator());
+        assert_eq!(j.targets(), vec![BlockId(3)]);
+        let b = Inst::Branch { cond: Operand::Imm(1), then_bb: BlockId(1), else_bb: BlockId(2) };
+        assert_eq!(b.targets(), vec![BlockId(1), BlockId(2)]);
+        let ret = Inst::Ret { val: None };
+        assert!(ret.is_terminator());
+        assert!(ret.targets().is_empty());
+    }
+
+    #[test]
+    fn rtop_uses_cover_operands() {
+        let rt = RtOp::JustDoLog { base: r(4), offset: 0, value: Operand::Reg(r(5)) };
+        assert_eq!(rt.uses(), vec![r(4), r(5)]);
+        let b = RtOp::IdoBoundary { out_regs: vec![r(1), r(2)], out_slots: vec![StackSlot(0)] };
+        assert_eq!(b.uses(), vec![r(1), r(2)]);
+        assert_eq!(b.stack_uses(), vec![StackSlot(0)]);
+    }
+}

@@ -1,0 +1,349 @@
+//! Classic scalar optimizations: constant folding, copy propagation, and
+//! dead-code elimination.
+//!
+//! The iDO phases run late in LLVM's pipeline, after `-O2` has cleaned the
+//! code; hand-built IR is messier (dead temporaries inflate liveness and
+//! therefore boundary log sizes). These passes close that gap. They are
+//! deliberately conservative: block-local value tracking plus a global
+//! liveness-based DCE, never touching memory operations, locks, calls,
+//! runtime ops, or anything else with effects.
+
+use std::collections::HashMap;
+
+use crate::cfg::Cfg;
+use crate::func::Function;
+use crate::inst::{BinOp, Inst};
+use crate::liveness::{reg_var, Liveness};
+use crate::reg::{Operand, Reg};
+
+/// Statistics from one [`optimize`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Binary operations folded to constants.
+    pub folded: usize,
+    /// Operands rewritten by copy/constant propagation.
+    pub propagated: usize,
+    /// Dead instructions removed.
+    pub eliminated: usize,
+}
+
+/// Optimizes every function of a program. Returns cumulative statistics.
+pub fn optimize_program(program: &mut crate::func::Program) -> OptStats {
+    let mut total = OptStats::default();
+    for i in 0..program.functions().len() {
+        let s = optimize(program.function_mut(crate::func::FuncId(i as u32)));
+        total.folded += s.folded;
+        total.propagated += s.propagated;
+        total.eliminated += s.eliminated;
+    }
+    total
+}
+
+/// Runs folding + propagation + DCE to a fixed point. Returns cumulative
+/// statistics.
+pub fn optimize(func: &mut Function) -> OptStats {
+    let mut total = OptStats::default();
+    loop {
+        let mut changed = false;
+        let s1 = fold_and_propagate(func);
+        changed |= s1.folded > 0 || s1.propagated > 0;
+        let s2 = eliminate_dead(func);
+        changed |= s2 > 0;
+        total.folded += s1.folded;
+        total.propagated += s1.propagated;
+        total.eliminated += s2;
+        if !changed {
+            return total;
+        }
+    }
+}
+
+/// Block-local constant folding and copy propagation.
+fn fold_and_propagate(func: &mut Function) -> OptStats {
+    let mut stats = OptStats::default();
+    let n_blocks = func.num_blocks();
+    for bi in 0..n_blocks {
+        // Known values at the current point: register -> operand it equals.
+        let mut known: HashMap<Reg, Operand> = HashMap::new();
+        let bb = func.block_mut(crate::func::BlockId(bi as u32));
+        for inst in &mut bb.insts {
+            // Rewrite uses through the known map.
+            stats.propagated += rewrite_uses(inst, &known);
+            // Fold constant ALU ops.
+            if let Inst::Bin { op, dst, a: Operand::Imm(x), b: Operand::Imm(y) } = *inst {
+                *inst = Inst::Mov { dst, src: Operand::Imm(fold(op, x, y)) };
+                stats.folded += 1;
+            }
+            // Update the known map.
+            match inst {
+                Inst::Mov { dst, src } => {
+                    let v = match src {
+                        Operand::Imm(_) => Some(*src),
+                        Operand::Reg(s) => known.get(s).copied().or(Some(*src)),
+                    };
+                    // Invalidate anything that referred to the overwritten reg.
+                    let dst = *dst;
+                    known.retain(|_, val| val.as_reg() != Some(dst));
+                    match v {
+                        Some(Operand::Reg(s)) if s == dst => {
+                            known.remove(&dst);
+                        }
+                        Some(v) => {
+                            known.insert(dst, v);
+                        }
+                        None => {
+                            known.remove(&dst);
+                        }
+                    }
+                }
+                other => {
+                    if let Some(d) = other.def_reg() {
+                        known.remove(&d);
+                        known.retain(|_, val| val.as_reg() != Some(d));
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn rewrite_uses(inst: &mut Inst, known: &HashMap<Reg, Operand>) -> usize {
+    let mut n = 0;
+    let mut sub = |o: &mut Operand| {
+        if let Operand::Reg(r) = o {
+            if let Some(v) = known.get(r) {
+                *o = *v;
+                n += 1;
+            }
+        }
+    };
+    match inst {
+        Inst::Mov { src, .. } => sub(src),
+        Inst::Bin { a, b, .. } => {
+            sub(a);
+            sub(b);
+        }
+        Inst::StoreStack { src, .. } => sub(src),
+        Inst::Store { src, .. } => sub(src),
+        Inst::Alloc { size, .. } => sub(size),
+        Inst::Branch { cond, .. } => sub(cond),
+        Inst::Ret { val: Some(v) } => sub(v),
+        // Address bases, lock operands, call arguments, and runtime ops are
+        // left untouched: rewriting them would perturb FASE inference and
+        // the region analyses for no measurable gain.
+        _ => {}
+    }
+    n
+}
+
+fn fold(op: BinOp, a: i64, b: i64) -> i64 {
+    let (ua, ub) = (a as u64, b as u64);
+    let r = match op {
+        BinOp::Add => ua.wrapping_add(ub),
+        BinOp::Sub => ua.wrapping_sub(ub),
+        BinOp::Mul => ua.wrapping_mul(ub),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b) as u64
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b) as u64
+            }
+        }
+        BinOp::And => ua & ub,
+        BinOp::Or => ua | ub,
+        BinOp::Xor => ua ^ ub,
+        BinOp::Shl => ua.wrapping_shl(ub as u32 & 63),
+        BinOp::Shr => ua.wrapping_shr(ub as u32 & 63),
+        BinOp::Eq => (a == b) as u64,
+        BinOp::Ne => (a != b) as u64,
+        BinOp::Lt => (a < b) as u64,
+        BinOp::Le => (a <= b) as u64,
+        BinOp::Gt => (a > b) as u64,
+        BinOp::Ge => (a >= b) as u64,
+    };
+    r as i64
+}
+
+/// Removes pure instructions whose results are dead.
+fn eliminate_dead(func: &mut Function) -> usize {
+    let cfg = Cfg::new(func);
+    let liveness = Liveness::new(func, &cfg);
+    let mut removed = 0;
+    for bi in 0..func.num_blocks() {
+        let b = crate::func::BlockId(bi as u32);
+        // Collect dead pure defs (walk once using per-position liveness).
+        let dead: Vec<usize> = {
+            let bb = func.block(b);
+            bb.insts
+                .iter()
+                .enumerate()
+                .filter(|(i, inst)| {
+                    let pure = matches!(
+                        inst,
+                        Inst::Mov { .. } | Inst::Bin { .. } | Inst::LoadStack { .. }
+                    );
+                    if !pure {
+                        return false;
+                    }
+                    let Some(d) = inst.def_reg() else { return false };
+                    // Dead iff not live immediately after this instruction.
+                    !liveness
+                        .live_before(func, b, i + 1)
+                        .contains(&reg_var(d))
+                })
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let bb = func.block_mut(b);
+        for i in dead.into_iter().rev() {
+            bb.insts.remove(i);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::verify::verify_function;
+
+    fn build(f: impl FnOnce(&mut crate::builder::FunctionBuilder<'_>)) -> Function {
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.new_function("t", 2);
+        f(&mut fb);
+        let id = fb.finish().unwrap();
+        pb.finish().function(id).clone()
+    }
+
+    #[test]
+    fn folds_constants() {
+        let mut f = build(|f| {
+            let r = f.new_reg();
+            f.bin(BinOp::Add, r, 2i64, 3i64);
+            f.ret(Some(Operand::Reg(r)));
+        });
+        let s = optimize(&mut f);
+        assert_eq!(s.folded, 1);
+        // The folded constant propagates into the return and the mov dies:
+        // the whole function reduces to `ret 5`.
+        assert_eq!(f.num_insts(), 1);
+        assert!(matches!(
+            f.block(crate::func::BlockId(0)).insts[0],
+            Inst::Ret { val: Some(Operand::Imm(5)) }
+        ));
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn propagates_copies_and_constants() {
+        let mut f = build(|f| {
+            let p = f.param(0);
+            let a = f.new_reg();
+            let b = f.new_reg();
+            f.mov(a, 7i64);
+            f.mov(b, Operand::Reg(a));
+            f.store(p, 0, Operand::Reg(b)); // becomes store of 7
+            f.ret(None);
+        });
+        let s = optimize(&mut f);
+        assert!(s.propagated >= 1);
+        let has_const_store = f
+            .iter_insts()
+            .any(|(_, i)| matches!(i, Inst::Store { src: Operand::Imm(7), .. }));
+        assert!(has_const_store);
+        // a and b are now dead and removed.
+        assert!(s.eliminated >= 2);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn removes_dead_code_but_keeps_effects() {
+        let mut f = build(|f| {
+            let p = f.param(0);
+            let dead = f.new_reg();
+            f.bin(BinOp::Mul, dead, p, 9i64); // dead
+            f.store(p, 0, 1i64); // effectful: kept
+            let dead2 = f.new_reg();
+            f.load(dead2, p, 0); // heap load: conservatively kept
+            f.ret(None);
+        });
+        let before = f.num_insts();
+        let s = optimize(&mut f);
+        assert_eq!(s.eliminated, 1, "only the pure dead mul goes");
+        assert_eq!(f.num_insts(), before - 1);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn overwritten_copy_source_invalidates() {
+        let mut f = build(|f| {
+            let p = f.param(0);
+            let a = f.new_reg();
+            let b = f.new_reg();
+            f.mov(a, 1i64);
+            f.mov(b, Operand::Reg(a));
+            f.mov(a, 2i64); // a no longer equals b's source value
+            f.store(p, 0, Operand::Reg(b)); // must become 1, not 2
+            f.store(p, 8, Operand::Reg(a)); // must become 2
+            f.ret(None);
+        });
+        optimize(&mut f);
+        let stores: Vec<_> = f
+            .iter_insts()
+            .filter_map(|(_, i)| match i {
+                Inst::Store { offset, src: Operand::Imm(v), .. } => Some((*offset, *v)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stores, vec![(0, 1), (8, 2)]);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let mut f = build(|f| {
+            let p = f.param(0);
+            let a = f.new_reg();
+            let b = f.new_reg();
+            f.bin(BinOp::Add, a, 1i64, 2i64);
+            f.bin(BinOp::Mul, b, a, 4i64);
+            f.store(p, 0, Operand::Reg(b));
+            f.ret(None);
+        });
+        let s1 = optimize(&mut f);
+        assert!(s1.folded >= 2, "constants chain-fold");
+        let s2 = optimize(&mut f);
+        assert_eq!(s2, OptStats::default(), "second run is a no-op");
+    }
+
+    #[test]
+    fn branch_condition_folds() {
+        let mut f = build(|f| {
+            let c = f.new_reg();
+            let t = f.new_block();
+            let e = f.new_block();
+            f.bin(BinOp::Lt, c, 1i64, 2i64);
+            f.branch(c, t, e);
+            f.switch_to(t);
+            f.ret(Some(Operand::Imm(1)));
+            f.switch_to(e);
+            f.ret(Some(Operand::Imm(0)));
+        });
+        optimize(&mut f);
+        let cond_is_const = f
+            .iter_insts()
+            .any(|(_, i)| matches!(i, Inst::Branch { cond: Operand::Imm(1), .. }));
+        assert!(cond_is_const);
+        verify_function(&f).unwrap();
+    }
+}

@@ -1,0 +1,206 @@
+//! Human-readable printing of IR.
+
+use std::fmt;
+
+use crate::func::{BasicBlock, Function};
+use crate::inst::{BinOp, Inst, RtOp};
+use crate::reg::{Operand, Reg, RegClass, StackSlot};
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.id),
+            RegClass::Float => write!(f, "f{}", self.id),
+        }
+    }
+}
+
+impl fmt::Display for StackSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for RtOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtOp::FaseBegin => write!(f, "rt.fase_begin"),
+            RtOp::FaseEnd => write!(f, "rt.fase_end"),
+            RtOp::IdoBoundary { out_regs, out_slots } => {
+                write!(f, "rt.ido_boundary regs=[")?;
+                for (i, r) in out_regs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, "] slots=[")?;
+                for (i, s) in out_slots.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, "]")
+            }
+            RtOp::IdoLockAcquired { lock } => write!(f, "rt.ido_lock_acquired {lock}"),
+            RtOp::IdoLockReleasing { lock } => write!(f, "rt.ido_lock_releasing {lock}"),
+            RtOp::JustDoLog { base, offset, value } => {
+                write!(f, "rt.justdo_log [{base}+{offset}] <- {value}")
+            }
+            RtOp::JustDoLockAcquired { lock } => write!(f, "rt.justdo_lock_acquired {lock}"),
+            RtOp::JustDoLockReleasing { lock } => write!(f, "rt.justdo_lock_releasing {lock}"),
+            RtOp::JustDoLogStack { slot, value } => {
+                write!(f, "rt.justdo_log stack[{slot}] <- {value}")
+            }
+            RtOp::JustDoShadow { reg } => write!(f, "rt.justdo_shadow {reg}"),
+            RtOp::AtlasUndoLog { base, offset } => write!(f, "rt.atlas_undo [{base}+{offset}]"),
+            RtOp::AtlasUndoLogStack { slot } => write!(f, "rt.atlas_undo stack[{slot}]"),
+            RtOp::AtlasLockAcquired { lock } => write!(f, "rt.atlas_lock_acquired {lock}"),
+            RtOp::AtlasLockReleasing { lock } => write!(f, "rt.atlas_lock_releasing {lock}"),
+            RtOp::TxBegin => write!(f, "rt.tx_begin"),
+            RtOp::TxCommit => write!(f, "rt.tx_commit"),
+            RtOp::NvmlTxAdd { base, offset } => write!(f, "rt.nvml_tx_add [{base}+{offset}]"),
+            RtOp::NvmlTxAddStack { slot } => write!(f, "rt.nvml_tx_add stack[{slot}]"),
+            RtOp::NvthreadsPageTouch { base, offset } => {
+                write!(f, "rt.nvthreads_page_touch [{base}+{offset}]")
+            }
+            RtOp::NvthreadsPageTouchStack { slot } => {
+                write!(f, "rt.nvthreads_page_touch stack[{slot}]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Mov { dst, src } => write!(f, "{dst} = {src}"),
+            Inst::Bin { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
+            Inst::LoadStack { dst, slot } => write!(f, "{dst} = stack[{slot}]"),
+            Inst::StoreStack { slot, src } => write!(f, "stack[{slot}] = {src}"),
+            Inst::Load { dst, base, offset } => write!(f, "{dst} = mem[{base}+{offset}]"),
+            Inst::Store { base, offset, src } => write!(f, "mem[{base}+{offset}] = {src}"),
+            Inst::Alloc { dst, size } => write!(f, "{dst} = alloc {size}"),
+            Inst::Free { base } => write!(f, "free {base}"),
+            Inst::Lock { lock } => write!(f, "lock {lock}"),
+            Inst::Unlock { lock } => write!(f, "unlock {lock}"),
+            Inst::DurableBegin => write!(f, "durable_begin"),
+            Inst::DurableEnd => write!(f, "durable_end"),
+            Inst::Call { func, args, ret } => {
+                if let Some(r) = ret {
+                    write!(f, "{r} = ")?;
+                }
+                write!(f, "call fn{}(", func.0)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::RegionMarker => write!(f, "region_marker"),
+            Inst::Delay { ns } => write!(f, "delay {ns}ns"),
+            Inst::Rt(rt) => write!(f, "{rt}"),
+            Inst::Jump { target } => write!(f, "jump bb{}", target.0),
+            Inst::Branch { cond, then_bb, else_bb } => {
+                write!(f, "br {cond} ? bb{} : bb{}", then_bb.0, else_bb.0)
+            }
+            Inst::Ret { val } => match val {
+                Some(v) => write!(f, "ret {v}"),
+                None => write!(f, "ret"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for BasicBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for inst in &self.insts {
+            writeln!(f, "    {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name())?;
+        for (i, p) in self.params().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        writeln!(f, ") {{")?;
+        for (bi, bb) in self.blocks().iter().enumerate() {
+            writeln!(f, "  bb{bi}:")?;
+            write!(f, "{bb}")?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn function_prints_blocks_and_insts() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("demo", 1);
+        let p = f.param(0);
+        let r = f.new_reg();
+        f.bin(BinOp::Add, r, p, 1i64);
+        f.store(r, 8, 7i64);
+        f.ret(Some(Operand::Reg(r)));
+        let id = f.finish().unwrap();
+        let prog = pb.finish();
+        let s = format!("{}", prog.function(id));
+        assert!(s.contains("fn demo(r0)"));
+        assert!(s.contains("r1 = add r0, 1"));
+        assert!(s.contains("mem[r1+8] = 7"));
+        assert!(s.contains("ret r1"));
+    }
+
+    #[test]
+    fn rtop_printing() {
+        let rt = RtOp::IdoBoundary { out_regs: vec![Reg::int(1)], out_slots: vec![StackSlot(0)] };
+        assert_eq!(format!("{rt}"), "rt.ido_boundary regs=[r1] slots=[s0]");
+    }
+}

@@ -1,0 +1,171 @@
+//! Reaching definitions for registers.
+//!
+//! Used by instrumentation tests and by the idempotence analysis to reason
+//! about which definition of a base register an address expression refers
+//! to.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{solve_forward_may, GenKill};
+use crate::func::{BlockId, Function};
+
+/// A definition site: block and instruction index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DefSite {
+    /// Block containing the definition.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub index: usize,
+}
+
+/// Reaching-definition analysis result.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// All definition sites, in discovery order (the bitset index space).
+    sites: Vec<(DefSite, u32)>, // (site, defined reg id)
+    /// For each block, indices of sites reaching its entry.
+    reach_in: Vec<Vec<usize>>,
+}
+
+impl ReachingDefs {
+    /// Runs the analysis.
+    pub fn new(func: &Function, cfg: &Cfg) -> Self {
+        // Enumerate definition sites.
+        let mut sites = Vec::new();
+        for (bi, bb) in func.blocks().iter().enumerate() {
+            for (ii, inst) in bb.insts.iter().enumerate() {
+                if let Some(d) = inst.def_reg() {
+                    sites.push((DefSite { block: BlockId(bi as u32), index: ii }, d.id));
+                }
+            }
+        }
+        let universe = sites.len();
+        // Per-register lists of site indices, for kill sets.
+        let mut by_reg: Vec<Vec<usize>> = vec![Vec::new(); func.num_regs() as usize];
+        for (i, (_, r)) in sites.iter().enumerate() {
+            by_reg[*r as usize].push(i);
+        }
+        let mut transfer = Vec::with_capacity(func.num_blocks());
+        for (bi, bb) in func.blocks().iter().enumerate() {
+            let mut gk = GenKill::new(universe);
+            for (ii, inst) in bb.insts.iter().enumerate() {
+                if let Some(d) = inst.def_reg() {
+                    for &s in &by_reg[d.id as usize] {
+                        gk.gen.remove(s);
+                        gk.kill.insert(s);
+                    }
+                    let self_idx = sites
+                        .iter()
+                        .position(|(s, _)| s.block.0 as usize == bi && s.index == ii)
+                        .expect("definition site enumerated");
+                    gk.gen.insert(self_idx);
+                    gk.kill.remove(self_idx);
+                }
+            }
+            transfer.push(gk);
+        }
+        let sol = solve_forward_may(cfg, &transfer, universe);
+        let reach_in = sol.block_in.iter().map(|s| s.iter().collect()).collect();
+        ReachingDefs { sites, reach_in }
+    }
+
+    /// Definition sites of register `reg` reaching the entry of `block`.
+    pub fn defs_reaching(&self, block: BlockId, reg: u32) -> Vec<DefSite> {
+        self.reach_in[block.0 as usize]
+            .iter()
+            .filter(|&&i| self.sites[i].1 == reg)
+            .map(|&i| self.sites[i].0)
+            .collect()
+    }
+
+    /// Total number of definition sites in the function.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::BinOp;
+    use crate::reg::Operand;
+
+    #[test]
+    fn merge_joins_defs_from_both_paths() {
+        // bb0: branch -> bb1 (x=1) | bb2 (x=2) -> bb3 uses x
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("m", 1);
+        let c = f.param(0);
+        let x = f.new_reg();
+        let l = f.new_block();
+        let r = f.new_block();
+        let j = f.new_block();
+        f.branch(c, l, r);
+        f.switch_to(l);
+        f.mov(x, 1i64);
+        f.jump(j);
+        f.switch_to(r);
+        f.mov(x, 2i64);
+        f.jump(j);
+        f.switch_to(j);
+        f.ret(Some(Operand::Reg(x)));
+        let id = f.finish().unwrap();
+        let p = pb.finish();
+        let func = p.function(id);
+        let cfg = Cfg::new(func);
+        let rd = ReachingDefs::new(func, &cfg);
+        let defs = rd.defs_reaching(BlockId(3), x.id);
+        assert_eq!(defs.len(), 2, "both arms' defs reach the join");
+    }
+
+    #[test]
+    fn redefinition_kills_earlier_def() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("k", 0);
+        let x = f.new_reg();
+        let next = f.new_block();
+        f.mov(x, 1i64);
+        f.bin(BinOp::Add, x, x, 1i64); // kills the first def
+        f.jump(next);
+        f.switch_to(next);
+        f.ret(Some(Operand::Reg(x)));
+        let id = f.finish().unwrap();
+        let p = pb.finish();
+        let func = p.function(id);
+        let cfg = Cfg::new(func);
+        let rd = ReachingDefs::new(func, &cfg);
+        let defs = rd.defs_reaching(BlockId(1), x.id);
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].index, 1, "only the second def reaches");
+        assert_eq!(rd.num_sites(), 2);
+    }
+
+    #[test]
+    fn loop_carried_def_reaches_header() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("l", 1);
+        let n = f.param(0);
+        let i = f.new_reg();
+        let c = f.new_reg();
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.mov(i, 0i64);
+        f.jump(head);
+        f.switch_to(head);
+        f.bin(BinOp::Lt, c, i, n);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        f.bin(BinOp::Add, i, i, 1i64);
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret(None);
+        let id = f.finish().unwrap();
+        let p = pb.finish();
+        let func = p.function(id);
+        let cfg = Cfg::new(func);
+        let rd = ReachingDefs::new(func, &cfg);
+        let defs = rd.defs_reaching(BlockId(1), i.id);
+        assert_eq!(defs.len(), 2, "both the init and the loop-carried def reach the header");
+    }
+}

@@ -1,0 +1,91 @@
+//! Registers, stack slots, and operands.
+
+/// Register class: which persistent log array ([`intRF` or `floatRF` in the
+/// paper's `iDO_Log`) the register's value is saved into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum RegClass {
+    /// General-purpose integer register.
+    #[default]
+    Int,
+    /// Floating-point / SIMD register.
+    Float,
+}
+
+/// A virtual register. All values are 64-bit words; [`RegClass`] only
+/// affects which log array the value is persisted into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg {
+    /// Dense per-function id.
+    pub id: u32,
+    /// Register class.
+    pub class: RegClass,
+}
+
+impl Reg {
+    /// A new integer-class register with the given id.
+    pub const fn int(id: u32) -> Self {
+        Reg { id, class: RegClass::Int }
+    }
+
+    /// A new float-class register with the given id.
+    pub const fn float(id: u32) -> Self {
+        Reg { id, class: RegClass::Float }
+    }
+}
+
+/// A per-function stack variable, one 64-bit word each. Stack slots live in
+/// (simulated) persistent memory in this reproduction — iDO places the
+/// program stack in NVM so that recovery threads can resume with the
+/// interrupted frame intact (Section V, JUSTDO description).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StackSlot(pub u32);
+
+/// An instruction operand: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Value of a register.
+    Reg(Reg),
+    /// A 64-bit immediate (stored sign-extended).
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register read by this operand, if any.
+    pub fn as_reg(&self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_constructors_set_class() {
+        assert_eq!(Reg::int(3).class, RegClass::Int);
+        assert_eq!(Reg::float(3).class, RegClass::Float);
+        assert_ne!(Reg::int(3), Reg::float(3));
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let r = Reg::int(1);
+        assert_eq!(Operand::from(r).as_reg(), Some(r));
+        assert_eq!(Operand::from(5i64).as_reg(), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Structural verification of IR functions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::func::{BlockId, Function};
+use crate::inst::Inst;
+
+/// Structural problems detected by [`verify_function`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// A function has no blocks at all.
+    NoBlocks,
+    /// A block contains no instructions.
+    EmptyBlock(BlockId),
+    /// A block's final instruction is not a terminator.
+    MissingTerminator(BlockId),
+    /// A terminator appears before the end of a block.
+    EarlyTerminator(BlockId, usize),
+    /// A branch or jump targets a nonexistent block.
+    BadTarget(BlockId, BlockId),
+    /// An instruction references a register id beyond the function's count.
+    BadRegister(BlockId, usize, u32),
+    /// An instruction references a stack slot beyond the frame size.
+    BadStackSlot(BlockId, usize, u32),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NoBlocks => write!(f, "function has no blocks"),
+            VerifyError::EmptyBlock(b) => write!(f, "block bb{} is empty", b.0),
+            VerifyError::MissingTerminator(b) => {
+                write!(f, "block bb{} does not end in a terminator", b.0)
+            }
+            VerifyError::EarlyTerminator(b, i) => {
+                write!(f, "terminator in the middle of bb{} at index {i}", b.0)
+            }
+            VerifyError::BadTarget(b, t) => {
+                write!(f, "bb{} targets nonexistent block bb{}", b.0, t.0)
+            }
+            VerifyError::BadRegister(b, i, r) => {
+                write!(f, "bb{}[{i}] references unallocated register r{r}", b.0)
+            }
+            VerifyError::BadStackSlot(b, i, s) => {
+                write!(f, "bb{}[{i}] references unallocated stack slot s{s}", b.0)
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Checks a function's structural invariants.
+///
+/// # Errors
+/// Returns the first [`VerifyError`] found.
+pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
+    if func.num_blocks() == 0 {
+        return Err(VerifyError::NoBlocks);
+    }
+    let n_blocks = func.num_blocks() as u32;
+    for (bi, bb) in func.blocks().iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        if bb.insts.is_empty() {
+            return Err(VerifyError::EmptyBlock(bid));
+        }
+        for (ii, inst) in bb.insts.iter().enumerate() {
+            let last = ii + 1 == bb.insts.len();
+            if inst.is_terminator() && !last {
+                return Err(VerifyError::EarlyTerminator(bid, ii));
+            }
+            if last && !inst.is_terminator() {
+                return Err(VerifyError::MissingTerminator(bid));
+            }
+            for t in inst.targets() {
+                if t.0 >= n_blocks {
+                    return Err(VerifyError::BadTarget(bid, t));
+                }
+            }
+            for r in inst.uses().into_iter().chain(inst.def_reg()) {
+                if r.id >= func.num_regs() {
+                    return Err(VerifyError::BadRegister(bid, ii, r.id));
+                }
+            }
+            for s in inst.stack_uses().into_iter().chain(inst.stack_def()) {
+                if s.0 >= func.num_stack_slots() {
+                    return Err(VerifyError::BadStackSlot(bid, ii, s.0));
+                }
+            }
+        }
+    }
+    let _ = Inst::Ret { val: None }; // keep the import honest under cfg changes
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::reg::{Operand, Reg};
+
+    #[test]
+    fn valid_function_passes() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("ok", 1);
+        let p = f.param(0);
+        f.ret(Some(Operand::Reg(p)));
+        assert!(f.finish().is_ok());
+    }
+
+    #[test]
+    fn bad_branch_target_detected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("bad", 0);
+        f.jump(BlockId(99));
+        assert_eq!(
+            f.finish().unwrap_err(),
+            VerifyError::BadTarget(BlockId(0), BlockId(99))
+        );
+    }
+
+    #[test]
+    fn early_terminator_detected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("bad", 0);
+        f.ret(None);
+        let r = f.new_reg();
+        f.mov(r, 1i64);
+        f.ret(None);
+        assert!(matches!(f.finish().unwrap_err(), VerifyError::EarlyTerminator(_, 0)));
+    }
+
+    #[test]
+    fn unallocated_register_detected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("bad", 0);
+        f.mov(Reg::int(42), 1i64); // register never allocated
+        f.ret(None);
+        assert!(matches!(f.finish().unwrap_err(), VerifyError::BadRegister(_, 0, 42)));
+    }
+
+    #[test]
+    fn empty_added_block_detected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("bad", 0);
+        let _orphan = f.new_block();
+        f.ret(None);
+        assert!(matches!(f.finish().unwrap_err(), VerifyError::EmptyBlock(_)));
+    }
+
+    #[test]
+    fn bad_stack_slot_detected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("bad", 0);
+        let r = f.new_reg();
+        f.load_stack(r, crate::reg::StackSlot(5));
+        f.ret(None);
+        assert!(matches!(f.finish().unwrap_err(), VerifyError::BadStackSlot(_, 0, 5)));
+    }
+}

@@ -1,0 +1,317 @@
+//! Crash-consistent persistent heap allocator (`nv_malloc` / `nv_free`).
+//!
+//! Mirrors the allocation facility the paper borrows from Atlas's region
+//! manager. All allocator metadata lives in persistent memory, so the
+//! allocator state itself survives crashes; metadata updates are ordered
+//! with `clwb`+`sfence` such that a crash at any point leaves the heap in a
+//! *consistent* state. As in Atlas (and unlike a full Makalu-style
+//! recoverable allocator), a crash between reserving a block and publishing
+//! it to the application can leak that block — it never corrupts the heap or
+//! double-allocates live memory, which is the property the failure-atomicity
+//! runtimes rely on.
+//!
+//! # Layout
+//!
+//! A block is `[header: u64][payload: size bytes]`. The header stores the
+//! payload size with the high bit set while allocated and clear while free.
+//! Free blocks store the address of the next free block in their first
+//! payload word. Allocation pops a first-fit block from the free list
+//! (splitting when the remainder is useful) or bumps the high-water mark.
+
+use std::sync::{Arc, Mutex};
+
+use crate::pool::PmemHandle;
+use crate::root::{ALLOC_META_ADDR, HEAP_START};
+use crate::{NvmError, PAddr};
+
+const ALLOCATED_BIT: u64 = 1 << 63;
+const HEADER_BYTES: usize = 8;
+/// Minimum payload so a freed block can hold a free-list link.
+const MIN_PAYLOAD: usize = 8;
+
+const BUMP_ADDR: PAddr = ALLOC_META_ADDR;
+const FREE_HEAD_ADDR: PAddr = ALLOC_META_ADDR + 8;
+const HEAP_END_ADDR: PAddr = ALLOC_META_ADDR + 16;
+
+/// Persistent first-fit free-list allocator.
+///
+/// The struct itself is only a transient serialization guard (a mutex); all
+/// allocator state is in the pool. Clone it freely across threads.
+#[derive(Debug, Clone)]
+pub struct NvAllocator {
+    guard: Arc<Mutex<()>>,
+}
+
+impl NvAllocator {
+    /// Initializes allocator metadata in a freshly formatted pool. The heap
+    /// spans `[HEAP_START, heap_end)`.
+    pub fn format(h: &mut PmemHandle, heap_end: PAddr) -> Self {
+        assert!(heap_end > HEAP_START, "heap must be non-empty");
+        h.write_u64(BUMP_ADDR, HEAP_START as u64);
+        h.write_u64(FREE_HEAD_ADDR, 0);
+        h.write_u64(HEAP_END_ADDR, heap_end as u64);
+        h.persist(ALLOC_META_ADDR, 24);
+        NvAllocator { guard: Arc::new(Mutex::new(())) }
+    }
+
+    /// Re-attaches to allocator metadata after a crash or restart.
+    pub fn attach() -> Self {
+        NvAllocator { guard: Arc::new(Mutex::new(())) }
+    }
+
+    /// Allocates `size` bytes of persistent memory, returning the payload
+    /// address (always 8-byte aligned).
+    ///
+    /// # Errors
+    /// Returns [`NvmError::OutOfMemory`] when neither the free list nor the
+    /// bump region can satisfy the request.
+    pub fn alloc(&self, h: &mut PmemHandle, size: usize) -> Result<PAddr, NvmError> {
+        let _g = self.guard.lock().expect("allocator mutex poisoned");
+        let need = size.max(MIN_PAYLOAD).next_multiple_of(8);
+
+        // First-fit scan of the free list.
+        let mut prev: PAddr = 0;
+        let mut cur = h.read_u64(FREE_HEAD_ADDR) as PAddr;
+        while cur != 0 {
+            let header = h.read_u64(cur - HEADER_BYTES);
+            debug_assert_eq!(header & ALLOCATED_BIT, 0, "free list holds allocated block");
+            let block_size = header as usize;
+            let next = h.read_u64(cur) as PAddr;
+            if block_size >= need {
+                // Unlink. Persist the link update before flipping the header
+                // so a crash never leaves an allocated block on the list.
+                if prev == 0 {
+                    h.write_u64(FREE_HEAD_ADDR, next as u64);
+                    h.persist(FREE_HEAD_ADDR, 8);
+                } else {
+                    h.write_u64(prev, next as u64);
+                    h.persist(prev, 8);
+                }
+                let remainder = block_size - need;
+                if remainder >= HEADER_BYTES + MIN_PAYLOAD {
+                    // Split: publish the tail as a new free block first.
+                    let tail_payload = cur + need + HEADER_BYTES;
+                    self.push_free(h, tail_payload, remainder - HEADER_BYTES);
+                    h.write_u64(cur - HEADER_BYTES, need as u64 | ALLOCATED_BIT);
+                } else {
+                    h.write_u64(cur - HEADER_BYTES, block_size as u64 | ALLOCATED_BIT);
+                }
+                h.persist(cur - HEADER_BYTES, 8);
+                return Ok(cur);
+            }
+            prev = cur;
+            cur = next;
+        }
+
+        // Bump allocation.
+        let bump = h.read_u64(BUMP_ADDR) as PAddr;
+        let heap_end = h.read_u64(HEAP_END_ADDR) as PAddr;
+        let payload = bump + HEADER_BYTES;
+        let new_bump = payload + need;
+        if new_bump > heap_end {
+            return Err(NvmError::OutOfMemory { requested: size });
+        }
+        // Header first, bump second: a crash in between rolls the reservation
+        // back (the stale bump re-covers the block), never corrupting state.
+        h.write_u64(bump, need as u64 | ALLOCATED_BIT);
+        h.persist(bump, 8);
+        h.write_u64(BUMP_ADDR, new_bump as u64);
+        h.persist(BUMP_ADDR, 8);
+        Ok(payload)
+    }
+
+    /// Returns the payload size recorded for the allocation at `addr`.
+    ///
+    /// # Errors
+    /// Returns [`NvmError::InvalidFree`] if `addr` is not a live allocation.
+    pub fn size_of(&self, h: &mut PmemHandle, addr: PAddr) -> Result<usize, NvmError> {
+        if addr < HEAP_START + HEADER_BYTES || !addr.is_multiple_of(8) {
+            return Err(NvmError::InvalidFree { addr });
+        }
+        let header = h.read_u64(addr - HEADER_BYTES);
+        if header & ALLOCATED_BIT == 0 || header == 0 {
+            return Err(NvmError::InvalidFree { addr });
+        }
+        Ok((header & !ALLOCATED_BIT) as usize)
+    }
+
+    /// Frees the allocation at payload address `addr`, pushing it onto the
+    /// persistent free list.
+    ///
+    /// # Errors
+    /// Returns [`NvmError::InvalidFree`] if `addr` is not a live allocation.
+    pub fn free(&self, h: &mut PmemHandle, addr: PAddr) -> Result<(), NvmError> {
+        let _g = self.guard.lock().expect("allocator mutex poisoned");
+        let size = self.size_of_unlocked(h, addr)?;
+        self.push_free(h, addr, size);
+        Ok(())
+    }
+
+    fn size_of_unlocked(&self, h: &mut PmemHandle, addr: PAddr) -> Result<usize, NvmError> {
+        if addr < HEAP_START + HEADER_BYTES || !addr.is_multiple_of(8) {
+            return Err(NvmError::InvalidFree { addr });
+        }
+        let header = h.read_u64(addr - HEADER_BYTES);
+        if header & ALLOCATED_BIT == 0 || header == 0 {
+            return Err(NvmError::InvalidFree { addr });
+        }
+        Ok((header & !ALLOCATED_BIT) as usize)
+    }
+
+    /// Links a block (payload `addr`, payload `size`) into the free list with
+    /// crash-safe ordering: link word, then header, then head pointer.
+    fn push_free(&self, h: &mut PmemHandle, addr: PAddr, size: usize) {
+        let head = h.read_u64(FREE_HEAD_ADDR);
+        h.write_u64(addr, head);
+        h.persist(addr, 8);
+        h.write_u64(addr - HEADER_BYTES, size as u64); // clears ALLOCATED_BIT
+        h.persist(addr - HEADER_BYTES, 8);
+        h.write_u64(FREE_HEAD_ADDR, addr as u64);
+        h.persist(FREE_HEAD_ADDR, 8);
+    }
+
+    /// Bytes consumed by the bump region so far (diagnostics).
+    pub fn high_water(&self, h: &mut PmemHandle) -> usize {
+        h.read_u64(BUMP_ADDR) as usize - HEAP_START
+    }
+
+    /// Number of blocks currently on the free list (diagnostics; O(n)).
+    pub fn free_blocks(&self, h: &mut PmemHandle) -> usize {
+        let mut n = 0;
+        let mut cur = h.read_u64(FREE_HEAD_ADDR) as PAddr;
+        while cur != 0 {
+            n += 1;
+            cur = h.read_u64(cur) as PAddr;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{PmemPool, PoolConfig};
+    use crate::root::RootTable;
+
+    fn setup() -> (PmemPool, NvAllocator) {
+        let p = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = p.handle();
+        RootTable::format(&mut h);
+        let a = NvAllocator::format(&mut h, p.size());
+        (p, a)
+    }
+
+    #[test]
+    fn alloc_returns_aligned_disjoint_blocks() {
+        let (p, a) = setup();
+        let mut h = p.handle();
+        let x = a.alloc(&mut h, 24).unwrap();
+        let y = a.alloc(&mut h, 24).unwrap();
+        assert_eq!(x % 8, 0);
+        assert_eq!(y % 8, 0);
+        assert!(y >= x + 24 + HEADER_BYTES || x >= y + 24 + HEADER_BYTES);
+    }
+
+    #[test]
+    fn size_is_recorded_and_rounded() {
+        let (p, a) = setup();
+        let mut h = p.handle();
+        let x = a.alloc(&mut h, 5).unwrap();
+        assert_eq!(a.size_of(&mut h, x).unwrap(), 8);
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_block() {
+        let (p, a) = setup();
+        let mut h = p.handle();
+        let x = a.alloc(&mut h, 32).unwrap();
+        a.free(&mut h, x).unwrap();
+        let y = a.alloc(&mut h, 32).unwrap();
+        assert_eq!(x, y, "freed block should be reused");
+    }
+
+    #[test]
+    fn split_leaves_usable_remainder() {
+        let (p, a) = setup();
+        let mut h = p.handle();
+        let x = a.alloc(&mut h, 128).unwrap();
+        a.free(&mut h, x).unwrap();
+        let y = a.alloc(&mut h, 32).unwrap();
+        let z = a.alloc(&mut h, 32).unwrap();
+        assert_eq!(y, x);
+        assert!(z > x && z < x + 128 + HEADER_BYTES, "remainder of split should be reused");
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let (p, a) = setup();
+        let mut h = p.handle();
+        let x = a.alloc(&mut h, 16).unwrap();
+        a.free(&mut h, x).unwrap();
+        assert!(matches!(a.free(&mut h, x), Err(NvmError::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn bogus_free_rejected() {
+        let (p, a) = setup();
+        let mut h = p.handle();
+        assert!(a.free(&mut h, 3).is_err());
+        assert!(a.free(&mut h, HEAP_START).is_err());
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let p = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = p.handle();
+        RootTable::format(&mut h);
+        let a = NvAllocator::format(&mut h, HEAP_START + 64);
+        assert!(a.alloc(&mut h, 32).is_ok());
+        assert!(matches!(a.alloc(&mut h, 64), Err(NvmError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn allocator_state_survives_crash() {
+        let (p, a) = setup();
+        let mut h = p.handle();
+        let x = a.alloc(&mut h, 16).unwrap();
+        h.write_u64(x, 0xAA);
+        h.persist(x, 8);
+        drop(h);
+        p.crash(0);
+        let a = NvAllocator::attach();
+        let mut h = p.handle();
+        // The old allocation is still accounted for: new blocks don't overlap.
+        let y = a.alloc(&mut h, 16).unwrap();
+        assert_ne!(x, y);
+        assert_eq!(h.read_u64(x), 0xAA);
+    }
+
+    #[test]
+    fn free_list_survives_crash() {
+        let (p, a) = setup();
+        let mut h = p.handle();
+        let x = a.alloc(&mut h, 48).unwrap();
+        a.free(&mut h, x).unwrap();
+        drop(h);
+        p.crash(0);
+        let a = NvAllocator::attach();
+        let mut h = p.handle();
+        assert_eq!(a.free_blocks(&mut h), 1);
+        let y = a.alloc(&mut h, 48).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn many_alloc_free_cycles_do_not_grow_heap_unboundedly() {
+        let (p, a) = setup();
+        let mut h = p.handle();
+        let first = a.alloc(&mut h, 64).unwrap();
+        a.free(&mut h, first).unwrap();
+        let base = a.high_water(&mut h);
+        for _ in 0..1000 {
+            let x = a.alloc(&mut h, 64).unwrap();
+            a.free(&mut h, x).unwrap();
+        }
+        assert_eq!(a.high_water(&mut h), base, "recycling must not bump the high-water mark");
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for pool, allocator, and region-manager operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by fallible NVM substrate operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NvmError {
+    /// The allocator could not satisfy a request of the given size.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+    },
+    /// An address was outside the pool or violated alignment rules.
+    BadAddress {
+        /// The offending address.
+        addr: usize,
+    },
+    /// A named root slot was requested but the root table is full.
+    RootTableFull,
+    /// The pool header was missing or corrupt when re-attaching after a
+    /// crash.
+    CorruptHeader {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Freeing an address that is not the start of a live allocation.
+    InvalidFree {
+        /// The offending address.
+        addr: usize,
+    },
+}
+
+impl fmt::Display for NvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmError::OutOfMemory { requested } => {
+                write!(f, "persistent allocation of {requested} bytes failed")
+            }
+            NvmError::BadAddress { addr } => write!(f, "bad persistent address {addr:#x}"),
+            NvmError::RootTableFull => write!(f, "persistent root table is full"),
+            NvmError::CorruptHeader { detail } => write!(f, "corrupt pool header: {detail}"),
+            NvmError::InvalidFree { addr } => {
+                write!(f, "free of non-allocated address {addr:#x}")
+            }
+        }
+    }
+}
+
+impl Error for NvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_and_nonempty() {
+        let errs = [
+            NvmError::OutOfMemory { requested: 64 },
+            NvmError::BadAddress { addr: 3 },
+            NvmError::RootTableFull,
+            NvmError::CorruptHeader { detail: "bad magic".into() },
+            NvmError::InvalidFree { addr: 8 },
+        ];
+        for e in errs {
+            let s = format!("{e}");
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NvmError>();
+    }
+}

@@ -1,0 +1,58 @@
+//! Cache-line geometry helpers.
+
+/// Size of a cache line in bytes. Write-back to NVM happens at this
+/// granularity, matching the x86 machines the paper targets.
+pub const CACHE_LINE: usize = 64;
+
+/// Number of 8-byte words per cache line.
+pub(crate) const WORDS_PER_LINE: usize = CACHE_LINE / 8;
+
+/// Index of the cache line containing byte address `addr`.
+#[inline]
+pub fn line_of(addr: usize) -> usize {
+    addr / CACHE_LINE
+}
+
+/// Offset of `addr` within its cache line.
+#[inline]
+pub fn line_offset(addr: usize) -> usize {
+    addr % CACHE_LINE
+}
+
+/// Iterator over the line indices spanned by the byte range `[addr, addr+len)`.
+pub(crate) fn lines_spanning(addr: usize, len: usize) -> impl Iterator<Item = usize> {
+    let first = line_of(addr);
+    let last = if len == 0 { first } else { line_of(addr + len - 1) };
+    first..=last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+        assert_eq!(line_offset(65), 1);
+    }
+
+    #[test]
+    fn spanning_single_line() {
+        let v: Vec<_> = lines_spanning(8, 8).collect();
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn spanning_multiple_lines() {
+        let v: Vec<_> = lines_spanning(60, 16).collect();
+        assert_eq!(v, vec![0, 1]);
+    }
+
+    #[test]
+    fn spanning_zero_len() {
+        let v: Vec<_> = lines_spanning(128, 0).collect();
+        assert_eq!(v, vec![2]);
+    }
+}

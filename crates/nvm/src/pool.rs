@@ -1,0 +1,738 @@
+//! The simulated persistent memory pool and per-thread access handles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::latency::LatencyModel;
+use crate::line::{line_of, lines_spanning, CACHE_LINE, WORDS_PER_LINE};
+use crate::stats::{PersistStats, StatsSnapshot};
+use crate::PAddr;
+
+/// Decides which dirty lines survive a [`PmemPool::crash`].
+///
+/// On real hardware, a line that was stored to but never explicitly flushed
+/// may still reach NVM if the cache evicted it before the failure. A correct
+/// failure-atomicity scheme must therefore tolerate *any* subset of dirty
+/// lines persisting. The policies below let tests explore that space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum CrashPolicy {
+    /// No un-fenced dirty line survives (the cache never evicted anything).
+    #[default]
+    DropDirty,
+    /// Every dirty line survives (the cache evicted everything just in time).
+    EvictAll,
+    /// Each dirty line independently survives with probability
+    /// `persist_permille / 1000`, drawn from the seed passed to `crash`.
+    Random {
+        /// Per-line survival probability in permille (0–1000).
+        persist_permille: u16,
+    },
+}
+
+
+/// Construction parameters for a [`PmemPool`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Pool size in bytes; rounded up to a multiple of the cache-line size.
+    pub size: usize,
+    /// Latency model used by every handle of this pool.
+    pub latency: LatencyModel,
+    /// What happens to dirty lines at crash time.
+    pub crash_policy: CrashPolicy,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            size: 16 << 20, // 16 MiB
+            latency: LatencyModel::default(),
+            crash_policy: CrashPolicy::DropDirty,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A small, zero-latency pool for unit tests.
+    pub fn small_for_tests() -> Self {
+        Self { size: 1 << 20, latency: LatencyModel::zero(), crash_policy: CrashPolicy::DropDirty }
+    }
+}
+
+struct Inner {
+    /// The cache + DRAM view: what loads and stores observe pre-crash.
+    volatile: Vec<AtomicU64>,
+    /// The NVM view: what survives a crash.
+    persistent: Vec<AtomicU64>,
+    /// One bit per cache line: set if the volatile line differs from the
+    /// persistent line by an un-written-back store.
+    dirty: Vec<AtomicU64>,
+    config: PoolConfig,
+    crashes: AtomicU64,
+    global_stats: PersistStats,
+}
+
+/// A simulated pool of byte-addressable nonvolatile memory.
+///
+/// Cloning the pool is cheap (it is an `Arc` internally); every thread should
+/// obtain its own [`PmemHandle`] via [`PmemPool::handle`] for access, since
+/// handles carry thread-local simulated clocks and write-back queues.
+#[derive(Clone)]
+pub struct PmemPool {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for PmemPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmemPool")
+            .field("size", &self.size())
+            .field("crashes", &self.inner.crashes.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl PmemPool {
+    /// Creates a pool whose volatile and persistent images are zero-filled.
+    pub fn new(config: PoolConfig) -> Self {
+        let size = config.size.next_multiple_of(CACHE_LINE).max(CACHE_LINE);
+        let words = size / 8;
+        let lines = size / CACHE_LINE;
+        let mk = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let config = PoolConfig { size, ..config };
+        PmemPool {
+            inner: Arc::new(Inner {
+                volatile: mk(words),
+                persistent: mk(words),
+                dirty: mk(lines.div_ceil(64)),
+                config,
+                crashes: AtomicU64::new(0),
+                global_stats: PersistStats::default(),
+            }),
+        }
+    }
+
+    /// Pool size in bytes.
+    pub fn size(&self) -> usize {
+        self.inner.config.size
+    }
+
+    /// The latency model shared by this pool's handles.
+    pub fn latency(&self) -> LatencyModel {
+        self.inner.config.latency
+    }
+
+    /// Creates a per-thread access handle with a fresh simulated clock.
+    pub fn handle(&self) -> PmemHandle {
+        PmemHandle {
+            inner: Arc::clone(&self.inner),
+            latency: self.inner.config.latency,
+            clock_ns: 0,
+            pending: Vec::new(),
+            stats: PersistStats::default(),
+        }
+    }
+
+    /// Number of crashes injected so far.
+    pub fn crash_count(&self) -> u64 {
+        self.inner.crashes.load(Ordering::Relaxed)
+    }
+
+    /// Simulates a fail-stop failure (power loss, kernel panic, SIGKILL).
+    ///
+    /// Every line that was written back and fenced keeps its persistent
+    /// value. Every line that was still dirty is resolved by the pool's
+    /// [`CrashPolicy`] using `seed`: it either survives with its current
+    /// volatile contents (a cache eviction happened to save it) or reverts to
+    /// its last persisted contents. Afterwards the volatile image is reloaded
+    /// from the persistent image, exactly as a fresh process mapping the NVM
+    /// region would observe.
+    ///
+    /// Callers must ensure no handle is concurrently accessing the pool
+    /// (crashed threads are, by definition, gone).
+    pub fn crash(&self, seed: u64) -> CrashOutcome {
+        let inner = &*self.inner;
+        let lines = inner.config.size / CACHE_LINE;
+        let mut rng = SplitMix64::new(seed ^ 0x1d0_c4a5);
+        let mut evicted = 0usize;
+        let mut dropped = 0usize;
+        for l in 0..lines {
+            if !self.is_dirty(l) {
+                continue;
+            }
+            let survive = match inner.config.crash_policy {
+                CrashPolicy::DropDirty => false,
+                CrashPolicy::EvictAll => true,
+                CrashPolicy::Random { persist_permille } => {
+                    (rng.next() % 1000) < persist_permille as u64
+                }
+            };
+            if survive {
+                self.writeback_line(l);
+                evicted += 1;
+            } else {
+                dropped += 1;
+            }
+            self.clear_dirty(l);
+        }
+        // The "new process" sees only what persisted.
+        for w in 0..inner.volatile.len() {
+            let v = inner.persistent[w].load(Ordering::Relaxed);
+            inner.volatile[w].store(v, Ordering::Relaxed);
+        }
+        inner.crashes.fetch_add(1, Ordering::Relaxed);
+        CrashOutcome { lines_evicted: evicted, lines_dropped: dropped }
+    }
+
+    /// Returns a copy of the persistent image (for durability assertions and
+    /// snapshot-based tests).
+    pub fn persistent_snapshot(&self) -> Vec<u8> {
+        let inner = &*self.inner;
+        let mut out = Vec::with_capacity(inner.config.size);
+        for w in &inner.persistent {
+            out.extend_from_slice(&w.load(Ordering::Relaxed).to_le_bytes());
+        }
+        out
+    }
+
+    /// Aggregated statistics across all handles that have been dropped or
+    /// explicitly merged, plus crash counts.
+    pub fn global_stats(&self) -> StatsSnapshot {
+        self.inner.global_stats.snapshot()
+    }
+
+    /// Reads a word directly from the *persistent* image, bypassing the
+    /// volatile view. Intended for assertions about what actually persisted.
+    ///
+    /// # Panics
+    /// Panics if `addr` is not 8-byte aligned or out of bounds.
+    pub fn read_u64_persistent(&self, addr: PAddr) -> u64 {
+        assert!(addr.is_multiple_of(8), "unaligned word read at {addr:#x}");
+        self.inner.persistent[addr / 8].load(Ordering::Relaxed)
+    }
+
+    /// True if the line containing `addr` has unpersisted stores.
+    pub fn is_line_dirty(&self, addr: PAddr) -> bool {
+        self.is_dirty(line_of(addr))
+    }
+
+    fn is_dirty(&self, line: usize) -> bool {
+        let w = line / 64;
+        let b = line % 64;
+        self.inner.dirty[w].load(Ordering::Relaxed) & (1 << b) != 0
+    }
+
+    fn set_dirty(&self, line: usize) {
+        let w = line / 64;
+        let b = line % 64;
+        self.inner.dirty[w].fetch_or(1 << b, Ordering::Relaxed);
+    }
+
+    fn clear_dirty(&self, line: usize) {
+        let w = line / 64;
+        let b = line % 64;
+        self.inner.dirty[w].fetch_and(!(1u64 << b), Ordering::Relaxed);
+    }
+
+    fn writeback_line(&self, line: usize) {
+        let base = line * WORDS_PER_LINE;
+        for i in 0..WORDS_PER_LINE {
+            let v = self.inner.volatile[base + i].load(Ordering::Relaxed);
+            self.inner.persistent[base + i].store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// What happened to dirty lines during a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashOutcome {
+    /// Dirty lines that happened to be evicted and therefore survived.
+    pub lines_evicted: usize,
+    /// Dirty lines whose un-fenced contents were lost.
+    pub lines_dropped: usize,
+}
+
+/// A per-thread handle onto a [`PmemPool`].
+///
+/// The handle carries the thread's simulated clock (nanoseconds), its queue
+/// of issued-but-unfenced write-backs, and local statistics. It is
+/// deliberately `!Sync`; create one per thread.
+pub struct PmemHandle {
+    inner: Arc<Inner>,
+    latency: LatencyModel,
+    clock_ns: u64,
+    pending: Vec<usize>,
+    stats: PersistStats,
+}
+
+impl std::fmt::Debug for PmemHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmemHandle")
+            .field("clock_ns", &self.clock_ns)
+            .field("pending_writebacks", &self.pending.len())
+            .finish()
+    }
+}
+
+impl PmemHandle {
+    #[inline]
+    fn charge(&mut self, ns: u64) {
+        self.clock_ns += ns;
+        self.latency.realize(ns);
+    }
+
+    #[inline]
+    fn check_word(&self, addr: PAddr) -> usize {
+        assert!(addr.is_multiple_of(8), "unaligned word access at {addr:#x}");
+        assert!(addr + 8 <= self.inner.config.size, "out-of-bounds access at {addr:#x}");
+        addr / 8
+    }
+
+    /// The thread's simulated clock, in nanoseconds.
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Advances the simulated clock by `ns` (used by interpreters and the DES
+    /// harness to account for non-memory instruction costs and lock waits).
+    pub fn advance(&mut self, ns: u64) {
+        self.charge(ns);
+    }
+
+    /// Sets the simulated clock (used by the DES harness when a thread's
+    /// logical time jumps forward to a lock-release event).
+    pub fn set_clock_ns(&mut self, ns: u64) {
+        self.clock_ns = ns;
+    }
+
+    /// The latency model in effect for this handle.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Overrides the latency model for this handle only.
+    pub fn set_latency(&mut self, latency: LatencyModel) {
+        self.latency = latency;
+    }
+
+    /// Loads an 8-byte word.
+    ///
+    /// # Panics
+    /// Panics if `addr` is unaligned or out of bounds.
+    #[inline]
+    pub fn read_u64(&mut self, addr: PAddr) -> u64 {
+        let w = self.check_word(addr);
+        self.stats.loads += 1;
+        self.charge(self.latency.load_ns);
+        self.inner.volatile[w].load(Ordering::Acquire)
+    }
+
+    /// Stores an 8-byte word into the volatile image and marks its line dirty.
+    ///
+    /// # Panics
+    /// Panics if `addr` is unaligned or out of bounds.
+    #[inline]
+    pub fn write_u64(&mut self, addr: PAddr, value: u64) {
+        let w = self.check_word(addr);
+        self.stats.stores += 1;
+        self.charge(self.latency.store_ns);
+        self.inner.volatile[w].store(value, Ordering::Release);
+        self.inner_pool().set_dirty(line_of(addr));
+    }
+
+    /// Non-temporal store: bypasses the cache, updating both images at once.
+    /// Used by REDO-log appends in Mnemosyne-style systems.
+    #[inline]
+    pub fn nt_store_u64(&mut self, addr: PAddr, value: u64) {
+        let w = self.check_word(addr);
+        self.stats.nt_stores += 1;
+        self.charge(self.latency.nt_store_cost());
+        self.inner.volatile[w].store(value, Ordering::Release);
+        self.inner.persistent[w].store(value, Ordering::Release);
+    }
+
+    /// Issues a write-back (`clwb`) for the line containing `addr`. The line
+    /// is only guaranteed persistent after the next [`PmemHandle::sfence`].
+    #[inline]
+    pub fn clwb(&mut self, addr: PAddr) {
+        assert!(addr < self.inner.config.size, "clwb out of bounds at {addr:#x}");
+        let line = line_of(addr);
+        self.stats.clwbs += 1;
+        self.charge(self.latency.clwb_issue_ns);
+        if !self.pending.contains(&line) {
+            self.pending.push(line);
+        }
+    }
+
+    /// Issues write-backs for every line spanned by `[addr, addr + len)`.
+    pub fn clwb_range(&mut self, addr: PAddr, len: usize) {
+        for line in lines_spanning(addr, len) {
+            self.clwb(line * CACHE_LINE);
+        }
+    }
+
+    /// Persist fence: waits for all write-backs issued by this handle to
+    /// reach the persistent image, then returns. Cost grows with the number
+    /// of pending lines (each needs a round trip to the memory controller).
+    pub fn sfence(&mut self) {
+        let n = self.pending.len() as u64;
+        self.stats.fences += 1;
+        self.stats.lines_persisted += n;
+        self.charge(self.latency.fence_cost(n));
+        let pool = self.inner_pool();
+        for line in std::mem::take(&mut self.pending) {
+            pool.writeback_line(line);
+            pool.clear_dirty(line);
+        }
+    }
+
+    /// Convenience: `clwb` every line of the range, then `sfence`.
+    pub fn persist(&mut self, addr: PAddr, len: usize) {
+        self.clwb_range(addr, len);
+        self.sfence();
+    }
+
+    /// Number of write-backs issued but not yet fenced.
+    pub fn pending_writebacks(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`. Not atomic; callers must
+    /// provide their own synchronization (e.g. a FASE lock).
+    pub fn read_bytes(&mut self, addr: PAddr, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let a = addr + i;
+            let w = a / 8;
+            assert!(a < self.inner.config.size, "out-of-bounds read at {a:#x}");
+            let word = self.inner.volatile[w].load(Ordering::Acquire);
+            *b = word.to_le_bytes()[a % 8];
+        }
+        self.stats.loads += buf.len().div_ceil(8) as u64;
+        self.charge(self.latency.load_ns * buf.len().div_ceil(8) as u64);
+    }
+
+    /// Writes `buf` starting at `addr`, marking spanned lines dirty. Not
+    /// atomic; callers must provide their own synchronization.
+    pub fn write_bytes(&mut self, addr: PAddr, buf: &[u8]) {
+        for (i, b) in buf.iter().enumerate() {
+            let a = addr + i;
+            let w = a / 8;
+            assert!(a < self.inner.config.size, "out-of-bounds write at {a:#x}");
+            let mut word = self.inner.volatile[w].load(Ordering::Acquire).to_le_bytes();
+            word[a % 8] = *b;
+            self.inner.volatile[w].store(u64::from_le_bytes(word), Ordering::Release);
+        }
+        for line in lines_spanning(addr, buf.len()) {
+            self.inner_pool().set_dirty(line);
+        }
+        self.stats.stores += buf.len().div_ceil(8) as u64;
+        self.charge(self.latency.store_ns * buf.len().div_ceil(8) as u64);
+    }
+
+    /// Atomically ORs `bits` into the word at `addr` (used by lock bitmaps).
+    pub fn fetch_or_u64(&mut self, addr: PAddr, bits: u64) -> u64 {
+        let w = self.check_word(addr);
+        self.stats.stores += 1;
+        self.charge(self.latency.store_ns);
+        self.inner_pool().set_dirty(line_of(addr));
+        self.inner.volatile[w].fetch_or(bits, Ordering::AcqRel)
+    }
+
+    /// Atomically ANDs `bits` into the word at `addr`.
+    pub fn fetch_and_u64(&mut self, addr: PAddr, bits: u64) -> u64 {
+        let w = self.check_word(addr);
+        self.stats.stores += 1;
+        self.charge(self.latency.store_ns);
+        self.inner_pool().set_dirty(line_of(addr));
+        self.inner.volatile[w].fetch_and(bits, Ordering::AcqRel)
+    }
+
+    /// Compare-and-swap on the word at `addr`. Returns the previous value.
+    pub fn compare_exchange_u64(&mut self, addr: PAddr, current: u64, new: u64) -> Result<u64, u64> {
+        let w = self.check_word(addr);
+        self.stats.stores += 1;
+        self.charge(self.latency.store_ns);
+        let r = self.inner.volatile[w].compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
+        if r.is_ok() {
+            self.inner_pool().set_dirty(line_of(addr));
+        }
+        r
+    }
+
+    /// This handle's local statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Folds this handle's statistics into the pool-global counters and
+    /// resets the local ones.
+    pub fn merge_stats(&mut self) {
+        self.inner.global_stats.merge(&self.stats);
+        self.stats = PersistStats::default();
+    }
+
+    fn inner_pool(&self) -> PmemPool {
+        PmemPool { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl Drop for PmemHandle {
+    fn drop(&mut self) {
+        self.inner.global_stats.merge(&self.stats);
+    }
+}
+
+/// Small deterministic PRNG for crash-time eviction decisions.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig::small_for_tests())
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(128, 0xdead_beef);
+        assert_eq!(h.read_u64(128), 0xdead_beef);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_word_access_panics() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(129, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds")]
+    fn out_of_bounds_access_panics() {
+        let p = pool();
+        let mut h = p.handle();
+        h.read_u64(p.size());
+    }
+
+    #[test]
+    fn unflushed_store_lost_on_crash() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(256, 7);
+        drop(h);
+        p.crash(0);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(256), 0);
+    }
+
+    #[test]
+    fn flushed_and_fenced_store_survives_crash() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(256, 7);
+        h.clwb(256);
+        h.sfence();
+        drop(h);
+        p.crash(0);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(256), 7);
+    }
+
+    #[test]
+    fn clwb_without_fence_is_not_durable_under_drop_policy() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(256, 7);
+        h.clwb(256);
+        drop(h); // never fenced
+        p.crash(0);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(256), 0);
+    }
+
+    #[test]
+    fn evict_all_policy_persists_dirty_lines() {
+        let mut cfg = PoolConfig::small_for_tests();
+        cfg.crash_policy = CrashPolicy::EvictAll;
+        let p = PmemPool::new(cfg);
+        let mut h = p.handle();
+        h.write_u64(256, 9);
+        drop(h);
+        let outcome = p.crash(0);
+        assert_eq!(outcome.lines_evicted, 1);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(256), 9);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_for_seed() {
+        let mk = || {
+            let mut cfg = PoolConfig::small_for_tests();
+            cfg.crash_policy = CrashPolicy::Random { persist_permille: 500 };
+            let p = PmemPool::new(cfg);
+            let mut h = p.handle();
+            for i in 0..64 {
+                h.write_u64(i * 64, i as u64 + 1);
+            }
+            drop(h);
+            p.crash(42);
+            p.persistent_snapshot()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn line_granular_writeback_is_all_or_nothing() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(512, 1);
+        h.write_u64(520, 2); // same line
+        h.clwb(512);
+        h.sfence();
+        drop(h);
+        p.crash(0);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(512), 1);
+        assert_eq!(h.read_u64(520), 2);
+    }
+
+    #[test]
+    fn nt_store_is_immediately_durable() {
+        let p = pool();
+        let mut h = p.handle();
+        h.nt_store_u64(640, 11);
+        drop(h);
+        p.crash(0);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(640), 11);
+    }
+
+    #[test]
+    fn rewritten_line_after_fence_is_dirty_again() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(256, 1);
+        h.persist(256, 8);
+        h.write_u64(256, 2);
+        drop(h);
+        p.crash(0);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(256), 1, "only the fenced value survives");
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_span_lines() {
+        let p = pool();
+        let mut h = p.handle();
+        let data: Vec<u8> = (0..100).collect();
+        h.write_bytes(60, &data);
+        let mut back = vec![0u8; 100];
+        h.read_bytes(60, &mut back);
+        assert_eq!(back, data);
+        h.persist(60, 100);
+        drop(h);
+        p.crash(0);
+        let mut h = p.handle();
+        let mut back = vec![0u8; 100];
+        h.read_bytes(60, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn clock_accumulates_costs() {
+        let mut cfg = PoolConfig::small_for_tests();
+        cfg.latency = LatencyModel::default();
+        let p = PmemPool::new(cfg);
+        let mut h = p.handle();
+        let t0 = h.clock_ns();
+        h.write_u64(128, 1);
+        h.clwb(128);
+        h.sfence();
+        let lat = p.latency();
+        assert_eq!(
+            h.clock_ns() - t0,
+            lat.store_ns + lat.clwb_issue_ns + lat.fence_cost(1)
+        );
+    }
+
+    #[test]
+    fn duplicate_clwb_same_line_coalesces_in_queue() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(128, 1);
+        h.write_u64(136, 2);
+        h.clwb(128);
+        h.clwb(136);
+        assert_eq!(h.pending_writebacks(), 1);
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(0, 1);
+        h.read_u64(0);
+        h.clwb(0);
+        h.sfence();
+        let s = h.stats();
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.clwbs, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.lines_persisted, 1);
+        drop(h);
+        assert_eq!(p.global_stats().stores, 1);
+    }
+
+    #[test]
+    fn atomics_mark_lines_dirty() {
+        let p = pool();
+        let mut h = p.handle();
+        h.fetch_or_u64(192, 0b1010);
+        assert!(p.is_line_dirty(192));
+        assert_eq!(h.read_u64(192), 0b1010);
+        assert_eq!(h.fetch_and_u64(192, 0b0010), 0b1010);
+        assert_eq!(h.read_u64(192), 0b0010);
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(192, 5);
+        assert_eq!(h.compare_exchange_u64(192, 5, 6), Ok(5));
+        assert_eq!(h.compare_exchange_u64(192, 5, 7), Err(6));
+        assert_eq!(h.read_u64(192), 6);
+    }
+
+    #[test]
+    fn crash_resets_volatile_from_persistent() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(256, 1);
+        h.persist(256, 8);
+        h.write_u64(256, 99);
+        h.write_u64(320, 77);
+        drop(h);
+        let outcome = p.crash(0);
+        assert_eq!(outcome.lines_dropped, 2);
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(256), 1);
+        assert_eq!(h.read_u64(320), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Persistent data structures over the iDO session API — the four
+//! microbenchmark structures from the paper's scalability evaluation
+//! (Section V-B):
+//!
+//! * [`PStack`] — a locking variation on the Treiber stack (serializes in a
+//!   tiny critical section; the low-parallelism extreme). Also the
+//!   reference implementation of **native recovery via resumption**: its
+//!   operations are decomposed into idempotent-region entry points and it
+//!   implements [`ido_core::Resumable`].
+//! * [`PQueue`] — the two-lock Michael–Scott queue (enqueues and dequeues
+//!   proceed in parallel).
+//! * [`POrderedList`] — a sorted singly-linked list traversed with
+//!   hand-over-hand locking (concurrent access within the list; FASEs with
+//!   cross-lock patterns).
+//! * [`PHashMap`] — a fixed-size hash map using the ordered list per
+//!   bucket (the high-parallelism extreme: near-linear scaling).
+//!
+//! Every structure is written against `&mut dyn Session`, so identical
+//! structure code runs under iDO and under every baseline runtime in
+//! `ido-baselines`. Region `boundary()` calls are placed exactly where the
+//! iDO compiler places cuts in the IR versions of these structures
+//! (function entry → after lock acquires, around allocator calls, before
+//! stores that close a load→store antidependence, and before releases);
+//! under non-iDO sessions they are no-ops.
+//!
+//! Each structure ships an invariant checker used by the crash tests.
+
+#![deny(missing_docs)]
+
+mod list;
+mod map;
+mod queue;
+mod stack;
+
+pub use list::POrderedList;
+pub use map::PHashMap;
+pub use queue::PQueue;
+pub use stack::{PStack, OP_POP, OP_PUSH};

@@ -1,0 +1,294 @@
+//! A sorted singly-linked list traversed with hand-over-hand locking.
+//!
+//! Every node carries its own lock (a persistent indirect-holder cell plus
+//! a transient [`SimLock`] minted on demand). A traversal acquires the
+//! successor's lock before releasing the predecessor's, so threads can be
+//! inside the list concurrently but cannot pass one another — the paper's
+//! cross-lock FASE pattern (Fig. 2b). A sentinel head node anchors the
+//! list.
+//!
+//! Node layout: `[next: PAddr][key: i64][value: u64][lock_holder: PAddr]`.
+
+use std::collections::HashMap;
+
+use ido_core::{Session, SimLock};
+use ido_nvm::{NvmError, PmemHandle, PAddr};
+
+const NEXT: usize = 0;
+const KEY: usize = 8;
+const VALUE: usize = 16;
+const HOLDER: usize = 24;
+const NODE_BYTES: usize = 32;
+
+/// A persistent ordered list with per-node hand-over-hand locking.
+#[derive(Debug)]
+pub struct POrderedList {
+    sentinel: PAddr,
+    locks: HashMap<PAddr, SimLock>,
+}
+
+impl POrderedList {
+    /// Creates an empty list (sentinel node with key −∞).
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn create(s: &mut dyn Session) -> Result<POrderedList, NvmError> {
+        let sentinel = Self::new_node(s, i64::MIN, 0, 0)?;
+        s.handle().persist(sentinel, NODE_BYTES);
+        Ok(POrderedList { sentinel, locks: HashMap::new() })
+    }
+
+    /// Re-attaches after a crash (transient locks are minted lazily from
+    /// the per-node holder cells).
+    pub fn attach(sentinel: PAddr) -> POrderedList {
+        POrderedList { sentinel, locks: HashMap::new() }
+    }
+
+    /// The sentinel address.
+    pub fn sentinel(&self) -> PAddr {
+        self.sentinel
+    }
+
+    fn new_node(s: &mut dyn Session, key: i64, value: u64, next: PAddr) -> Result<PAddr, NvmError> {
+        let node = s.alloc(NODE_BYTES)?;
+        let holder = s.alloc(8)?;
+        s.store(node + NEXT, next as u64);
+        s.store(node + KEY, key as u64);
+        s.store(node + VALUE, value);
+        s.store(node + HOLDER, holder as u64);
+        Ok(node)
+    }
+
+    fn acquire(&mut self, s: &mut dyn Session, node: PAddr) {
+        let holder = s.load(node + HOLDER) as PAddr;
+        let lock = self
+            .locks
+            .entry(node)
+            .or_insert_with(|| SimLock::from_holder(holder));
+        lock.acquire(s);
+        s.boundary(&[node as u64]); // after-acquire cut
+    }
+
+    fn release(&mut self, s: &mut dyn Session, node: PAddr) {
+        s.boundary(&[]); // pre-release cut
+        let lock = self.locks.get_mut(&node).expect("releasing unheld node lock");
+        lock.release(s);
+    }
+
+    /// Walks to the last node with `key < target`, returning
+    /// `(pred, succ)` with `pred`'s lock held.
+    fn search(&mut self, s: &mut dyn Session, target: i64) -> (PAddr, PAddr) {
+        self.acquire(s, self.sentinel);
+        let mut pred = self.sentinel;
+        loop {
+            let succ = s.load(pred + NEXT) as PAddr;
+            if succ == 0 || s.load(succ + KEY) as i64 >= target {
+                return (pred, succ);
+            }
+            self.acquire(s, succ); // hand-over-hand: take next…
+            self.release(s, pred); // …then drop previous
+            pred = succ;
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, s: &mut dyn Session, key: i64) -> Option<u64> {
+        let (pred, succ) = self.search(s, key);
+        let result = if succ != 0 && s.load(succ + KEY) as i64 == key {
+            Some(s.load(succ + VALUE))
+        } else {
+            None
+        };
+        self.release(s, pred);
+        result
+    }
+
+    /// Inserts or updates `key`, returning the previous value if any.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn put(&mut self, s: &mut dyn Session, key: i64, value: u64) -> Result<Option<u64>, NvmError> {
+        let (pred, succ) = self.search(s, key);
+        if succ != 0 && s.load(succ + KEY) as i64 == key {
+            self.acquire(s, succ);
+            let old = s.load(succ + VALUE);
+            s.boundary(&[succ as u64, value]); // antidep cut before the update
+            s.store(succ + VALUE, value);
+            self.release(s, succ);
+            self.release(s, pred);
+            return Ok(Some(old));
+        }
+        let node = Self::new_node(s, key, value, succ)?;
+        s.boundary(&[pred as u64, node as u64]); // post-alloc cut
+        s.store(pred + NEXT, node as u64); // publish
+        self.release(s, pred);
+        Ok(None)
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, s: &mut dyn Session, key: i64) -> Option<u64> {
+        let (pred, succ) = self.search(s, key);
+        if succ == 0 || s.load(succ + KEY) as i64 != key {
+            self.release(s, pred);
+            return None;
+        }
+        self.acquire(s, succ);
+        let value = s.load(succ + VALUE);
+        let after = s.load(succ + NEXT);
+        s.boundary(&[pred as u64, succ as u64, after]); // antidep cut
+        s.store(pred + NEXT, after); // unlink
+        self.release(s, succ);
+        self.release(s, pred);
+        self.locks.remove(&succ);
+        let holder = s.load(succ + HOLDER) as PAddr;
+        let _ = s.free(succ);
+        let _ = s.free(holder);
+        Some(value)
+    }
+
+    /// Number of elements (excluding the sentinel).
+    pub fn len(&self, h: &mut PmemHandle) -> usize {
+        let mut n = 0;
+        let mut cur = h.read_u64(self.sentinel + NEXT) as PAddr;
+        while cur != 0 {
+            n += 1;
+            cur = h.read_u64(cur + NEXT) as PAddr;
+        }
+        n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self, h: &mut PmemHandle) -> bool {
+        h.read_u64(self.sentinel + NEXT) == 0
+    }
+
+    /// `(key, value)` pairs in order (test/diagnostic use).
+    pub fn entries(&self, h: &mut PmemHandle) -> Vec<(i64, u64)> {
+        let mut out = Vec::new();
+        let mut cur = h.read_u64(self.sentinel + NEXT) as PAddr;
+        while cur != 0 {
+            out.push((h.read_u64(cur + KEY) as i64, h.read_u64(cur + VALUE)));
+            cur = h.read_u64(cur + NEXT) as PAddr;
+        }
+        out
+    }
+
+    /// Structural invariant: keys strictly increase and the chain is
+    /// acyclic within `bound` steps. Returns the length.
+    ///
+    /// # Panics
+    /// Panics on violation.
+    pub fn check_invariants(&self, h: &mut PmemHandle, bound: usize) -> usize {
+        let mut last = i64::MIN;
+        let mut n = 0;
+        let mut cur = h.read_u64(self.sentinel + NEXT) as PAddr;
+        while cur != 0 {
+            let key = h.read_u64(cur + KEY) as i64;
+            assert!(key > last, "list keys not strictly increasing: {last} then {key}");
+            last = key;
+            n += 1;
+            assert!(n <= bound, "list chain exceeds bound: cycle suspected");
+            cur = h.read_u64(cur + NEXT) as PAddr;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_core::{IdoRuntime, OriginSession};
+    use ido_nvm::{PmemPool, PoolConfig};
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig::small_for_tests())
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let p = pool();
+        let mut s = OriginSession::format(&p);
+        let mut l = POrderedList::create(&mut s).unwrap();
+        assert_eq!(l.put(&mut s, 5, 50).unwrap(), None);
+        assert_eq!(l.put(&mut s, 1, 10).unwrap(), None);
+        assert_eq!(l.put(&mut s, 9, 90).unwrap(), None);
+        assert_eq!(l.get(&mut s, 5), Some(50));
+        assert_eq!(l.get(&mut s, 2), None);
+        assert_eq!(l.put(&mut s, 5, 55).unwrap(), Some(50));
+        assert_eq!(l.remove(&mut s, 1), Some(10));
+        assert_eq!(l.remove(&mut s, 1), None);
+        assert_eq!(l.entries(s.handle()), vec![(5, 55), (9, 90)]);
+        l.check_invariants(s.handle(), 100);
+    }
+
+    #[test]
+    fn keys_stay_sorted_under_random_workload() {
+        let p = pool();
+        let mut s = OriginSession::format(&p);
+        let mut l = POrderedList::create(&mut s).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        let mut x = 0x2545F491_4F6CDD1Du64;
+        for _ in 0..300 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = (x % 64) as i64;
+            match x % 3 {
+                0 => {
+                    assert_eq!(l.put(&mut s, key, x).unwrap(), model.insert(key, x));
+                }
+                1 => {
+                    assert_eq!(l.remove(&mut s, key), model.remove(&key));
+                }
+                _ => {
+                    assert_eq!(l.get(&mut s, key), model.get(&key).copied());
+                }
+            }
+        }
+        let got = l.entries(s.handle());
+        let want: Vec<(i64, u64)> = model.into_iter().collect();
+        assert_eq!(got, want);
+        l.check_invariants(s.handle(), 1000);
+    }
+
+    #[test]
+    fn hand_over_hand_forms_a_single_fase() {
+        // Under iDO, a whole traversal is one FASE: the region marker is
+        // nonzero from the first acquire to the final release.
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let mut l = POrderedList::create(&mut s).unwrap();
+        for k in 0..8 {
+            l.put(&mut s, k, k as u64).unwrap();
+        }
+        assert_eq!(s.region_seq(), 0, "outside any FASE after ops complete");
+        let found = l.get(&mut s, 7);
+        assert_eq!(found, Some(7));
+        assert_eq!(s.region_seq(), 0);
+    }
+
+    #[test]
+    fn traversal_is_read_mostly_under_ido() {
+        // The Redis effect: gets perform no stores, so iDO's cost is only
+        // the per-hop boundaries — far fewer persisted lines than puts.
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let mut l = POrderedList::create(&mut s).unwrap();
+        for k in 0..16 {
+            l.put(&mut s, k, 1).unwrap();
+        }
+        let lines_before = s.handle().stats().lines_persisted;
+        for _ in 0..10 {
+            l.get(&mut s, 15);
+        }
+        let get_lines = s.handle().stats().lines_persisted - lines_before;
+        let lines_before = s.handle().stats().lines_persisted;
+        for k in 0..10 {
+            l.put(&mut s, 100 + k, 1).unwrap();
+        }
+        let put_lines = s.handle().stats().lines_persisted - lines_before;
+        assert!(get_lines < put_lines, "gets persist less than puts ({get_lines} vs {put_lines})");
+    }
+}

@@ -1,0 +1,203 @@
+//! A fixed-size hash map: one ordered list per bucket.
+//!
+//! As in the paper, the hand-over-hand ordered list implements each bucket,
+//! "obviating the need for per-bucket locks" — the lists' own node locks
+//! provide all synchronization, which is why the map scales almost
+//! linearly in Fig. 7: operations on different buckets never contend, and
+//! operations within one bucket pipeline behind each other.
+
+use ido_core::Session;
+use ido_nvm::{NvmError, PmemHandle, PAddr};
+
+use crate::list::POrderedList;
+
+/// A persistent fixed-bucket hash map.
+#[derive(Debug)]
+pub struct PHashMap {
+    /// Persistent directory: `[n_buckets][sentinel_0][sentinel_1]…`
+    directory: PAddr,
+    buckets: Vec<POrderedList>,
+}
+
+fn bucket_of(key: i64, n: usize) -> usize {
+    // Fibonacci hashing spreads adjacent keys across buckets.
+    ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
+}
+
+impl PHashMap {
+    /// Creates a map with `n_buckets` buckets.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    ///
+    /// # Panics
+    /// Panics if `n_buckets` is zero.
+    pub fn create(s: &mut dyn Session, n_buckets: usize) -> Result<PHashMap, NvmError> {
+        assert!(n_buckets > 0, "need at least one bucket");
+        let directory = s.alloc(8 + n_buckets * 8)?;
+        s.store(directory, n_buckets as u64);
+        let mut buckets = Vec::with_capacity(n_buckets);
+        for i in 0..n_buckets {
+            let list = POrderedList::create(s)?;
+            s.store(directory + 8 + i * 8, list.sentinel() as u64);
+            buckets.push(list);
+        }
+        s.handle().persist(directory, 8 + n_buckets * 8);
+        Ok(PHashMap { directory, buckets })
+    }
+
+    /// Re-attaches to an existing map after a crash.
+    pub fn attach(h: &mut PmemHandle, directory: PAddr) -> PHashMap {
+        let n = h.read_u64(directory) as usize;
+        let buckets = (0..n)
+            .map(|i| POrderedList::attach(h.read_u64(directory + 8 + i * 8) as PAddr))
+            .collect();
+        PHashMap { directory, buckets }
+    }
+
+    /// The persistent directory address.
+    pub fn directory(&self) -> PAddr {
+        self.directory
+    }
+
+    /// Number of buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, s: &mut dyn Session, key: i64) -> Option<u64> {
+        let b = bucket_of(key, self.buckets.len());
+        self.buckets[b].get(s, key)
+    }
+
+    /// Inserts or updates `key`, returning the previous value if any.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn put(&mut self, s: &mut dyn Session, key: i64, value: u64) -> Result<Option<u64>, NvmError> {
+        let b = bucket_of(key, self.buckets.len());
+        self.buckets[b].put(s, key, value)
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, s: &mut dyn Session, key: i64) -> Option<u64> {
+        let b = bucket_of(key, self.buckets.len());
+        self.buckets[b].remove(s, key)
+    }
+
+    /// Total elements across buckets.
+    pub fn len(&self, h: &mut PmemHandle) -> usize {
+        self.buckets.iter().map(|b| b.len(h)).sum()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self, h: &mut PmemHandle) -> bool {
+        self.len(h) == 0
+    }
+
+    /// Checks every bucket's sorted/acyclic invariant **and** that every
+    /// key lives in its home bucket. Returns the total length.
+    ///
+    /// # Panics
+    /// Panics on violation.
+    pub fn check_invariants(&self, h: &mut PmemHandle, bound: usize) -> usize {
+        let mut total = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            total += bucket.check_invariants(h, bound);
+            for (key, _) in bucket.entries(h) {
+                assert_eq!(
+                    bucket_of(key, self.buckets.len()),
+                    i,
+                    "key {key} found in wrong bucket {i}"
+                );
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_core::OriginSession;
+    use ido_nvm::{PmemPool, PoolConfig};
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig::small_for_tests())
+    }
+
+    #[test]
+    fn basic_map_semantics() {
+        let p = pool();
+        let mut s = OriginSession::format(&p);
+        let mut m = PHashMap::create(&mut s, 8).unwrap();
+        assert_eq!(m.put(&mut s, 1, 10).unwrap(), None);
+        assert_eq!(m.put(&mut s, 9, 90).unwrap(), None);
+        assert_eq!(m.get(&mut s, 1), Some(10));
+        assert_eq!(m.get(&mut s, 2), None);
+        assert_eq!(m.put(&mut s, 1, 11).unwrap(), Some(10));
+        assert_eq!(m.remove(&mut s, 9), Some(90));
+        assert_eq!(m.len(s.handle()), 1);
+        m.check_invariants(s.handle(), 100);
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        let p = pool();
+        let mut s = OriginSession::format(&p);
+        let mut m = PHashMap::create(&mut s, 4).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        let mut x = 88172645463325252u64;
+        for _ in 0..400 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = (x % 100) as i64;
+            match x % 3 {
+                0 => assert_eq!(m.put(&mut s, key, x).unwrap(), model.insert(key, x)),
+                1 => assert_eq!(m.remove(&mut s, key), model.remove(&key)),
+                _ => assert_eq!(m.get(&mut s, key), model.get(&key).copied()),
+            }
+        }
+        assert_eq!(m.len(s.handle()), model.len());
+        assert_eq!(m.check_invariants(s.handle(), 1000), model.len());
+    }
+
+    #[test]
+    fn attach_finds_existing_contents() {
+        let p = pool();
+        let directory = {
+            let mut s = OriginSession::format(&p);
+            let mut m = PHashMap::create(&mut s, 4).unwrap();
+            m.put(&mut s, 7, 70).unwrap();
+            // Origin never flushes; persist the whole pool so this test can
+            // exercise re-attachment rather than crash consistency.
+            for line in (0..p.size()).step_by(64) {
+                s.handle().clwb(line);
+            }
+            s.handle().sfence();
+            m.directory()
+        };
+        p.crash(0);
+        let mut h = p.handle();
+        let mut m = PHashMap::attach(&mut h, directory);
+        assert_eq!(m.len(&mut h), 1);
+        drop(h);
+        let mut s = OriginSession::attach(&p, ido_nvm::alloc::NvAllocator::attach());
+        assert_eq!(m.get(&mut s, 7), Some(70));
+    }
+
+    #[test]
+    fn keys_spread_over_buckets() {
+        let p = pool();
+        let mut s = OriginSession::format(&p);
+        let mut m = PHashMap::create(&mut s, 8).unwrap();
+        for k in 0..64 {
+            m.put(&mut s, k, 1).unwrap();
+        }
+        let h = s.handle();
+        let nonempty = (0..m.n_buckets()).filter(|i| m.buckets[*i].len(h) > 0).count();
+        assert!(nonempty >= 6, "hashing should populate most buckets, got {nonempty}");
+    }
+}

@@ -1,0 +1,396 @@
+//! The two-lock Michael–Scott queue.
+//!
+//! Header: `[head: PAddr][tail: PAddr]`. A permanent dummy node keeps head
+//! and tail operations disjoint, so an enqueuer (holding the tail lock) and
+//! a dequeuer (holding the head lock) proceed in parallel — the moderate-
+//! parallelism point in the paper's Fig. 7.
+//!
+//! Node layout: `[next: PAddr][value: u64]`.
+
+use ido_core::{IdoSession, InterruptedFase, Resumable, Session, SimLock};
+use ido_nvm::{NvmError, PmemHandle, PAddr};
+
+/// Operation token for `enqueue`.
+pub const OP_ENQ: u64 = 3;
+/// Operation token for `dequeue`.
+pub const OP_DEQ: u64 = 4;
+
+/// A persistent queue with separate head and tail locks.
+#[derive(Debug)]
+pub struct PQueue {
+    header: PAddr,
+    head_lock: SimLock,
+    tail_lock: SimLock,
+}
+
+impl PQueue {
+    /// Creates an empty queue (header + dummy node + two lock holders).
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn create(s: &mut dyn Session) -> Result<PQueue, NvmError> {
+        let header = s.alloc(16)?;
+        let dummy = s.alloc(16)?;
+        s.store(dummy, 0);
+        s.store(header, dummy as u64);
+        s.store(header + 8, dummy as u64);
+        s.handle().persist(dummy, 16);
+        s.handle().persist(header, 16);
+        Ok(PQueue { header, head_lock: SimLock::new(s)?, tail_lock: SimLock::new(s)? })
+    }
+
+    /// Re-attaches after a crash with fresh transient locks.
+    pub fn attach(header: PAddr, head_holder: PAddr, tail_holder: PAddr) -> PQueue {
+        PQueue {
+            header,
+            head_lock: SimLock::from_holder(head_holder),
+            tail_lock: SimLock::from_holder(tail_holder),
+        }
+    }
+
+    /// The header address.
+    pub fn header(&self) -> PAddr {
+        self.header
+    }
+
+    /// The two lock holders `(head, tail)`.
+    pub fn lock_holders(&self) -> (PAddr, PAddr) {
+        (self.head_lock.holder(), self.tail_lock.holder())
+    }
+
+    /// Appends `value` at the tail.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn enqueue(&mut self, s: &mut dyn Session, value: u64) -> Result<(), NvmError> {
+        // Node prepared outside the critical section, as in M&S.
+        let node = s.alloc(16)?;
+        s.store(node, 0);
+        s.store(node + 8, value);
+        self.tail_lock.acquire(s);
+        s.set_op_token(OP_ENQ);
+        s.boundary(&[self.header as u64, node as u64]); // B1: after-acquire cut
+        self.enqueue_after_b1(s, node);
+        Ok(())
+    }
+
+    /// Region entry: everything after enqueue's B1 (link + swing). The tail
+    /// read repeats identically on re-execution until B2 passes.
+    pub fn enqueue_after_b1(&mut self, s: &mut dyn Session, node: PAddr) {
+        let tail = s.load(self.header + 8) as PAddr;
+        s.store(tail, node as u64); // link
+        s.boundary(&[self.header as u64, node as u64]); // B2: antidep cut (tail reload)
+        self.enqueue_after_b2(s, node);
+    }
+
+    /// Region entry: everything after enqueue's B2 (the tail swing).
+    pub fn enqueue_after_b2(&mut self, s: &mut dyn Session, node: PAddr) {
+        s.store(self.header + 8, node as u64); // swing tail
+        s.boundary(&[]); // B3: pre-release cut
+        self.enqueue_after_b3(s);
+    }
+
+    /// Region entry: after enqueue's final boundary (release only).
+    pub fn enqueue_after_b3(&mut self, s: &mut dyn Session) {
+        self.tail_lock.release(s);
+    }
+
+    /// Removes and returns the head value, if any.
+    pub fn dequeue(&mut self, s: &mut dyn Session) -> Option<u64> {
+        self.head_lock.acquire(s);
+        s.set_op_token(OP_DEQ);
+        s.boundary(&[self.header as u64]); // B1: after-acquire cut
+        self.dequeue_after_b1(s)
+    }
+
+    /// Region entry: everything after dequeue's B1.
+    pub fn dequeue_after_b1(&mut self, s: &mut dyn Session) -> Option<u64> {
+        let head = s.load(self.header) as PAddr;
+        let next = s.load(head) as PAddr;
+        if next == 0 {
+            s.boundary(&[]);
+            self.head_lock.release(s);
+            return None;
+        }
+        let value = s.load(next + 8);
+        s.boundary(&[self.header as u64, head as u64, next as u64]); // B2: antidep cut
+        self.dequeue_after_b2(s, head, next);
+        Some(value)
+    }
+
+    /// Region entry: everything after dequeue's B2 (the unlink).
+    pub fn dequeue_after_b2(&mut self, s: &mut dyn Session, head: PAddr, next: PAddr) {
+        s.store(self.header, next as u64); // old dummy unlinked; next is new dummy
+        s.boundary(&[head as u64]); // B3
+        self.dequeue_after_b3(s, head);
+    }
+
+    /// Region entry: everything after dequeue's B3 (reclamation + release).
+    pub fn dequeue_after_b3(&mut self, s: &mut dyn Session, head: PAddr) {
+        // A re-executed free of an already-freed block is rejected by the
+        // allocator and ignored here: recovery never double-frees.
+        let _ = s.free(head);
+        s.boundary(&[]); // B4
+        self.head_lock.release(s);
+    }
+
+    /// Number of elements (walks the chain; test/diagnostic use).
+    pub fn len(&self, h: &mut PmemHandle) -> usize {
+        let mut n = 0;
+        let mut cur = h.read_u64(self.header) as PAddr; // dummy
+        loop {
+            let next = h.read_u64(cur) as PAddr;
+            if next == 0 {
+                return n;
+            }
+            n += 1;
+            cur = next;
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self, h: &mut PmemHandle) -> bool {
+        self.len(h) == 0
+    }
+
+    /// Values front-to-back (test/diagnostic use).
+    pub fn values(&self, h: &mut PmemHandle) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = h.read_u64(self.header) as PAddr;
+        loop {
+            let next = h.read_u64(cur) as PAddr;
+            if next == 0 {
+                return out;
+            }
+            out.push(h.read_u64(next + 8));
+            cur = next;
+        }
+    }
+
+    /// Structural invariants: the tail is reachable from the head and the
+    /// chain is acyclic within `bound` steps. Returns the length.
+    ///
+    /// # Panics
+    /// Panics on violation.
+    pub fn check_invariants(&self, h: &mut PmemHandle, bound: usize) -> usize {
+        let tail = h.read_u64(self.header + 8) as PAddr;
+        let mut cur = h.read_u64(self.header) as PAddr;
+        let mut n = 0;
+        let mut saw_tail = cur == tail;
+        loop {
+            let next = h.read_u64(cur) as PAddr;
+            if next == 0 {
+                break;
+            }
+            n += 1;
+            assert!(n <= bound, "queue chain exceeds bound: cycle suspected");
+            cur = next;
+            saw_tail |= cur == tail;
+        }
+        assert!(saw_tail, "tail not reachable from head");
+        assert_eq!(h.read_u64(tail), 0, "tail must be the last node");
+        n
+    }
+}
+
+impl Resumable for PQueue {
+    fn resume(&mut self, s: &mut IdoSession, fase: &InterruptedFase) {
+        match (fase.op_token, fase.region_seq) {
+            (OP_ENQ, 1) => self.enqueue_after_b1(s, fase.outputs[1] as PAddr),
+            (OP_ENQ, 2) => self.enqueue_after_b2(s, fase.outputs[1] as PAddr),
+            (OP_ENQ, 3) => self.enqueue_after_b3(s),
+            (OP_DEQ, 1) => {
+                let _ = self.dequeue_after_b1(s);
+            }
+            (OP_DEQ, 2) => {
+                self.dequeue_after_b2(s, fase.outputs[1] as PAddr, fase.outputs[2] as PAddr)
+            }
+            (OP_DEQ, 3) => self.dequeue_after_b3(s, fase.outputs[0] as PAddr),
+            (OP_DEQ, 4) => self.head_lock.release(s), // past B4: release only
+            (token, seq) => panic!("unknown resumption point: token={token} seq={seq}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_core::{IdoRuntime, OriginSession};
+    use ido_nvm::{PmemPool, PoolConfig};
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig::small_for_tests())
+    }
+
+    #[test]
+    fn fifo_order() {
+        let p = pool();
+        let mut s = OriginSession::format(&p);
+        let mut q = PQueue::create(&mut s).unwrap();
+        for v in 1..=5 {
+            q.enqueue(&mut s, v).unwrap();
+        }
+        assert_eq!(q.len(s.handle()), 5);
+        for v in 1..=5 {
+            assert_eq!(q.dequeue(&mut s), Some(v));
+        }
+        assert_eq!(q.dequeue(&mut s), None);
+    }
+
+    #[test]
+    fn interleaved_enqueue_dequeue_with_two_sessions() {
+        // The two-lock design lets an enqueuer and a dequeuer overlap in
+        // simulated time.
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut producer = rt.session(&p).unwrap();
+        let mut consumer = rt.session(&p).unwrap();
+        let mut q = PQueue::create(&mut producer).unwrap();
+        q.enqueue(&mut producer, 1).unwrap();
+        q.enqueue(&mut producer, 2).unwrap();
+        assert_eq!(q.dequeue(&mut consumer), Some(1));
+        q.enqueue(&mut producer, 3).unwrap();
+        assert_eq!(q.dequeue(&mut consumer), Some(2));
+        assert_eq!(q.dequeue(&mut consumer), Some(3));
+        assert_eq!(q.dequeue(&mut consumer), None);
+        q.check_invariants(producer.handle(), 100);
+    }
+
+    #[test]
+    fn head_and_tail_locks_are_independent() {
+        let p = pool();
+        let mut s = OriginSession::format(&p);
+        let q = PQueue::create(&mut s).unwrap();
+        let (h, t) = q.lock_holders();
+        assert_ne!(h, t);
+    }
+
+    #[test]
+    fn invariants_hold_after_mixed_workload() {
+        let p = pool();
+        let mut s = OriginSession::format(&p);
+        let mut q = PQueue::create(&mut s).unwrap();
+        let mut expect = std::collections::VecDeque::new();
+        for i in 0..200u64 {
+            if i % 3 == 0 {
+                let got = q.dequeue(&mut s);
+                assert_eq!(got, expect.pop_front());
+            } else {
+                q.enqueue(&mut s, i).unwrap();
+                expect.push_back(i);
+            }
+        }
+        let vals = q.values(s.handle());
+        assert_eq!(vals, Vec::from(expect.clone()));
+        assert_eq!(q.check_invariants(s.handle(), 1000), expect.len());
+    }
+}
+
+#[cfg(test)]
+mod resumption_tests {
+    use super::*;
+    use ido_core::IdoRuntime;
+    use ido_nvm::{PmemPool, PoolConfig};
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig::small_for_tests())
+    }
+
+    #[test]
+    fn enqueue_resumes_from_every_boundary() {
+        for crash_after in 1..=3u64 {
+            let p = pool();
+            let rt = IdoRuntime::format(&p).unwrap();
+            let mut s = rt.session(&p).unwrap();
+            let mut q = PQueue::create(&mut s).unwrap();
+            q.enqueue(&mut s, 7).unwrap();
+            let header = q.header();
+            let (hh, th) = q.lock_holders();
+
+            // Prefix of enqueue(9) up to boundary `crash_after`.
+            let node = s.alloc(16).unwrap();
+            s.store(node, 0);
+            s.store(node + 8, 9);
+            q.tail_lock.acquire(&mut s);
+            s.set_op_token(OP_ENQ);
+            s.boundary(&[header as u64, node as u64]);
+            if crash_after >= 2 {
+                let tail = s.load(header + 8) as PAddr;
+                s.store(tail, node as u64);
+                s.boundary(&[header as u64, node as u64]);
+                if crash_after >= 3 {
+                    s.store(header + 8, node as u64);
+                    s.boundary(&[]);
+                }
+            }
+            drop(s);
+            p.crash(crash_after);
+
+            let (rt, fases) = IdoRuntime::recover(&p).unwrap();
+            assert_eq!(fases.len(), 1, "crash_after={crash_after}");
+            let mut q = PQueue::attach(header, hh, th);
+            let mut rs = rt.recovery_session(&p, &fases[0]).unwrap();
+            q.resume(&mut rs, &fases[0]);
+            drop(rs);
+
+            let mut h = p.handle();
+            assert_eq!(
+                q.values(&mut h),
+                vec![7, 9],
+                "enqueue completed exactly once (crash_after={crash_after})"
+            );
+            q.check_invariants(&mut h, 10);
+            let (_, fases) = IdoRuntime::recover(&p).unwrap();
+            assert!(fases.is_empty(), "log retired after resumption");
+        }
+    }
+
+    #[test]
+    fn dequeue_resumes_from_every_boundary() {
+        for crash_after in 1..=4u64 {
+            let p = pool();
+            let rt = IdoRuntime::format(&p).unwrap();
+            let mut s = rt.session(&p).unwrap();
+            let mut q = PQueue::create(&mut s).unwrap();
+            q.enqueue(&mut s, 7).unwrap();
+            q.enqueue(&mut s, 9).unwrap();
+            let header = q.header();
+            let (hh, th) = q.lock_holders();
+
+            // Prefix of dequeue() up to boundary `crash_after`.
+            q.head_lock.acquire(&mut s);
+            s.set_op_token(OP_DEQ);
+            s.boundary(&[header as u64]);
+            if crash_after >= 2 {
+                let head = s.load(header) as PAddr;
+                let next = s.load(head) as PAddr;
+                s.boundary(&[header as u64, head as u64, next as u64]);
+                if crash_after >= 3 {
+                    s.store(header, next as u64);
+                    s.boundary(&[head as u64]);
+                    if crash_after >= 4 {
+                        let _ = s.free(head);
+                        s.boundary(&[]);
+                    }
+                }
+            }
+            drop(s);
+            p.crash(crash_after);
+
+            let (rt, fases) = IdoRuntime::recover(&p).unwrap();
+            assert_eq!(fases.len(), 1);
+            let mut q = PQueue::attach(header, hh, th);
+            let mut rs = rt.recovery_session(&p, &fases[0]).unwrap();
+            q.resume(&mut rs, &fases[0]);
+            drop(rs);
+
+            let mut h = p.handle();
+            assert_eq!(
+                q.values(&mut h),
+                vec![9],
+                "dequeue completed exactly once (crash_after={crash_after})"
+            );
+            q.check_invariants(&mut h, 10);
+        }
+    }
+}

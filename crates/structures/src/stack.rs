@@ -1,0 +1,430 @@
+//! The locked Treiber stack, with native recovery via resumption.
+//!
+//! Node layout: `[next: PAddr][value: u64]` (16 bytes). Header: one word
+//! holding the top-of-stack address.
+//!
+//! Each operation is decomposed into its idempotent regions. The region
+//! entry points are public so that (a) [`ido_core::Resumable::resume`] can
+//! re-enter the interrupted region, and (b) crash tests can execute an
+//! operation prefix, crash, and verify recovery — the native analog of the
+//! VM's instruction-level crash sweeps.
+//!
+//! ```text
+//! push(v):                          pop():
+//!   acquire; token=PUSH               acquire; token=POP
+//!   B1 [hdr, v]                       B1 [hdr]
+//!   node = alloc                      h = load hdr
+//!   B2 [hdr, v, node]                 if h == 0: B∅ []; release; None
+//!   node.val = v                      n = load h.next
+//!   head = load hdr                   B2 [hdr, h, n]   (antidep cut)
+//!   node.next = head                  store hdr = n
+//!   B3 [hdr, node]  (antidep cut)     B3 [h]
+//!   store hdr = node                  free h
+//!   B4 []                             B4 []
+//!   release                           release
+//! ```
+
+use ido_core::{IdoSession, InterruptedFase, Resumable, Session, SimLock};
+use ido_nvm::{NvmError, PmemHandle, PAddr};
+
+/// Operation token for `push` (see [`ido_core::Session::set_op_token`]).
+pub const OP_PUSH: u64 = 1;
+/// Operation token for `pop`.
+pub const OP_POP: u64 = 2;
+
+/// A persistent stack protected by a single lock.
+#[derive(Debug)]
+pub struct PStack {
+    header: PAddr,
+    lock: SimLock,
+}
+
+impl PStack {
+    /// Creates an empty stack, allocating its header and lock holder.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn create(s: &mut dyn Session) -> Result<PStack, NvmError> {
+        let header = s.alloc(8)?;
+        s.store(header, 0);
+        s.handle().persist(header, 8);
+        let lock = SimLock::new(s)?;
+        Ok(PStack { header, lock })
+    }
+
+    /// Re-attaches to an existing stack after a crash, minting a fresh
+    /// transient lock for the given holder.
+    pub fn attach(header: PAddr, lock_holder: PAddr) -> PStack {
+        PStack { header, lock: SimLock::from_holder(lock_holder) }
+    }
+
+    /// The header address (persist in a root to find the stack again).
+    pub fn header(&self) -> PAddr {
+        self.header
+    }
+
+    /// The lock's indirect-holder address.
+    pub fn lock_holder(&self) -> PAddr {
+        self.lock.holder()
+    }
+
+    /// Pushes `value`.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn push(&mut self, s: &mut dyn Session, value: u64) -> Result<(), NvmError> {
+        self.lock.acquire(s);
+        s.set_op_token(OP_PUSH);
+        s.boundary(&[self.header as u64, value]); // B1
+        self.push_after_b1(s, value)
+    }
+
+    /// Region entry: everything after push's B1 (allocation onward).
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn push_after_b1(&mut self, s: &mut dyn Session, value: u64) -> Result<(), NvmError> {
+        let node = s.alloc(16)?;
+        s.boundary(&[self.header as u64, value, node as u64]); // B2
+        self.push_after_b2(s, value, node);
+        Ok(())
+    }
+
+    /// Region entry: everything after push's B2 (field writes onward).
+    pub fn push_after_b2(&mut self, s: &mut dyn Session, value: u64, node: PAddr) {
+        s.store(node + 8, value);
+        let head = s.load(self.header);
+        s.store(node, head);
+        s.boundary(&[self.header as u64, node as u64]); // B3
+        self.push_after_b3(s, node);
+    }
+
+    /// Region entry: everything after push's B3 (the publishing store).
+    pub fn push_after_b3(&mut self, s: &mut dyn Session, node: PAddr) {
+        s.store(self.header, node as u64);
+        s.boundary(&[]); // B4
+        self.push_after_b4(s);
+    }
+
+    /// Region entry: after push's final boundary (release only).
+    pub fn push_after_b4(&mut self, s: &mut dyn Session) {
+        self.lock.release(s);
+    }
+
+    /// Executes the prefix of a push up to its second region boundary
+    /// (allocation done, node fields not yet written) and returns *without*
+    /// finishing or releasing the lock — for crash demonstrations and
+    /// tests. A subsequent crash leaves an interrupted FASE that
+    /// [`Resumable::resume`] completes.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn begin_push_for_crash_demo(
+        &mut self,
+        s: &mut dyn Session,
+        value: u64,
+    ) -> Result<(), NvmError> {
+        self.lock.acquire(s);
+        s.set_op_token(OP_PUSH);
+        s.boundary(&[self.header as u64, value]);
+        let node = s.alloc(16)?;
+        s.boundary(&[self.header as u64, value, node as u64]);
+        Ok(())
+    }
+
+    /// Pops the top value, if any.
+    pub fn pop(&mut self, s: &mut dyn Session) -> Option<u64> {
+        self.lock.acquire(s);
+        s.set_op_token(OP_POP);
+        s.boundary(&[self.header as u64]); // B1
+        self.pop_after_b1(s)
+    }
+
+    /// Region entry: everything after pop's B1.
+    pub fn pop_after_b1(&mut self, s: &mut dyn Session) -> Option<u64> {
+        let h = s.load(self.header) as PAddr;
+        if h == 0 {
+            s.boundary(&[]);
+            self.lock.release(s);
+            return None;
+        }
+        let value = s.load(h + 8);
+        let next = s.load(h);
+        s.boundary(&[self.header as u64, h as u64, next]); // B2
+        self.pop_after_b2(s, h, next as PAddr);
+        Some(value)
+    }
+
+    /// Region entry: everything after pop's B2 (unlink onward).
+    pub fn pop_after_b2(&mut self, s: &mut dyn Session, h: PAddr, next: PAddr) {
+        s.store(self.header, next as u64);
+        s.boundary(&[h as u64]); // B3
+        self.pop_after_b3(s, h);
+    }
+
+    /// Region entry: everything after pop's B3 (reclamation + release).
+    pub fn pop_after_b3(&mut self, s: &mut dyn Session, h: PAddr) {
+        // Freeing a node whose unlink has persisted is safe at any crash.
+        let _ = s.free(h);
+        s.boundary(&[]); // B4
+        self.lock.release(s);
+    }
+
+    /// Number of elements (walks the list; test/diagnostic use).
+    pub fn len(&self, h: &mut PmemHandle) -> usize {
+        let mut n = 0;
+        let mut cur = h.read_u64(self.header) as PAddr;
+        while cur != 0 {
+            n += 1;
+            cur = h.read_u64(cur) as PAddr;
+        }
+        n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self, h: &mut PmemHandle) -> bool {
+        h.read_u64(self.header) == 0
+    }
+
+    /// Collects the values top-to-bottom (test/diagnostic use).
+    pub fn values(&self, h: &mut PmemHandle) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = h.read_u64(self.header) as PAddr;
+        while cur != 0 {
+            out.push(h.read_u64(cur + 8));
+            cur = h.read_u64(cur) as PAddr;
+        }
+        out
+    }
+
+    /// Structural invariant: the chain from the header is acyclic within
+    /// `bound` steps. Returns the length.
+    ///
+    /// # Panics
+    /// Panics if a cycle (or a chain longer than `bound`) is found.
+    pub fn check_invariants(&self, h: &mut PmemHandle, bound: usize) -> usize {
+        let mut n = 0;
+        let mut cur = h.read_u64(self.header) as PAddr;
+        while cur != 0 {
+            n += 1;
+            assert!(n <= bound, "stack chain exceeds bound: cycle suspected");
+            cur = h.read_u64(cur) as PAddr;
+        }
+        n
+    }
+}
+
+impl Resumable for PStack {
+    fn resume(&mut self, s: &mut IdoSession, fase: &InterruptedFase) {
+        match (fase.op_token, fase.region_seq) {
+            (OP_PUSH, 1) => {
+                let value = fase.outputs[1];
+                self.push_after_b1(s, value).expect("resume allocation");
+            }
+            (OP_PUSH, 2) => {
+                let value = fase.outputs[1];
+                let node = fase.outputs[2] as PAddr;
+                self.push_after_b2(s, value, node);
+            }
+            (OP_PUSH, 3) => self.push_after_b3(s, fase.outputs[1] as PAddr),
+            (OP_PUSH, 4) => self.push_after_b4(s),
+            (OP_POP, 1) => {
+                let _ = self.pop_after_b1(s);
+            }
+            (OP_POP, 2) => {
+                let h = fase.outputs[1] as PAddr;
+                let next = fase.outputs[2] as PAddr;
+                self.pop_after_b2(s, h, next);
+            }
+            (OP_POP, 3) => self.pop_after_b3(s, fase.outputs[0] as PAddr),
+            (OP_POP, 4) => self.push_after_b4(s), // release only
+            (token, seq) => panic!("unknown resumption point: token={token} seq={seq}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_core::{IdoRuntime, OriginSession};
+    use ido_nvm::{PmemPool, PoolConfig};
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig::small_for_tests())
+    }
+
+    #[test]
+    fn push_pop_lifo_under_origin() {
+        let p = pool();
+        let mut s = OriginSession::format(&p);
+        let mut st = PStack::create(&mut s).unwrap();
+        for v in 1..=5 {
+            st.push(&mut s, v).unwrap();
+        }
+        assert_eq!(st.len(s.handle()), 5);
+        for v in (1..=5).rev() {
+            assert_eq!(st.pop(&mut s), Some(v));
+        }
+        assert_eq!(st.pop(&mut s), None);
+        assert!(st.is_empty(s.handle()));
+    }
+
+    #[test]
+    fn push_pop_under_every_native_runtime() {
+        use ido_baselines::*;
+        let check = |mut s: Box<dyn Session>| {
+            let mut st = PStack::create(s.as_mut()).unwrap();
+            st.push(s.as_mut(), 10).unwrap();
+            st.push(s.as_mut(), 20).unwrap();
+            assert_eq!(st.pop(s.as_mut()), Some(20), "{}", s.scheme_name());
+            assert_eq!(st.pop(s.as_mut()), Some(10));
+            assert_eq!(st.pop(s.as_mut()), None);
+        };
+        let p = pool();
+        check(Box::new(IdoRuntime::format(&p).unwrap().session(&p).unwrap()));
+        let p = pool();
+        check(Box::new(JustDoRuntime::format(&p).unwrap().session(&p).unwrap()));
+        let p = pool();
+        check(Box::new(AtlasRuntime::format(&p, 2048).unwrap().session(&p).unwrap()));
+        let p = pool();
+        check(Box::new(MnemosyneRuntime::format(&p, 2048).unwrap().session(&p).unwrap()));
+        let p = pool();
+        check(Box::new(NvmlRuntime::format(&p, 2048).unwrap().session(&p).unwrap()));
+        let p = pool();
+        check(Box::new(NvthreadsRuntime::format(&p, 2048).unwrap().session(&p).unwrap()));
+        let p = pool();
+        check(Box::new(OriginSession::format(&p)));
+    }
+
+    #[test]
+    fn node_reuse_after_pop() {
+        let p = pool();
+        let mut s = OriginSession::format(&p);
+        let mut st = PStack::create(&mut s).unwrap();
+        st.push(&mut s, 1).unwrap();
+        st.pop(&mut s);
+        let before = {
+            let a = s.allocator();
+            a.high_water(s.handle())
+        };
+        for _ in 0..100 {
+            st.push(&mut s, 2).unwrap();
+            st.pop(&mut s);
+        }
+        let after = {
+            let a = s.allocator();
+            a.high_water(s.handle())
+        };
+        assert_eq!(before, after, "popped nodes are recycled");
+    }
+
+    /// The native resumption sweep: crash after every boundary of a push
+    /// and of a pop; recovery must complete the operation exactly once.
+    #[test]
+    fn push_resumes_from_every_boundary() {
+        for crash_after in 1..=4u64 {
+            let p = pool();
+            let rt = IdoRuntime::format(&p).unwrap();
+            let mut s = rt.session(&p).unwrap();
+            let mut st = PStack::create(&mut s).unwrap();
+            st.push(&mut s, 7).unwrap(); // one committed element
+            let (header, holder) = (st.header(), st.lock_holder());
+
+            // Execute the prefix of push(9) up to boundary `crash_after`.
+            st.lock.acquire(&mut s);
+            s.set_op_token(OP_PUSH);
+            s.boundary(&[header as u64, 9]);
+            if crash_after >= 2 {
+                let node = s.alloc(16).unwrap();
+                s.boundary(&[header as u64, 9, node as u64]);
+                if crash_after >= 3 {
+                    s.store(node + 8, 9);
+                    let head = s.load(header);
+                    s.store(node, head);
+                    s.boundary(&[header as u64, node as u64]);
+                    if crash_after >= 4 {
+                        s.store(header, node as u64);
+                        s.boundary(&[]);
+                    }
+                }
+            }
+            drop(s);
+            p.crash(crash_after);
+
+            let (rt, fases) = IdoRuntime::recover(&p).unwrap();
+            assert_eq!(fases.len(), 1, "crash_after={crash_after}");
+            assert_eq!(fases[0].region_seq, crash_after);
+            let mut st = PStack::attach(header, holder);
+            let mut rs = rt.recovery_session(&p, &fases[0]).unwrap();
+            st.resume(&mut rs, &fases[0]);
+            drop(rs);
+
+            let mut h = p.handle();
+            assert_eq!(
+                st.values(&mut h),
+                vec![9, 7],
+                "push completed exactly once (crash_after={crash_after})"
+            );
+            let (_, fases) = IdoRuntime::recover(&p).unwrap();
+            assert!(fases.is_empty(), "log retired after resumption");
+        }
+    }
+
+    #[test]
+    fn pop_resumes_from_every_boundary() {
+        for crash_after in 1..=4u64 {
+            let p = pool();
+            let rt = IdoRuntime::format(&p).unwrap();
+            let mut s = rt.session(&p).unwrap();
+            let mut st = PStack::create(&mut s).unwrap();
+            st.push(&mut s, 7).unwrap();
+            st.push(&mut s, 9).unwrap();
+            let (header, holder) = (st.header(), st.lock_holder());
+
+            // Prefix of pop() up to boundary `crash_after`.
+            st.lock.acquire(&mut s);
+            s.set_op_token(OP_POP);
+            s.boundary(&[header as u64]);
+            if crash_after >= 2 {
+                let h = s.load(header) as PAddr;
+                let next = s.load(h);
+                s.boundary(&[header as u64, h as u64, next]);
+                if crash_after >= 3 {
+                    s.store(header, next);
+                    s.boundary(&[h as u64]);
+                    if crash_after >= 4 {
+                        let _ = s.free(h);
+                        s.boundary(&[]);
+                    }
+                }
+            }
+            drop(s);
+            p.crash(crash_after);
+
+            let (rt, fases) = IdoRuntime::recover(&p).unwrap();
+            assert_eq!(fases.len(), 1);
+            let mut st = PStack::attach(header, holder);
+            let mut rs = rt.recovery_session(&p, &fases[0]).unwrap();
+            st.resume(&mut rs, &fases[0]);
+            drop(rs);
+
+            let mut h = p.handle();
+            assert_eq!(
+                st.values(&mut h),
+                vec![7],
+                "pop completed exactly once (crash_after={crash_after})"
+            );
+        }
+    }
+
+    #[test]
+    fn invariant_checker_detects_length() {
+        let p = pool();
+        let mut s = OriginSession::format(&p);
+        let mut st = PStack::create(&mut s).unwrap();
+        for v in 0..10 {
+            st.push(&mut s, v).unwrap();
+        }
+        assert_eq!(st.check_invariants(s.handle(), 100), 10);
+    }
+}

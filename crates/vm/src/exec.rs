@@ -1,0 +1,1695 @@
+//! The interpreter: deterministic multi-threaded execution of instrumented
+//! programs over simulated NVM, with per-scheme runtime semantics.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use ido_compiler::{Instrumented, Scheme};
+use ido_ir::{BinOp, BlockId, FuncId, Inst, Operand, Pc, Program, Reg, RtOp, StackSlot};
+use ido_nvm::alloc::NvAllocator;
+use ido_nvm::root::RootTable;
+use ido_nvm::{PmemHandle, PmemPool, PoolConfig, PAddr};
+
+use crate::layout::{
+    encode_pc, AppendLogLayout, IdoLogLayout, JustDoLogLayout, LogEntryKind, LOCK_ARRAY_SLOTS,
+};
+use crate::locks::{Acquire, LockTable, ThreadId};
+use crate::profile::Profile;
+
+/// Reserved transient lock id for Mnemosyne's single global transaction
+/// lock (below the heap, so it can never collide with a lock holder).
+pub const GLOBAL_TX_LOCK: u64 = 8;
+
+/// Root name under which the VM's thread registry is published.
+pub const THREADS_ROOT: &str = "vm_threads";
+
+/// Maximum threads a VM instance supports.
+pub const MAX_THREADS: usize = 128;
+
+/// Thread scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Seeded random interleaving — good for crash testing (explores many
+    /// interleavings deterministically).
+    #[default]
+    Random,
+    /// Always run the runnable thread with the smallest simulated clock —
+    /// turns the VM into a discrete-event simulator whose `max_clock_ns`
+    /// is a meaningful wall-clock estimate (used by the throughput
+    /// figures). Lock handoffs advance the waiter's clock to the release
+    /// time, so contention shows up as elapsed simulated time.
+    MinClock,
+}
+
+/// VM configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Pool configuration (size, latency model, crash policy).
+    pub pool: PoolConfig,
+    /// Scheduler seed (determines the thread interleaving).
+    pub seed: u64,
+    /// Scheduling policy.
+    pub sched: SchedPolicy,
+    /// Per-thread persistent stack bytes.
+    pub stack_bytes: usize,
+    /// Capacity (entries) of each thread's append log (Atlas/NVML/
+    /// Mnemosyne/NVThreads).
+    pub log_entries: usize,
+    /// Simulated cost of one non-memory instruction, in ns.
+    pub inst_cost_ns: u64,
+    /// Simulated cost of an uncontended lock or unlock, in ns.
+    pub lock_cost_ns: u64,
+    /// Per-store/per-lock CPU cost of Atlas's compiler-inserted persistent-
+    /// access detection and dependence bookkeeping. Section V-A attributes
+    /// Atlas's single-threaded overhead to these features; real Atlas runs
+    /// ~10x slower than uninstrumented Memcached, which calibrates this to
+    /// a few hundred ns per instrumented event.
+    pub atlas_tracking_ns: u64,
+    /// Per-instruction CPU tax inside JUSTDO FASEs, modeling the original
+    /// system's prohibition on caching FASE state in registers (every use
+    /// becomes a memory access).
+    pub justdo_mem_tax_ns: u64,
+    /// Length of the serialized critical section inside Atlas's runtime
+    /// that every lock-tracking event passes through (shared dependence
+    /// tables). This is what saturates Atlas on scalable structures.
+    pub atlas_rt_serial_ns: u64,
+    /// Ablation: fence the recovery_pc update eagerly inside each boundary
+    /// (the paper's exact two-fence sequence) instead of deferring it to
+    /// the next region's first store.
+    pub ido_eager_step2_fence: bool,
+    /// Ablation: give each lock-acquire record its own fence (the paper's
+    /// exact single-fence lock op) instead of amortizing it into the
+    /// adjacent boundary's first fence.
+    pub ido_unmerged_acquire_fence: bool,
+    /// Ablation: disable persist coalescing — fence after every individual
+    /// register-slot write-back at a boundary (Section IV-B shows why this
+    /// matters).
+    pub ido_no_coalescing: bool,
+    /// NVThreads page size in bytes.
+    pub page_bytes: usize,
+    /// NVThreads cost of the copy-on-write page copy at first touch.
+    pub page_copy_ns: u64,
+    /// NVThreads cost of writing one dirty page to the redo log at commit.
+    pub page_log_ns: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        Self {
+            pool: PoolConfig::default(),
+            seed: 42,
+            sched: SchedPolicy::Random,
+            stack_bytes: 16 << 10,
+            log_entries: 1 << 14,
+            inst_cost_ns: 1,
+            lock_cost_ns: 20,
+            atlas_tracking_ns: 500,
+            justdo_mem_tax_ns: 12,
+            atlas_rt_serial_ns: 120,
+            ido_eager_step2_fence: false,
+            ido_unmerged_acquire_fence: false,
+            ido_no_coalescing: false,
+            page_bytes: 4096,
+            page_copy_ns: 1200,
+            page_log_ns: 2500,
+        }
+    }
+}
+
+impl VmConfig {
+    /// A small, zero-latency config for unit tests.
+    pub fn for_tests() -> Self {
+        Self {
+            pool: PoolConfig::small_for_tests(),
+            log_entries: 512,
+            stack_bytes: 4 << 10,
+            ..Self::default()
+        }
+    }
+}
+
+/// Thread run state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Eligible to run.
+    Runnable,
+    /// Waiting on a lock.
+    Blocked(u64),
+    /// Finished (returned from its entry function or completed recovery).
+    Done,
+}
+
+/// One call frame.
+#[derive(Debug, Clone)]
+struct Frame {
+    func: FuncId,
+    pc: Pc,
+    regs: Vec<u64>,
+    /// Pool address of this frame's slot 0.
+    stack_base: PAddr,
+    /// Register in the *caller's* frame receiving the return value.
+    ret_reg: Option<Reg>,
+}
+
+/// Per-thread execution context.
+pub(crate) struct ThreadCtx {
+    id: ThreadId,
+    pub(crate) handle: PmemHandle,
+    frames: Vec<Frame>,
+    pub(crate) status: Status,
+    /// True for threads created by the recovery procedure: lock operations
+    /// become idempotent and the thread halts after its FASE completes.
+    pub(crate) recovery: bool,
+    halt_after_release: bool,
+    ret_val: Option<u64>,
+
+    // Persistent structures.
+    pub(crate) ido_log: IdoLogLayout,
+    pub(crate) jd_log: JustDoLogLayout,
+    pub(crate) app_log: AppendLogLayout,
+    stack_area: PAddr,
+    stack_top: usize, // byte offset within the stack area
+
+    // Volatile scheme state.
+    lock_slots: [Option<u64>; LOCK_ARRAY_SLOTS],
+    region_stores: BTreeSet<PAddr>,
+    dirty_regs: BTreeSet<u32>,
+    written_regs: BTreeSet<u32>,
+    read_before_write: BTreeSet<u32>,
+    stores_since_boundary: u64,
+    fase_store_addrs: BTreeSet<PAddr>,
+    in_tx: bool,
+    fase_active: bool,
+    /// iDO lazy step-2 fence: the recovery_pc write-back has been issued
+    /// but not yet fenced. It must drain before the next persistent store
+    /// executes (or at the next fence, whichever comes first).
+    pc_fence_pending: bool,
+    tx_write_set: BTreeMap<PAddr, u64>,
+    mn_cursor: usize,
+    dirty_pages: BTreeSet<usize>,
+    nvml_added: BTreeSet<PAddr>,
+}
+
+impl std::fmt::Debug for ThreadCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("id", &self.id)
+            .field("status", &self.status)
+            .field("frames", &self.frames.len())
+            .finish()
+    }
+}
+
+/// Outcome of a (partial) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every thread reached `Done`.
+    Completed,
+    /// The step budget was exhausted first.
+    Paused,
+    /// No thread is runnable but not all are done (deadlock).
+    Deadlocked,
+}
+
+/// The virtual machine.
+pub struct Vm {
+    pool: PmemPool,
+    alloc: NvAllocator,
+    roots: RootTable,
+    program: Program,
+    scheme: Scheme,
+    config: VmConfig,
+    pub(crate) threads: Vec<ThreadCtx>,
+    pub(crate) locks: LockTable,
+    rng: u64,
+    stamp: u64,
+    lock_release_stamps: HashMap<u64, u64>,
+    /// DES availability time of Atlas's internal runtime synchronization
+    /// (global dependence-tracking tables). Lock-tracking events serialize
+    /// on it, which is what saturates Atlas on scalable structures
+    /// (Section V-B: "Atlas and Mnemosyne quickly saturate their runtime's
+    /// synchronization").
+    atlas_rt_available: u64,
+    max_regs: u32,
+    registry: PAddr,
+    profile: Profile,
+    steps: u64,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("scheme", &self.scheme)
+            .field("threads", &self.threads.len())
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+fn max_regs_of(program: &Program) -> u32 {
+    program.functions().iter().map(|f| f.num_regs()).max().unwrap_or(0).max(1)
+}
+
+impl Vm {
+    /// Creates a VM over a freshly formatted pool.
+    pub fn new(instrumented: Instrumented, config: VmConfig) -> Vm {
+        let pool = PmemPool::new(config.pool);
+        let mut h = pool.handle();
+        let roots = RootTable::format(&mut h);
+        let alloc = NvAllocator::format(&mut h, pool.size());
+        let mut vm = Vm {
+            pool,
+            alloc,
+            roots,
+            max_regs: max_regs_of(&instrumented.program),
+            program: instrumented.program,
+            scheme: instrumented.scheme,
+            config,
+            threads: Vec::new(),
+            locks: LockTable::new(),
+            rng: config.seed | 1,
+            stamp: 1,
+            lock_release_stamps: HashMap::new(),
+            atlas_rt_available: 0,
+            registry: 0,
+            profile: Profile::new(),
+            steps: 0,
+        };
+        // Thread registry: [count][entries: 4 words each].
+        let bytes = 8 + MAX_THREADS * 32;
+        let registry = vm.alloc.alloc(&mut h, bytes).expect("registry allocation");
+        h.write_u64(registry, 0);
+        h.persist(registry, 8);
+        vm.roots.set_root(&mut h, THREADS_ROOT, registry).expect("registry root");
+        vm.registry = registry;
+        vm.roots.mark_in_use(&mut h);
+        vm
+    }
+
+    /// Attaches to an existing (typically crashed) pool. Used by recovery.
+    pub fn attach(pool: PmemPool, instrumented: Instrumented, config: VmConfig) -> Vm {
+        let mut h = pool.handle();
+        let roots = RootTable::attach(&mut h).expect("pool must be formatted");
+        let alloc = NvAllocator::attach();
+        let registry = roots.root(&mut h, THREADS_ROOT).expect("thread registry root");
+        Vm {
+            pool,
+            alloc,
+            roots,
+            max_regs: max_regs_of(&instrumented.program),
+            program: instrumented.program,
+            scheme: instrumented.scheme,
+            config,
+            threads: Vec::new(),
+            locks: LockTable::new(),
+            rng: config.seed | 1,
+            stamp: 1,
+            lock_release_stamps: HashMap::new(),
+            atlas_rt_available: 0,
+            registry,
+            profile: Profile::new(),
+            steps: 0,
+        }
+    }
+
+    /// The underlying pool (shared; cheap to clone).
+    pub fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    /// The scheme this VM executes.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The program under execution.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The VM's configuration.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    /// Dynamic region profile collected so far (meaningful for iDO runs).
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Total instructions executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Maximum simulated thread clock, in ns.
+    pub fn max_clock_ns(&self) -> u64 {
+        self.threads.iter().map(|t| t.handle.clock_ns()).max().unwrap_or(0)
+    }
+
+    /// Runs `f` with direct pool access for building initial persistent
+    /// state (data structures, roots) before spawning threads.
+    pub fn setup<T>(&mut self, f: impl FnOnce(&mut PmemHandle, &NvAllocator, &RootTable) -> T) -> T {
+        let mut h = self.pool.handle();
+        let r = f(&mut h, &self.alloc, &self.roots);
+        h.merge_stats();
+        r
+    }
+
+    /// Spawns a thread executing `func(args...)`.
+    ///
+    /// # Panics
+    /// Panics if the function does not exist, the argument count is wrong,
+    /// or the thread limit is reached.
+    pub fn spawn(&mut self, func: &str, args: &[u64]) -> ThreadId {
+        let fid = self.program.find(func).unwrap_or_else(|| panic!("no function `{func}`"));
+        let f = self.program.function(fid);
+        assert_eq!(f.params().len(), args.len(), "argument count mismatch for `{func}`");
+        assert!(self.threads.len() < MAX_THREADS, "thread limit reached");
+
+        let mut h = self.pool.handle();
+        let ido_size = IdoLogLayout::size_for(self.max_regs);
+        let jd_size = JustDoLogLayout::size_for(self.max_regs);
+        let ido_base = self.alloc.alloc(&mut h, ido_size).expect("ido log alloc");
+        let jd_base = self.alloc.alloc(&mut h, jd_size).expect("justdo log alloc");
+        let app_base = self
+            .alloc
+            .alloc(&mut h, AppendLogLayout::size_for(self.config.log_entries))
+            .expect("append log alloc");
+        let stack_area = self.alloc.alloc(&mut h, self.config.stack_bytes).expect("stack alloc");
+
+        // Zero-initialize the control words durably.
+        for addr in [ido_base, jd_base, app_base] {
+            for w in 0..8 {
+                h.write_u64(addr + w * 8, 0);
+            }
+            h.persist(addr, 64);
+        }
+        let app_log = AppendLogLayout { base: app_base, capacity: self.config.log_entries };
+        app_log.reset(&mut h);
+
+        // Publish in the registry: entries first, then the count.
+        let idx = self.threads.len();
+        let entry = self.registry + 8 + idx * 32;
+        h.write_u64(entry, ido_base as u64);
+        h.write_u64(entry + 8, jd_base as u64);
+        h.write_u64(entry + 16, app_base as u64);
+        h.write_u64(entry + 24, stack_area as u64);
+        h.persist(entry, 32);
+        h.write_u64(self.registry, (idx + 1) as u64);
+        h.persist(self.registry, 8);
+
+        let mut regs = vec![0u64; f.num_regs() as usize];
+        regs[..args.len()].copy_from_slice(args);
+        let slots = f.num_stack_slots() as usize * 8;
+        assert!(slots <= self.config.stack_bytes, "frame larger than stack");
+
+        let ctx = ThreadCtx {
+            id: ThreadId(idx),
+            handle: h,
+            frames: vec![Frame { func: fid, pc: Pc { func: fid, block: BlockId(0), index: 0 }, regs, stack_base: stack_area, ret_reg: None }],
+            status: Status::Runnable,
+            recovery: false,
+            halt_after_release: false,
+            ret_val: None,
+            ido_log: IdoLogLayout { base: ido_base, max_regs: self.max_regs },
+            jd_log: JustDoLogLayout { base: jd_base, max_regs: self.max_regs },
+            app_log,
+            stack_area,
+            stack_top: slots,
+            lock_slots: [None; LOCK_ARRAY_SLOTS],
+            region_stores: BTreeSet::new(),
+            // Parameters count as defined-since-the-last-boundary so the
+            // first boundary of the first FASE logs them; a live register's
+            // log slot then always holds its value as of the last boundary.
+            dirty_regs: (0..args.len() as u32).collect(),
+            written_regs: BTreeSet::new(),
+            read_before_write: BTreeSet::new(),
+            stores_since_boundary: 0,
+            fase_store_addrs: BTreeSet::new(),
+            in_tx: false,
+            fase_active: false,
+            pc_fence_pending: false,
+            tx_write_set: BTreeMap::new(),
+            mn_cursor: 0,
+            dirty_pages: BTreeSet::new(),
+            nvml_added: BTreeSet::new(),
+        };
+        self.threads.push(ctx);
+        ThreadId(idx)
+    }
+
+    pub(crate) fn push_recovery_thread(&mut self, ctx: ThreadCtx) {
+        self.threads.push(ctx);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn make_recovery_ctx(
+        &self,
+        idx: usize,
+        ido_base: PAddr,
+        jd_base: PAddr,
+        app_base: PAddr,
+        stack_area: PAddr,
+        frame_func: FuncId,
+        pc: Pc,
+        regs: Vec<u64>,
+        stack_base: PAddr,
+        lock_slots: [Option<u64>; LOCK_ARRAY_SLOTS],
+    ) -> ThreadCtx {
+        let f = self.program.function(frame_func);
+        ThreadCtx {
+            id: ThreadId(idx),
+            handle: self.pool.handle(),
+            frames: vec![Frame { func: frame_func, pc, regs, stack_base, ret_reg: None }],
+            status: Status::Runnable,
+            recovery: true,
+            halt_after_release: false,
+            ret_val: None,
+            ido_log: IdoLogLayout { base: ido_base, max_regs: self.max_regs },
+            jd_log: JustDoLogLayout { base: jd_base, max_regs: self.max_regs },
+            app_log: AppendLogLayout { base: app_base, capacity: self.config.log_entries },
+            stack_area,
+            stack_top: (stack_base - stack_area) + f.num_stack_slots() as usize * 8,
+            lock_slots,
+            region_stores: BTreeSet::new(),
+            dirty_regs: BTreeSet::new(),
+            written_regs: BTreeSet::new(),
+            read_before_write: BTreeSet::new(),
+            stores_since_boundary: 0,
+            fase_store_addrs: BTreeSet::new(),
+            in_tx: false,
+            fase_active: false,
+            pc_fence_pending: false,
+            tx_write_set: BTreeMap::new(),
+            mn_cursor: 0,
+            dirty_pages: BTreeSet::new(),
+            nvml_added: BTreeSet::new(),
+        }
+    }
+
+    /// The return value of a completed thread.
+    pub fn return_value(&self, t: ThreadId) -> Option<u64> {
+        self.threads[t.0].ret_val
+    }
+
+    /// The status of a thread.
+    pub fn status(&self, t: ThreadId) -> Status {
+        self.threads[t.0].status
+    }
+
+    fn next_rng(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// Executes up to `budget` instructions; returns when the budget is
+    /// exhausted, all threads are done, or no thread can run.
+    pub fn run_steps(&mut self, budget: u64) -> RunOutcome {
+        for _ in 0..budget {
+            let runnable: Vec<usize> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                return if self.threads.iter().all(|t| t.status == Status::Done) {
+                    RunOutcome::Completed
+                } else {
+                    RunOutcome::Deadlocked
+                };
+            }
+            let pick = match self.config.sched {
+                SchedPolicy::Random => {
+                    runnable[(self.next_rng() % runnable.len() as u64) as usize]
+                }
+                SchedPolicy::MinClock => runnable
+                    .into_iter()
+                    .min_by_key(|&i| (self.threads[i].handle.clock_ns(), i))
+                    .expect("nonempty"),
+            };
+            self.step_thread(pick);
+            self.steps += 1;
+        }
+        if self.threads.iter().all(|t| t.status == Status::Done) {
+            RunOutcome::Completed
+        } else {
+            RunOutcome::Paused
+        }
+    }
+
+    /// Runs until every thread completes (or deadlock), with a generous
+    /// safety budget.
+    pub fn run(&mut self) -> RunOutcome {
+        loop {
+            match self.run_steps(1 << 20) {
+                RunOutcome::Paused => continue,
+                done => return done,
+            }
+        }
+    }
+
+    /// Simulates a crash: discards all transient state (threads, locks) and
+    /// applies the pool's crash policy. Returns the pool for recovery.
+    pub fn crash(self, seed: u64) -> PmemPool {
+        drop(self.threads); // handles merge their stats on drop
+        self.pool.crash(seed);
+        self.pool
+    }
+
+    // ------------------------------------------------------------------
+    // Instruction execution
+    // ------------------------------------------------------------------
+
+    fn step_thread(&mut self, t: usize) {
+        let frame = self.threads[t].frames.last().expect("runnable thread has a frame");
+        let pc = frame.pc;
+        let inst =
+            self.program.function(pc.func).block(pc.block).insts[pc.index as usize].clone();
+        self.exec_inst(t, pc, inst);
+    }
+
+    fn advance(&mut self, t: usize) {
+        let frame = self.threads[t].frames.last_mut().expect("frame");
+        frame.pc.index += 1;
+    }
+
+    fn set_pc(&mut self, t: usize, block: BlockId) {
+        let frame = self.threads[t].frames.last_mut().expect("frame");
+        frame.pc.block = block;
+        frame.pc.index = 0;
+    }
+
+    fn read_reg(&mut self, t: usize, r: Reg) -> u64 {
+        let th = &mut self.threads[t];
+        if !th.written_regs.contains(&r.id) {
+            th.read_before_write.insert(r.id);
+        }
+        th.frames.last().expect("frame").regs[r.id as usize]
+    }
+
+    fn write_reg(&mut self, t: usize, r: Reg, v: u64) {
+        let th = &mut self.threads[t];
+        th.written_regs.insert(r.id);
+        th.dirty_regs.insert(r.id);
+        th.frames.last_mut().expect("frame").regs[r.id as usize] = v;
+    }
+
+    fn eval(&mut self, t: usize, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.read_reg(t, r),
+            Operand::Imm(v) => v as u64,
+        }
+    }
+
+    fn slot_addr(&self, t: usize, slot: StackSlot) -> PAddr {
+        self.threads[t].frames.last().expect("frame").stack_base + slot.0 as usize * 8
+    }
+
+    fn charge(&mut self, t: usize, ns: u64) {
+        self.threads[t].handle.advance(ns);
+    }
+
+    /// A persistent store as seen by the current scheme. Returns without
+    /// writing memory for write-set-buffering schemes inside transactions.
+    fn scheme_store(&mut self, t: usize, addr: PAddr, value: u64) {
+        self.threads[t].stores_since_boundary += 1;
+        match self.scheme {
+            Scheme::Mnemosyne => {
+                if self.threads[t].in_tx {
+                    // Buffer the write; append a REDO entry with
+                    // non-temporal stores (kind word last, so a torn entry
+                    // is invisible to the recovery scan).
+                    let cur = self.threads[t].mn_cursor;
+                    let e = self.threads[t].app_log.entry_addr(cur);
+                    let th = &mut self.threads[t];
+                    th.tx_write_set.insert(addr, value);
+                    th.mn_cursor += 1;
+                    th.handle.nt_store_u64(e + 8, addr as u64);
+                    th.handle.nt_store_u64(e + 16, value);
+                    th.handle.nt_store_u64(e + 24, 0);
+                    th.handle.nt_store_u64(e, LogEntryKind::Redo as u64);
+                } else {
+                    self.threads[t].handle.write_u64(addr, value);
+                }
+            }
+            Scheme::Nvthreads => {
+                if self.threads[t].in_tx {
+                    self.threads[t].tx_write_set.insert(addr, value);
+                } else {
+                    self.threads[t].handle.write_u64(addr, value);
+                }
+            }
+            Scheme::JustDo => {
+                // Persist the store before the next log entry can be
+                // overwritten: JUSTDO's second fence per store.
+                let th = &mut self.threads[t];
+                th.handle.write_u64(addr, value);
+                th.handle.clwb(addr);
+                th.handle.sfence();
+            }
+            Scheme::Ido => {
+                let th = &mut self.threads[t];
+                if th.pc_fence_pending {
+                    // The deferred step-2 fence: recovery_pc must persist
+                    // before this region performs a store that could
+                    // overwrite a predecessor region's inputs.
+                    th.handle.sfence();
+                    th.pc_fence_pending = false;
+                }
+                th.handle.write_u64(addr, value);
+                th.region_stores.insert(addr);
+            }
+            Scheme::Atlas | Scheme::Nvml => {
+                let th = &mut self.threads[t];
+                th.handle.write_u64(addr, value);
+                th.fase_store_addrs.insert(addr);
+            }
+            Scheme::Origin => {
+                self.threads[t].handle.write_u64(addr, value);
+            }
+        }
+    }
+
+    /// A persistent load as seen by the current scheme (transactional
+    /// schemes must read through their write sets).
+    fn scheme_load(&mut self, t: usize, addr: PAddr) -> u64 {
+        let th = &mut self.threads[t];
+        if th.in_tx {
+            if let Some(v) = th.tx_write_set.get(&addr) {
+                // Still charge a (cheap) lookup as a cached load.
+                th.handle.advance(1);
+                return *v;
+            }
+        }
+        th.handle.read_u64(addr)
+    }
+
+    fn exec_inst(&mut self, t: usize, pc: Pc, inst: Inst) {
+        if self.scheme == Scheme::JustDo && self.threads[t].fase_active {
+            // No-register-caching rule: FASE temporaries live in memory.
+            self.charge(t, self.config.justdo_mem_tax_ns);
+        }
+        match inst {
+            Inst::Mov { dst, src } => {
+                let v = self.eval(t, src);
+                self.charge(t, self.config.inst_cost_ns);
+                self.write_reg(t, dst, v);
+                self.advance(t);
+            }
+            Inst::Bin { op, dst, a, b } => {
+                let x = self.eval(t, a);
+                let y = self.eval(t, b);
+                self.charge(t, self.config.inst_cost_ns);
+                self.write_reg(t, dst, eval_binop(op, x, y));
+                self.advance(t);
+            }
+            Inst::LoadStack { dst, slot } => {
+                let addr = self.slot_addr(t, slot);
+                let v = self.scheme_load(t, addr);
+                self.write_reg(t, dst, v);
+                self.advance(t);
+            }
+            Inst::StoreStack { slot, src } => {
+                let v = self.eval(t, src);
+                let addr = self.slot_addr(t, slot);
+                self.scheme_store(t, addr, v);
+                self.advance(t);
+            }
+            Inst::Load { dst, base, offset } => {
+                let addr = mem_addr(self.read_reg(t, base), offset);
+                let v = self.scheme_load(t, addr);
+                self.write_reg(t, dst, v);
+                self.advance(t);
+            }
+            Inst::Store { base, offset, src } => {
+                let addr = mem_addr(self.read_reg(t, base), offset);
+                let v = self.eval(t, src);
+                self.scheme_store(t, addr, v);
+                self.advance(t);
+            }
+            Inst::Alloc { dst, size } => {
+                let sz = self.eval(t, size) as usize;
+                let th = &mut self.threads[t];
+                let addr = self.alloc.alloc(&mut th.handle, sz).expect("nv_malloc failed");
+                self.write_reg(t, dst, addr as u64);
+                self.advance(t);
+            }
+            Inst::Free { base } => {
+                let addr = self.read_reg(t, base) as usize;
+                let th = &mut self.threads[t];
+                self.alloc.free(&mut th.handle, addr).expect("nv_free failed");
+                self.advance(t);
+            }
+            Inst::Lock { lock } => {
+                if self.scheme == Scheme::Mnemosyne {
+                    // Program locks are subsumed by the global txn lock.
+                    self.advance(t);
+                    return;
+                }
+                let l = self.eval(t, lock);
+                self.charge(t, self.config.lock_cost_ns);
+                match self.locks.acquire(l, ThreadId(t)) {
+                    Acquire::Granted | Acquire::AlreadyHeld => self.advance(t),
+                    Acquire::Blocked => {
+                        self.threads[t].status = Status::Blocked(l);
+                        // pc stays; re-executes after handoff.
+                    }
+                }
+            }
+            Inst::Unlock { lock } => {
+                if self.scheme == Scheme::Mnemosyne {
+                    self.advance(t);
+                    return;
+                }
+                let l = self.eval(t, lock);
+                self.charge(t, self.config.lock_cost_ns);
+                match self.locks.release(l, ThreadId(t)) {
+                    Ok(next) => {
+                        if let Some(n) = next {
+                            self.wake(t, n);
+                        }
+                    }
+                    Err(_) => {
+                        assert!(
+                            self.threads[t].recovery,
+                            "thread {t} released a lock it does not hold"
+                        );
+                    }
+                }
+                self.advance(t);
+                if self.threads[t].halt_after_release {
+                    self.finish_thread(t);
+                }
+            }
+            Inst::DurableBegin => {
+                self.advance(t);
+            }
+            Inst::DurableEnd => {
+                self.advance(t);
+                if self.threads[t].halt_after_release {
+                    self.finish_thread(t);
+                }
+            }
+            Inst::Call { func, args, ret } => {
+                let vals: Vec<u64> = args.iter().map(|a| self.eval(t, *a)).collect();
+                self.charge(t, self.config.inst_cost_ns * 2);
+                let f = self.program.function(func);
+                let mut regs = vec![0u64; f.num_regs() as usize];
+                regs[..vals.len()].copy_from_slice(&vals);
+                let frame_bytes = f.num_stack_slots() as usize * 8;
+                let th = &mut self.threads[t];
+                assert!(
+                    th.stack_top + frame_bytes <= self.config.stack_bytes,
+                    "persistent stack overflow"
+                );
+                let stack_base = th.stack_area + th.stack_top;
+                th.stack_top += frame_bytes;
+                // Callee parameters are fresh definitions for logging
+                // purposes (a FASE inside the callee must log them).
+                th.dirty_regs.extend(0..vals.len() as u32);
+                // Return to the instruction after the call.
+                th.frames.last_mut().expect("frame").pc.index += 1;
+                th.frames.push(Frame {
+                    func,
+                    pc: Pc { func, block: BlockId(0), index: 0 },
+                    regs,
+                    stack_base,
+                    ret_reg: ret,
+                });
+            }
+            Inst::Ret { val } => {
+                let v = val.map(|o| self.eval(t, o));
+                self.charge(t, self.config.inst_cost_ns);
+                let th = &mut self.threads[t];
+                let frame = th.frames.pop().expect("frame");
+                let frame_bytes =
+                    self.program.function(frame.func).num_stack_slots() as usize * 8;
+                th.stack_top -= frame_bytes;
+                if let Some(caller) = th.frames.last_mut() {
+                    if let (Some(r), Some(v)) = (frame.ret_reg, v) {
+                        caller.regs[r.id as usize] = v;
+                    }
+                } else {
+                    th.ret_val = v;
+                    th.status = Status::Done;
+                }
+            }
+            Inst::RegionMarker => {
+                self.advance(t);
+            }
+            Inst::Delay { ns } => {
+                self.charge(t, ns);
+                self.advance(t);
+            }
+            Inst::Jump { target } => {
+                self.charge(t, self.config.inst_cost_ns);
+                self.set_pc(t, target);
+            }
+            Inst::Branch { cond, then_bb, else_bb } => {
+                let c = self.eval(t, cond);
+                self.charge(t, self.config.inst_cost_ns);
+                self.set_pc(t, if c != 0 { then_bb } else { else_bb });
+            }
+            Inst::Rt(op) => self.exec_rt(t, pc, op),
+        }
+    }
+
+    fn finish_thread(&mut self, t: usize) {
+        let th = &mut self.threads[t];
+        th.status = Status::Done;
+        th.halt_after_release = false;
+    }
+
+    /// Wakes a lock waiter, advancing its clock to the release time so that
+    /// contention appears as elapsed simulated time.
+    fn wake(&mut self, releaser: usize, woken: ThreadId) {
+        let release_time = self.threads[releaser].handle.clock_ns();
+        let w = &mut self.threads[woken.0];
+        if w.handle.clock_ns() < release_time {
+            w.handle.set_clock_ns(release_time);
+        }
+        w.status = Status::Runnable;
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime operations
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_rt(&mut self, t: usize, pc: Pc, op: RtOp) {
+        match op {
+            RtOp::FaseBegin => {
+                self.profile.record_fase();
+                let stack_base = self.threads[t].frames.last().expect("frame").stack_base;
+                match self.scheme {
+                    Scheme::Ido => {
+                        let a = self.threads[t].ido_log.stack_base();
+                        let th = &mut self.threads[t];
+                        th.handle.write_u64(a, stack_base as u64);
+                        th.handle.clwb(a);
+                        th.region_stores.clear();
+                        // dirty_regs deliberately persists across FASE
+                        // entry: registers defined since the previous
+                        // boundary (including before the FASE) must be
+                        // logged by the FASE's first boundary.
+                        th.written_regs.clear();
+                        th.read_before_write.clear();
+                        th.stores_since_boundary = 0;
+                    }
+                    Scheme::JustDo => {
+                        // JUSTDO forbids caching FASE state in registers:
+                        // the whole register context lives in NVM. Persist
+                        // the context at FASE entry (the original system
+                        // copied it at FASE initialization).
+                        self.threads[t].fase_active = true;
+                        let a = self.threads[t].jd_log.stack_base();
+                        let regs: Vec<u64> =
+                            self.threads[t].frames.last().expect("frame").regs.clone();
+                        let th = &mut self.threads[t];
+                        th.handle.write_u64(a, stack_base as u64);
+                        th.handle.clwb(a);
+                        for (r, v) in regs.iter().enumerate() {
+                            let s = th.jd_log.shadow_slot(r as u32);
+                            th.handle.write_u64(s, *v);
+                            th.handle.clwb(s);
+                        }
+                        th.handle.sfence();
+                    }
+                    Scheme::Atlas | Scheme::Nvml => {
+                        let stamp = self.next_stamp();
+                        let th = &mut self.threads[t];
+                        th.fase_store_addrs.clear();
+                        th.nvml_added.clear();
+                        let log = th.app_log;
+                        log.append(&mut th.handle, LogEntryKind::FaseBegin, 0, 0, stamp);
+                    }
+                    Scheme::Nvthreads => {
+                        let th = &mut self.threads[t];
+                        th.in_tx = true;
+                        th.tx_write_set.clear();
+                        th.dirty_pages.clear();
+                    }
+                    Scheme::Origin | Scheme::Mnemosyne => {}
+                }
+                self.advance(t);
+            }
+            RtOp::FaseEnd => {
+                match self.scheme {
+                    Scheme::Ido => {
+                        let a = self.threads[t].ido_log.recovery_pc();
+                        let th = &mut self.threads[t];
+                        // Defensive: anything still unflushed in the final
+                        // (boundary-to-release) region must persist *before*
+                        // the marker clears, or a crash in between would
+                        // declare the FASE complete with its last stores
+                        // missing.
+                        if !th.region_stores.is_empty() {
+                            for addr in std::mem::take(&mut th.region_stores) {
+                                th.handle.clwb(addr);
+                            }
+                            th.handle.sfence();
+                        }
+                        th.handle.write_u64(a, 0);
+                        th.handle.clwb(a);
+                        th.handle.sfence();
+                        th.pc_fence_pending = false;
+                    }
+                    Scheme::JustDo => {
+                        let a = self.threads[t].jd_log.active_pc();
+                        let th = &mut self.threads[t];
+                        th.fase_active = false;
+                        th.handle.write_u64(a, 0);
+                        th.handle.clwb(a);
+                        th.handle.sfence();
+                    }
+                    Scheme::Atlas | Scheme::Nvml => {
+                        let stamp = self.next_stamp();
+                        let th = &mut self.threads[t];
+                        // UNDO systems defer the FASE's writes-back to here.
+                        for addr in std::mem::take(&mut th.fase_store_addrs) {
+                            th.handle.clwb(addr);
+                        }
+                        th.handle.sfence();
+                        let log = th.app_log;
+                        log.append(&mut th.handle, LogEntryKind::Commit, 0, 0, stamp);
+                    }
+                    Scheme::Nvthreads => self.nvthreads_commit(t),
+                    Scheme::Origin | Scheme::Mnemosyne => {}
+                }
+                if self.threads[t].recovery {
+                    self.threads[t].halt_after_release = true;
+                }
+                self.advance(t);
+            }
+            RtOp::IdoBoundary { out_regs, .. } => {
+                self.ido_boundary(t, pc, &out_regs);
+                self.advance(t);
+            }
+            RtOp::IdoLockAcquired { lock } => {
+                let l = self.eval(t, lock);
+                let th = &mut self.threads[t];
+                let slot = th
+                    .lock_slots
+                    .iter()
+                    .position(|s| s.is_none())
+                    .expect("lock_array full");
+                th.lock_slots[slot] = Some(l);
+                let slot_addr = th.ido_log.lock_slot(slot);
+                let bitmap_addr = th.ido_log.lock_bitmap();
+                th.handle.write_u64(slot_addr, l);
+                let bm = th.handle.read_u64(bitmap_addr);
+                th.handle.write_u64(bitmap_addr, bm | (1 << slot));
+                th.handle.clwb(slot_addr);
+                th.handle.clwb(bitmap_addr);
+                if self.config.ido_unmerged_acquire_fence {
+                    th.handle.sfence(); // the paper's single fence, unmerged
+                } else {
+                    // No fence here: the instrumentation always places a
+                    // region boundary immediately after a lock acquisition,
+                    // and the boundary's first fence drains these
+                    // write-backs before recovery_pc advances. The paper's
+                    // ordering requirement — the holder is recorded before
+                    // any FASE work can be resumed — is preserved with zero
+                    // extra fences (one better than the paper's single
+                    // fence).
+                }
+                self.advance(t);
+            }
+            RtOp::IdoLockReleasing { lock } => {
+                let l = self.eval(t, lock);
+                let th = &mut self.threads[t];
+                if let Some(slot) = th.lock_slots.iter().position(|s| *s == Some(l)) {
+                    th.lock_slots[slot] = None;
+                    let slot_addr = th.ido_log.lock_slot(slot);
+                    let bitmap_addr = th.ido_log.lock_bitmap();
+                    let bm = th.handle.read_u64(bitmap_addr);
+                    th.handle.write_u64(bitmap_addr, bm & !(1u64 << slot));
+                    th.handle.write_u64(slot_addr, 0);
+                    th.handle.clwb(slot_addr);
+                    th.handle.clwb(bitmap_addr);
+                    th.handle.sfence(); // single fence
+                } else {
+                    assert!(th.recovery, "releasing unrecorded lock outside recovery");
+                }
+                self.advance(t);
+            }
+            RtOp::JustDoLog { base, offset, value } => {
+                let addr = mem_addr(self.read_reg(t, base), offset) as u64;
+                let v = self.eval(t, value);
+                self.justdo_log(t, pc, addr, v);
+                self.advance(t);
+            }
+            RtOp::JustDoLogStack { slot, value } => {
+                let addr = self.slot_addr(t, slot) as u64;
+                let v = self.eval(t, value);
+                self.justdo_log(t, pc, addr, v);
+                self.advance(t);
+            }
+            RtOp::JustDoShadow { reg } => {
+                let v = self.read_reg(t, reg);
+                let th = &mut self.threads[t];
+                let a = th.jd_log.shadow_slot(reg.id);
+                th.handle.write_u64(a, v);
+                th.handle.clwb(a); // ordered by the next log fence
+                self.advance(t);
+            }
+            RtOp::JustDoLockAcquired { lock } => {
+                let l = self.eval(t, lock);
+                let th = &mut self.threads[t];
+                let slot = th.lock_slots.iter().position(|s| s.is_none()).expect("lock_array full");
+                th.lock_slots[slot] = Some(l);
+                // Two persist fences: intention, then ownership.
+                let slot_addr = th.jd_log.lock_slot(slot);
+                th.handle.write_u64(slot_addr, l);
+                th.handle.clwb(slot_addr);
+                th.handle.sfence();
+                let bitmap_addr = th.jd_log.lock_bitmap();
+                let bm = th.handle.read_u64(bitmap_addr);
+                th.handle.write_u64(bitmap_addr, bm | (1 << slot));
+                th.handle.clwb(bitmap_addr);
+                th.handle.sfence();
+                self.advance(t);
+            }
+            RtOp::JustDoLockReleasing { lock } => {
+                let l = self.eval(t, lock);
+                let th = &mut self.threads[t];
+                if let Some(slot) = th.lock_slots.iter().position(|s| *s == Some(l)) {
+                    th.lock_slots[slot] = None;
+                    let bitmap_addr = th.jd_log.lock_bitmap();
+                    let bm = th.handle.read_u64(bitmap_addr);
+                    th.handle.write_u64(bitmap_addr, bm & !(1u64 << slot));
+                    th.handle.clwb(bitmap_addr);
+                    th.handle.sfence();
+                    let slot_addr = th.jd_log.lock_slot(slot);
+                    th.handle.write_u64(slot_addr, 0);
+                    th.handle.clwb(slot_addr);
+                    th.handle.sfence();
+                } else {
+                    assert!(th.recovery, "releasing unrecorded lock outside recovery");
+                }
+                self.advance(t);
+            }
+            RtOp::AtlasUndoLog { base, offset } => {
+                let addr = mem_addr(self.read_reg(t, base), offset);
+                self.atlas_undo(t, addr);
+                self.advance(t);
+            }
+            RtOp::AtlasUndoLogStack { slot } => {
+                let addr = self.slot_addr(t, slot);
+                self.atlas_undo(t, addr);
+                self.advance(t);
+            }
+            RtOp::AtlasLockAcquired { lock } => {
+                let l = self.eval(t, lock);
+                let observed = *self.lock_release_stamps.get(&l).unwrap_or(&0);
+                let stamp = self.next_stamp();
+                self.atlas_rt_serialize(t);
+                let th = &mut self.threads[t];
+                th.handle.advance(self.config.atlas_tracking_ns);
+                let log = th.app_log;
+                log.append(&mut th.handle, LogEntryKind::LockAcquire, l, observed, stamp);
+                self.advance(t);
+            }
+            RtOp::AtlasLockReleasing { lock } => {
+                let l = self.eval(t, lock);
+                let stamp = self.next_stamp();
+                self.lock_release_stamps.insert(l, stamp);
+                self.atlas_rt_serialize(t);
+                let th = &mut self.threads[t];
+                th.handle.advance(self.config.atlas_tracking_ns);
+                let log = th.app_log;
+                log.append(&mut th.handle, LogEntryKind::LockRelease, l, stamp, stamp);
+                self.advance(t);
+            }
+            RtOp::TxBegin => {
+                self.charge(t, self.config.lock_cost_ns);
+                match self.locks.acquire(GLOBAL_TX_LOCK, ThreadId(t)) {
+                    Acquire::Granted | Acquire::AlreadyHeld => {
+                        let th = &mut self.threads[t];
+                        th.in_tx = true;
+                        th.tx_write_set.clear();
+                        th.mn_cursor = 0;
+                        self.profile.record_fase();
+                        self.advance(t);
+                    }
+                    Acquire::Blocked => {
+                        self.threads[t].status = Status::Blocked(GLOBAL_TX_LOCK);
+                    }
+                }
+            }
+            RtOp::TxCommit => {
+                self.mnemosyne_commit(t);
+                self.charge(t, self.config.lock_cost_ns);
+                if let Ok(Some(n)) = self.locks.release(GLOBAL_TX_LOCK, ThreadId(t)) {
+                    self.wake(t, n);
+                }
+                if self.threads[t].recovery {
+                    self.threads[t].halt_after_release = true;
+                }
+                self.advance(t);
+            }
+            RtOp::NvmlTxAdd { base, offset } => {
+                let addr = mem_addr(self.read_reg(t, base), offset);
+                self.nvml_tx_add(t, addr);
+                self.advance(t);
+            }
+            RtOp::NvmlTxAddStack { slot } => {
+                let addr = self.slot_addr(t, slot);
+                self.nvml_tx_add(t, addr);
+                self.advance(t);
+            }
+            RtOp::NvthreadsPageTouch { base, offset } => {
+                let addr = mem_addr(self.read_reg(t, base), offset);
+                self.nvthreads_touch(t, addr);
+                self.advance(t);
+            }
+            RtOp::NvthreadsPageTouchStack { slot } => {
+                let addr = self.slot_addr(t, slot);
+                self.nvthreads_touch(t, addr);
+                self.advance(t);
+            }
+        }
+    }
+
+    /// The iDO region boundary (Section III-A): persist the ending region's
+    /// outputs (register log slots, persist-coalesced, plus run-time-tracked
+    /// heap/stack stores), fence, advance `recovery_pc`, fence.
+    fn ido_boundary(&mut self, t: usize, pc: Pc, live_filter: &[Reg]) {
+        let rf_base: Vec<(u32, u64)> = {
+            let th = &self.threads[t];
+            let frame = th.frames.last().expect("frame");
+            live_filter
+                .iter()
+                .filter(|r| th.dirty_regs.contains(&r.id))
+                .map(|r| (r.id, frame.regs[r.id as usize]))
+                .collect()
+        };
+        let stores = self.threads[t].stores_since_boundary;
+        let inputs = self.threads[t].read_before_write.len() as u64;
+        let th = &mut self.threads[t];
+        // Step 1: write + write back Def ∩ LiveOut register slots (up to 8
+        // slots share one line: persist coalescing) and tracked stores.
+        let no_coalescing = self.config.ido_no_coalescing;
+        for (id, v) in &rf_base {
+            let a = th.ido_log.rf_slot(*id);
+            th.handle.write_u64(a, *v);
+            th.handle.clwb(a); // duplicate lines coalesce in the queue
+            if no_coalescing {
+                th.handle.sfence();
+            }
+        }
+        for addr in std::mem::take(&mut th.region_stores) {
+            th.handle.clwb(addr);
+        }
+        th.handle.sfence();
+        // Step 2: advance recovery_pc to the instruction after the boundary.
+        // The paper fences here eagerly; we defer the fence until the next
+        // region's first store (the only event it must precede — a late
+        // recovery_pc merely re-executes one extra, WAR-free region). The
+        // exhaustive crash sweeps in tests/crash_recovery.rs validate this.
+        let next = Pc { func: pc.func, block: pc.block, index: pc.index + 1 };
+        let a = th.ido_log.recovery_pc();
+        th.handle.write_u64(a, encode_pc(next));
+        th.handle.clwb(a);
+        if self.config.ido_eager_step2_fence {
+            th.handle.sfence();
+            th.pc_fence_pending = false;
+        } else {
+            th.pc_fence_pending = true;
+        }
+        // Step 3 begins when the caller advances; reset dynamic tracking.
+        th.dirty_regs.clear();
+        th.written_regs.clear();
+        th.read_before_write.clear();
+        th.stores_since_boundary = 0;
+        self.profile.record_region(stores, inputs);
+    }
+
+    fn justdo_log(&mut self, t: usize, pc: Pc, addr: u64, value: u64) {
+        // The following store is at pc+1 (the log op immediately precedes it).
+        let store_pc = Pc { func: pc.func, block: pc.block, index: pc.index + 1 };
+        let th = &mut self.threads[t];
+        let l = th.jd_log;
+        th.handle.write_u64(l.addr(), addr);
+        th.handle.write_u64(l.value(), value);
+        th.handle.write_u64(l.active_pc(), encode_pc(store_pc));
+        th.handle.clwb(l.active_pc()); // one line holds all three fields
+        th.handle.sfence(); // first fence; the store itself fences again
+    }
+
+    /// Serializes a thread on Atlas's internal runtime synchronization:
+    /// the thread waits until the shared tracking tables are free and
+    /// occupies them for the tracking duration.
+    fn atlas_rt_serialize(&mut self, t: usize) {
+        let now = self.threads[t].handle.clock_ns().max(self.atlas_rt_available);
+        self.threads[t].handle.set_clock_ns(now);
+        self.atlas_rt_available = now + self.config.atlas_rt_serial_ns;
+    }
+
+    fn atlas_undo(&mut self, t: usize, addr: PAddr) {
+        let stamp = self.next_stamp();
+        let th = &mut self.threads[t];
+        th.handle.advance(self.config.atlas_tracking_ns);
+        let old = th.handle.read_u64(addr);
+        let log = th.app_log;
+        log.append(&mut th.handle, LogEntryKind::Undo, addr as u64, old, stamp);
+    }
+
+    fn nvml_tx_add(&mut self, t: usize, addr: PAddr) {
+        // Object granularity: snapshot the containing cache line once per
+        // FASE (`TX_ADD` deduplicates by range).
+        let obj = addr & !63;
+        if !self.threads[t].nvml_added.insert(obj) {
+            return;
+        }
+        let stamp = self.next_stamp();
+        let th = &mut self.threads[t];
+        let mut entries = Vec::with_capacity(8);
+        for w in 0..8 {
+            let a = obj + w * 8;
+            let old = th.handle.read_u64(a);
+            entries.push((LogEntryKind::Undo, a as u64, old, stamp));
+        }
+        let log = th.app_log;
+        log.append_batch(&mut th.handle, &entries); // one fence per object
+    }
+
+    fn nvthreads_touch(&mut self, t: usize, addr: PAddr) {
+        let page = addr / self.config.page_bytes;
+        if self.threads[t].dirty_pages.insert(page) {
+            // First touch: copy-on-write page duplication.
+            self.charge(t, self.config.page_copy_ns);
+        }
+    }
+
+    fn nvthreads_commit(&mut self, t: usize) {
+        let stamp = self.next_stamp();
+        let pages = self.threads[t].dirty_pages.len() as u64;
+        let th = &mut self.threads[t];
+        th.in_tx = false;
+        // Write dirty pages to the redo log (word-precise entries for
+        // replay; page-granular cost).
+        let entries: Vec<_> = th
+            .tx_write_set
+            .iter()
+            .map(|(a, v)| (LogEntryKind::Redo, *a as u64, *v, stamp))
+            .collect();
+        th.handle.advance(pages * self.config.page_log_ns);
+        let log = th.app_log;
+        if !entries.is_empty() {
+            log.append_batch(&mut th.handle, &entries);
+        }
+        log.append(&mut th.handle, LogEntryKind::Commit, 0, 0, stamp);
+        // Publish the write set in place, persist, then retire the log.
+        for (addr, v) in std::mem::take(&mut th.tx_write_set) {
+            th.handle.write_u64(addr, v);
+            th.handle.clwb(addr);
+        }
+        th.handle.sfence();
+        log.reset(&mut th.handle);
+        th.dirty_pages.clear();
+    }
+
+    fn mnemosyne_commit(&mut self, t: usize) {
+        let th = &mut self.threads[t];
+        th.in_tx = false;
+        // NT-store appends are already durable; fence orders them, then the
+        // commit record publishes the transaction.
+        th.handle.sfence();
+        let cur = th.mn_cursor;
+        let log = th.app_log;
+        let e = log.entry_addr(cur);
+        th.handle.nt_store_u64(e + 8, 0);
+        th.handle.nt_store_u64(e + 16, 0);
+        th.handle.nt_store_u64(e + 24, 0);
+        th.handle.nt_store_u64(e, LogEntryKind::Commit as u64);
+        th.handle.sfence();
+        // Apply the write set in place and persist it.
+        for (addr, v) in std::mem::take(&mut th.tx_write_set) {
+            th.handle.write_u64(addr, v);
+            th.handle.clwb(addr);
+        }
+        th.handle.sfence();
+        // Retire the log: invalidating entry 0 makes the recovery scan see
+        // an empty log.
+        th.handle.nt_store_u64(log.entry_addr(0), 0);
+        th.handle.sfence();
+        th.mn_cursor = 0;
+    }
+}
+
+fn mem_addr(base: u64, offset: i64) -> PAddr {
+    (base as i64 + offset) as PAddr
+}
+
+fn eval_binop(op: BinOp, a: u64, b: u64) -> u64 {
+    let (sa, sb) = (a as i64, b as i64);
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if sb == 0 {
+                0
+            } else {
+                sa.wrapping_div(sb) as u64
+            }
+        }
+        BinOp::Rem => {
+            if sb == 0 {
+                0
+            } else {
+                sa.wrapping_rem(sb) as u64
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        BinOp::Eq => (a == b) as u64,
+        BinOp::Ne => (a != b) as u64,
+        BinOp::Lt => (sa < sb) as u64,
+        BinOp::Le => (sa <= sb) as u64,
+        BinOp::Gt => (sa > sb) as u64,
+        BinOp::Ge => (sa >= sb) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_compiler::instrument_program;
+    use ido_ir::ProgramBuilder;
+
+    fn compile(scheme: Scheme, build: impl FnOnce(&mut ProgramBuilder)) -> Instrumented {
+        let mut pb = ProgramBuilder::new();
+        build(&mut pb);
+        instrument_program(pb.finish(), scheme).expect("instrumentation")
+    }
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(eval_binop(BinOp::Add, u64::MAX, 1), 0);
+        assert_eq!(eval_binop(BinOp::Sub, 3, 5), (-2i64) as u64);
+        assert_eq!(eval_binop(BinOp::Div, 7, 2), 3);
+        assert_eq!(eval_binop(BinOp::Div, 7, 0), 0);
+        assert_eq!(eval_binop(BinOp::Rem, 7, 0), 0);
+        assert_eq!(eval_binop(BinOp::Lt, (-1i64) as u64, 0), 1, "signed compare");
+        assert_eq!(eval_binop(BinOp::Shl, 1, 65), 2, "shift modulo 64");
+    }
+
+    #[test]
+    fn run_simple_arithmetic() {
+        let inst = compile(Scheme::Origin, |pb| {
+            let mut f = pb.new_function("main", 2);
+            let a = f.param(0);
+            let b = f.param(1);
+            let c = f.new_reg();
+            f.bin(BinOp::Mul, c, a, b);
+            f.ret(Some(Operand::Reg(c)));
+            f.finish().unwrap();
+        });
+        let mut vm = Vm::new(inst, VmConfig::for_tests());
+        let t = vm.spawn("main", &[6, 7]);
+        assert_eq!(vm.run(), RunOutcome::Completed);
+        assert_eq!(vm.return_value(t), Some(42));
+    }
+
+    #[test]
+    fn heap_store_load_roundtrip() {
+        let inst = compile(Scheme::Origin, |pb| {
+            let mut f = pb.new_function("main", 1);
+            let p = f.param(0);
+            let v = f.new_reg();
+            f.store(p, 0, 99i64);
+            f.load(v, p, 0);
+            f.ret(Some(Operand::Reg(v)));
+            f.finish().unwrap();
+        });
+        let mut vm = Vm::new(inst, VmConfig::for_tests());
+        let addr = vm.setup(|h, alloc, _| alloc.alloc(h, 8).unwrap());
+        let t = vm.spawn("main", &[addr as u64]);
+        vm.run();
+        assert_eq!(vm.return_value(t), Some(99));
+    }
+
+    #[test]
+    fn stack_slots_work() {
+        let inst = compile(Scheme::Origin, |pb| {
+            let mut f = pb.new_function("main", 0);
+            let s = f.new_stack_slot();
+            let v = f.new_reg();
+            f.store_stack(s, 31i64);
+            f.load_stack(v, s);
+            f.ret(Some(Operand::Reg(v)));
+            f.finish().unwrap();
+        });
+        let mut vm = Vm::new(inst, VmConfig::for_tests());
+        let t = vm.spawn("main", &[]);
+        vm.run();
+        assert_eq!(vm.return_value(t), Some(31));
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let inst = compile(Scheme::Origin, |pb| {
+            let callee = pb.declare("double");
+            let mut f = pb.new_function("main", 1);
+            let x = f.param(0);
+            let r = f.new_reg();
+            f.call(callee, vec![Operand::Reg(x)], Some(r));
+            let r2 = f.new_reg();
+            f.call(callee, vec![Operand::Reg(r)], Some(r2));
+            f.ret(Some(Operand::Reg(r2)));
+            f.finish().unwrap();
+            let mut g = pb.new_function("double", 1);
+            let p = g.param(0);
+            let d = g.new_reg();
+            g.bin(BinOp::Add, d, p, Operand::Reg(p));
+            g.ret(Some(Operand::Reg(d)));
+            g.finish().unwrap();
+        });
+        let mut vm = Vm::new(inst, VmConfig::for_tests());
+        let t = vm.spawn("main", &[5]);
+        assert_eq!(vm.run(), RunOutcome::Completed);
+        assert_eq!(vm.return_value(t), Some(20));
+    }
+
+    #[test]
+    fn loops_terminate() {
+        let inst = compile(Scheme::Origin, |pb| {
+            let mut f = pb.new_function("sum", 1);
+            let n = f.param(0);
+            let i = f.new_reg();
+            let acc = f.new_reg();
+            let c = f.new_reg();
+            let head = f.new_block();
+            let body = f.new_block();
+            let exit = f.new_block();
+            f.mov(i, 0i64);
+            f.mov(acc, 0i64);
+            f.jump(head);
+            f.switch_to(head);
+            f.bin(BinOp::Lt, c, i, n);
+            f.branch(c, body, exit);
+            f.switch_to(body);
+            f.bin(BinOp::Add, acc, acc, i);
+            f.bin(BinOp::Add, i, i, 1i64);
+            f.jump(head);
+            f.switch_to(exit);
+            f.ret(Some(Operand::Reg(acc)));
+            f.finish().unwrap();
+        });
+        let mut vm = Vm::new(inst, VmConfig::for_tests());
+        let t = vm.spawn("sum", &[10]);
+        vm.run();
+        assert_eq!(vm.return_value(t), Some(45));
+    }
+
+    /// Builds the canonical "locked counter increment" used by many tests:
+    /// `fn incr(lock, cell) { lock; v = mem[cell]; mem[cell] = v + 1; unlock }`
+    fn counter_program(scheme: Scheme) -> Instrumented {
+        compile(scheme, |pb| {
+            let mut f = pb.new_function("incr", 2);
+            let l = f.param(0);
+            let p = f.param(1);
+            let v = f.new_reg();
+            let v2 = f.new_reg();
+            f.lock(l);
+            f.load(v, p, 0);
+            f.bin(BinOp::Add, v2, v, 1i64);
+            f.store(p, 0, Operand::Reg(v2));
+            f.unlock(l);
+            f.ret(None);
+            f.finish().unwrap();
+        })
+    }
+
+    fn run_counter(scheme: Scheme, threads: usize, seed: u64) -> u64 {
+        let inst = counter_program(scheme);
+        let mut vm = Vm::new(inst, VmConfig { seed, ..VmConfig::for_tests() });
+        let (lock_holder, cell) = vm.setup(|h, alloc, _| {
+            let lh = alloc.alloc(h, 8).unwrap();
+            let c = alloc.alloc(h, 8).unwrap();
+            h.write_u64(c, 0);
+            h.persist(c, 8);
+            (lh, c)
+        });
+        for _ in 0..threads {
+            vm.spawn("incr", &[lock_holder as u64, cell as u64]);
+        }
+        assert_eq!(vm.run(), RunOutcome::Completed);
+        let mut h = vm.pool().handle();
+        h.read_u64(cell)
+    }
+
+    #[test]
+    fn mutual_exclusion_across_schemes() {
+        for scheme in Scheme::ALL {
+            for seed in [1, 7, 99] {
+                assert_eq!(
+                    run_counter(scheme, 8, seed),
+                    8,
+                    "lost update under {scheme} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ido_profile_counts_regions_and_fases() {
+        let inst = counter_program(Scheme::Ido);
+        let mut vm = Vm::new(inst, VmConfig::for_tests());
+        let (lh, c) = vm.setup(|h, alloc, _| {
+            (alloc.alloc(h, 8).unwrap(), alloc.alloc(h, 8).unwrap())
+        });
+        let _ = c;
+        vm.spawn("incr", &[lh as u64, c as u64]);
+        vm.run();
+        assert_eq!(vm.profile().fases, 1);
+        assert!(vm.profile().regions >= 2);
+        // The region carrying the store reports it.
+        let stores: u64 = (0..crate::profile::BUCKETS)
+            .map(|k| vm.profile().stores_hist[k] * k as u64)
+            .sum();
+        assert!(stores >= 1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = {
+            let inst = counter_program(Scheme::Ido);
+            let mut vm = Vm::new(inst, VmConfig { seed: 5, ..VmConfig::for_tests() });
+            let (lh, c) = vm.setup(|h, al, _| (al.alloc(h, 8).unwrap(), al.alloc(h, 8).unwrap()));
+            for _ in 0..4 {
+                vm.spawn("incr", &[lh as u64, c as u64]);
+            }
+            vm.run();
+            (vm.steps(), vm.max_clock_ns())
+        };
+        let b = {
+            let inst = counter_program(Scheme::Ido);
+            let mut vm = Vm::new(inst, VmConfig { seed: 5, ..VmConfig::for_tests() });
+            let (lh, c) = vm.setup(|h, al, _| (al.alloc(h, 8).unwrap(), al.alloc(h, 8).unwrap()));
+            for _ in 0..4 {
+                vm.spawn("incr", &[lh as u64, c as u64]);
+            }
+            vm.run();
+            (vm.steps(), vm.max_clock_ns())
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blocked_threads_wait_and_resume() {
+        let inst = counter_program(Scheme::Origin);
+        let mut vm = Vm::new(inst, VmConfig::for_tests());
+        let (lh, c) = vm.setup(|h, al, _| (al.alloc(h, 8).unwrap(), al.alloc(h, 8).unwrap()));
+        for _ in 0..3 {
+            vm.spawn("incr", &[lh as u64, c as u64]);
+        }
+        assert_eq!(vm.run(), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn mnemosyne_buffers_until_commit() {
+        // Inside the txn, memory is unchanged until TxCommit publishes.
+        let inst = compile(Scheme::Mnemosyne, |pb| {
+            let mut f = pb.new_function("w", 2);
+            let l = f.param(0);
+            let p = f.param(1);
+            let v = f.new_reg();
+            f.lock(l);
+            f.store(p, 0, 5i64);
+            f.load(v, p, 0); // must see own write through the write set
+            f.store(p, 8, Operand::Reg(v));
+            f.unlock(l);
+            f.ret(Some(Operand::Reg(v)));
+            f.finish().unwrap();
+        });
+        let mut vm = Vm::new(inst, VmConfig::for_tests());
+        let (lh, c) = vm.setup(|h, al, _| (al.alloc(h, 8).unwrap(), al.alloc(h, 16).unwrap()));
+        let t = vm.spawn("w", &[lh as u64, c as u64]);
+        vm.run();
+        assert_eq!(vm.return_value(t), Some(5), "read-own-write");
+        let mut h = vm.pool().handle();
+        assert_eq!(h.read_u64(c), 5);
+        assert_eq!(h.read_u64(c + 8), 5);
+    }
+
+    #[test]
+    fn justdo_charges_two_fences_per_store() {
+        let inst = counter_program(Scheme::JustDo);
+        let mut vm = Vm::new(inst, VmConfig::for_tests());
+        let (lh, c) = vm.setup(|h, al, _| (al.alloc(h, 8).unwrap(), al.alloc(h, 8).unwrap()));
+        vm.spawn("incr", &[lh as u64, c as u64]);
+        vm.run();
+        let stats = vm.pool().global_stats();
+        // 1 store: log fence + store fence; plus 2×2 for the lock ops and
+        // one for fase end.
+        assert!(stats.fences >= 2 + 4, "expected JUSTDO's fence-heavy profile, got {stats}");
+    }
+
+    #[test]
+    fn ido_uses_fewer_fences_than_justdo_on_multi_store_fases() {
+        // An 8-store FASE: iDO covers all stores with one region boundary
+        // (2 fences), while JUSTDO pays 2 fences per store.
+        let fences = |scheme| {
+            let inst = compile(scheme, |pb| {
+                let mut f = pb.new_function("blast", 2);
+                let l = f.param(0);
+                let p = f.param(1);
+                f.lock(l);
+                for k in 0..8 {
+                    f.store(p, k * 8, (k + 1) as i64);
+                }
+                f.unlock(l);
+                f.ret(None);
+                f.finish().unwrap();
+            });
+            let mut vm = Vm::new(inst, VmConfig::for_tests());
+            let (lh, c) = vm.setup(|h, al, _| (al.alloc(h, 8).unwrap(), al.alloc(h, 64).unwrap()));
+            vm.spawn("blast", &[lh as u64, c as u64]);
+            vm.run();
+            let pool = vm.pool().clone();
+            drop(vm); // thread handles fold their stats into the pool
+            pool.global_stats().fences
+        };
+        assert!(
+            fences(Scheme::Ido) < fences(Scheme::JustDo),
+            "iDO consolidates per-store logging into per-region logging"
+        );
+    }
+}

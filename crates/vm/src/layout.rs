@@ -1,0 +1,441 @@
+//! Persistent log layouts for every scheme's per-thread state.
+//!
+//! All per-thread runtime state that must survive a crash lives in the
+//! simulated NVM pool, laid out here. Offsets are in bytes from the start
+//! of the thread's log allocation.
+
+use ido_ir::Pc;
+use ido_nvm::{PmemHandle, PAddr};
+
+/// Maximum locks a thread may hold simultaneously (size of the paper's
+/// `lock_array`).
+pub const LOCK_ARRAY_SLOTS: usize = 64;
+
+/// Encodes a PC for persistent storage; 0 is reserved for "none".
+pub fn encode_pc(pc: Pc) -> u64 {
+    pc.encode() + 1
+}
+
+/// Decodes a persistent PC word; `None` if the stored word is the reserved
+/// null value.
+pub fn decode_pc(word: u64) -> Option<Pc> {
+    if word == 0 {
+        None
+    } else {
+        Some(Pc::decode(word - 1))
+    }
+}
+
+/// The iDO per-thread log (`iDO_Log` in the paper, Fig. 3): `recovery_pc`,
+/// the register file image, and the `lock_array` of indirect lock holders.
+///
+/// The paper splits the register image into `intRF` and `floatRF`; our IR
+/// gives every virtual register a unique id, so a single array serves both
+/// classes with identical semantics (a fixed slot per register, enabling
+/// persist coalescing of up to 8 slots per cache-line write-back).
+#[derive(Debug, Clone, Copy)]
+pub struct IdoLogLayout {
+    /// Base address of the log in the pool.
+    pub base: PAddr,
+    /// Number of register slots.
+    pub max_regs: u32,
+}
+
+impl IdoLogLayout {
+    const RECOVERY_PC: usize = 0;
+    const STACK_BASE: usize = 8;
+    const LOCK_BITMAP: usize = 16;
+    const LOCK_ARRAY: usize = 24;
+    const RF: usize = Self::LOCK_ARRAY + LOCK_ARRAY_SLOTS * 8;
+
+    /// Bytes needed for a log with `max_regs` register slots.
+    pub fn size_for(max_regs: u32) -> usize {
+        Self::RF + max_regs as usize * 8
+    }
+
+    /// Address of the `recovery_pc` field.
+    pub fn recovery_pc(&self) -> PAddr {
+        self.base + Self::RECOVERY_PC
+    }
+
+    /// Address of the saved stack-frame base field.
+    pub fn stack_base(&self) -> PAddr {
+        self.base + Self::STACK_BASE
+    }
+
+    /// Address of the live-slot bitmap for the lock array.
+    pub fn lock_bitmap(&self) -> PAddr {
+        self.base + Self::LOCK_BITMAP
+    }
+
+    /// Address of lock-array slot `i`.
+    pub fn lock_slot(&self, i: usize) -> PAddr {
+        assert!(i < LOCK_ARRAY_SLOTS);
+        self.base + Self::LOCK_ARRAY + i * 8
+    }
+
+    /// Address of the register-file slot for register id `r`.
+    pub fn rf_slot(&self, r: u32) -> PAddr {
+        assert!(r < self.max_regs, "register {r} outside log ({} slots)", self.max_regs);
+        self.base + Self::RF + r as usize * 8
+    }
+
+    /// Reads the persisted recovery PC.
+    pub fn read_recovery_pc(&self, h: &mut PmemHandle) -> Option<Pc> {
+        decode_pc(h.read_u64(self.recovery_pc()))
+    }
+
+    /// Reads the lock-array entries whose bitmap bit is set.
+    pub fn read_held_locks(&self, h: &mut PmemHandle) -> Vec<u64> {
+        let bitmap = h.read_u64(self.lock_bitmap());
+        (0..LOCK_ARRAY_SLOTS)
+            .filter(|i| bitmap & (1 << i) != 0)
+            .map(|i| h.read_u64(self.lock_slot(i)))
+            .collect()
+    }
+}
+
+/// The JUSTDO per-thread log: the ⟨pc, addr, value⟩ triple plus the shadow
+/// register file required by the no-register-caching rule, and the same
+/// lock array as iDO (JUSTDO persists lock intention/ownership with two
+/// fences; we reuse the array layout).
+#[derive(Debug, Clone, Copy)]
+pub struct JustDoLogLayout {
+    /// Base address of the log.
+    pub base: PAddr,
+    /// Number of shadow register slots.
+    pub max_regs: u32,
+}
+
+impl JustDoLogLayout {
+    const ACTIVE_PC: usize = 0; // encoded pc; 0 = inactive
+    const ADDR: usize = 8;
+    const VALUE: usize = 16;
+    const STACK_BASE: usize = 24;
+    const LOCK_BITMAP: usize = 32;
+    const LOCK_ARRAY: usize = 40;
+    const SHADOW: usize = Self::LOCK_ARRAY + LOCK_ARRAY_SLOTS * 8;
+
+    /// Bytes needed for a log with `max_regs` shadow slots.
+    pub fn size_for(max_regs: u32) -> usize {
+        Self::SHADOW + max_regs as usize * 8
+    }
+
+    /// Address of the active-PC field.
+    pub fn active_pc(&self) -> PAddr {
+        self.base + Self::ACTIVE_PC
+    }
+
+    /// Address of the logged store target.
+    pub fn addr(&self) -> PAddr {
+        self.base + Self::ADDR
+    }
+
+    /// Address of the logged store value.
+    pub fn value(&self) -> PAddr {
+        self.base + Self::VALUE
+    }
+
+    /// Address of the saved stack-frame base.
+    pub fn stack_base(&self) -> PAddr {
+        self.base + Self::STACK_BASE
+    }
+
+    /// Address of the lock bitmap.
+    pub fn lock_bitmap(&self) -> PAddr {
+        self.base + Self::LOCK_BITMAP
+    }
+
+    /// Address of lock-array slot `i`.
+    pub fn lock_slot(&self, i: usize) -> PAddr {
+        assert!(i < LOCK_ARRAY_SLOTS);
+        self.base + Self::LOCK_ARRAY + i * 8
+    }
+
+    /// Address of shadow slot for register id `r`.
+    pub fn shadow_slot(&self, r: u32) -> PAddr {
+        assert!(r < self.max_regs);
+        self.base + Self::SHADOW + r as usize * 8
+    }
+
+    /// Reads the lock-array entries whose bitmap bit is set.
+    pub fn read_held_locks(&self, h: &mut PmemHandle) -> Vec<u64> {
+        let bitmap = h.read_u64(self.lock_bitmap());
+        (0..LOCK_ARRAY_SLOTS)
+            .filter(|i| bitmap & (1 << i) != 0)
+            .map(|i| h.read_u64(self.lock_slot(i)))
+            .collect()
+    }
+}
+
+/// Kinds of entries in the append-only UNDO/event logs used by Atlas, NVML,
+/// and NVThreads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum LogEntryKind {
+    /// UNDO: `(addr, old_value)`.
+    Undo = 1,
+    /// A FASE began.
+    FaseBegin = 2,
+    /// A FASE committed (all its stores persisted).
+    Commit = 3,
+    /// Lock acquired: `(lock, observed_release_stamp)`.
+    LockAcquire = 4,
+    /// Lock released: `(lock, my_stamp)`.
+    LockRelease = 5,
+    /// REDO: `(addr, new_value)` (Mnemosyne write set, NVThreads pages).
+    Redo = 6,
+}
+
+impl LogEntryKind {
+    /// Decodes a stored kind word.
+    pub fn from_word(w: u64) -> Option<LogEntryKind> {
+        match w {
+            1 => Some(LogEntryKind::Undo),
+            2 => Some(LogEntryKind::FaseBegin),
+            3 => Some(LogEntryKind::Commit),
+            4 => Some(LogEntryKind::LockAcquire),
+            5 => Some(LogEntryKind::LockRelease),
+            6 => Some(LogEntryKind::Redo),
+            _ => None,
+        }
+    }
+}
+
+/// An append-only per-thread log of 32-byte entries
+/// `(kind, a, b, global_stamp)` — the Atlas paper's 32-bytes-per-store
+/// format (Section IV-B: "a system like Atlas, which logs 32 bytes of
+/// information for every store, can persist at most two contiguous log
+/// entries in a single 64-byte cache line write-back").
+#[derive(Debug, Clone, Copy)]
+pub struct AppendLogLayout {
+    /// Base address.
+    pub base: PAddr,
+    /// Capacity in entries.
+    pub capacity: usize,
+}
+
+/// Size of one append-log entry in bytes.
+pub const APPEND_ENTRY_BYTES: usize = 32;
+
+impl AppendLogLayout {
+    const LEN: usize = 0;
+    const ENTRIES: usize = 64; // keep the length word on its own line
+
+    /// Bytes needed for `capacity` entries.
+    pub fn size_for(capacity: usize) -> usize {
+        Self::ENTRIES + capacity * APPEND_ENTRY_BYTES
+    }
+
+    /// Address of the persisted entry count.
+    pub fn len_addr(&self) -> PAddr {
+        self.base + Self::LEN
+    }
+
+    /// Address of entry `i`.
+    pub fn entry_addr(&self, i: usize) -> PAddr {
+        assert!(i < self.capacity, "append log overflow at entry {i}");
+        self.base + Self::ENTRIES + i * APPEND_ENTRY_BYTES
+    }
+
+    /// Cursor position hint (updated without fencing; authoritative count
+    /// comes from [`AppendLogLayout::scan_len`]).
+    pub fn len(&self, h: &mut PmemHandle) -> usize {
+        h.read_u64(self.len_addr()) as usize
+    }
+
+    /// True when the log holds no entries.
+    pub fn is_empty(&self, h: &mut PmemHandle) -> bool {
+        self.len(h) == 0
+    }
+
+    /// Authoritative entry count after a crash: entries are valid by
+    /// content (a decodable kind word), so recovery scans until the first
+    /// zero kind. This is Atlas's trick for publishing a log entry with a
+    /// **single** persist fence — no separately-fenced length word.
+    pub fn scan_len(&self, h: &mut PmemHandle) -> usize {
+        for i in 0..self.capacity {
+            if LogEntryKind::from_word(h.read_u64(self.entry_addr(i))).is_none() {
+                return i;
+            }
+        }
+        self.capacity
+    }
+
+    /// Appends an entry: four words, one write-back, one fence. The kind
+    /// word doubles as the validity marker. The length hint is updated
+    /// without a fence.
+    ///
+    /// # Panics
+    /// Panics if the log is full.
+    pub fn append(&self, h: &mut PmemHandle, kind: LogEntryKind, a: u64, b: u64, stamp: u64) {
+        self.append_batch(h, &[(kind, a, b, stamp)]);
+    }
+
+    /// Appends several entries under a single persist fence (used by NVML's
+    /// object-granularity `TX_ADD`, which snapshots a whole cache line).
+    pub fn append_batch(&self, h: &mut PmemHandle, entries: &[(LogEntryKind, u64, u64, u64)]) {
+        let n = self.len(h);
+        for (k, (kind, a, b, stamp)) in entries.iter().enumerate() {
+            let e = self.entry_addr(n + k);
+            h.write_u64(e, *kind as u64);
+            h.write_u64(e + 8, *a);
+            h.write_u64(e + 16, *b);
+            h.write_u64(e + 24, *stamp);
+            h.clwb(e);
+        }
+        h.sfence();
+        h.write_u64(self.len_addr(), (n + entries.len()) as u64);
+    }
+
+    /// Reads entry `i`.
+    pub fn read(&self, h: &mut PmemHandle, i: usize) -> (Option<LogEntryKind>, u64, u64, u64) {
+        let e = self.entry_addr(i);
+        (
+            LogEntryKind::from_word(h.read_u64(e)),
+            h.read_u64(e + 8),
+            h.read_u64(e + 16),
+            h.read_u64(e + 24),
+        )
+    }
+
+    /// Durably resets the log to empty, zeroing the used prefix so the
+    /// content-validity scan terminates.
+    pub fn reset(&self, h: &mut PmemHandle) {
+        let used = self.scan_len(h).max(self.len(h));
+        for i in 0..used {
+            let e = self.entry_addr(i);
+            h.write_u64(e, 0);
+            h.clwb(e);
+        }
+        h.write_u64(self.len_addr(), 0);
+        h.clwb(self.len_addr());
+        h.sfence();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_ir::{BlockId, FuncId};
+    use ido_nvm::{PmemPool, PoolConfig};
+
+    #[test]
+    fn pc_encoding_reserves_zero() {
+        let pc = Pc { func: FuncId(0), block: BlockId(0), index: 0 };
+        assert_ne!(encode_pc(pc), 0);
+        assert_eq!(decode_pc(encode_pc(pc)), Some(pc));
+        assert_eq!(decode_pc(0), None);
+    }
+
+    #[test]
+    fn ido_layout_offsets_disjoint() {
+        let l = IdoLogLayout { base: 4096, max_regs: 16 };
+        assert!(l.recovery_pc() < l.stack_base());
+        assert!(l.stack_base() < l.lock_bitmap());
+        assert!(l.lock_bitmap() < l.lock_slot(0));
+        assert!(l.lock_slot(LOCK_ARRAY_SLOTS - 1) < l.rf_slot(0));
+        assert_eq!(l.rf_slot(1) - l.rf_slot(0), 8);
+        assert!(IdoLogLayout::size_for(16) >= (l.rf_slot(15) - 4096) + 8);
+    }
+
+    #[test]
+    fn append_log_roundtrip_and_crash_safety() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = pool.handle();
+        let log = AppendLogLayout { base: 4096, capacity: 32 };
+        log.reset(&mut h);
+        log.append(&mut h, LogEntryKind::Undo, 100, 7, 1);
+        log.append(&mut h, LogEntryKind::Commit, 0, 0, 2);
+        assert_eq!(log.len(&mut h), 2);
+        let (k, a, b, s) = log.read(&mut h, 0);
+        assert_eq!(k, Some(LogEntryKind::Undo));
+        assert_eq!((a, b, s), (100, 7, 1));
+        drop(h);
+        pool.crash(0);
+        let mut h = pool.handle();
+        assert_eq!(log.scan_len(&mut h), 2, "fenced entries survive a crash");
+        let (k, ..) = log.read(&mut h, 1);
+        assert_eq!(k, Some(LogEntryKind::Commit));
+    }
+
+    #[test]
+    fn unfenced_append_not_visible_after_crash() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = pool.handle();
+        let log = AppendLogLayout { base: 4096, capacity: 32 };
+        log.reset(&mut h);
+        // Simulate a torn append: entry written and written back, but never
+        // fenced (and the crash policy drops dirty lines).
+        let e = log.entry_addr(0);
+        h.write_u64(e, LogEntryKind::Undo as u64);
+        h.clwb(e);
+        drop(h);
+        pool.crash(0);
+        let mut h = pool.handle();
+        assert_eq!(log.scan_len(&mut h), 0);
+    }
+
+    #[test]
+    fn batch_append_publishes_all_entries_under_one_fence() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = pool.handle();
+        let log = AppendLogLayout { base: 4096, capacity: 32 };
+        log.reset(&mut h);
+        let fences_before = h.stats().fences;
+        log.append_batch(
+            &mut h,
+            &[
+                (LogEntryKind::Undo, 1, 2, 0),
+                (LogEntryKind::Undo, 3, 4, 0),
+                (LogEntryKind::Undo, 5, 6, 0),
+            ],
+        );
+        assert_eq!(h.stats().fences - fences_before, 1);
+        drop(h);
+        pool.crash(0);
+        let mut h = pool.handle();
+        assert_eq!(log.scan_len(&mut h), 3);
+    }
+
+    #[test]
+    fn reset_zeroes_scanned_prefix() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = pool.handle();
+        let log = AppendLogLayout { base: 4096, capacity: 32 };
+        log.reset(&mut h);
+        log.append(&mut h, LogEntryKind::Undo, 1, 2, 3);
+        log.reset(&mut h);
+        assert_eq!(log.scan_len(&mut h), 0);
+        drop(h);
+        pool.crash(0);
+        let mut h = pool.handle();
+        assert_eq!(log.scan_len(&mut h), 0, "reset is durable");
+    }
+
+    #[test]
+    fn held_locks_reflect_bitmap() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = pool.handle();
+        let l = IdoLogLayout { base: 4096, max_regs: 4 };
+        h.write_u64(l.lock_slot(0), 111);
+        h.write_u64(l.lock_slot(3), 333);
+        h.write_u64(l.lock_bitmap(), 0b1001);
+        assert_eq!(l.read_held_locks(&mut h), vec![111, 333]);
+    }
+
+    #[test]
+    fn log_entry_kind_roundtrip() {
+        for k in [
+            LogEntryKind::Undo,
+            LogEntryKind::FaseBegin,
+            LogEntryKind::Commit,
+            LogEntryKind::LockAcquire,
+            LogEntryKind::LockRelease,
+            LogEntryKind::Redo,
+        ] {
+            assert_eq!(LogEntryKind::from_word(k as u64), Some(k));
+        }
+        assert_eq!(LogEntryKind::from_word(99), None);
+    }
+}

@@ -1,0 +1,486 @@
+//! Post-crash recovery procedures for every scheme.
+//!
+//! * **iDO** (Section III-C): re-attach the pool, find the per-thread
+//!   `iDO_Log`s, create a recovery thread per interrupted FASE, re-grant the
+//!   locks recorded in each `lock_array`, restore registers and the stack
+//!   pointer, jump to `recovery_pc` (the entry of the interrupted idempotent
+//!   region), and execute forward to the end of the FASE.
+//! * **JUSTDO**: the same resumption structure, but restoring from the
+//!   per-store log and shadow register file.
+//! * **Atlas**: scan every thread's UNDO log, compute the globally
+//!   consistent cut by following the happens-before edges recorded at lock
+//!   operations (an interrupted FASE invalidates every FASE that later
+//!   acquired a lock it released), and roll back all invalidated FASEs in
+//!   reverse timestamp order. This is the work that makes Atlas recovery
+//!   time grow with log volume (Table I).
+//! * **NVML**: roll back the uncommitted suffix of each thread's UNDO log.
+//! * **Mnemosyne / NVThreads**: replay committed-but-unapplied REDO logs;
+//!   discard uncommitted ones.
+
+use std::collections::HashMap;
+
+use ido_compiler::{Instrumented, Scheme};
+use ido_nvm::root::RootTable;
+use ido_nvm::{PmemHandle, PmemPool, PAddr};
+
+use crate::exec::{RunOutcome, Vm, VmConfig, THREADS_ROOT};
+use crate::layout::{IdoLogLayout, JustDoLogLayout, LogEntryKind, AppendLogLayout, LOCK_ARRAY_SLOTS};
+use crate::locks::ThreadId;
+
+/// Cost model for the constant part of recovery (Section V-D observes that
+/// iDO recovery time is dominated by mapping the persistent region and
+/// creating recovery threads — essentially constant).
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// One-time cost: re-mapping the persistent region, log discovery.
+    pub base_ns: u64,
+    /// Per-recovery-thread creation and initialization cost.
+    pub per_thread_ns: u64,
+    /// CPU cost to examine one log entry during a scan (Atlas/NVML).
+    pub entry_scan_ns: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            base_ns: 120_000_000, // 120 ms: mmap + attach
+            per_thread_ns: 12_000_000, // 12 ms per recovery thread
+            // Atlas recovery builds its happens-before graph with per-entry
+            // allocation and hashing; a few hundred ns per entry.
+            entry_scan_ns: 250,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Zero-overhead config for unit tests that assert only on state.
+    pub fn for_tests() -> Self {
+        Self { base_ns: 0, per_thread_ns: 0, entry_scan_ns: 0 }
+    }
+}
+
+/// What recovery did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Scheme recovered.
+    pub scheme: Scheme,
+    /// Threads found in the registry.
+    pub threads_scanned: usize,
+    /// Interrupted FASEs resumed to completion (iDO/JUSTDO).
+    pub resumed: usize,
+    /// FASEs rolled back (Atlas: including dependence-invalidated ones;
+    /// NVML: uncommitted transactions).
+    pub rolled_back: usize,
+    /// Committed REDO transactions replayed (Mnemosyne/NVThreads).
+    pub replayed: usize,
+    /// UNDO entries applied.
+    pub undo_entries: usize,
+    /// Total log entries scanned.
+    pub log_entries_scanned: usize,
+    /// Interpreter steps executed by recovery threads.
+    pub steps: u64,
+    /// Modeled wall-clock recovery time in simulated nanoseconds.
+    pub sim_ns: u64,
+}
+
+/// Like [`recover`], but crashes the recovery itself after `budget`
+/// interpreter steps (resumption schemes only; log-processing schemes
+/// complete atomically from the VM's perspective). Used to verify that
+/// recovery tolerates failures *during* recovery: because resumption only
+/// ever re-executes idempotent regions and recovery metadata updates are
+/// themselves crash-ordered, a second recovery must succeed.
+///
+/// Returns `true` if the recovery ran to completion within the budget
+/// (nothing left to crash).
+pub fn recover_interrupted(
+    pool: PmemPool,
+    instrumented: Instrumented,
+    vm_config: VmConfig,
+    budget: u64,
+    crash_seed: u64,
+) -> bool {
+    let scheme = instrumented.scheme;
+    if !scheme.recovers_by_resumption() {
+        // Log-processing recoveries re-scan from scratch; just run fully.
+        recover(pool, instrumented, vm_config, RecoveryConfig::for_tests());
+        return true;
+    }
+    let mut h = pool.handle();
+    let roots = RootTable::attach(&mut h).expect("pool must be formatted");
+    let registry = roots.root(&mut h, THREADS_ROOT).expect("thread registry");
+    let count = h.read_u64(registry) as usize;
+    let entries: Vec<(PAddr, PAddr, PAddr, PAddr)> = (0..count)
+        .map(|i| {
+            let e = registry + 8 + i * 32;
+            (
+                h.read_u64(e) as PAddr,
+                h.read_u64(e + 8) as PAddr,
+                h.read_u64(e + 16) as PAddr,
+                h.read_u64(e + 24) as PAddr,
+            )
+        })
+        .collect();
+    drop(h);
+    let mut vm = Vm::attach(pool.clone(), instrumented, vm_config);
+    build_recovery_threads(&mut vm, &entries, scheme == Scheme::Ido);
+    let outcome = vm.run_steps(budget);
+    if outcome == RunOutcome::Completed {
+        return true;
+    }
+    drop(vm);
+    pool.crash(crash_seed);
+    false
+}
+
+/// Constructs the recovery threads for a resumption scheme (shared by
+/// [`recover`] and [`recover_interrupted`]). Returns how many were resumed.
+fn build_recovery_threads(
+    vm: &mut Vm,
+    entries: &[(PAddr, PAddr, PAddr, PAddr)],
+    ido: bool,
+) -> usize {
+    let max_regs = vm.program().functions().iter().map(|f| f.num_regs()).max().unwrap_or(1);
+    let mut resumed = 0;
+    for (idx, &(ido_base, jd_base, app_base, stack_area)) in entries.iter().enumerate() {
+        let mut h = vm.pool().handle();
+        let (pc, stack_base, regs, lock_list, bitmap_addr) = if ido {
+            let l = IdoLogLayout { base: ido_base, max_regs };
+            let pc = l.read_recovery_pc(&mut h);
+            let sb = h.read_u64(l.stack_base()) as PAddr;
+            let regs: Vec<u64> = (0..max_regs).map(|r| h.read_u64(l.rf_slot(r))).collect();
+            let bm = h.read_u64(l.lock_bitmap());
+            let locks: Vec<(usize, u64)> = (0..LOCK_ARRAY_SLOTS)
+                .filter(|i| bm & (1 << i) != 0)
+                .map(|i| (i, h.read_u64(l.lock_slot(i))))
+                .collect();
+            (pc, sb, regs, locks, l.lock_bitmap())
+        } else {
+            let l = JustDoLogLayout { base: jd_base, max_regs };
+            let pc = crate::layout::decode_pc(h.read_u64(l.active_pc()));
+            let sb = h.read_u64(l.stack_base()) as PAddr;
+            let regs: Vec<u64> = (0..max_regs).map(|r| h.read_u64(l.shadow_slot(r))).collect();
+            let bm = h.read_u64(l.lock_bitmap());
+            let locks: Vec<(usize, u64)> = (0..LOCK_ARRAY_SLOTS)
+                .filter(|i| bm & (1 << i) != 0)
+                .map(|i| (i, h.read_u64(l.lock_slot(i))))
+                .collect();
+            (pc, sb, regs, locks, l.lock_bitmap())
+        };
+        match pc {
+            Some(pc) => {
+                let func = vm.program().function(pc.func);
+                let nregs = func.num_regs() as usize;
+                let mut frame_regs = vec![0u64; nregs];
+                frame_regs.copy_from_slice(&regs[..nregs]);
+                let mut lock_slots = [None; LOCK_ARRAY_SLOTS];
+                for &(slot, lock) in &lock_list {
+                    lock_slots[slot] = Some(lock);
+                }
+                let ctx = vm.make_recovery_ctx(
+                    idx, ido_base, jd_base, app_base, stack_area, pc.func, pc, frame_regs,
+                    stack_base, lock_slots,
+                );
+                let tid = ThreadId(vm.threads.len());
+                vm.push_recovery_thread(ctx);
+                for &(_, lock) in &lock_list {
+                    vm.locks.grant(lock, tid);
+                }
+                resumed += 1;
+            }
+            None => {
+                // Robbed-lock case: stale records without a FASE in
+                // progress are cleared.
+                if !lock_list.is_empty() {
+                    h.write_u64(bitmap_addr, 0);
+                    h.persist(bitmap_addr, 8);
+                }
+            }
+        }
+    }
+    resumed
+}
+
+/// Runs crash recovery on `pool` for the given instrumented program.
+///
+/// # Panics
+/// Panics if the pool was never formatted or recovery itself deadlocks
+/// (both indicate bugs in the scheme under test, which is what the crash
+/// tests are for).
+pub fn recover(
+    pool: PmemPool,
+    instrumented: Instrumented,
+    vm_config: VmConfig,
+    rc: RecoveryConfig,
+) -> RecoveryReport {
+    let scheme = instrumented.scheme;
+    let mut h = pool.handle();
+    let roots = RootTable::attach(&mut h).expect("pool must be formatted");
+    let registry = roots.root(&mut h, THREADS_ROOT).expect("thread registry");
+    let count = h.read_u64(registry) as usize;
+    let entries: Vec<(PAddr, PAddr, PAddr, PAddr)> = (0..count)
+        .map(|i| {
+            let e = registry + 8 + i * 32;
+            (
+                h.read_u64(e) as PAddr,
+                h.read_u64(e + 8) as PAddr,
+                h.read_u64(e + 16) as PAddr,
+                h.read_u64(e + 24) as PAddr,
+            )
+        })
+        .collect();
+
+    let mut report = RecoveryReport {
+        scheme,
+        threads_scanned: count,
+        resumed: 0,
+        rolled_back: 0,
+        replayed: 0,
+        undo_entries: 0,
+        log_entries_scanned: 0,
+        steps: 0,
+        sim_ns: rc.base_ns,
+    };
+
+    match scheme {
+        Scheme::Origin => {}
+        Scheme::Ido => recover_resumption(pool, instrumented, vm_config, rc, &entries, &mut report, true),
+        Scheme::JustDo => {
+            recover_resumption(pool, instrumented, vm_config, rc, &entries, &mut report, false)
+        }
+        Scheme::Atlas => recover_atlas(&mut h, vm_config, rc, &entries, &mut report),
+        Scheme::Nvml => recover_nvml(&mut h, vm_config, rc, &entries, &mut report),
+        Scheme::Mnemosyne | Scheme::Nvthreads => {
+            recover_redo(&mut h, vm_config, rc, &entries, &mut report)
+        }
+    }
+    report
+}
+
+/// Recovery via resumption (iDO and JUSTDO).
+fn recover_resumption(
+    pool: PmemPool,
+    instrumented: Instrumented,
+    vm_config: VmConfig,
+    rc: RecoveryConfig,
+    entries: &[(PAddr, PAddr, PAddr, PAddr)],
+    report: &mut RecoveryReport,
+    ido: bool,
+) {
+    let mut vm = Vm::attach(pool, instrumented, vm_config);
+    let resumed = build_recovery_threads(&mut vm, entries, ido);
+    let outcome = vm.run();
+    assert_eq!(outcome, RunOutcome::Completed, "recovery must drive every FASE to completion");
+    report.resumed = resumed;
+    report.steps = vm.steps();
+    report.sim_ns += rc.per_thread_ns * entries.len() as u64 + vm.max_clock_ns();
+}
+
+#[derive(Debug)]
+struct FaseRec {
+    committed: bool,
+    undo: Vec<(u64, u64, u64)>, // (addr, old, stamp)
+    acquires: Vec<(u64, u64)>,  // (lock, observed release stamp)
+    releases: Vec<(u64, u64)>,  // (lock, stamp)
+}
+
+/// Atlas recovery: consistent-cut computation plus rollback.
+fn recover_atlas(
+    h: &mut PmemHandle,
+    vm_config: VmConfig,
+    rc: RecoveryConfig,
+    entries: &[(PAddr, PAddr, PAddr, PAddr)],
+    report: &mut RecoveryReport,
+) {
+    // 1. Scan every thread's log into FASE records.
+    let mut fases: Vec<FaseRec> = Vec::new();
+    let mut total_entries = 0;
+    for &(_, _, app_base, _) in entries.iter() {
+        let log = AppendLogLayout { base: app_base, capacity: vm_config.log_entries };
+        let n = log.scan_len(h);
+        total_entries += n;
+        let mut cur: Option<FaseRec> = None;
+        for i in 0..n {
+            let (kind, a, b, stamp) = log.read(h, i);
+            h.advance(rc.entry_scan_ns);
+            match kind {
+                Some(LogEntryKind::FaseBegin) => {
+                    if let Some(f) = cur.take() {
+                        fases.push(f); // interrupted before commit
+                    }
+                    cur = Some(FaseRec {
+                        committed: false,
+                        undo: Vec::new(),
+                        acquires: Vec::new(),
+                        releases: Vec::new(),
+                    });
+                }
+                Some(LogEntryKind::Undo) => {
+                    if let Some(f) = cur.as_mut() {
+                        f.undo.push((a, b, stamp));
+                    }
+                }
+                Some(LogEntryKind::LockAcquire) => {
+                    if let Some(f) = cur.as_mut() {
+                        f.acquires.push((a, b));
+                    }
+                }
+                Some(LogEntryKind::LockRelease) => {
+                    if let Some(f) = cur.as_mut() {
+                        f.releases.push((a, b));
+                    }
+                }
+                Some(LogEntryKind::Commit) => {
+                    if let Some(mut f) = cur.take() {
+                        f.committed = true;
+                        fases.push(f);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(f) = cur.take() {
+            fases.push(f);
+        }
+    }
+
+    // 2. Compute the invalidated set: interrupted FASEs, plus (to a fixed
+    // point) any FASE that acquired a lock whose observed release stamp was
+    // produced by an invalidated FASE.
+    let mut release_owner: HashMap<(u64, u64), usize> = HashMap::new();
+    for (fi, f) in fases.iter().enumerate() {
+        for &(lock, stamp) in &f.releases {
+            release_owner.insert((lock, stamp), fi);
+        }
+    }
+    let mut undone: Vec<bool> = fases.iter().map(|f| !f.committed).collect();
+    loop {
+        let mut changed = false;
+        for fi in 0..fases.len() {
+            if undone[fi] {
+                continue;
+            }
+            for &(lock, observed) in &fases[fi].acquires {
+                if observed == 0 {
+                    continue;
+                }
+                if let Some(&owner) = release_owner.get(&(lock, observed)) {
+                    if undone[owner] {
+                        undone[fi] = true;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 3. Roll back all invalidated FASEs' stores in reverse stamp order.
+    let mut rollback: Vec<(u64, u64, u64)> = Vec::new();
+    for (fi, f) in fases.iter().enumerate() {
+        if undone[fi] {
+            rollback.extend(f.undo.iter().copied());
+        }
+    }
+    rollback.sort_by_key(|&(_, _, stamp)| std::cmp::Reverse(stamp));
+    for &(addr, old, _) in &rollback {
+        h.write_u64(addr as PAddr, old);
+        h.clwb(addr as PAddr);
+    }
+    h.sfence();
+
+    // 4. Retire the logs.
+    for &(_, _, app_base, _) in entries {
+        let log = AppendLogLayout { base: app_base, capacity: vm_config.log_entries };
+        log.reset(h);
+    }
+
+    report.rolled_back = undone.iter().filter(|u| **u).count();
+    report.undo_entries = rollback.len();
+    report.log_entries_scanned = total_entries;
+    report.sim_ns += rc.per_thread_ns * entries.len() as u64 + h.clock_ns();
+}
+
+/// NVML recovery: undo each thread's uncommitted trailing transaction.
+fn recover_nvml(
+    h: &mut PmemHandle,
+    vm_config: VmConfig,
+    rc: RecoveryConfig,
+    entries: &[(PAddr, PAddr, PAddr, PAddr)],
+    report: &mut RecoveryReport,
+) {
+    for &(_, _, app_base, _) in entries {
+        let log = AppendLogLayout { base: app_base, capacity: vm_config.log_entries };
+        let n = log.scan_len(h);
+        report.log_entries_scanned += n;
+        // Find the start of the uncommitted suffix.
+        let mut suffix_start = 0;
+        for i in 0..n {
+            let (kind, ..) = log.read(h, i);
+            h.advance(rc.entry_scan_ns);
+            if kind == Some(LogEntryKind::Commit) {
+                suffix_start = i + 1;
+            }
+        }
+        let mut any = false;
+        for i in (suffix_start..n).rev() {
+            let (kind, a, b, _) = log.read(h, i);
+            if kind == Some(LogEntryKind::Undo) {
+                h.write_u64(a as PAddr, b);
+                h.clwb(a as PAddr);
+                report.undo_entries += 1;
+                any = true;
+            }
+        }
+        if any {
+            h.sfence();
+            report.rolled_back += 1;
+        }
+        log.reset(h);
+    }
+    report.sim_ns += rc.per_thread_ns * entries.len() as u64 + h.clock_ns();
+}
+
+/// Mnemosyne/NVThreads recovery: replay committed REDO logs; discard
+/// uncommitted ones.
+fn recover_redo(
+    h: &mut PmemHandle,
+    vm_config: VmConfig,
+    rc: RecoveryConfig,
+    entries: &[(PAddr, PAddr, PAddr, PAddr)],
+    report: &mut RecoveryReport,
+) {
+    for &(_, _, app_base, _) in entries {
+        let log = AppendLogLayout { base: app_base, capacity: vm_config.log_entries };
+        let n = log.scan_len(h);
+        report.log_entries_scanned += n;
+        if n == 0 {
+            continue;
+        }
+        let mut committed = false;
+        for i in 0..n {
+            let (kind, ..) = log.read(h, i);
+            h.advance(rc.entry_scan_ns);
+            if kind == Some(LogEntryKind::Commit) {
+                committed = true;
+            }
+        }
+        if committed {
+            for i in 0..n {
+                let (kind, a, b, _) = log.read(h, i);
+                if kind == Some(LogEntryKind::Redo) {
+                    h.write_u64(a as PAddr, b);
+                    h.clwb(a as PAddr);
+                }
+            }
+            h.sfence();
+            report.replayed += 1;
+        } else {
+            report.rolled_back += 1;
+        }
+        log.reset(h);
+    }
+    report.sim_ns += rc.per_thread_ns * entries.len() as u64 + h.clock_ns();
+}

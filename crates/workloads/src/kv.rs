@@ -1,0 +1,470 @@
+//! The Memcached-like and Redis-like key-value workloads (Section V-A).
+//!
+//! Both stores are bucket-chained hash tables over the simulated persistent
+//! heap (node layout `[next][key][value]`); the network/protocol layers of
+//! the real servers are irrelevant to persistence overhead and are elided.
+//!
+//! * [`memcached`]: multi-threaded with the coarse-grained single lock of
+//!   Memcached 1.2.4 (the version the paper instruments via WHISPER);
+//!   uniformly distributed keys; insertion-intensive (50% set) and
+//!   search-intensive (10% set) mixes.
+//! * [`redis`]: single-threaded; `put` operations are wrapped in
+//!   programmer-delineated durable regions (the NVML-style annotations the
+//!   paper builds on), `get`s run outside FASEs; 80% get / 20% put with a
+//!   power-law key distribution over a configurable key range.
+
+use ido_ir::{BinOp, BlockId, FunctionBuilder, Operand, Program, ProgramBuilder, Reg};
+use ido_nvm::alloc::NvAllocator;
+use ido_nvm::{PmemHandle, PAddr};
+use ido_vm::Vm;
+
+use crate::harness::WorkloadSpec;
+use crate::util::{emit_arena_take, emit_bucket_hash, emit_powerlaw_key, emit_uniform_key, emit_xorshift};
+
+// Item layout mirrors a real cache item: link, key, value, flags, cas id,
+// and an expiry/LRU timestamp.
+const NEXT: i64 = 0;
+const KEY: i64 = 8;
+const VAL: i64 = 16;
+const FLAGS: i64 = 24;
+const CAS: i64 = 32;
+const EXP: i64 = 40;
+const ITEM_BYTES: i64 = 48;
+
+fn build_chain_node(h: &mut PmemHandle, alloc: &NvAllocator, key: i64, value: u64, next: PAddr) -> PAddr {
+    let node = alloc.alloc(h, ITEM_BYTES as usize).expect("setup node");
+    h.write_u64(node, next as u64);
+    h.write_u64(node + 8, key as u64);
+    h.write_u64(node + 16, value);
+    h.write_u64(node + 24, 0);
+    h.write_u64(node + 32, 0);
+    h.write_u64(node + 40, 0);
+    h.persist(node, ITEM_BYTES as usize);
+    node
+}
+
+/// Builds the hash directory `[n_buckets][head_0]…`, pre-populating even
+/// keys of `0..range` into sorted chains. Returns the directory address.
+fn build_table(h: &mut PmemHandle, alloc: &NvAllocator, buckets: u64, range: u64) -> PAddr {
+    let directory = alloc.alloc(h, 8 + buckets as usize * 8).expect("directory");
+    h.write_u64(directory, buckets);
+    let mut heads = vec![0 as PAddr; buckets as usize];
+    let mut k = range as i64 - 1;
+    while k >= 0 {
+        if k % 2 == 0 {
+            let b = (((k as u64).wrapping_mul(0x9E37_79B9) >> 16) & 0x7FFF_FFFF) % buckets;
+            heads[b as usize] = build_chain_node(h, alloc, k, (k as u64) << 1, heads[b as usize]);
+        }
+        k -= 1;
+    }
+    for (i, head) in heads.iter().enumerate() {
+        h.write_u64(directory + 8 + i * 8, *head as u64);
+    }
+    h.persist(directory, 8 + buckets as usize * 8);
+    directory
+}
+
+/// Emits `sentinel-less` sorted-chain search: positions `(pred_slot, succ)`
+/// where `pred_slot` is the *address of the pointer* to `succ` (the bucket
+/// head slot or a node's next field). Returns `(pred_slot, succ)` registers
+/// valid in `at_pos`, to which control falls through.
+fn emit_chain_search(
+    f: &mut FunctionBuilder<'_>,
+    head_slot: Reg,
+    key: Reg,
+) -> (Reg, Reg, BlockId) {
+    let walk = f.new_block();
+    let check = f.new_block();
+    let step = f.new_block();
+    let at_pos = f.new_block();
+
+    let pred_slot = f.new_reg();
+    f.mov(pred_slot, Operand::Reg(head_slot));
+    f.jump(walk);
+
+    f.switch_to(walk);
+    let succ = f.new_reg();
+    f.load(succ, pred_slot, 0);
+    let is_end = f.new_reg();
+    f.bin(BinOp::Eq, is_end, succ, 0i64);
+    f.branch(is_end, at_pos, check);
+
+    f.switch_to(check);
+    let sk = f.new_reg();
+    f.load(sk, succ, KEY);
+    let ge = f.new_reg();
+    f.bin(BinOp::Ge, ge, sk, key);
+    f.branch(ge, at_pos, step);
+
+    f.switch_to(step);
+    // pred_slot = &succ->next
+    f.bin(BinOp::Add, pred_slot, succ, NEXT);
+    f.jump(walk);
+
+    f.switch_to(at_pos);
+    (pred_slot, succ, at_pos)
+}
+
+/// Emits a chain `put` (update-or-insert) from `at_pos`; continues at
+/// `cont`.
+fn emit_chain_put(
+    f: &mut FunctionBuilder<'_>,
+    pred_slot: Reg,
+    succ: Reg,
+    key: Reg,
+    value: Reg,
+    arena: Reg,
+    cont: BlockId,
+) {
+    let check = f.new_block();
+    let update = f.new_block();
+    let insert = f.new_block();
+    let is_end = f.new_reg();
+    f.bin(BinOp::Eq, is_end, succ, 0i64);
+    f.branch(is_end, insert, check);
+
+    f.switch_to(check);
+    let sk = f.new_reg();
+    f.load(sk, succ, KEY);
+    let eq = f.new_reg();
+    f.bin(BinOp::Eq, eq, sk, key);
+    f.branch(eq, update, insert);
+
+    f.switch_to(update);
+    // A set on an existing item rewrites value, CAS id, and expiry.
+    f.store(succ, VAL, Operand::Reg(value));
+    f.store(succ, CAS, Operand::Reg(value));
+    f.store(succ, EXP, Operand::Reg(key));
+    f.jump(cont);
+
+    f.switch_to(insert);
+    let node = f.new_reg();
+    emit_arena_take(f, node, arena, ITEM_BYTES);
+    f.store(node, NEXT, Operand::Reg(succ));
+    f.store(node, KEY, Operand::Reg(key));
+    f.store(node, VAL, Operand::Reg(value));
+    f.store(node, FLAGS, 1i64);
+    f.store(node, CAS, Operand::Reg(value));
+    f.store(node, EXP, Operand::Reg(key));
+    f.store(pred_slot, 0, Operand::Reg(node));
+    f.jump(cont);
+}
+
+/// Emits a chain `get` from `at_pos`; continues at `cont`.
+fn emit_chain_get(f: &mut FunctionBuilder<'_>, succ: Reg, key: Reg, cont: BlockId) {
+    let check = f.new_block();
+    let found = f.new_block();
+    let is_end = f.new_reg();
+    f.bin(BinOp::Eq, is_end, succ, 0i64);
+    f.branch(is_end, cont, check);
+
+    f.switch_to(check);
+    let sk = f.new_reg();
+    f.load(sk, succ, KEY);
+    let eq = f.new_reg();
+    f.bin(BinOp::Eq, eq, sk, key);
+    f.branch(eq, found, cont);
+
+    f.switch_to(found);
+    let v = f.new_reg();
+    f.load(v, succ, VAL);
+    f.jump(cont);
+}
+
+/// Emits `slot = &directory[1 + bucket(key)]`.
+fn emit_bucket_slot(f: &mut FunctionBuilder<'_>, slot: Reg, directory: Reg, key: Reg, n_buckets: Reg) {
+    let b = f.new_reg();
+    emit_bucket_hash(f, b, key, n_buckets);
+    let off = f.new_reg();
+    f.bin(BinOp::Mul, off, b, 8i64);
+    let base = f.new_reg();
+    f.bin(BinOp::Add, base, directory, 8i64);
+    f.bin(BinOp::Add, slot, base, Operand::Reg(off));
+}
+
+/// The Memcached-like workload.
+pub mod memcached {
+    use super::*;
+
+    /// Spec: multi-threaded coarse-locked KV cache.
+    #[derive(Debug, Clone, Copy)]
+    pub struct MemcachedSpec {
+        /// Buckets in the hash table.
+        pub buckets: u64,
+        /// Key range (uniform keys).
+        pub key_range: u64,
+        /// Set-operation rate in permille (insertion-intensive = 500,
+        /// search-intensive = 100).
+        pub put_permille: u64,
+    }
+
+    impl MemcachedSpec {
+        /// The paper's insertion-intensive mix (50% set / 50% get).
+        pub fn insertion_intensive() -> Self {
+            MemcachedSpec { buckets: 256, key_range: 4096, put_permille: 500 }
+        }
+
+        /// The paper's search-intensive mix (10% set / 90% get).
+        pub fn search_intensive() -> Self {
+            MemcachedSpec { buckets: 256, key_range: 4096, put_permille: 100 }
+        }
+    }
+
+    impl WorkloadSpec for MemcachedSpec {
+        fn name(&self) -> String {
+            format!("memcached(put={}‰)", self.put_permille)
+        }
+
+        fn build_program(&self) -> Program {
+            let mut pb = ProgramBuilder::new();
+            let mut f = pb.new_function("worker", 8);
+            let lock = f.param(0);
+            let directory = f.param(1);
+            let x = f.param(2);
+            let n_ops = f.param(3);
+            let range = f.param(4);
+            let n_buckets = f.param(5);
+            let put_permille = f.param(6);
+            let arena = f.param(7);
+
+            let i = f.new_reg();
+            let head = f.new_block();
+            let body = f.new_block();
+            let cont = f.new_block();
+            let exit = f.new_block();
+
+            f.mov(i, 0i64);
+            f.jump(head);
+
+            f.switch_to(head);
+            let c = f.new_reg();
+            f.bin(BinOp::Lt, c, i, n_ops);
+            f.branch(c, body, exit);
+
+            f.switch_to(body);
+            emit_xorshift(&mut f, x);
+            let key = f.new_reg();
+            emit_uniform_key(&mut f, key, x, range);
+            let sel = f.new_reg();
+            let shifted = f.new_reg();
+            f.bin(BinOp::Shr, shifted, x, 9i64);
+            f.bin(BinOp::And, sel, shifted, 1023i64);
+            let is_put = f.new_reg();
+            f.bin(BinOp::Lt, is_put, sel, put_permille);
+
+            // Whole operation under the global lock (Memcached 1.2.4).
+            f.lock(lock);
+            // Item bookkeeping and LRU maintenance happen under the lock in
+            // Memcached 1.2.4; this is the serialized compute of a real op.
+            f.delay(300);
+            let slot = f.new_reg();
+            emit_bucket_slot(&mut f, slot, directory, key, n_buckets);
+            let put_blk = f.new_block();
+            let get_blk = f.new_block();
+            let unlock_blk = f.new_block();
+            f.branch(is_put, put_blk, get_blk);
+
+            f.switch_to(put_blk);
+            let (pred_slot, succ, _at) = emit_chain_search(&mut f, slot, key);
+            emit_chain_put(&mut f, pred_slot, succ, key, x, arena, unlock_blk);
+
+            f.switch_to(get_blk);
+            let (_ps2, succ2, _at2) = emit_chain_search(&mut f, slot, key);
+            emit_chain_get(&mut f, succ2, key, unlock_blk);
+
+            f.switch_to(unlock_blk);
+            f.unlock(lock);
+            f.jump(cont);
+
+            f.switch_to(cont);
+            f.bin(BinOp::Add, i, i, 1i64);
+            f.jump(head);
+
+            f.switch_to(exit);
+            f.ret(None);
+            f.finish().expect("memcached worker verifies");
+            pb.finish()
+        }
+
+        fn setup(&self, vm: &mut Vm, threads: usize, ops: u64) -> Vec<u64> {
+            let arena = vm.setup(|h, alloc, _| {
+                alloc
+                    .alloc(h, (threads as u64 * ops * ITEM_BYTES as u64) as usize)
+                    .expect("node arena")
+            });
+            let (buckets, range) = (self.buckets, self.key_range);
+            vm.setup(|h, alloc, _| {
+                let lock = alloc.alloc(h, 8).expect("lock holder");
+                let directory = build_table(h, alloc, buckets, range);
+                vec![lock as u64, directory as u64, arena as u64, ops * ITEM_BYTES as u64]
+            })
+        }
+
+        fn worker_args(&self, base: &[u64], thread: usize, ops: u64) -> Vec<u64> {
+            let arena = base[2] + thread as u64 * base[3];
+            vec![
+                base[0],
+                base[1],
+                0x5DEECE66Du64 + 7919 * thread as u64,
+                ops,
+                self.key_range,
+                self.buckets,
+                self.put_permille,
+                arena,
+            ]
+        }
+
+        fn verify(&self, vm: &Vm, base: &[u64], total_ops: u64) {
+            verify_table(vm, base[1] as PAddr, total_ops + self.key_range);
+        }
+    }
+}
+
+/// The Redis-like workload.
+pub mod redis {
+    use super::*;
+
+    /// Spec: single-threaded object store with programmer-delineated
+    /// durable regions on the write path.
+    #[derive(Debug, Clone, Copy)]
+    pub struct RedisSpec {
+        /// Buckets (fixed, so larger key ranges mean longer chains — the
+        /// paper's "database grows, search dominates" effect).
+        pub buckets: u64,
+        /// Key range (the paper sweeps 10K / 100K / 1M).
+        pub key_range: u64,
+        /// Put rate in permille (the lru client issues 80% get / 20% put).
+        pub put_permille: u64,
+    }
+
+    impl RedisSpec {
+        /// A Redis instance over `key_range` keys (buckets fixed at 1024).
+        pub fn with_range(key_range: u64) -> Self {
+            RedisSpec { buckets: 1024, key_range, put_permille: 200 }
+        }
+    }
+
+    impl WorkloadSpec for RedisSpec {
+        fn name(&self) -> String {
+            format!("redis(range={})", self.key_range)
+        }
+
+        fn build_program(&self) -> Program {
+            let mut pb = ProgramBuilder::new();
+            let mut f = pb.new_function("worker", 7);
+            let directory = f.param(0);
+            let x = f.param(1);
+            let n_ops = f.param(2);
+            let range = f.param(3);
+            let n_buckets = f.param(4);
+            let put_permille = f.param(5);
+            let arena = f.param(6);
+
+            let i = f.new_reg();
+            let head = f.new_block();
+            let body = f.new_block();
+            let cont = f.new_block();
+            let exit = f.new_block();
+
+            f.mov(i, 0i64);
+            f.jump(head);
+
+            f.switch_to(head);
+            let c = f.new_reg();
+            f.bin(BinOp::Lt, c, i, n_ops);
+            f.branch(c, body, exit);
+
+            f.switch_to(body);
+            // Command dispatch + object handling cost of a real Redis op.
+            f.delay(300);
+            emit_xorshift(&mut f, x);
+            let key = f.new_reg();
+            emit_powerlaw_key(&mut f, key, x, range);
+            let sel = f.new_reg();
+            let shifted = f.new_reg();
+            f.bin(BinOp::Shr, shifted, x, 9i64);
+            f.bin(BinOp::And, sel, shifted, 1023i64);
+            let is_put = f.new_reg();
+            f.bin(BinOp::Lt, is_put, sel, put_permille);
+
+            let slot = f.new_reg();
+            emit_bucket_slot(&mut f, slot, directory, key, n_buckets);
+            let put_blk = f.new_block();
+            let get_blk = f.new_block();
+            f.branch(is_put, put_blk, get_blk);
+
+            // put: search + mutate inside a durable region — a long FASE
+            // with few persistent writes, as the paper describes.
+            f.switch_to(put_blk);
+            f.durable_begin();
+            let (pred_slot, succ, _at) = emit_chain_search(&mut f, slot, key);
+            let end_put = f.new_block();
+            emit_chain_put(&mut f, pred_slot, succ, key, x, arena, end_put);
+            f.switch_to(end_put);
+            f.durable_end();
+            f.jump(cont);
+
+            // get: persistent reads outside FASEs are allowed (race-free).
+            f.switch_to(get_blk);
+            let (_ps, succ2, _at2) = emit_chain_search(&mut f, slot, key);
+            emit_chain_get(&mut f, succ2, key, cont);
+
+            f.switch_to(cont);
+            f.bin(BinOp::Add, i, i, 1i64);
+            f.jump(head);
+
+            f.switch_to(exit);
+            f.ret(None);
+            f.finish().expect("redis worker verifies");
+            pb.finish()
+        }
+
+        fn setup(&self, vm: &mut Vm, threads: usize, ops: u64) -> Vec<u64> {
+            let arena = vm.setup(|h, alloc, _| {
+                alloc
+                    .alloc(h, (threads as u64 * ops * ITEM_BYTES as u64) as usize)
+                    .expect("node arena")
+            });
+            let (buckets, range) = (self.buckets, self.key_range);
+            vm.setup(|h, alloc, _| {
+                let directory = build_table(h, alloc, buckets, range);
+                vec![directory as u64, arena as u64, ops * ITEM_BYTES as u64]
+            })
+        }
+
+        fn worker_args(&self, base: &[u64], thread: usize, ops: u64) -> Vec<u64> {
+            let arena = base[1] + thread as u64 * base[2];
+            vec![
+                base[0],
+                0xC0_FFEE_5EEDu64 + 271 * thread as u64,
+                ops,
+                self.key_range,
+                self.buckets,
+                self.put_permille,
+                arena,
+            ]
+        }
+
+        fn verify(&self, vm: &Vm, base: &[u64], total_ops: u64) {
+            verify_table(vm, base[0] as PAddr, total_ops + self.key_range);
+        }
+    }
+}
+
+fn verify_table(vm: &Vm, directory: PAddr, bound: u64) {
+    let mut h = vm.pool().handle();
+    let buckets = h.read_u64(directory);
+    for i in 0..buckets as usize {
+        let mut cur = h.read_u64(directory + 8 + i * 8) as PAddr;
+        let mut last = i64::MIN;
+        let mut n = 0u64;
+        while cur != 0 {
+            let k = h.read_u64(cur + 8) as i64;
+            assert!(k > last, "bucket {i}: chain keys not strictly increasing");
+            last = k;
+            n += 1;
+            assert!(n <= bound, "bucket {i}: chain too long (cycle?)");
+            cur = h.read_u64(cur) as PAddr;
+        }
+    }
+}

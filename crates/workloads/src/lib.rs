@@ -1,0 +1,32 @@
+//! Benchmark workloads for the iDO reproduction.
+//!
+//! Every workload of the paper's evaluation is expressed as an `ido-ir`
+//! program built here, so the complete compiler pipeline (FASE inference →
+//! idempotent region formation → per-scheme instrumentation) runs on
+//! exactly the code being measured:
+//!
+//! * the four JUSTDO **microbenchmarks** (Section V-B): locked Treiber
+//!   stack, two-lock Michael–Scott queue, hand-over-hand ordered list, and
+//!   the fixed-size hash map built from it ([`micro`]);
+//! * a **Memcached-like** multi-threaded key-value cache with the
+//!   coarse-grained locking of Memcached 1.2.4, driven by uniformly
+//!   distributed keys in insertion-intensive (50/50) and search-intensive
+//!   (10/90) mixes ([`kv::memcached`]);
+//! * a **Redis-like** single-threaded object store using programmer-
+//!   delineated durable regions, driven by a power-law key distribution
+//!   over configurable key ranges with an 80/20 get/put mix
+//!   ([`kv::redis`]).
+//!
+//! The [`harness`] module runs any workload under any scheme in the VM's
+//! min-clock (discrete-event) mode and reports simulated throughput, the
+//! dynamic region profile (Fig. 8), persistence-operation counts, and the
+//! log volumes recovery would have to process (Table I).
+
+#![deny(missing_docs)]
+
+pub mod harness;
+pub mod kv;
+pub mod micro;
+mod util;
+
+pub use harness::{run_workload, RunStats, WorkloadSpec};

@@ -1,0 +1,156 @@
+//! Property-based crash testing: random programs with random FASEs,
+//! crashed at random instructions under random eviction behavior, must
+//! recover to a consistent state under the resumption schemes.
+//!
+//! The invariant program writes a derived chain: cell[i+1] must always be
+//! cell[i] + 1 after recovery (each FASE extends the chain atomically), so
+//! any torn FASE or lost resumption is observable.
+
+use ido_compiler::{instrument_program, Scheme};
+use ido_ir::{BinOp, Operand, ProgramBuilder};
+use ido_nvm::{CrashPolicy, PoolConfig};
+use ido_vm::{recover, RecoveryConfig, RunOutcome, SchedPolicy, Status, Vm, VmConfig};
+use proptest::prelude::*;
+
+/// `op(lock, base, k)`: under the lock, read `cell[k]`, then write
+/// `cell[k+1] = cell[k] + 1` and `cell[k+2] = cell[k] + 2`, on separate
+/// cache lines. Each thread gets an exclusive cell triple (k = 3·t), so
+/// after recovery its pair must be either entirely absent (FASE never ran
+/// or was discarded) or entirely present and correctly derived — anything
+/// else is a torn FASE.
+fn chain_program(scheme: Scheme) -> ido_compiler::Instrumented {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.new_function("op", 3);
+    let lock = f.param(0);
+    let base = f.param(1);
+    let k = f.param(2);
+    let addr0 = f.new_reg();
+    let off = f.new_reg();
+    let v = f.new_reg();
+    let v1 = f.new_reg();
+    let v2 = f.new_reg();
+    f.bin(BinOp::Mul, off, k, 64i64);
+    f.bin(BinOp::Add, addr0, base, Operand::Reg(off));
+    f.lock(lock);
+    f.load(v, addr0, 0);
+    f.bin(BinOp::Add, v1, v, 1i64);
+    f.store(addr0, 64, Operand::Reg(v1));
+    f.bin(BinOp::Add, v2, v, 2i64);
+    f.store(addr0, 128, Operand::Reg(v2));
+    f.unlock(lock);
+    f.ret(None);
+    f.finish().unwrap();
+    instrument_program(pb.finish(), scheme).expect("instrument")
+}
+
+fn run_case(scheme: Scheme, threads: usize, crash_step: u64, permille: u16, seed: u64) {
+    let inst = chain_program(scheme);
+    let cfg = VmConfig {
+        pool: PoolConfig {
+            size: 4 << 20,
+            crash_policy: if permille == 0 {
+                CrashPolicy::DropDirty
+            } else {
+                CrashPolicy::Random { persist_permille: permille }
+            },
+            ..PoolConfig::default()
+        },
+        seed,
+        sched: SchedPolicy::Random,
+        log_entries: 512,
+        stack_bytes: 4 << 10,
+        ..VmConfig::default()
+    };
+    let mut vm = Vm::new(inst.clone(), cfg);
+    let (lock, base) = vm.setup(|h, alloc, _| {
+        let l = alloc.alloc(h, 8).unwrap();
+        let b = alloc.alloc(h, 64 * (3 * threads + 2)).unwrap();
+        for t in 0..threads {
+            h.write_u64(b + 3 * t * 64, 10 + t as u64);
+        }
+        h.persist(b, 64 * 3 * threads);
+        (l, b)
+    });
+    for t in 0..threads {
+        vm.spawn("op", &[lock as u64, base as u64, 3 * t as u64]);
+    }
+    vm.run_steps(crash_step);
+    let done = (0..threads).filter(|i| vm.status(ido_vm::ThreadId(*i)) == Status::Done).count();
+    let pool = vm.crash(seed ^ 0x5eed);
+    let report = recover(pool.clone(), inst.clone(), cfg, RecoveryConfig::for_tests());
+
+    // Atomicity: each thread's exclusive output pair is all-or-nothing and
+    // correctly derived from its (never overwritten) input.
+    let mut h = pool.handle();
+    let mut completed = 0;
+    for t in 0..threads {
+        let c0 = h.read_u64(base + 3 * t * 64);
+        let c1 = h.read_u64(base + (3 * t + 1) * 64);
+        let c2 = h.read_u64(base + (3 * t + 2) * 64);
+        assert_eq!(c0, 10 + t as u64, "input cell must never change");
+        let absent = c1 == 0 && c2 == 0;
+        let present = c1 == c0 + 1 && c2 == c0 + 2;
+        assert!(
+            absent || present,
+            "torn FASE at t={t}: c0={c0} c1={c1} c2={c2}              (scheme={scheme}, step={crash_step}, seed={seed})"
+        );
+        if present {
+            completed += 1;
+        }
+    }
+    // Durability + resumption floor: every FASE that finished before the
+    // crash, and every FASE recovery resumed, must be present.
+    assert!(
+        completed >= done.min(threads),
+        "lost completed FASEs: done={done} completed={completed}"
+    );
+    let _ = report;
+
+    // Re-run recovery: must be a no-op the second time (idempotent).
+    let report2 = recover(pool, inst, cfg, RecoveryConfig::for_tests());
+    assert_eq!(report2.resumed, 0, "second recovery must find nothing to resume");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ido_chain_consistent_under_random_crashes(
+        threads in 1usize..4,
+        crash_step in 0u64..400,
+        permille in prop::sample::select(vec![0u16, 300, 700, 1000]),
+        seed in 0u64..1000,
+    ) {
+        run_case(Scheme::Ido, threads, crash_step, permille, seed);
+    }
+
+    #[test]
+    fn justdo_chain_consistent_under_random_crashes(
+        threads in 1usize..3,
+        crash_step in 0u64..400,
+        permille in prop::sample::select(vec![0u16, 500]),
+        seed in 0u64..1000,
+    ) {
+        run_case(Scheme::JustDo, threads, crash_step, permille, seed);
+    }
+}
+
+#[test]
+fn chain_program_completes_cleanly() {
+    for scheme in Scheme::ALL {
+        let inst = chain_program(scheme);
+        let cfg = VmConfig::for_tests();
+        let mut vm = Vm::new(inst, cfg);
+        let (lock, base) = vm.setup(|h, alloc, _| {
+            let l = alloc.alloc(h, 8).unwrap();
+            let b = alloc.alloc(h, 64 * 6).unwrap();
+            h.write_u64(b, 10);
+            h.persist(b, 8);
+            (l, b)
+        });
+        for t in 0..3 {
+            vm.spawn("op", &[lock as u64, base as u64, t]);
+        }
+        assert_eq!(vm.run(), RunOutcome::Completed, "{scheme}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the idempotent-region partitioner: for
+//! *arbitrary* generated programs, the partition must cut every memory
+//! antidependence, repair every register WAR, keep regions single-entry,
+//! and assign every instruction to exactly one region.
+
+use ido_idem::antidep::{check_partition, uncut_pairs};
+use ido_idem::{analyze, partition, regions::find_war_violation};
+use ido_ir::{BinOp, Operand, Program, ProgramBuilder};
+use proptest::prelude::*;
+
+/// A tiny op language for random straight-line-with-branches programs.
+#[derive(Debug, Clone)]
+enum Op {
+    Load { dst: u8, base: u8, off: u8 },
+    Store { base: u8, off: u8, src: u8 },
+    Alu { dst: u8, a: u8, b: u8 },
+    LoadStack { dst: u8, slot: u8 },
+    StoreStack { slot: u8, src: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..6u8, 0..3u8, 0..4u8).prop_map(|(dst, base, off)| Op::Load { dst, base, off }),
+        (0..3u8, 0..4u8, 0..6u8).prop_map(|(base, off, src)| Op::Store { base, off, src }),
+        (0..6u8, 0..6u8, 0..6u8).prop_map(|(dst, a, b)| Op::Alu { dst, a, b }),
+        (0..6u8, 0..3u8).prop_map(|(dst, slot)| Op::LoadStack { dst, slot }),
+        (0..3u8, 0..6u8).prop_map(|(slot, src)| Op::StoreStack { slot, src }),
+    ]
+}
+
+/// Builds a verified function from random ops: 3 pointer params + 6 working
+/// registers (pre-initialized), 3 stack slots, ops split across two blocks
+/// joined by a conditional branch for CFG variety.
+fn build(ops: &[Op], branch_at: usize) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.new_function("p", 3);
+    let params = [f.param(0), f.param(1), f.param(2)];
+    let regs: Vec<_> = (0..6).map(|_| f.new_reg()).collect();
+    let slots: Vec<_> = (0..3).map(|_| f.new_stack_slot()).collect();
+    for (i, r) in regs.iter().enumerate() {
+        f.mov(*r, i as i64 + 1);
+    }
+    for s in &slots {
+        f.store_stack(*s, 0i64);
+    }
+    let then_bb = f.new_block();
+    let else_bb = f.new_block();
+    let join = f.new_block();
+
+    let emit = |f: &mut ido_ir::FunctionBuilder<'_>, op: &Op| match *op {
+        Op::Load { dst, base, off } => {
+            f.load(regs[dst as usize % 6], params[base as usize % 3], (off as i64 % 4) * 8)
+        }
+        Op::Store { base, off, src } => f.store(
+            params[base as usize % 3],
+            (off as i64 % 4) * 8,
+            Operand::Reg(regs[src as usize % 6]),
+        ),
+        Op::Alu { dst, a, b } => f.bin(
+            BinOp::Add,
+            regs[dst as usize % 6],
+            regs[a as usize % 6],
+            Operand::Reg(regs[b as usize % 6]),
+        ),
+        Op::LoadStack { dst, slot } => {
+            f.load_stack(regs[dst as usize % 6], slots[slot as usize % 3])
+        }
+        Op::StoreStack { slot, src } => {
+            f.store_stack(slots[slot as usize % 3], Operand::Reg(regs[src as usize % 6]))
+        }
+    };
+
+    let cut = branch_at.min(ops.len());
+    for op in &ops[..cut] {
+        emit(&mut f, op);
+    }
+    f.branch(regs[0], then_bb, else_bb);
+    f.switch_to(then_bb);
+    for op in &ops[cut..] {
+        emit(&mut f, op);
+    }
+    f.jump(join);
+    f.switch_to(else_bb);
+    f.jump(join);
+    f.switch_to(join);
+    f.ret(None);
+    f.finish().expect("generated program verifies");
+    pb.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn partition_invariants_hold_for_random_programs(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        branch_at in 0usize..40,
+    ) {
+        let mut program = build(&ops, branch_at);
+        let func = program.function_mut(ido_ir::FuncId(0));
+        let analysis = partition(func);
+        // 1. No antidependent pair shares a region.
+        prop_assert!(uncut_pairs(func, &analysis).is_empty());
+        // 2. No input register is redefined inside its region.
+        prop_assert!(find_war_violation(func, &analysis).is_none());
+        // 3. Structural invariants (single-entry, membership).
+        let problems = check_partition(func, &analysis);
+        prop_assert!(problems.is_empty(), "{problems:?}");
+        // 4. Every instruction belongs to exactly one region.
+        let member_total: usize = analysis.regions().iter().map(|r| r.members.len()).sum();
+        prop_assert_eq!(member_total, func.num_insts());
+    }
+
+    #[test]
+    fn analyze_is_idempotent(
+        ops in prop::collection::vec(op_strategy(), 1..24),
+        branch_at in 0usize..24,
+    ) {
+        let program = build(&ops, branch_at);
+        let func = program.function(ido_ir::FuncId(0));
+        let a = analyze(func);
+        let b = analyze(func);
+        prop_assert_eq!(a.cuts(), b.cuts());
+        prop_assert_eq!(a.regions().len(), b.regions().len());
+    }
+
+    #[test]
+    fn partition_reaches_fixpoint(
+        ops in prop::collection::vec(op_strategy(), 1..24),
+        branch_at in 0usize..24,
+    ) {
+        let mut program = build(&ops, branch_at);
+        let func = program.function_mut(ido_ir::FuncId(0));
+        let first = partition(func);
+        let before = func.num_insts();
+        // A second partition must make no further changes.
+        let second = partition(func);
+        prop_assert_eq!(before, func.num_insts(), "no new fixups on repartition");
+        prop_assert_eq!(first.cuts(), second.cuts());
+    }
+}
