@@ -62,9 +62,9 @@ impl AppendLog {
         log
     }
 
-    /// Bytes required for `capacity` entries.
+    /// Bytes required for `capacity` entries (plus alignment slack).
     pub fn size_for(capacity: usize) -> usize {
-        capacity * ENTRY_BYTES
+        ENTRY_BYTES + capacity * ENTRY_BYTES
     }
 
     /// Base address.
@@ -84,7 +84,12 @@ impl AppendLog {
 
     fn entry_addr(&self, i: usize) -> PAddr {
         assert!(i < self.capacity, "append log overflow");
-        self.base + i * ENTRY_BYTES
+        // Round up to a 32-byte boundary: the allocator hands out 8-aligned
+        // regions, and an entry straddling two cache lines breaks the
+        // single-write-back publication (a crash can persist the half with
+        // the kind word but lose the half with the payload).
+        let entries = (self.base + (ENTRY_BYTES - 1)) & !(ENTRY_BYTES - 1);
+        entries + i * ENTRY_BYTES
     }
 
     /// Entries valid after a crash (content scan).
@@ -153,7 +158,12 @@ impl AppendLog {
     /// Cheaply invalidates the whole log by zeroing entry 0 (the content
     /// scan then sees an empty log). Used on the Mnemosyne commit path.
     pub fn invalidate(&mut self, h: &mut PmemHandle) {
-        h.nt_store_u64(self.entry_addr(0), 0);
+        // Zero every used entry, not just entry 0: the next append
+        // re-validates slot 0, which would make a content scan read the
+        // stale tail as a phantom committed suffix.
+        for i in 0..self.cursor {
+            h.nt_store_u64(self.entry_addr(i), 0);
+        }
         h.sfence();
         self.cursor = 0;
     }
@@ -169,6 +179,28 @@ mod tests {
         let mut h = p.handle();
         let log = AppendLog::attach(&mut h, 4096, 64);
         (p, log)
+    }
+
+    #[test]
+    fn entries_never_straddle_cache_lines() {
+        // Regression (crash-oracle finding in the VM's twin log layout):
+        // with an allocator-granted 8-aligned base, unaligned entries span
+        // two lines and the single per-entry clwb persists only one of
+        // them — a crash can leave a valid kind word with torn payload.
+        let p = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = p.handle();
+        for base in [4096usize, 4096 + 8, 4096 + 16, 4096 + 24, 4096 + 40] {
+            let log = AppendLog::attach(&mut h, base, 8);
+            for i in 0..8 {
+                let e = log.entry_addr(i);
+                assert_eq!(
+                    e / 64,
+                    (e + ENTRY_BYTES - 1) / 64,
+                    "entry {i} at base {base:#x} straddles a line"
+                );
+            }
+            assert!(log.entry_addr(7) + ENTRY_BYTES <= base + AppendLog::size_for(8));
+        }
     }
 
     #[test]

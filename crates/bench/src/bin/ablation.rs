@@ -31,11 +31,11 @@ fn main() {
         "variant", "stack 4T", "list(128) 8T", "memcached 8T"
     );
     let variants: [(&str, VmConfig); 4] = [
-        ("full iDO (this repo's default)", base),
-        ("eager step-2 fence (paper-exact)", VmConfig { ido_eager_step2_fence: true, ..base }),
+        ("full iDO (this repo's default)", base.clone()),
+        ("eager step-2 fence (paper-exact)", VmConfig { ido_eager_step2_fence: true, ..base.clone() }),
         (
             "unmerged acquire fence (paper-exact)",
-            VmConfig { ido_unmerged_acquire_fence: true, ido_eager_step2_fence: true, ..base },
+            VmConfig { ido_unmerged_acquire_fence: true, ido_eager_step2_fence: true, ..base.clone() },
         ),
         ("no persist coalescing", VmConfig { ido_no_coalescing: true, ..base }),
     ];
@@ -44,8 +44,8 @@ fn main() {
     let mc = MemcachedSpec::insertion_intensive();
     let mut rows = Vec::new();
     for (name, cfg) in variants {
-        let a = throughput(&stack, 4, ops, cfg);
-        let b = throughput(&list, 8, ops / 2, cfg);
+        let a = throughput(&stack, 4, ops, cfg.clone());
+        let b = throughput(&list, 8, ops / 2, cfg.clone());
         let c = throughput(&mc, 8, ops, cfg);
         println!("{name:>34} {a:>10.3} {b:>12.3} {c:>14.3}");
         rows.push(format!("{name},{a:.4},{b:.4},{c:.4}"));

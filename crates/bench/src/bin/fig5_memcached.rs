@@ -31,7 +31,7 @@ fn main() {
         ("insertion-intensive (50% set)", MemcachedSpec::insertion_intensive()),
         ("search-intensive (10% set)", MemcachedSpec::search_intensive()),
     ] {
-        let curves = sweep_threads(&spec, &schemes, &THREAD_SWEEP, ops, cfg);
+        let curves = sweep_threads(&spec, &schemes, &THREAD_SWEEP, ops, cfg.clone());
         println!("{}", format_curves(&format!("Fig. 5 — Memcached, {label}"), &curves));
         write_csv(
             &format!("fig5_memcached_{}", if label.starts_with("insertion") { "insert" } else { "search" }),

@@ -35,7 +35,7 @@ fn main() {
         let mut origin_mops = 0.0;
         let mut ido_mops = 0.0;
         for scheme in schemes {
-            let stats = run_point(&spec, scheme, 1, ops, cfg);
+            let stats = run_point(&spec, scheme, 1, ops, cfg.clone());
             let mops = stats.mops();
             if scheme == Scheme::Origin {
                 origin_mops = mops;

@@ -31,7 +31,7 @@ fn main() {
     ];
 
     for (name, spec) in &specs {
-        let curves = sweep_threads(spec.as_ref(), &schemes, &THREAD_SWEEP, ops, cfg);
+        let curves = sweep_threads(spec.as_ref(), &schemes, &THREAD_SWEEP, ops, cfg.clone());
         println!("{}", format_curves(&format!("Fig. 7 — {name}"), &curves));
         write_csv(&format!("fig7_{name}"), "threads,scheme,mops", &curves_to_rows(&curves));
 

@@ -35,7 +35,7 @@ fn main() {
         "benchmark", "regions", "stores/region CDF (0,1,2,3,4+)", "live-in regs CDF (0,1,2,3,4+)"
     );
     for (name, spec, threads) in &specs {
-        let stats = run_point(spec.as_ref(), Scheme::Ido, *threads, ops, cfg);
+        let stats = run_point(spec.as_ref(), Scheme::Ido, *threads, ops, cfg.clone());
         let p = &stats.profile;
         let s_cdf = p.stores_cdf();
         let i_cdf = p.inputs_cdf();
@@ -60,7 +60,7 @@ fn main() {
 
     println!("\nshape checks:");
     for (name, spec, threads) in &specs {
-        let stats = run_point(spec.as_ref(), Scheme::Ido, *threads, ops / 3, cfg);
+        let stats = run_point(spec.as_ref(), Scheme::Ido, *threads, ops / 3, cfg.clone());
         let p = &stats.profile;
         println!(
             "  {:>14}: multi-store regions = {:>5.1}%   regions with <5 live-ins = {:>5.1}% (paper: >99%)",

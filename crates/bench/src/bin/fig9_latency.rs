@@ -49,7 +49,7 @@ fn main() {
             let cfg = with_nvm_delay(bench_config(*pool_mib + 192, 1 << 15), delay);
             print!("{delay:>10}");
             for (si, scheme) in schemes.iter().enumerate() {
-                let stats = run_point(spec.as_ref(), *scheme, *threads, *ops, cfg);
+                let stats = run_point(spec.as_ref(), *scheme, *threads, *ops, cfg.clone());
                 let mops = stats.mops();
                 if delay == 0 {
                     base[si] = mops;

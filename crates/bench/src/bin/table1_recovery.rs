@@ -41,7 +41,7 @@ fn calibrate(spec: &dyn WorkloadSpec, ops: u64) -> Calibration {
         let inst = instrument_program(program, Scheme::Atlas).expect("instrument atlas");
         let mut cfg = bench_config(256, 1 << 15);
         cfg.sched = SchedPolicy::MinClock;
-        let mut vm = Vm::new(inst.clone(), cfg);
+        let mut vm = Vm::new(inst.clone(), cfg.clone());
         let base = spec.setup(&mut vm, THREADS, ops);
         for t in 0..THREADS {
             vm.spawn("worker", &spec.worker_args(&base, t, ops));
@@ -59,7 +59,7 @@ fn calibrate(spec: &dyn WorkloadSpec, ops: u64) -> Calibration {
         let inst = instrument_program(program, Scheme::Ido).expect("instrument ido");
         let mut cfg = bench_config(256, 1 << 15);
         cfg.sched = SchedPolicy::MinClock;
-        let mut vm = Vm::new(inst.clone(), cfg);
+        let mut vm = Vm::new(inst.clone(), cfg.clone());
         let base = spec.setup(&mut vm, THREADS, ops);
         for t in 0..THREADS {
             vm.spawn("worker", &spec.worker_args(&base, t, ops));

@@ -63,7 +63,7 @@ pub fn sweep_threads(
             points: threads
                 .iter()
                 .map(|&t| {
-                    let stats = run_workload(scheme, spec, t, ops, cfg);
+                    let stats = run_workload(scheme, spec, t, ops, cfg.clone());
                     (t, stats.mops())
                 })
                 .collect(),

@@ -184,7 +184,7 @@ impl FaseMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ido_ir::{Operand, ProgramBuilder};
+    use ido_ir::ProgramBuilder;
 
     fn build(f: impl FnOnce(&mut ido_ir::FunctionBuilder<'_>)) -> Function {
         let mut pb = ProgramBuilder::new();

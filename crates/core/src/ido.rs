@@ -496,6 +496,112 @@ mod tests {
     }
 
     #[test]
+    fn recover_with_no_sessions_is_empty_and_runtime_stays_usable() {
+        let p = pool();
+        IdoRuntime::format(&p).unwrap();
+        p.crash(3);
+        let (rt, fases) = IdoRuntime::recover(&p).unwrap();
+        assert!(fases.is_empty(), "empty registry yields an empty inventory");
+        // The recovered runtime is fully operational.
+        let mut s = rt.session(&p).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.durable_begin();
+        s.store(cell, 77);
+        s.boundary(&[]);
+        s.durable_end();
+        drop(s);
+        p.crash(4);
+        let (_, fases) = IdoRuntime::recover(&p).unwrap();
+        assert!(fases.is_empty());
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 77);
+    }
+
+    #[test]
+    fn lock_robbed_before_first_boundary_is_reusable_after_recovery() {
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let mut lock = SimLock::new(&mut s).unwrap();
+        let cell = s.alloc(8).unwrap();
+        lock.acquire(&mut s); // crash before any boundary: nothing executed
+        let holder = lock.holder();
+        drop(s);
+        p.crash(5);
+
+        let (rt, fases) = IdoRuntime::recover(&p).unwrap();
+        assert!(fases.is_empty(), "no boundary reached: nothing to resume");
+        // The freed lock must be acquirable by a brand-new session, and a
+        // full FASE under it must run and recover clean.
+        let mut s = rt.session(&p).unwrap();
+        let mut lock = SimLock::from_holder(holder);
+        lock.acquire(&mut s);
+        s.store(cell, 1);
+        s.boundary(&[]);
+        lock.release(&mut s);
+        drop(s);
+        p.crash(6);
+        let (_, fases) = IdoRuntime::recover(&p).unwrap();
+        assert!(fases.is_empty());
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 1);
+    }
+
+    #[test]
+    fn nested_indirect_locks_are_inventoried_and_resumable() {
+        let p = pool();
+        let rt = IdoRuntime::format(&p).unwrap();
+        let mut s = rt.session(&p).unwrap();
+        let mut l1 = SimLock::new(&mut s).unwrap();
+        let l2_holder = SimLock::new(&mut s).unwrap().holder();
+        // The inner lock is indirect: its holder address lives in a
+        // persistent cell, discovered at run time (pointer chase).
+        let ptr_cell = s.alloc(8).unwrap();
+        let cell = s.alloc(8).unwrap();
+        s.durable_begin();
+        s.store(ptr_cell, l2_holder as u64);
+        s.boundary(&[]); // persists the pointer cell durably
+        s.durable_end();
+        let mut l2 = SimLock::from_holder(s.load(ptr_cell) as PAddr);
+        l1.acquire(&mut s);
+        l2.acquire(&mut s);
+        s.set_op_token(99);
+        s.boundary(&[cell as u64]);
+        s.store(cell, 5); // unflushed: crash may tear it
+        drop(s);
+        p.crash(7);
+
+        let (rt, fases) = IdoRuntime::recover(&p).unwrap();
+        assert_eq!(fases.len(), 1, "one interrupted FASE");
+        let f = &fases[0];
+        assert_eq!(f.op_token, 99);
+        assert_eq!(
+            f.locks,
+            vec![l1.holder(), l2_holder],
+            "both locks — including the indirect inner one — recorded"
+        );
+
+        // The recovery session mirrors both locks; finishing the FASE
+        // requires releasing both (depth 2), in inner-to-outer order.
+        let mut rs = rt.recovery_session(&p, f).unwrap();
+        let cell_in = f.outputs[0] as PAddr;
+        rs.store(cell_in, 5);
+        rs.boundary(&[]);
+        let mut r2 = SimLock::from_holder(f.locks[1]);
+        let mut r1 = SimLock::from_holder(f.locks[0]);
+        r2.release(&mut rs);
+        assert_ne!(rs.region_seq(), 0, "inner release must not end the FASE");
+        r1.release(&mut rs);
+        assert_eq!(rs.region_seq(), 0, "outer release ends the FASE");
+        drop(rs);
+        p.crash(8);
+        let (_, fases) = IdoRuntime::recover(&p).unwrap();
+        assert!(fases.is_empty(), "resumed FASE retired its log");
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(cell), 5, "resumed FASE completed durably");
+    }
+
+    #[test]
     fn nested_locks_form_one_fase() {
         let p = pool();
         let rt = IdoRuntime::format(&p).unwrap();

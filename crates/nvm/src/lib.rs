@@ -49,6 +49,7 @@
 
 pub mod alloc;
 mod error;
+pub mod journal;
 mod latency;
 mod line;
 mod pool;
@@ -56,6 +57,7 @@ pub mod root;
 mod stats;
 
 pub use error::NvmError;
+pub use journal::{PersistEvent, PersistEventKind};
 pub use latency::{EmulationMode, LatencyModel};
 pub use line::{line_of, line_offset, CACHE_LINE};
 pub use pool::{CrashOutcome, CrashPolicy, PmemHandle, PmemPool, PoolConfig};

@@ -1,8 +1,10 @@
 //! The simulated persistent memory pool and per-thread access handles.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::journal::{Journal, PersistEvent, PersistEventKind};
 use crate::latency::LatencyModel;
 use crate::line::{line_of, lines_spanning, CACHE_LINE, WORDS_PER_LINE};
 use crate::stats::{PersistStats, StatsSnapshot};
@@ -14,7 +16,7 @@ use crate::PAddr;
 /// may still reach NVM if the cache evicted it before the failure. A correct
 /// failure-atomicity scheme must therefore tolerate *any* subset of dirty
 /// lines persisting. The policies below let tests explore that space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[derive(Default)]
 pub enum CrashPolicy {
     /// No un-fenced dirty line survives (the cache never evicted anything).
@@ -28,11 +30,40 @@ pub enum CrashPolicy {
         /// Per-line survival probability in permille (0–1000).
         persist_permille: u16,
     },
+    /// Loses exactly the chosen set of dirty lines; every other dirty line
+    /// survives (is evicted in time). This is the crash oracle's workhorse:
+    /// it makes the "which unflushed lines reach NVM" outcome an explicit,
+    /// enumerable input instead of a random draw. `Subset` with an empty
+    /// set behaves like [`CrashPolicy::EvictAll`]; with the full dirty set,
+    /// like [`CrashPolicy::DropDirty`].
+    Subset {
+        /// Line indices whose un-fenced contents are lost at the crash.
+        /// Dirty lines *not* in this set survive. Shared so that cloning a
+        /// policy (configs are cloned per VM run) stays cheap.
+        lost: Arc<BTreeSet<usize>>,
+    },
+}
+
+impl CrashPolicy {
+    /// A [`CrashPolicy::Subset`] losing exactly `lost`.
+    pub fn losing(lost: impl IntoIterator<Item = usize>) -> Self {
+        CrashPolicy::Subset { lost: Arc::new(lost.into_iter().collect()) }
+    }
+
+    /// Short display name for reports and journal entries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrashPolicy::DropDirty => "drop-dirty",
+            CrashPolicy::EvictAll => "evict-all",
+            CrashPolicy::Random { .. } => "random",
+            CrashPolicy::Subset { .. } => "subset",
+        }
+    }
 }
 
 
 /// Construction parameters for a [`PmemPool`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Pool size in bytes; rounded up to a multiple of the cache-line size.
     pub size: usize,
@@ -70,6 +101,7 @@ struct Inner {
     config: PoolConfig,
     crashes: AtomicU64,
     global_stats: PersistStats,
+    journal: Journal,
 }
 
 /// A simulated pool of byte-addressable nonvolatile memory.
@@ -107,6 +139,7 @@ impl PmemPool {
                 config,
                 crashes: AtomicU64::new(0),
                 global_stats: PersistStats::default(),
+                journal: Journal::default(),
             }),
         }
     }
@@ -150,6 +183,15 @@ impl PmemPool {
     /// Callers must ensure no handle is concurrently accessing the pool
     /// (crashed threads are, by definition, gone).
     pub fn crash(&self, seed: u64) -> CrashOutcome {
+        let policy = self.inner.config.crash_policy.clone();
+        self.crash_with(seed, &policy)
+    }
+
+    /// Like [`PmemPool::crash`], but resolves dirty lines with `policy`
+    /// instead of the pool's configured policy. The crash oracle uses this
+    /// to lose a chosen [`CrashPolicy::Subset`] of the lines that are dirty
+    /// at the crash point it is exploring, without rebuilding the pool.
+    pub fn crash_with(&self, seed: u64, policy: &CrashPolicy) -> CrashOutcome {
         let inner = &*self.inner;
         let lines = inner.config.size / CACHE_LINE;
         let mut rng = SplitMix64::new(seed ^ 0x1d0_c4a5);
@@ -159,12 +201,13 @@ impl PmemPool {
             if !self.is_dirty(l) {
                 continue;
             }
-            let survive = match inner.config.crash_policy {
+            let survive = match policy {
                 CrashPolicy::DropDirty => false,
                 CrashPolicy::EvictAll => true,
                 CrashPolicy::Random { persist_permille } => {
-                    (rng.next() % 1000) < persist_permille as u64
+                    (rng.next() % 1000) < *persist_permille as u64
                 }
+                CrashPolicy::Subset { lost } => !lost.contains(&l),
             };
             if survive {
                 self.writeback_line(l);
@@ -180,7 +223,63 @@ impl PmemPool {
             inner.volatile[w].store(v, Ordering::Relaxed);
         }
         inner.crashes.fetch_add(1, Ordering::Relaxed);
+        inner.journal.record(|| PersistEventKind::Crash {
+            policy: policy.name(),
+            evicted,
+            dropped,
+        });
         CrashOutcome { lines_evicted: evicted, lines_dropped: dropped }
+    }
+
+    /// Indices of all currently dirty lines, ascending. The crash oracle
+    /// reads this at a prospective crash point to know which line subsets
+    /// are worth losing.
+    pub fn dirty_lines(&self) -> Vec<usize> {
+        let lines = self.inner.config.size / CACHE_LINE;
+        (0..lines).filter(|&l| self.is_dirty(l)).collect()
+    }
+
+    /// Total persist-relevant events (stores, write-backs, fences, crashes)
+    /// observed by this pool since creation. Counted unconditionally and
+    /// cheaply; see [`crate::journal`] for how the crash oracle uses deltas
+    /// of this counter to find interesting crash points.
+    pub fn persist_event_count(&self) -> u64 {
+        self.inner.journal.seq()
+    }
+
+    /// Starts retaining persist events in a bounded ring of `capacity`
+    /// entries (see [`crate::journal::PersistEvent`]).
+    pub fn record_journal(&self, capacity: usize) {
+        self.inner.journal.start(capacity);
+    }
+
+    /// Stops retaining persist events. The counter behind
+    /// [`PmemPool::persist_event_count`] keeps advancing.
+    pub fn stop_journal(&self) {
+        self.inner.journal.stop();
+    }
+
+    /// Discards retained persist events (sequence numbers are not reset).
+    pub fn clear_journal(&self) {
+        self.inner.journal.clear();
+    }
+
+    /// The most recent `n` retained persist events, oldest first.
+    pub fn journal_tail(&self, n: usize) -> Vec<PersistEvent> {
+        self.inner.journal.tail(n)
+    }
+
+    /// Arms a persist trap: the operation that produces persist event
+    /// number `at` (1-based, compared against
+    /// [`PmemPool::persist_event_count`]) panics with a "persist-trap"
+    /// message, simulating a crash *inside* a composite operation — e.g. an
+    /// [`crate::alloc::NvAllocator`] call that issues several
+    /// flush+fence sequences. Run the operation under
+    /// [`std::panic::catch_unwind`], then [`PmemPool::crash`] and verify
+    /// recovery. The trap disarms itself when it fires; pass `None` to
+    /// disarm manually.
+    pub fn set_persist_trap(&self, at: Option<u64>) {
+        self.inner.journal.set_trap(at);
     }
 
     /// Returns a copy of the persistent image (for durability assertions and
@@ -336,7 +435,9 @@ impl PmemHandle {
         self.stats.stores += 1;
         self.charge(self.latency.store_ns);
         self.inner.volatile[w].store(value, Ordering::Release);
+        let line_was_clean = !self.inner_pool().is_dirty(line_of(addr));
         self.inner_pool().set_dirty(line_of(addr));
+        self.inner.journal.record(|| PersistEventKind::Store { addr, value, line_was_clean });
     }
 
     /// Non-temporal store: bypasses the cache, updating both images at once.
@@ -348,6 +449,7 @@ impl PmemHandle {
         self.charge(self.latency.nt_store_cost());
         self.inner.volatile[w].store(value, Ordering::Release);
         self.inner.persistent[w].store(value, Ordering::Release);
+        self.inner.journal.record(|| PersistEventKind::NtStore { addr, value });
     }
 
     /// Issues a write-back (`clwb`) for the line containing `addr`. The line
@@ -361,6 +463,7 @@ impl PmemHandle {
         if !self.pending.contains(&line) {
             self.pending.push(line);
         }
+        self.inner.journal.record(|| PersistEventKind::Clwb { line });
     }
 
     /// Issues write-backs for every line spanned by `[addr, addr + len)`.
@@ -379,10 +482,12 @@ impl PmemHandle {
         self.stats.lines_persisted += n;
         self.charge(self.latency.fence_cost(n));
         let pool = self.inner_pool();
-        for line in std::mem::take(&mut self.pending) {
+        let drained = std::mem::take(&mut self.pending);
+        for &line in &drained {
             pool.writeback_line(line);
             pool.clear_dirty(line);
         }
+        self.inner.journal.record(|| PersistEventKind::Sfence { lines: drained });
     }
 
     /// Convenience: `clwb` every line of the range, then `sfence`.
@@ -426,6 +531,8 @@ impl PmemHandle {
         }
         self.stats.stores += buf.len().div_ceil(8) as u64;
         self.charge(self.latency.store_ns * buf.len().div_ceil(8) as u64);
+        let len = buf.len();
+        self.inner.journal.record(|| PersistEventKind::StoreBytes { addr, len });
     }
 
     /// Atomically ORs `bits` into the word at `addr` (used by lock bitmaps).
@@ -433,8 +540,15 @@ impl PmemHandle {
         let w = self.check_word(addr);
         self.stats.stores += 1;
         self.charge(self.latency.store_ns);
+        let line_was_clean = !self.inner_pool().is_dirty(line_of(addr));
         self.inner_pool().set_dirty(line_of(addr));
-        self.inner.volatile[w].fetch_or(bits, Ordering::AcqRel)
+        let prev = self.inner.volatile[w].fetch_or(bits, Ordering::AcqRel);
+        self.inner.journal.record(|| PersistEventKind::Store {
+            addr,
+            value: prev | bits,
+            line_was_clean,
+        });
+        prev
     }
 
     /// Atomically ANDs `bits` into the word at `addr`.
@@ -442,8 +556,15 @@ impl PmemHandle {
         let w = self.check_word(addr);
         self.stats.stores += 1;
         self.charge(self.latency.store_ns);
+        let line_was_clean = !self.inner_pool().is_dirty(line_of(addr));
         self.inner_pool().set_dirty(line_of(addr));
-        self.inner.volatile[w].fetch_and(bits, Ordering::AcqRel)
+        let prev = self.inner.volatile[w].fetch_and(bits, Ordering::AcqRel);
+        self.inner.journal.record(|| PersistEventKind::Store {
+            addr,
+            value: prev & bits,
+            line_was_clean,
+        });
+        prev
     }
 
     /// Compare-and-swap on the word at `addr`. Returns the previous value.
@@ -451,9 +572,15 @@ impl PmemHandle {
         let w = self.check_word(addr);
         self.stats.stores += 1;
         self.charge(self.latency.store_ns);
+        let line_was_clean = !self.inner_pool().is_dirty(line_of(addr));
         let r = self.inner.volatile[w].compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
         if r.is_ok() {
             self.inner_pool().set_dirty(line_of(addr));
+            self.inner.journal.record(|| PersistEventKind::Store {
+                addr,
+                value: new,
+                line_was_clean,
+            });
         }
         r
     }
@@ -718,6 +845,100 @@ mod tests {
         assert_eq!(h.compare_exchange_u64(192, 5, 6), Ok(5));
         assert_eq!(h.compare_exchange_u64(192, 5, 7), Err(6));
         assert_eq!(h.read_u64(192), 6);
+    }
+
+    #[test]
+    fn subset_policy_loses_exactly_the_chosen_lines() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(0 * 64, 1);
+        h.write_u64(3 * 64, 3);
+        h.write_u64(7 * 64, 7);
+        drop(h);
+        assert_eq!(p.dirty_lines(), vec![0, 3, 7]);
+        let outcome = p.crash_with(0, &CrashPolicy::losing([3]));
+        assert_eq!(outcome, CrashOutcome { lines_evicted: 2, lines_dropped: 1 });
+        let mut h = p.handle();
+        assert_eq!(h.read_u64(0), 1, "line 0 survived");
+        assert_eq!(h.read_u64(3 * 64), 0, "line 3 lost");
+        assert_eq!(h.read_u64(7 * 64), 7, "line 7 survived");
+        assert!(p.dirty_lines().is_empty(), "crash resolves all dirty lines");
+    }
+
+    #[test]
+    fn subset_extremes_match_drop_and_evict() {
+        for (lost, expect) in [(vec![], 5u64), (vec![1], 0u64)] {
+            let p = pool();
+            let mut h = p.handle();
+            h.write_u64(64, 5);
+            drop(h);
+            p.crash_with(0, &CrashPolicy::losing(lost));
+            let mut h = p.handle();
+            assert_eq!(h.read_u64(64), expect);
+        }
+    }
+
+    #[test]
+    fn persist_event_count_advances_on_persist_relevant_ops_only() {
+        let p = pool();
+        let mut h = p.handle();
+        let c0 = p.persist_event_count();
+        h.read_u64(0); // loads are not persist events
+        assert_eq!(p.persist_event_count(), c0);
+        h.write_u64(0, 1); // store
+        h.clwb(0); // clwb
+        h.sfence(); // fence
+        h.nt_store_u64(64, 2); // nt store
+        assert_eq!(p.persist_event_count(), c0 + 4);
+    }
+
+    #[test]
+    fn journal_records_tail_with_dirty_transitions() {
+        let p = pool();
+        p.record_journal(16);
+        let mut h = p.handle();
+        h.write_u64(128, 1);
+        h.write_u64(136, 2); // same line: no clean->dirty transition
+        h.clwb(128);
+        h.sfence();
+        drop(h);
+        p.crash(0);
+        let tail = p.journal_tail(16);
+        assert_eq!(tail.len(), 5);
+        assert!(matches!(
+            tail[0].kind,
+            PersistEventKind::Store { line_was_clean: true, .. }
+        ));
+        assert!(matches!(
+            tail[1].kind,
+            PersistEventKind::Store { line_was_clean: false, .. }
+        ));
+        assert!(matches!(tail[2].kind, PersistEventKind::Clwb { line: 2 }));
+        assert!(matches!(&tail[3].kind, PersistEventKind::Sfence { lines } if lines == &vec![2]));
+        assert!(
+            matches!(tail[4].kind, PersistEventKind::Crash { policy: "drop-dirty", .. }),
+            "{:?}",
+            tail[4]
+        );
+        // Seqnos are consecutive and match the global counter.
+        for w in tail.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        assert_eq!(p.persist_event_count(), tail[4].seq + 1);
+    }
+
+    #[test]
+    fn atomic_rmw_ops_are_journaled_as_stores() {
+        let p = pool();
+        p.record_journal(16);
+        let mut h = p.handle();
+        h.fetch_or_u64(0, 0b1);
+        h.fetch_and_u64(0, 0b1);
+        assert_eq!(h.compare_exchange_u64(0, 1, 9), Ok(1));
+        assert!(h.compare_exchange_u64(0, 1, 5).is_err());
+        let tail = p.journal_tail(16);
+        assert_eq!(tail.len(), 3, "failed CAS is not a persist event");
+        assert!(matches!(tail[2].kind, PersistEventKind::Store { value: 9, .. }));
     }
 
     #[test]

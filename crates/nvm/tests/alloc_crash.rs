@@ -1,0 +1,244 @@
+//! Crash-consistency sweep for `NvAllocator`: interrupt a scripted
+//! allocate/free workload at **every** flush boundary and verify the heap
+//! recovers well-formed, with no double-use and at most one leaked block.
+//!
+//! Crash points are enumerated from the pool's persist-event journal, not
+//! hand-picked: a reference run counts the persist events the script
+//! produces, then each event number in turn is armed as a persist trap
+//! (`PmemPool::set_persist_trap`) that panics mid-operation — interrupting
+//! composite allocator calls *between* their internal flushes, which
+//! step-granular crash injection cannot reach. Each interruption is
+//! followed by a crash under both extreme line policies (all dirty lines
+//! lost, and all dirty lines evicted/survived) before re-attaching and
+//! checking invariants.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ido_nvm::alloc::NvAllocator;
+use ido_nvm::root::{RootTable, HEAP_START};
+use ido_nvm::{CrashPolicy, PmemHandle, PmemPool, PoolConfig, PAddr};
+
+const ALLOCATED_BIT: u64 = 1 << 63;
+const HEADER_BYTES: usize = 8;
+
+/// Silence the default panic printout for the trap panics this sweep
+/// provokes by the dozen; other threads' panics still print.
+fn quiet<T>(f: impl FnOnce() -> T) -> T {
+    use std::cell::Cell;
+    use std::sync::Once;
+    thread_local! {
+        static SUPPRESS: Cell<bool> = const { Cell::new(false) };
+    }
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+    SUPPRESS.with(|s| s.set(true));
+    let r = f();
+    SUPPRESS.with(|s| s.set(false));
+    r
+}
+
+fn fresh() -> (PmemPool, NvAllocator) {
+    let pool = PmemPool::new(PoolConfig::small_for_tests());
+    let mut h = pool.handle();
+    RootTable::format(&mut h);
+    let alloc = NvAllocator::format(&mut h, HEAP_START + (8 << 10));
+    (pool, alloc)
+}
+
+/// The scripted workload: exercises bump allocation, free-list push,
+/// first-fit reuse, and block splitting.
+fn script(alloc: &NvAllocator, h: &mut PmemHandle) {
+    let a = alloc.alloc(h, 24).unwrap();
+    let b = alloc.alloc(h, 100).unwrap();
+    alloc.free(h, a).unwrap();
+    let _c = alloc.alloc(h, 8).unwrap(); // first-fit reuse of `a`
+    let d = alloc.alloc(h, 200).unwrap();
+    alloc.free(h, b).unwrap();
+    alloc.free(h, d).unwrap();
+    let _e = alloc.alloc(h, 48).unwrap(); // split of `d`'s 200-byte block
+}
+
+/// One heap block as seen by the tiling walk.
+struct Block {
+    payload: PAddr,
+    size: usize,
+    allocated: bool,
+}
+
+/// Walks the heap by headers from `HEAP_START` to the bump pointer and
+/// checks structural invariants; panics on any corruption.
+fn walk_heap(h: &mut PmemHandle) -> Vec<Block> {
+    // Allocator metadata layout (stable, asserted by the allocator's own
+    // unit tests): bump pointer is the first metadata word.
+    let meta = ido_nvm::root::ALLOC_META_ADDR;
+    let bump = h.read_u64(meta) as PAddr;
+    assert!(bump >= HEAP_START, "bump below heap start");
+    let mut blocks = Vec::new();
+    let mut cur = HEAP_START;
+    while cur < bump {
+        let header = h.read_u64(cur);
+        let size = (header & !ALLOCATED_BIT) as usize;
+        assert!(size >= 8 && size % 8 == 0, "corrupt header {header:#x} at {cur:#x}");
+        assert!(
+            cur + HEADER_BYTES + size <= bump,
+            "block at {cur:#x} overruns the bump pointer"
+        );
+        blocks.push(Block {
+            payload: cur + HEADER_BYTES,
+            size,
+            allocated: header & ALLOCATED_BIT != 0,
+        });
+        cur += HEADER_BYTES + size;
+    }
+    assert_eq!(cur, bump, "heap does not tile exactly to the bump pointer");
+    blocks
+}
+
+/// Collects the free list, checking it is acyclic, in-heap, and never
+/// overlaps a block the walk says is live.
+fn check_free_list(h: &mut PmemHandle, blocks: &[Block]) -> BTreeSet<PAddr> {
+    let meta = ido_nvm::root::ALLOC_META_ADDR;
+    let bump = h.read_u64(meta) as PAddr;
+    let mut seen = BTreeSet::new();
+    let mut cur = h.read_u64(meta + 8) as PAddr; // free head
+    while cur != 0 {
+        assert!(seen.insert(cur), "free list cycles at {cur:#x}");
+        assert!(seen.len() <= 1024, "free list unreasonably long");
+        assert!(
+            (HEAP_START + HEADER_BYTES..bump).contains(&cur),
+            "free entry {cur:#x} outside heap"
+        );
+        let header = h.read_u64(cur - HEADER_BYTES);
+        assert_eq!(header & ALLOCATED_BIT, 0, "free list holds allocated block {cur:#x}");
+        let size = header as usize;
+        for b in blocks.iter().filter(|b| b.allocated) {
+            let disjoint = cur + size <= b.payload - HEADER_BYTES || cur >= b.payload + b.size;
+            assert!(disjoint, "free entry {cur:#x} overlaps live block {:#x}", b.payload);
+        }
+        cur = h.read_u64(cur) as PAddr;
+    }
+    seen
+}
+
+/// Full post-recovery invariant check: structure, free list, double-use,
+/// and bounded leakage.
+fn check_recovered_heap(pool: &PmemPool) {
+    let alloc = NvAllocator::attach();
+    let mut h = pool.handle();
+    let blocks = walk_heap(&mut h);
+    let free = check_free_list(&mut h, &blocks);
+
+    // At most one block can leak per interrupted operation: walk-free
+    // blocks that are unreachable from the free list (including the
+    // container of a half-split block, whose tail IS on the list).
+    let leaked = blocks
+        .iter()
+        .filter(|b| !b.allocated)
+        .filter(|b| !free.contains(&b.payload))
+        .filter(|b| !free.iter().any(|&f| f > b.payload && f < b.payload + b.size))
+        .count();
+    assert!(leaked <= 1, "an interrupted op may leak at most one block, found {leaked}");
+
+    // No double-use: new allocations must not overlap any block the walk
+    // says is live, nor each other.
+    let live: Vec<(PAddr, usize)> = blocks
+        .iter()
+        .filter(|b| b.allocated)
+        .map(|b| (b.payload, b.size))
+        .collect();
+    let mut fresh_blocks: Vec<(PAddr, usize)> = Vec::new();
+    for _ in 0..8 {
+        let p = alloc.alloc(&mut h, 16).expect("recovered heap can still allocate");
+        for &(q, qs) in live.iter().chain(fresh_blocks.iter()) {
+            let disjoint = p + 16 <= q - HEADER_BYTES || p >= q + qs;
+            assert!(disjoint, "fresh allocation {p:#x} overlaps live block {q:#x}");
+        }
+        fresh_blocks.push((p, 16));
+    }
+    // And the recovered metadata stays internally consistent afterwards.
+    walk_heap(&mut h);
+}
+
+/// Reference pass: how many persist events does the script produce?
+fn script_persist_events() -> (u64, u64) {
+    let (pool, alloc) = fresh();
+    let setup = pool.persist_event_count();
+    let mut h = pool.handle();
+    script(&alloc, &mut h);
+    drop(h);
+    (setup, pool.persist_event_count())
+}
+
+#[test]
+fn allocator_survives_interruption_at_every_flush_boundary() {
+    let (setup_events, total_events) = script_persist_events();
+    assert!(
+        total_events - setup_events > 20,
+        "script should span many flush boundaries, got {}",
+        total_events - setup_events
+    );
+    let policies = [CrashPolicy::DropDirty, CrashPolicy::losing([])];
+    let mut fired = 0;
+    for k in setup_events + 1..=total_events {
+        for policy in &policies {
+            let (pool, alloc) = fresh();
+            pool.set_persist_trap(Some(k));
+            let mut h = pool.handle();
+            let r = quiet(|| {
+                catch_unwind(AssertUnwindSafe(|| script(&alloc, &mut h)))
+            });
+            drop(h);
+            pool.set_persist_trap(None);
+            assert!(r.is_err(), "trap at event {k} must interrupt the script");
+            fired += 1;
+            pool.crash_with(k, policy);
+            check_recovered_heap(&pool);
+        }
+    }
+    assert_eq!(fired as u64, (total_events - setup_events) * 2);
+}
+
+#[test]
+fn uninterrupted_script_leaves_a_clean_heap() {
+    let (pool, alloc) = fresh();
+    let mut h = pool.handle();
+    script(&alloc, &mut h);
+    drop(h);
+    pool.crash(7);
+    check_recovered_heap(&pool);
+}
+
+#[test]
+fn interrupted_free_never_double_links() {
+    // Narrow regression: trap inside `free`'s push (link → header → head).
+    // Whichever flush the crash lands on, the block must end up either
+    // still allocated (rolled back) or free exactly once — never twice.
+    for k in 1..=6u64 {
+        let (pool, alloc) = fresh();
+        let mut h = pool.handle();
+        let a = alloc.alloc(&mut h, 32).unwrap();
+        let base = pool.persist_event_count();
+        pool.set_persist_trap(Some(base + k));
+        let r = quiet(|| catch_unwind(AssertUnwindSafe(|| alloc.free(&mut h, a))));
+        drop(h);
+        pool.set_persist_trap(None);
+        pool.crash(k);
+        let mut h = pool.handle();
+        let blocks = walk_heap(&mut h);
+        let free = check_free_list(&mut h, &blocks);
+        assert!(free.len() <= 1, "block freed at most once");
+        if r.is_ok() {
+            // free() completed before the trap window closed — the block
+            // must be durably on the list (free persists all its flushes).
+            assert!(free.contains(&a), "completed free must survive the crash");
+        }
+    }
+}

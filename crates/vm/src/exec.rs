@@ -41,7 +41,7 @@ pub enum SchedPolicy {
 }
 
 /// VM configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct VmConfig {
     /// Pool configuration (size, latency model, crash policy).
     pub pool: PoolConfig,
@@ -84,6 +84,14 @@ pub struct VmConfig {
     /// register-slot write-back at a boundary (Section IV-B shows why this
     /// matters).
     pub ido_no_coalescing: bool,
+    /// **Deliberate bug injection** (crash-oracle self-test only): at each
+    /// iDO boundary, skip writing back the region's tracked heap stores
+    /// while still durably advancing `recovery_pc` past them. This breaks
+    /// the paper's persist-ordering contract — a crash right after the
+    /// boundary resumes *after* a region whose stores never reached NVM —
+    /// and must make the crash oracle report a minimal counterexample.
+    /// Never enable outside oracle validation tests.
+    pub ido_bug_skip_store_flush: bool,
     /// NVThreads page size in bytes.
     pub page_bytes: usize,
     /// NVThreads cost of the copy-on-write page copy at first touch.
@@ -108,6 +116,7 @@ impl Default for VmConfig {
             ido_eager_step2_fence: false,
             ido_unmerged_acquire_fence: false,
             ido_no_coalescing: false,
+            ido_bug_skip_store_flush: false,
             page_bytes: 4096,
             page_copy_ns: 1200,
             page_log_ns: 2500,
@@ -210,6 +219,37 @@ pub enum RunOutcome {
     Deadlocked,
 }
 
+/// Snapshot passed to a [`StepHook`] after each executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepInfo {
+    /// Number of instructions executed so far (1-based: the first executed
+    /// instruction reports `step == 1`, matching [`Vm::steps`]).
+    pub step: u64,
+    /// The thread that executed this step.
+    pub thread: ThreadId,
+    /// The pool's cumulative persist-event count *after* this step (see
+    /// [`ido_nvm::PmemPool::persist_event_count`]). Two steps with equal
+    /// counts are crash-equivalent: no store/clwb/sfence happened between
+    /// them, so a crash after either sees the same NVM state.
+    pub persist_events: u64,
+}
+
+/// A [`StepHook`]'s verdict after each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepControl {
+    /// Keep executing.
+    Continue,
+    /// Stop now; [`Vm::run_steps`] returns [`RunOutcome::Paused`] with all
+    /// VM state intact, so the caller can crash or inspect at exactly this
+    /// step.
+    Pause,
+}
+
+/// Callback invoked after every executed instruction (see
+/// [`Vm::set_step_hook`]). Used by the crash oracle to pause the VM
+/// deterministically at chosen persist boundaries.
+pub type StepHook = Box<dyn FnMut(StepInfo) -> StepControl>;
+
 /// The virtual machine.
 pub struct Vm {
     pool: PmemPool,
@@ -233,6 +273,7 @@ pub struct Vm {
     registry: PAddr,
     profile: Profile,
     steps: u64,
+    step_hook: Option<StepHook>,
 }
 
 impl std::fmt::Debug for Vm {
@@ -252,7 +293,7 @@ fn max_regs_of(program: &Program) -> u32 {
 impl Vm {
     /// Creates a VM over a freshly formatted pool.
     pub fn new(instrumented: Instrumented, config: VmConfig) -> Vm {
-        let pool = PmemPool::new(config.pool);
+        let pool = PmemPool::new(config.pool.clone());
         let mut h = pool.handle();
         let roots = RootTable::format(&mut h);
         let alloc = NvAllocator::format(&mut h, pool.size());
@@ -263,16 +304,17 @@ impl Vm {
             max_regs: max_regs_of(&instrumented.program),
             program: instrumented.program,
             scheme: instrumented.scheme,
-            config,
             threads: Vec::new(),
             locks: LockTable::new(),
             rng: config.seed | 1,
+            config,
             stamp: 1,
             lock_release_stamps: HashMap::new(),
             atlas_rt_available: 0,
             registry: 0,
             profile: Profile::new(),
             steps: 0,
+            step_hook: None,
         };
         // Thread registry: [count][entries: 4 words each].
         let bytes = 8 + MAX_THREADS * 32;
@@ -298,16 +340,17 @@ impl Vm {
             max_regs: max_regs_of(&instrumented.program),
             program: instrumented.program,
             scheme: instrumented.scheme,
-            config,
             threads: Vec::new(),
             locks: LockTable::new(),
             rng: config.seed | 1,
+            config,
             stamp: 1,
             lock_release_stamps: HashMap::new(),
             atlas_rt_available: 0,
             registry,
             profile: Profile::new(),
             steps: 0,
+            step_hook: None,
         }
     }
 
@@ -540,6 +583,16 @@ impl Vm {
             };
             self.step_thread(pick);
             self.steps += 1;
+            let info = StepInfo {
+                step: self.steps,
+                thread: ThreadId(pick),
+                persist_events: self.pool.persist_event_count(),
+            };
+            if let Some(hook) = self.step_hook.as_mut() {
+                if hook(info) == StepControl::Pause {
+                    return RunOutcome::Paused;
+                }
+            }
         }
         if self.threads.iter().all(|t| t.status == Status::Done) {
             RunOutcome::Completed
@@ -565,6 +618,31 @@ impl Vm {
         drop(self.threads); // handles merge their stats on drop
         self.pool.crash(seed);
         self.pool
+    }
+
+    /// Like [`Vm::crash`], but applies `policy` instead of the pool's
+    /// configured crash policy. The crash oracle uses this with
+    /// [`ido_nvm::CrashPolicy::Subset`] to lose one explicit set of dirty
+    /// lines per explored crash state.
+    pub fn crash_with(self, seed: u64, policy: &ido_nvm::CrashPolicy) -> PmemPool {
+        drop(self.threads); // handles merge their stats on drop
+        self.pool.crash_with(seed, policy);
+        self.pool
+    }
+
+    /// Installs `hook`, called after every executed instruction; returning
+    /// [`StepControl::Pause`] stops execution at exactly that step. Replaces
+    /// any previous hook. The hook is *not* part of the replay identity: the
+    /// scheduler's RNG never observes it, so a run paused by a hook and
+    /// resumed (or re-run to the same step count on a fresh VM with the same
+    /// config, program, and spawn order) executes the identical schedule.
+    pub fn set_step_hook(&mut self, hook: StepHook) {
+        self.step_hook = Some(hook);
+    }
+
+    /// Removes the current step hook, if any.
+    pub fn clear_step_hook(&mut self) {
+        self.step_hook = None;
     }
 
     // ------------------------------------------------------------------
@@ -1209,8 +1287,15 @@ impl Vm {
                 th.handle.sfence();
             }
         }
-        for addr in std::mem::take(&mut th.region_stores) {
-            th.handle.clwb(addr);
+        if self.config.ido_bug_skip_store_flush {
+            // Injected bug: the region's heap stores are forgotten, not
+            // flushed — yet recovery_pc still advances (and is fenced
+            // eagerly below), durably claiming the region completed.
+            th.region_stores.clear();
+        } else {
+            for addr in std::mem::take(&mut th.region_stores) {
+                th.handle.clwb(addr);
+            }
         }
         th.handle.sfence();
         // Step 2: advance recovery_pc to the instruction after the boundary.
@@ -1222,7 +1307,7 @@ impl Vm {
         let a = th.ido_log.recovery_pc();
         th.handle.write_u64(a, encode_pc(next));
         th.handle.clwb(a);
-        if self.config.ido_eager_step2_fence {
+        if self.config.ido_eager_step2_fence || self.config.ido_bug_skip_store_flush {
             th.handle.sfence();
             th.pc_fence_pending = false;
         } else {
@@ -1341,9 +1426,15 @@ impl Vm {
             th.handle.clwb(addr);
         }
         th.handle.sfence();
-        // Retire the log: invalidating entry 0 makes the recovery scan see
-        // an empty log.
-        th.handle.nt_store_u64(log.entry_addr(0), 0);
+        // Retire the log: invalidate every entry this transaction used.
+        // Zeroing only entry 0 is not enough — the next transaction's
+        // NT-stored redo entry re-validates slot 0, and the recovery scan
+        // would then read the stale tail (old redo entries plus the old
+        // commit record) as a phantom committed transaction. The crash
+        // oracle found exactly that tear.
+        for i in 0..=cur {
+            th.handle.nt_store_u64(log.entry_addr(i), 0);
+        }
         th.handle.sfence();
         th.mn_cursor = 0;
     }
@@ -1392,6 +1483,8 @@ mod tests {
     use super::*;
     use ido_compiler::instrument_program;
     use ido_ir::ProgramBuilder;
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     fn compile(scheme: Scheme, build: impl FnOnce(&mut ProgramBuilder)) -> Instrumented {
         let mut pb = ProgramBuilder::new();
@@ -1690,6 +1783,137 @@ mod tests {
         assert!(
             fences(Scheme::Ido) < fences(Scheme::JustDo),
             "iDO consolidates per-store logging into per-region logging"
+        );
+    }
+
+    /// An iDO FASE program suitable for persist-boundary exploration: two
+    /// threads increment disjoint counters under one lock.
+    fn fase_counters(scheme: Scheme) -> Instrumented {
+        compile(scheme, |pb| {
+            let mut f = pb.new_function("bump", 3);
+            let l = f.param(0);
+            let p = f.param(1);
+            let k = f.param(2);
+            let off = f.new_reg();
+            let v = f.new_reg();
+            let v1 = f.new_reg();
+            f.bin(BinOp::Mul, off, k, 64i64);
+            f.bin(BinOp::Add, off, p, Operand::Reg(off));
+            f.lock(l);
+            f.load(v, off, 0);
+            f.bin(BinOp::Add, v1, v, 7i64);
+            f.store(off, 0, Operand::Reg(v1));
+            f.unlock(l);
+            f.ret(None);
+            f.finish().unwrap();
+        })
+    }
+
+    fn fase_vm(scheme: Scheme, seed: u64) -> (Vm, PAddr) {
+        let mut cfg = VmConfig::for_tests();
+        cfg.seed = seed;
+        cfg.sched = SchedPolicy::Random;
+        let mut vm = Vm::new(fase_counters(scheme), cfg);
+        let (l, p) = vm.setup(|h, al, _| {
+            let l = al.alloc(h, 8).unwrap();
+            let p = al.alloc(h, 128).unwrap();
+            h.persist(p, 128);
+            (l, p)
+        });
+        for t in 0..2u64 {
+            vm.spawn("bump", &[l as u64, p as u64, t]);
+        }
+        (vm, p)
+    }
+
+    #[test]
+    fn step_hook_observes_every_step_and_replays_deterministically() {
+        // Reference run: uninterrupted, record the persist-event trace.
+        let (mut vm, p) = fase_vm(Scheme::Ido, 42);
+        let trace: Rc<RefCell<Vec<(u64, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = trace.clone();
+        vm.set_step_hook(Box::new(move |info| {
+            sink.borrow_mut().push((info.step, info.persist_events));
+            StepControl::Continue
+        }));
+        assert_eq!(vm.run(), RunOutcome::Completed);
+        let total = vm.steps();
+        let h = &mut vm.pool().handle();
+        let finals = (h.read_u64(p), h.read_u64(p + 64));
+        let trace = trace.borrow();
+        assert_eq!(trace.len() as u64, total, "hook fires once per step");
+        assert_eq!(trace.last().unwrap().0, total);
+        assert!(trace.windows(2).all(|w| w[0].1 <= w[1].1), "persist count is monotone");
+        assert!(trace.last().unwrap().1 > 0, "an iDO FASE must persist something");
+
+        // Replay: a fresh VM with identical config paused by the hook at
+        // every single step still executes the identical schedule.
+        let (mut vm2, p2) = fase_vm(Scheme::Ido, 42);
+        vm2.set_step_hook(Box::new(|_| StepControl::Pause));
+        let mut replayed = Vec::new();
+        loop {
+            let out = vm2.run_steps(u64::MAX);
+            if vm2.steps() > replayed.last().map_or(0, |&(s, _)| s) {
+                replayed.push((vm2.steps(), vm2.pool().persist_event_count()));
+            }
+            if out != RunOutcome::Paused {
+                break;
+            }
+        }
+        assert_eq!(replayed, *trace, "pausing must not perturb the schedule");
+        let h2 = &mut vm2.pool().handle();
+        assert_eq!((h2.read_u64(p2), h2.read_u64(p2 + 64)), finals);
+    }
+
+    #[test]
+    fn crash_with_overrides_configured_policy() {
+        // The program stores without any flush; under the configured
+        // DropDirty policy the value dies, but crash_with(EvictAll) on an
+        // identically seeded twin keeps it.
+        let run = |policy: Option<ido_nvm::CrashPolicy>| {
+            let inst = compile(Scheme::Origin, |pb| {
+                let mut f = pb.new_function("main", 1);
+                let a = f.param(0);
+                f.store(a, 0, 77i64);
+                f.ret(None);
+                f.finish().unwrap();
+            });
+            let mut vm = Vm::new(inst, VmConfig::for_tests());
+            let a = vm.setup(|h, al, _| al.alloc(h, 8).unwrap());
+            vm.spawn("main", &[a as u64]);
+            vm.run();
+            let pool = match policy {
+                Some(p) => vm.crash_with(9, &p),
+                None => vm.crash(9),
+            };
+            pool.handle().read_u64(a)
+        };
+        assert_eq!(run(None), 0, "DropDirty loses the unflushed store");
+        assert_eq!(run(Some(ido_nvm::CrashPolicy::EvictAll)), 77);
+        assert_eq!(run(Some(ido_nvm::CrashPolicy::losing([]))), 77, "empty lost set = evict all");
+    }
+
+    #[test]
+    fn ido_bug_skip_store_flush_drops_region_stores() {
+        // With the injected bug, an iDO boundary advances recovery_pc
+        // durably while the region's heap store never gets a clwb — the
+        // dirty line must still be volatile-only right after completion.
+        let mut cfg = VmConfig::for_tests();
+        cfg.ido_bug_skip_store_flush = true;
+        let mut vm = Vm::new(fase_counters(Scheme::Ido), cfg);
+        let (l, p) = vm.setup(|h, al, _| {
+            let l = al.alloc(h, 8).unwrap();
+            let p = al.alloc(h, 128).unwrap();
+            h.persist(p, 128);
+            (l, p)
+        });
+        vm.spawn("bump", &[l as u64, p as u64, 0]);
+        assert_eq!(vm.run(), RunOutcome::Completed);
+        let pool = vm.crash(3); // DropDirty: every unflushed line dies
+        assert_eq!(
+            pool.handle().read_u64(p),
+            0,
+            "bug variant must leave the FASE's store unpersisted"
         );
     }
 }

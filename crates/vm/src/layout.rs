@@ -222,9 +222,10 @@ impl AppendLogLayout {
     const LEN: usize = 0;
     const ENTRIES: usize = 64; // keep the length word on its own line
 
-    /// Bytes needed for `capacity` entries.
+    /// Bytes needed for `capacity` entries (including alignment slack for
+    /// the entry array).
     pub fn size_for(capacity: usize) -> usize {
-        Self::ENTRIES + capacity * APPEND_ENTRY_BYTES
+        Self::ENTRIES + APPEND_ENTRY_BYTES + capacity * APPEND_ENTRY_BYTES
     }
 
     /// Address of the persisted entry count.
@@ -232,10 +233,20 @@ impl AppendLogLayout {
         self.base + Self::LEN
     }
 
-    /// Address of entry `i`.
+    /// Address of entry `i`. The entry array is rounded up to a 32-byte
+    /// boundary so a 32-byte entry never straddles a cache line: `append`
+    /// issues a single write-back per entry, which is only crash-atomic if
+    /// the whole entry lives on that one line. (The allocator hands out
+    /// 8-aligned regions, so an unaligned base would split every other
+    /// entry across two lines — and a crash evicting one line but not the
+    /// other would leave a *valid-looking* entry with torn payload fields.
+    /// The crash oracle found exactly that: Atlas rollback applying a
+    /// half-persisted UNDO record's stale old-value.)
     pub fn entry_addr(&self, i: usize) -> PAddr {
         assert!(i < self.capacity, "append log overflow at entry {i}");
-        self.base + Self::ENTRIES + i * APPEND_ENTRY_BYTES
+        let entries =
+            (self.base + Self::ENTRIES + (APPEND_ENTRY_BYTES - 1)) & !(APPEND_ENTRY_BYTES - 1);
+        entries + i * APPEND_ENTRY_BYTES
     }
 
     /// Cursor position hint (updated without fencing; authoritative count
@@ -337,6 +348,52 @@ mod tests {
         assert!(l.lock_slot(LOCK_ARRAY_SLOTS - 1) < l.rf_slot(0));
         assert_eq!(l.rf_slot(1) - l.rf_slot(0), 8);
         assert!(IdoLogLayout::size_for(16) >= (l.rf_slot(15) - 4096) + 8);
+    }
+
+    #[test]
+    fn append_entries_never_straddle_cache_lines() {
+        // Regression for a crash-oracle finding: log regions come from the
+        // 8-aligned allocator, and a 32-byte entry crossing a cache-line
+        // boundary can persist half under a partial-eviction crash — a
+        // valid kind word with torn payload, which Atlas rollback then
+        // applies. The layout must align entries so the single per-entry
+        // write-back covers the whole entry.
+        for base in [4096, 4096 + 8, 4096 + 16, 4096 + 24, 4096 + 40] {
+            let log = AppendLogLayout { base, capacity: 8 };
+            for i in 0..8 {
+                let e = log.entry_addr(i);
+                assert_eq!(
+                    e / 64,
+                    (e + APPEND_ENTRY_BYTES - 1) / 64,
+                    "entry {i} at base {base:#x} straddles a line"
+                );
+            }
+            assert!(
+                log.entry_addr(7) + APPEND_ENTRY_BYTES <= base + AppendLogLayout::size_for(8),
+                "size_for must cover the aligned entry array (base {base:#x})"
+            );
+        }
+    }
+
+    #[test]
+    fn half_persisted_straddling_entry_would_tear() {
+        // The failure mode the alignment prevents, demonstrated directly:
+        // write a 32-byte record across two lines, persist only the first,
+        // and observe a valid kind word with a zero payload tail.
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = pool.handle();
+        let e: PAddr = 4096 + 48; // last 16 bytes of line 64, first 16 of line 65
+        h.write_u64(e, LogEntryKind::Undo as u64);
+        h.write_u64(e + 8, 0x14a8);
+        h.write_u64(e + 16, 7); // old value, on the second line
+        h.write_u64(e + 24, 9);
+        h.clwb(e); // first line only — what an unaligned append amounted to
+        h.sfence();
+        drop(h);
+        pool.crash(0);
+        let mut h = pool.handle();
+        assert_eq!(LogEntryKind::from_word(h.read_u64(e)), Some(LogEntryKind::Undo));
+        assert_eq!(h.read_u64(e + 16), 0, "payload tail lost: the entry is torn");
     }
 
     #[test]

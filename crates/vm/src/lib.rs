@@ -33,7 +33,10 @@ pub mod locks;
 pub mod profile;
 pub mod recovery;
 
-pub use exec::{RunOutcome, SchedPolicy, Status, Vm, VmConfig, GLOBAL_TX_LOCK, MAX_THREADS, THREADS_ROOT};
+pub use exec::{
+    RunOutcome, SchedPolicy, Status, StepControl, StepHook, StepInfo, Vm, VmConfig,
+    GLOBAL_TX_LOCK, MAX_THREADS, THREADS_ROOT,
+};
 pub use locks::ThreadId;
 pub use profile::Profile;
 pub use recovery::{recover, recover_interrupted, RecoveryConfig, RecoveryReport};

@@ -13,7 +13,7 @@
 
 use ido_compiler::{instrument_program, Instrumented, Scheme};
 use ido_ir::{Operand, ProgramBuilder};
-use ido_nvm::{CrashPolicy, PAddr, PoolConfig};
+use ido_nvm::{CrashPolicy, PAddr};
 use ido_vm::{recover, RecoveryConfig, RunOutcome, Status, Vm, VmConfig};
 
 /// `op(lock, p)`: under `lock`, increment `mem[p]` and `mem[p+64]`.
@@ -107,21 +107,22 @@ fn crash_at(
     threads: usize,
     with_lock: bool,
     crash_step: u64,
-    policy: CrashPolicy,
+    policy: &CrashPolicy,
     seed: u64,
 ) -> (usize, usize, u64, u64) {
     let inst = if with_lock { twin_counter(scheme) } else { twin_counter_durable(scheme) };
-    let mut s = setup(inst.clone(), vm_config(policy, seed), threads, with_lock);
+    let mut s = setup(inst.clone(), vm_config(policy.clone(), seed), threads, with_lock);
     s.vm.run_steps(crash_step);
     let done = (0..threads).filter(|i| s.vm.status(ido_vm::ThreadId(*i)) == Status::Done).count();
     let cell = s.cell;
     let pool = s.vm.crash(seed ^ 0xC0FFEE);
-    let report = recover(pool.clone(), inst, vm_config(policy, seed), RecoveryConfig::for_tests());
+    let report = recover(pool.clone(), inst, vm_config(policy.clone(), seed), RecoveryConfig::for_tests());
     let mut h = pool.handle();
     (done, report.resumed, h.read_u64(cell), h.read_u64(cell + 64))
 }
 
 fn sweep(scheme: Scheme, threads: usize, with_lock: bool, policy: CrashPolicy, stride: u64) {
+    let policy = &policy;
     let total = total_steps(scheme, threads, with_lock);
     let mut step = 0;
     while step <= total {
@@ -332,15 +333,15 @@ fn crash_during_recovery_is_survivable() {
         let total = total_steps(scheme, 2, true);
         let first_crash = total / 2;
         for recovery_budget in 1..40u64 {
-            let mut s = setup(inst.clone(), cfg, 2, true);
+            let mut s = setup(inst.clone(), cfg.clone(), 2, true);
             s.vm.run_steps(first_crash);
             let cell = s.cell;
             let pool = s.vm.crash(11);
             // Crash the recovery itself after `recovery_budget` steps.
             let finished =
-                recover_interrupted(pool.clone(), inst.clone(), cfg, recovery_budget, 77);
+                recover_interrupted(pool.clone(), inst.clone(), cfg.clone(), recovery_budget, 77);
             // Then recover for real.
-            recover(pool.clone(), inst.clone(), cfg, RecoveryConfig::for_tests());
+            recover(pool.clone(), inst.clone(), cfg.clone(), RecoveryConfig::for_tests());
             let mut h = pool.handle();
             let (v0, v64) = (h.read_u64(cell), h.read_u64(cell + 64));
             assert_eq!(

@@ -639,3 +639,95 @@ impl WorkloadSpec for MapSpec {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Twin counter (crash-oracle microbenchmark)
+// ---------------------------------------------------------------------
+
+/// The twin-counter workload: each operation, under one global lock,
+/// increments two counter words that live on *different* cache lines.
+///
+/// This is the canonical crash-consistency probe (the invariant program of
+/// `crates/vm/tests/crash_recovery.rs`, packaged as a [`WorkloadSpec`] so
+/// the crash oracle in `ido-crashtest` can drive it): after any crash and
+/// recovery the two words must agree — a disagreement is a torn FASE, and
+/// because the words are on different lines, every partial write-back
+/// schedule that could tear them is reachable by losing one line and not
+/// the other.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwinSpec;
+
+impl WorkloadSpec for TwinSpec {
+    fn name(&self) -> String {
+        "twin-counter".into()
+    }
+
+    fn build_program(&self) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("worker", 3);
+        let lock = f.param(0);
+        let cell = f.param(1);
+        let n_ops = f.param(2);
+
+        let i = f.new_reg();
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+
+        f.mov(i, 0i64);
+        f.jump(head);
+
+        f.switch_to(head);
+        let c = f.new_reg();
+        f.bin(BinOp::Lt, c, i, n_ops);
+        f.branch(c, body, exit);
+
+        f.switch_to(body);
+        let a = f.new_reg();
+        let a2 = f.new_reg();
+        let b = f.new_reg();
+        let b2 = f.new_reg();
+        f.lock(lock);
+        f.load(a, cell, 0);
+        f.bin(BinOp::Add, a2, a, 1i64);
+        f.store(cell, 0, Operand::Reg(a2));
+        f.load(b, cell, 64);
+        f.bin(BinOp::Add, b2, b, 1i64);
+        f.store(cell, 64, Operand::Reg(b2));
+        f.unlock(lock);
+        f.bin(BinOp::Add, i, i, 1i64);
+        f.jump(head);
+
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish().expect("twin worker verifies");
+        pb.finish()
+    }
+
+    fn setup(&self, vm: &mut Vm, _threads: usize, _ops: u64) -> Vec<u64> {
+        vm.setup(|h, alloc, _| {
+            let lock = alloc.alloc(h, 8).expect("lock holder");
+            let cell = alloc.alloc(h, 128).expect("twin cells");
+            h.write_u64(cell, 0);
+            h.write_u64(cell + 64, 0);
+            h.persist(cell, 128);
+            vec![lock as u64, cell as u64]
+        })
+    }
+
+    fn worker_args(&self, base: &[u64], _thread: usize, ops: u64) -> Vec<u64> {
+        vec![base[0], base[1], ops]
+    }
+
+    /// Prefix-safe invariants, valid after a crash and recovery as well as
+    /// after a clean run: the twins agree (failure atomicity) and never
+    /// exceed the number of FASEs issued (no double-applied increments).
+    fn verify(&self, vm: &Vm, base: &[u64], total_ops: u64) {
+        let mut h = vm.pool().handle();
+        let cell = base[1] as PAddr;
+        let v0 = h.read_u64(cell);
+        let v64 = h.read_u64(cell + 64);
+        assert_eq!(v0, v64, "torn FASE: twin counters disagree ({v0} vs {v64})");
+        assert!(v0 <= total_ops, "overcounted: {v0} increments from {total_ops} FASEs");
+    }
+}

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Execute, crash mid-FASE, recover.
     let cfg = VmConfig::default();
-    let mut vm = Vm::new(instrumented.clone(), cfg);
+    let mut vm = Vm::new(instrumented.clone(), cfg.clone());
     let (lock_holder, accounts) = vm.setup(|h, alloc, _| {
         let l = alloc.alloc(h, 8).expect("lock holder");
         let acct = alloc.alloc(h, 64).expect("accounts");

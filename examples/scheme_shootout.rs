@@ -29,20 +29,20 @@ fn main() {
     );
     for scheme in Scheme::ALL {
         // Throughput leg (runs to completion, checks invariants).
-        let stats = run_workload(scheme, &spec, threads, ops, cfg);
+        let stats = run_workload(scheme, &spec, threads, ops, cfg.clone());
         let per_op = |x: u64| x as f64 / stats.total_ops as f64;
 
         // Crash-recovery leg: crash mid-run, recover, count actions.
         let instrumented =
             instrument_program(spec.build_program(), scheme).expect("instrumentation");
-        let mut vm = Vm::new(instrumented.clone(), VmConfig { sched: SchedPolicy::Random, ..cfg });
+        let mut vm = Vm::new(instrumented.clone(), VmConfig { sched: SchedPolicy::Random, ..cfg.clone() });
         let base = spec.setup(&mut vm, threads, ops);
         for t in 0..threads {
             vm.spawn("worker", &spec.worker_args(&base, t, ops));
         }
         vm.run_steps(threads as u64 * ops * 40); // deep into the run
         let pool = vm.crash(99);
-        let report = recover(pool, instrumented, cfg, RecoveryConfig::for_tests());
+        let report = recover(pool, instrumented, cfg.clone(), RecoveryConfig::for_tests());
 
         println!(
             "{:>10} {:>10.3} {:>10.2} {:>10.2} {:>10} {:>12}",

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: build, full test suite, and a crash-oracle smoke sweep.
+#
+# Proptest regression files (tests/*.proptest-regressions) are committed and
+# replayed automatically by proptest before new random cases — the guard
+# below fails loudly if one goes missing so a rename can't silently drop
+# recorded failures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== check: proptest regression files present =="
+test -f tests/proptest_crash.proptest-regressions \
+  || { echo "missing proptest regression file"; exit 1; }
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== test (workspace) =="
+cargo test --workspace -q
+
+echo "== crash-oracle smoke sweep =="
+IDO_ORACLE_SMOKE=1 cargo run -q --release -p ido-bench --bin crash_oracle
+
+echo "CI OK"

@@ -31,8 +31,12 @@
 //! * [`structures`] — persistent stack, queue, ordered list, and hash map.
 //! * [`workloads`] — the paper's benchmark workloads and the throughput
 //!   harness.
+//! * [`crashtest`] — the systematic crash-point exploration oracle:
+//!   persist-boundary enumeration, lost-line subset covers, deterministic
+//!   replay, and minimal-counterexample shrinking.
 
 pub use ido_baselines as baselines;
+pub use ido_crashtest as crashtest;
 pub use ido_compiler as compiler;
 pub use ido_core as core;
 pub use ido_idem as idem;

@@ -61,7 +61,7 @@ fn run_case(scheme: Scheme, threads: usize, crash_step: u64, permille: u16, seed
         stack_bytes: 4 << 10,
         ..VmConfig::default()
     };
-    let mut vm = Vm::new(inst.clone(), cfg);
+    let mut vm = Vm::new(inst.clone(), cfg.clone());
     let (lock, base) = vm.setup(|h, alloc, _| {
         let l = alloc.alloc(h, 8).unwrap();
         let b = alloc.alloc(h, 64 * (3 * threads + 2)).unwrap();
@@ -77,7 +77,7 @@ fn run_case(scheme: Scheme, threads: usize, crash_step: u64, permille: u16, seed
     vm.run_steps(crash_step);
     let done = (0..threads).filter(|i| vm.status(ido_vm::ThreadId(*i)) == Status::Done).count();
     let pool = vm.crash(seed ^ 0x5eed);
-    let report = recover(pool.clone(), inst.clone(), cfg, RecoveryConfig::for_tests());
+    let report = recover(pool.clone(), inst.clone(), cfg.clone(), RecoveryConfig::for_tests());
 
     // Atomicity: each thread's exclusive output pair is all-or-nothing and
     // correctly derived from its (never overwritten) input.
@@ -132,6 +132,25 @@ proptest! {
         seed in 0u64..1000,
     ) {
         run_case(Scheme::JustDo, threads, crash_step, permille, seed);
+    }
+}
+
+/// Beyond the random sampling above: one *exhaustive* oracle pass. Every
+/// persist-boundary crash step of the twin-counter workload, under every
+/// durable scheme, with full lost-line-subset powersets at each small crash
+/// point — the systematic complement to proptest's randomized search.
+#[test]
+fn oracle_exhaustive_twin_counter_pass() {
+    use ido_repro::crashtest::{explore_all, OracleConfig};
+    use ido_repro::workloads::micro::TwinSpec;
+    let cfg = OracleConfig::default();
+    for report in explore_all(&TwinSpec, &cfg) {
+        assert!(
+            report.counterexample.is_none(),
+            "oracle found a crash-consistency violation: {report}"
+        );
+        assert!(report.boundary_steps >= 3, "implausibly few boundaries: {report}");
+        assert!(report.crash_states_explored >= report.boundary_steps);
     }
 }
 

@@ -38,17 +38,17 @@ fn total_steps(spec: &dyn WorkloadSpec, scheme: Scheme) -> u64 {
     vm.steps()
 }
 
-fn crash_and_verify(spec: &dyn WorkloadSpec, scheme: Scheme, step: u64, policy: CrashPolicy) {
+fn crash_and_verify(spec: &dyn WorkloadSpec, scheme: Scheme, step: u64, policy: &CrashPolicy) {
     let instrumented = instrument_program(spec.build_program(), scheme).expect("instrument");
-    let cfg = config(policy, 11);
-    let mut vm = Vm::new(instrumented.clone(), cfg);
+    let cfg = config(policy.clone(), 11);
+    let mut vm = Vm::new(instrumented.clone(), cfg.clone());
     let base = spec.setup(&mut vm, THREADS, OPS);
     for t in 0..THREADS {
         vm.spawn("worker", &spec.worker_args(&base, t, OPS));
     }
     vm.run_steps(step);
     let pool = vm.crash(step ^ 0xA5A5);
-    recover(pool.clone(), instrumented.clone(), cfg, RecoveryConfig::for_tests());
+    recover(pool.clone(), instrumented.clone(), cfg.clone(), RecoveryConfig::for_tests());
 
     // Re-attach a VM purely to reuse the workload's invariant checker.
     let vm = Vm::attach(pool, instrumented, cfg);
@@ -56,6 +56,7 @@ fn crash_and_verify(spec: &dyn WorkloadSpec, scheme: Scheme, step: u64, policy: 
 }
 
 fn sweep(spec: &dyn WorkloadSpec, scheme: Scheme, policy: CrashPolicy, samples: u64) {
+    let policy = &policy;
     let total = total_steps(spec, scheme);
     let stride = (total / samples).max(1);
     let mut step = stride / 2;
