@@ -9,8 +9,8 @@
 //! above, with iDO reaching roughly 25–33% of it at peak.
 
 use ido_bench::{
-    bench_config, curves_to_rows, format_curves, ops_per_thread, peak, sweep_threads, write_csv,
-    THREAD_SWEEP,
+    bench_config, curve_for, curves_to_rows, format_curves, ops_per_thread, peak, sweep_threads,
+    write_csv, THREAD_SWEEP,
 };
 use ido_compiler::Scheme;
 use ido_workloads::kv::memcached::MemcachedSpec;
@@ -39,10 +39,10 @@ fn main() {
             &curves_to_rows(&curves),
         );
 
-        let origin = peak(&curves[0]);
-        let ido = peak(&curves[1]);
-        let atlas = peak(&curves[2]);
-        let justdo = peak(&curves[4]);
+        let origin = peak(curve_for(&curves, Scheme::Origin));
+        let ido = peak(curve_for(&curves, Scheme::Ido));
+        let atlas = peak(curve_for(&curves, Scheme::Atlas));
+        let justdo = peak(curve_for(&curves, Scheme::JustDo));
         println!("shape checks ({label}):");
         println!("  iDO/Origin peak ratio      = {:.2} (paper: 0.25–0.33)", ido / origin);
         println!("  iDO/Atlas  peak ratio      = {:.2} (paper: ≥ 2)", ido / atlas);

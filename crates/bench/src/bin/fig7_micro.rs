@@ -10,8 +10,8 @@
 //! overtakes it as extracted parallelism wins.
 
 use ido_bench::{
-    bench_config, curves_to_rows, format_curves, ops_per_thread, sweep_threads, write_csv,
-    THREAD_SWEEP,
+    bench_config, curves_to_rows, format_curves, ops_per_thread, point_at, sweep_threads,
+    write_csv, THREAD_SWEEP,
 };
 use ido_compiler::Scheme;
 use ido_workloads::micro::{ListSpec, MapSpec, QueueSpec, StackSpec};
@@ -35,13 +35,10 @@ fn main() {
         println!("{}", format_curves(&format!("Fig. 7 — {name}"), &curves));
         write_csv(&format!("fig7_{name}"), "threads,scheme,mops", &curves_to_rows(&curves));
 
-        // Shape summaries.
-        let at = |si: usize, t: usize| {
-            curves[si].points.iter().find(|(tt, _)| *tt == t).map_or(0.0, |(_, m)| *m)
-        };
-        let ido64 = at(1, 64);
-        let mnemo64 = at(3, 64);
-        let ido1 = at(1, 1);
+        // Shape summaries (curves looked up by scheme, not position).
+        let ido64 = point_at(&curves, Scheme::Ido, 64);
+        let mnemo64 = point_at(&curves, Scheme::Mnemosyne, 64);
+        let ido1 = point_at(&curves, Scheme::Ido, 1);
         println!(
             "shape ({name}): iDO 64T/1T scaling = {:.1}x; iDO/Mnemosyne at 64T = {:.2}",
             ido64 / ido1,

@@ -1,0 +1,125 @@
+//! Interpreter wall-clock throughput benchmark — the repo's perf-trajectory
+//! anchor.
+//!
+//! Every figure and every crash-oracle pass in this repro bottlenecks on the
+//! `ido-vm` interpreter, so this binary measures what future PRs must not
+//! regress:
+//!
+//! * **steps/sec** of the interpreter hot loop on two fixed workloads
+//!   (a pure-compute twin-counter run under `Origin`, and the hash map
+//!   under `iDO` — the latter exercises region tracking and boundary
+//!   persists), and
+//! * the **end-to-end wall-clock time of a `fig7`-style sweep** (schemes ×
+//!   thread counts on the hash map), which additionally measures the
+//!   deterministic parallel sweep engine.
+//!
+//! Results are printed as a table and written machine-readably to
+//! `BENCH_interp.json` at the repo root so successive PRs have a perf
+//! trajectory to compare against (see EXPERIMENTS.md for the recorded
+//! history). `IDO_BENCH_QUICK=1` shrinks op counts for the CI smoke run.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ido_bench::{bench_config, ops_per_thread, sweep_threads};
+use ido_compiler::Scheme;
+use ido_workloads::micro::{MapSpec, TwinSpec};
+use ido_workloads::run_workload;
+
+struct Measurement {
+    name: &'static str,
+    steps: u64,
+    wall_ms: f64,
+    steps_per_sec: f64,
+}
+
+fn measure(
+    name: &'static str,
+    scheme: Scheme,
+    spec: &dyn ido_workloads::WorkloadSpec,
+    threads: usize,
+    ops: u64,
+) -> Measurement {
+    // One warmup run (page faults, lazy init), then the timed run.
+    let cfg = bench_config(64, 1 << 14);
+    run_workload(scheme, spec, threads, ops / 4 + 1, cfg.clone());
+    let start = Instant::now();
+    let stats = run_workload(scheme, spec, threads, ops, cfg);
+    let wall = start.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    Measurement {
+        name,
+        steps: stats.steps,
+        wall_ms,
+        steps_per_sec: stats.steps as f64 / wall.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("IDO_BENCH_QUICK").is_ok();
+    let ops = ops_per_thread(if quick { 2_000 } else { 20_000 });
+    let map = MapSpec { buckets: 64, key_range: 1024 };
+
+    let measurements = vec![
+        measure("origin_twin_1t", Scheme::Origin, &TwinSpec, 1, ops),
+        measure("ido_twin_1t", Scheme::Ido, &TwinSpec, 1, ops),
+        measure("ido_map_4t", Scheme::Ido, &map, 4, ops / 4),
+        measure("justdo_map_4t", Scheme::JustDo, &map, 4, ops / 4),
+    ];
+
+    println!("== Interpreter throughput (wall clock) ==");
+    println!("{:>16} {:>12} {:>10} {:>14}", "bench", "steps", "wall ms", "steps/sec");
+    for m in &measurements {
+        println!(
+            "{:>16} {:>12} {:>10.1} {:>14.0}",
+            m.name, m.steps, m.wall_ms, m.steps_per_sec
+        );
+    }
+
+    // End-to-end sweep time: a fig7-style (scheme x threads) fan-out on the
+    // hash map. This is the unit of work every figure binary repeats.
+    let sweep_ops = if quick { 100 } else { 500 };
+    let schemes = [Scheme::Origin, Scheme::Ido, Scheme::Atlas, Scheme::JustDo];
+    let threads = [1usize, 2, 4, 8];
+    let start = Instant::now();
+    let curves = sweep_threads(&map, &schemes, &threads, sweep_ops, bench_config(64, 1 << 14));
+    let sweep_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(curves.len(), schemes.len());
+    println!(
+        "\nfig7-style sweep ({} schemes x {} thread counts, {} ops/thread): {:.1} ms (IDO_JOBS={})",
+        schemes.len(),
+        threads.len(),
+        sweep_ops,
+        sweep_wall_ms,
+        ido_par::jobs(),
+    );
+
+    // Machine-readable trajectory point at the repo root.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"ido-bench-interp-v1\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"jobs\": {},", ido_par::jobs());
+    let _ = writeln!(json, "  \"ops_per_thread\": {ops},");
+    let _ = writeln!(json, "  \"measurements\": [");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"steps\": {}, \"wall_ms\": {:.3}, \"steps_per_sec\": {:.0}}}{comma}",
+            m.name, m.steps, m.wall_ms, m.steps_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"sweep\": {{\"schemes\": {}, \"thread_counts\": {}, \"ops_per_thread\": {}, \"wall_ms\": {:.3}}}",
+        schemes.len(),
+        threads.len(),
+        sweep_ops,
+        sweep_wall_ms
+    );
+    json.push_str("}\n");
+    if std::fs::write("BENCH_interp.json", &json).is_ok() {
+        println!("wrote BENCH_interp.json");
+    }
+}

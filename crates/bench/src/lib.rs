@@ -49,6 +49,13 @@ pub struct Curve {
 }
 
 /// Runs a thread sweep for several schemes over one workload.
+///
+/// Every (scheme × thread-count) point is an independent simulation over
+/// its own pool, so the cross product fans out over `ido-par`'s
+/// deterministic ordered parallel map (worker count from `IDO_JOBS`,
+/// default `available_parallelism`). Results are reassembled in `schemes`
+/// × `threads` input order, so the returned curves — and every table or
+/// CSV derived from them — are byte-identical for any job count.
 pub fn sweep_threads(
     spec: &dyn WorkloadSpec,
     schemes: &[Scheme],
@@ -56,18 +63,35 @@ pub fn sweep_threads(
     ops: u64,
     cfg: VmConfig,
 ) -> Vec<Curve> {
+    sweep_threads_jobs(ido_par::jobs(), spec, schemes, threads, ops, cfg)
+}
+
+/// [`sweep_threads`] with an explicit worker count. The determinism tests
+/// use this to compare `jobs = 1` against `jobs = N` in-process without
+/// racing on the `IDO_JOBS` environment variable.
+pub fn sweep_threads_jobs(
+    jobs: usize,
+    spec: &dyn WorkloadSpec,
+    schemes: &[Scheme],
+    threads: &[usize],
+    ops: u64,
+    cfg: VmConfig,
+) -> Vec<Curve> {
+    if threads.is_empty() {
+        return schemes.iter().map(|&scheme| Curve { scheme, points: Vec::new() }).collect();
+    }
+    let tasks: Vec<(Scheme, usize)> = schemes
+        .iter()
+        .flat_map(|&scheme| threads.iter().map(move |&t| (scheme, t)))
+        .collect();
+    let points = ido_par::par_map_jobs(jobs, tasks, |(scheme, t)| {
+        let stats = run_workload(scheme, spec, t, ops, cfg.clone());
+        (t, stats.mops())
+    });
     schemes
         .iter()
-        .map(|&scheme| Curve {
-            scheme,
-            points: threads
-                .iter()
-                .map(|&t| {
-                    let stats = run_workload(scheme, spec, t, ops, cfg.clone());
-                    (t, stats.mops())
-                })
-                .collect(),
-        })
+        .zip(points.chunks(threads.len()))
+        .map(|(&scheme, pts)| Curve { scheme, points: pts.to_vec() })
         .collect()
 }
 
@@ -133,6 +157,28 @@ pub fn curves_to_rows(curves: &[Curve]) -> Vec<String> {
 /// scheme's peak to Origin's peak.
 pub fn peak(curve: &Curve) -> f64 {
     curve.points.iter().map(|(_, m)| *m).fold(0.0, f64::max)
+}
+
+/// Looks a curve up by scheme — the robust alternative to indexing the
+/// sweep result by position, which silently reads the wrong curve when a
+/// binary's scheme list is reordered or extended.
+///
+/// # Panics
+/// Panics if `scheme` was not part of the sweep.
+pub fn curve_for(curves: &[Curve], scheme: Scheme) -> &Curve {
+    curves
+        .iter()
+        .find(|c| c.scheme == scheme)
+        .unwrap_or_else(|| panic!("no curve for scheme {scheme} in sweep result"))
+}
+
+/// Throughput of `scheme` at `threads` in a sweep result (0.0 when that
+/// thread count was not measured).
+///
+/// # Panics
+/// Panics if `scheme` was not part of the sweep.
+pub fn point_at(curves: &[Curve], scheme: Scheme, threads: usize) -> f64 {
+    curve_for(curves, scheme).points.iter().find(|(t, _)| *t == threads).map_or(0.0, |(_, m)| *m)
 }
 
 #[cfg(test)]

@@ -339,33 +339,68 @@ pub fn check_crash_state(
 /// covering lost-dirty-line subsets at each step, and shrinks the first
 /// failure to a minimal [`Counterexample`].
 pub fn explore(spec: &dyn WorkloadSpec, scheme: Scheme, cfg: &OracleConfig) -> Exploration {
+    explore_jobs(ido_par::jobs(), spec, scheme, cfg)
+}
+
+/// [`explore`] with an explicit worker count for the per-boundary fan-out.
+/// The determinism tests use this to compare `jobs = 1` against `jobs = N`
+/// in-process without racing on the `IDO_JOBS` environment variable.
+pub fn explore_jobs(
+    jobs: usize,
+    spec: &dyn WorkloadSpec,
+    scheme: Scheme,
+    cfg: &OracleConfig,
+) -> Exploration {
     let inst = instrument(spec, scheme);
     let (total_steps, persist_events, boundaries) = persist_boundaries(spec, &inst, cfg);
+
+    // Fan the per-boundary checks out over ido-par's deterministic ordered
+    // parallel map (worker count from IDO_JOBS). Each task is a pure
+    // function of (workload, scheme, config, boundary step): it replays
+    // its own VM over its own pool, enumerates candidate lost-line
+    // subsets, and stops at its boundary's first failure — exactly the
+    // inner loop of the old serial sweep. Results return in boundary
+    // order, so the first failing boundary *in input order* (and hence
+    // the shrunk counterexample) is identical for any job count.
+    let inst_ref = &inst;
+    let outcomes: Vec<(usize, Option<(Vec<usize>, String)>)> =
+        ido_par::par_map_jobs(jobs, boundaries.clone(), |step| {
+            let (mut vm, _) = make_vm(spec, inst_ref, cfg);
+            vm.run_steps(step);
+            let dirty = vm.pool().dirty_lines();
+            drop(vm);
+            let mut checked = 0usize;
+            for lost in candidate_subsets(&dirty, cfg, step) {
+                checked += 1;
+                if let Err(failure) = check_crash_state(spec, inst_ref, cfg, step, &lost) {
+                    return (checked, Some((lost, failure)));
+                }
+            }
+            (checked, None)
+        });
+
+    // Reassemble serial semantics: `explored` counts every subset checked
+    // up to and including the first failing one; later boundaries (which
+    // the serial loop never reached) contribute nothing. Shrinking stays
+    // serial — it is a data-dependent greedy walk from one failure.
     let mut explored = 0usize;
     let mut shrinks = 0usize;
     let mut counterexample = None;
-
-    'outer: for &step in &boundaries {
-        let (mut vm, _) = make_vm(spec, &inst, cfg);
-        vm.run_steps(step);
-        let dirty = vm.pool().dirty_lines();
-        drop(vm);
-        for lost in candidate_subsets(&dirty, cfg, step) {
-            explored += 1;
-            if let Err(failure) = check_crash_state(spec, &inst, cfg, step, &lost) {
-                counterexample = Some(shrink(
-                    spec,
-                    &inst,
-                    cfg,
-                    scheme,
-                    &boundaries,
-                    step,
-                    lost,
-                    failure,
-                    &mut shrinks,
-                ));
-                break 'outer;
-            }
+    for (&step, (checked, fail)) in boundaries.iter().zip(outcomes) {
+        explored += checked;
+        if let Some((lost, failure)) = fail {
+            counterexample = Some(shrink(
+                spec,
+                &inst,
+                cfg,
+                scheme,
+                &boundaries,
+                step,
+                lost,
+                failure,
+                &mut shrinks,
+            ));
+            break;
         }
     }
 

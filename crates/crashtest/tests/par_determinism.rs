@@ -1,0 +1,52 @@
+//! Serial/parallel equivalence of the crash oracle (ISSUE 2 acceptance):
+//! fanning the per-boundary checks out over worker threads must not change
+//! anything observable — the exploration counters, and above all the
+//! shrunk minimal counterexample, must be identical for `jobs = 1` and
+//! `jobs = 4`.
+//!
+//! Uses the explicit-jobs entry point rather than `IDO_JOBS` because the
+//! process environment is shared across the test harness's threads.
+
+use ido_crashtest::{explore_jobs, OracleConfig};
+use ido_compiler::Scheme;
+use ido_workloads::micro::TwinSpec;
+
+#[test]
+fn clean_exploration_is_identical_for_any_job_count() {
+    let cfg = OracleConfig::default();
+    let serial = explore_jobs(1, &TwinSpec, Scheme::Ido, &cfg);
+    assert!(serial.counterexample.is_none(), "clean run must pass: {serial}");
+    for jobs in [2usize, 4] {
+        let par = explore_jobs(jobs, &TwinSpec, Scheme::Ido, &cfg);
+        assert_eq!(par.total_steps, serial.total_steps, "jobs={jobs}");
+        assert_eq!(par.persist_events, serial.persist_events, "jobs={jobs}");
+        assert_eq!(par.boundary_steps, serial.boundary_steps, "jobs={jobs}");
+        assert_eq!(par.crash_states_explored, serial.crash_states_explored, "jobs={jobs}");
+        assert_eq!(par.shrink_attempts, serial.shrink_attempts, "jobs={jobs}");
+        assert!(par.counterexample.is_none(), "jobs={jobs}");
+        // The human-readable report is derived from the above, so it is
+        // byte-identical too.
+        assert_eq!(par.to_string(), serial.to_string(), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn injected_bug_shrinks_to_the_identical_counterexample_under_parallel_sweep() {
+    let mut cfg = OracleConfig::default();
+    cfg.vm.ido_bug_skip_store_flush = true;
+    let serial = explore_jobs(1, &TwinSpec, Scheme::Ido, &cfg);
+    let a = serial.counterexample.expect("serial oracle catches the injected bug");
+    for jobs in [2usize, 4] {
+        let par = explore_jobs(jobs, &TwinSpec, Scheme::Ido, &cfg);
+        let b = par.counterexample.expect("parallel oracle catches the injected bug");
+        assert_eq!(b.crash_step, a.crash_step, "jobs={jobs}");
+        assert_eq!(b.lost_lines, a.lost_lines, "jobs={jobs}");
+        assert_eq!(b.failure, a.failure, "jobs={jobs}");
+        assert_eq!(b.seed, a.seed, "jobs={jobs}");
+        assert_eq!(b.journal_tail, a.journal_tail, "jobs={jobs}");
+        // Everything the user sees — the replay recipe — is byte-identical.
+        assert_eq!(b.replay_recipe(), a.replay_recipe(), "jobs={jobs}");
+        assert_eq!(par.crash_states_explored, serial.crash_states_explored, "jobs={jobs}");
+        assert_eq!(par.shrink_attempts, serial.shrink_attempts, "jobs={jobs}");
+    }
+}

@@ -46,6 +46,7 @@ pub mod alias;
 mod builder;
 pub mod cfg;
 pub mod dataflow;
+mod decoded;
 pub mod dom;
 mod func;
 mod inst;
@@ -57,6 +58,7 @@ mod reg;
 mod verify;
 
 pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use decoded::{DecodedFunction, DecodedInst, DecodedProgram};
 pub use func::{BasicBlock, BlockId, FuncId, Function, Pc, Program};
 pub use inst::{BinOp, Inst, LockToken, RtOp};
 pub use reg::{Operand, Reg, RegClass, StackSlot};

@@ -155,25 +155,40 @@ impl Journal {
 
     /// Advances the sequence number; materializes and retains the event
     /// only when recording. `kind` is lazily built so the disabled path
-    /// stays one atomic increment.
+    /// stays one atomic increment plus two relaxed flag loads — inlined
+    /// into every store/clwb/sfence, with the ring push and the trap
+    /// panic outlined as cold paths.
+    #[inline(always)]
     pub(crate) fn record(&self, kind: impl FnOnce() -> PersistEventKind) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         if self.recording.load(Ordering::Relaxed) {
-            let mut ring = self.lock_ring();
-            let cap = self.capacity.load(Ordering::Relaxed);
-            if cap > 0 {
-                if ring.len() == cap {
-                    ring.pop_front();
-                }
-                ring.push_back(PersistEvent { seq, kind: kind() });
-            }
+            self.retain(seq, kind());
         }
         if seq + 1 == self.trap_at.load(Ordering::Relaxed) {
-            // Disarm before unwinding so the post-crash machinery (the
-            // injected Crash event, recovery's own persists) doesn't re-trap.
-            self.trap_at.store(u64::MAX, Ordering::Relaxed);
-            panic!("persist-trap: simulated crash at persist event {}", seq + 1);
+            self.trap(seq);
         }
+    }
+
+    /// Ring-push slow path of [`Journal::record`].
+    #[cold]
+    fn retain(&self, seq: u64, kind: PersistEventKind) {
+        let mut ring = self.lock_ring();
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap > 0 {
+            if ring.len() == cap {
+                ring.pop_front();
+            }
+            ring.push_back(PersistEvent { seq, kind });
+        }
+    }
+
+    /// Persist-trap slow path of [`Journal::record`].
+    #[cold]
+    fn trap(&self, seq: u64) -> ! {
+        // Disarm before unwinding so the post-crash machinery (the
+        // injected Crash event, recovery's own persists) doesn't re-trap.
+        self.trap_at.store(u64::MAX, Ordering::Relaxed);
+        panic!("persist-trap: simulated crash at persist event {}", seq + 1);
     }
 
     /// Arms (or with `None` disarms) the persist trap: the operation that

@@ -104,6 +104,32 @@ struct Inner {
     journal: Journal,
 }
 
+impl Inner {
+    #[inline]
+    fn is_dirty(&self, line: usize) -> bool {
+        self.dirty[line / 64].load(Ordering::Relaxed) & (1 << (line % 64)) != 0
+    }
+
+    #[inline]
+    fn set_dirty(&self, line: usize) {
+        self.dirty[line / 64].fetch_or(1 << (line % 64), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn clear_dirty(&self, line: usize) {
+        self.dirty[line / 64].fetch_and(!(1u64 << (line % 64)), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn writeback_line(&self, line: usize) {
+        let base = line * WORDS_PER_LINE;
+        for i in 0..WORDS_PER_LINE {
+            let v = self.volatile[base + i].load(Ordering::Relaxed);
+            self.persistent[base + i].store(v, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A simulated pool of byte-addressable nonvolatile memory.
 ///
 /// Cloning the pool is cheap (it is an `Arc` internally); every thread should
@@ -123,13 +149,39 @@ impl std::fmt::Debug for PmemPool {
     }
 }
 
+/// Allocates `n` zeroed `AtomicU64`s without writing them.
+///
+/// `AtomicU64` is `repr(transparent)` over `u64` and all-zeros is a valid
+/// value, so `alloc_zeroed` (which hands back untouched zero pages from the
+/// OS) is a correct initializer. This makes pool construction O(1) in
+/// memory touched instead of a multi-megabyte memset per VM — and the crash
+/// oracle and the figure sweeps build a fresh VM per crash state / data
+/// point, so construction cost is on their critical path.
+fn zeroed_atomics(n: usize) -> Vec<AtomicU64> {
+    use std::alloc::{alloc_zeroed, handle_alloc_error, Layout};
+    if n == 0 {
+        return Vec::new();
+    }
+    let layout = Layout::array::<AtomicU64>(n).expect("pool allocation fits a Layout");
+    // SAFETY: the pointer comes from the global allocator with exactly the
+    // layout `Vec`'s drop will deallocate with (len == capacity == n), and
+    // the zero bit pattern is a valid `AtomicU64` for all n elements.
+    unsafe {
+        let ptr = alloc_zeroed(layout) as *mut AtomicU64;
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        Vec::from_raw_parts(ptr, n, n)
+    }
+}
+
 impl PmemPool {
     /// Creates a pool whose volatile and persistent images are zero-filled.
     pub fn new(config: PoolConfig) -> Self {
         let size = config.size.next_multiple_of(CACHE_LINE).max(CACHE_LINE);
         let words = size / 8;
         let lines = size / CACHE_LINE;
-        let mk = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let mk = zeroed_atomics;
         let config = PoolConfig { size, ..config };
         PmemPool {
             inner: Arc::new(Inner {
@@ -235,8 +287,20 @@ impl PmemPool {
     /// reads this at a prospective crash point to know which line subsets
     /// are worth losing.
     pub fn dirty_lines(&self) -> Vec<usize> {
-        let lines = self.inner.config.size / CACHE_LINE;
-        (0..lines).filter(|&l| self.is_dirty(l)).collect()
+        // Word-level scan: only words with set bits cost anything, so this
+        // is O(bitmap words + dirty lines) rather than O(total lines) —
+        // it runs once per crash state in the oracle's inner loop. Bits
+        // beyond `lines` can never be set (stores are bounds-checked), so
+        // no tail masking is needed.
+        let mut out = Vec::new();
+        for (w, word) in self.inner.dirty.iter().enumerate() {
+            let mut bits = word.load(Ordering::Relaxed);
+            while bits != 0 {
+                out.push(w * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+        out
     }
 
     /// Total persist-relevant events (stores, write-backs, fences, crashes)
@@ -315,29 +379,15 @@ impl PmemPool {
     }
 
     fn is_dirty(&self, line: usize) -> bool {
-        let w = line / 64;
-        let b = line % 64;
-        self.inner.dirty[w].load(Ordering::Relaxed) & (1 << b) != 0
-    }
-
-    fn set_dirty(&self, line: usize) {
-        let w = line / 64;
-        let b = line % 64;
-        self.inner.dirty[w].fetch_or(1 << b, Ordering::Relaxed);
+        self.inner.is_dirty(line)
     }
 
     fn clear_dirty(&self, line: usize) {
-        let w = line / 64;
-        let b = line % 64;
-        self.inner.dirty[w].fetch_and(!(1u64 << b), Ordering::Relaxed);
+        self.inner.clear_dirty(line);
     }
 
     fn writeback_line(&self, line: usize) {
-        let base = line * WORDS_PER_LINE;
-        for i in 0..WORDS_PER_LINE {
-            let v = self.inner.volatile[base + i].load(Ordering::Relaxed);
-            self.inner.persistent[base + i].store(v, Ordering::Relaxed);
-        }
+        self.inner.writeback_line(line);
     }
 }
 
@@ -435,8 +485,9 @@ impl PmemHandle {
         self.stats.stores += 1;
         self.charge(self.latency.store_ns);
         self.inner.volatile[w].store(value, Ordering::Release);
-        let line_was_clean = !self.inner_pool().is_dirty(line_of(addr));
-        self.inner_pool().set_dirty(line_of(addr));
+        let line = line_of(addr);
+        let line_was_clean = !self.inner.is_dirty(line);
+        self.inner.set_dirty(line);
         self.inner.journal.record(|| PersistEventKind::Store { addr, value, line_was_clean });
     }
 
@@ -481,13 +532,16 @@ impl PmemHandle {
         self.stats.fences += 1;
         self.stats.lines_persisted += n;
         self.charge(self.latency.fence_cost(n));
-        let pool = self.inner_pool();
-        let drained = std::mem::take(&mut self.pending);
-        for &line in &drained {
-            pool.writeback_line(line);
-            pool.clear_dirty(line);
+        // Iterate in place and clear afterwards so `pending` keeps its
+        // capacity across fence epochs (taking the Vec would free it and
+        // force the next clwb to re-allocate). The clone in the closure is
+        // only materialized when the journal is recording.
+        for &line in &self.pending {
+            self.inner.writeback_line(line);
+            self.inner.clear_dirty(line);
         }
-        self.inner.journal.record(|| PersistEventKind::Sfence { lines: drained });
+        self.inner.journal.record(|| PersistEventKind::Sfence { lines: self.pending.clone() });
+        self.pending.clear();
     }
 
     /// Convenience: `clwb` every line of the range, then `sfence`.
@@ -527,7 +581,7 @@ impl PmemHandle {
             self.inner.volatile[w].store(u64::from_le_bytes(word), Ordering::Release);
         }
         for line in lines_spanning(addr, buf.len()) {
-            self.inner_pool().set_dirty(line);
+            self.inner.set_dirty(line);
         }
         self.stats.stores += buf.len().div_ceil(8) as u64;
         self.charge(self.latency.store_ns * buf.len().div_ceil(8) as u64);
@@ -540,8 +594,8 @@ impl PmemHandle {
         let w = self.check_word(addr);
         self.stats.stores += 1;
         self.charge(self.latency.store_ns);
-        let line_was_clean = !self.inner_pool().is_dirty(line_of(addr));
-        self.inner_pool().set_dirty(line_of(addr));
+        let line_was_clean = !self.inner.is_dirty(line_of(addr));
+        self.inner.set_dirty(line_of(addr));
         let prev = self.inner.volatile[w].fetch_or(bits, Ordering::AcqRel);
         self.inner.journal.record(|| PersistEventKind::Store {
             addr,
@@ -556,8 +610,8 @@ impl PmemHandle {
         let w = self.check_word(addr);
         self.stats.stores += 1;
         self.charge(self.latency.store_ns);
-        let line_was_clean = !self.inner_pool().is_dirty(line_of(addr));
-        self.inner_pool().set_dirty(line_of(addr));
+        let line_was_clean = !self.inner.is_dirty(line_of(addr));
+        self.inner.set_dirty(line_of(addr));
         let prev = self.inner.volatile[w].fetch_and(bits, Ordering::AcqRel);
         self.inner.journal.record(|| PersistEventKind::Store {
             addr,
@@ -572,10 +626,10 @@ impl PmemHandle {
         let w = self.check_word(addr);
         self.stats.stores += 1;
         self.charge(self.latency.store_ns);
-        let line_was_clean = !self.inner_pool().is_dirty(line_of(addr));
+        let line_was_clean = !self.inner.is_dirty(line_of(addr));
         let r = self.inner.volatile[w].compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
         if r.is_ok() {
-            self.inner_pool().set_dirty(line_of(addr));
+            self.inner.set_dirty(line_of(addr));
             self.inner.journal.record(|| PersistEventKind::Store {
                 addr,
                 value: new,
@@ -595,10 +649,6 @@ impl PmemHandle {
     pub fn merge_stats(&mut self) {
         self.inner.global_stats.merge(&self.stats);
         self.stats = PersistStats::default();
-    }
-
-    fn inner_pool(&self) -> PmemPool {
-        PmemPool { inner: Arc::clone(&self.inner) }
     }
 }
 

@@ -1,0 +1,151 @@
+//! Deterministic ordered parallel map.
+//!
+//! The figure sweeps (`ido-bench`) and the crash oracle (`ido-crashtest`)
+//! are embarrassingly parallel: every (scheme × thread-count) point and
+//! every per-boundary crash-state check is a **pure function** of its
+//! inputs — each one builds its own `Vm` over its own `PmemPool`, so no
+//! simulated state is shared between tasks. What *is* load-bearing is
+//! determinism: serial and parallel runs must produce byte-identical
+//! tables, CSVs, and counterexamples (DESIGN.md §4.4, §7.3).
+//!
+//! [`par_map`] therefore guarantees **input-order results**: it fans tasks
+//! out over `std::thread::scope` workers (no external dependencies — the
+//! container has no registry access, and determinism must not hinge on a
+//! third-party scheduler) and collects result `i` into slot `i` regardless
+//! of completion order. The worker count comes from the `IDO_JOBS`
+//! environment variable, defaulting to [`std::thread::available_parallelism`];
+//! `IDO_JOBS=1` degenerates to a plain serial map on the calling thread.
+//! Because tasks are pure, the *only* observable difference between job
+//! counts is wall-clock time.
+//!
+//! Panic propagation matches the serial loop closely enough for the crash
+//! oracle: a panicking task poisons the scope join and re-raises on the
+//! caller, so a genuinely failing sweep still fails loudly.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count for [`par_map`]: the `IDO_JOBS` environment variable if set
+/// to a positive integer, otherwise [`std::thread::available_parallelism`]
+/// (1 if even that is unavailable).
+pub fn jobs() -> usize {
+    match std::env::var("IDO_JOBS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Maps `f` over `items` with up to [`jobs()`] worker threads, returning
+/// results **in input order**. See the crate docs for the determinism
+/// contract. Equivalent to `items.into_iter().map(f).collect()` for any
+/// pure `f`.
+pub fn par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    par_map_jobs(jobs(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (used by the determinism tests
+/// to compare `jobs = 1` against `jobs = N` without racing on the process
+/// environment).
+pub fn par_map_jobs<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = jobs.min(n).max(1);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Task queue: each worker claims the next unclaimed index; each input is
+    // taken exactly once. Results carry their input index so completion
+    // order cannot influence output order.
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    let f = &f;
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let item = slots[i].lock().expect("task slot").take().expect("taken once");
+                let r = f(item);
+                done.lock().expect("result sink").push((i, r));
+            });
+        }
+    });
+
+    let mut out = done.into_inner().expect("all workers joined");
+    debug_assert_eq!(out.len(), n);
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order_for_any_job_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 4, 7, 64] {
+            let got = par_map_jobs(jobs, items.clone(), |x| {
+                // Stagger completion order: later items finish first.
+                if x < 8 {
+                    std::thread::sleep(std::time::Duration::from_millis(8 - x));
+                }
+                x * x
+            });
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn each_item_is_consumed_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let r = par_map_jobs(4, (0..1000).collect(), |x: u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(r.len(), 1000);
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = par_map_jobs(8, Vec::<u32>::new(), |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map_jobs(8, vec![41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn jobs_parses_like_the_sweep_engine_expects() {
+        // jobs() must always be >= 1 whatever the environment says.
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            par_map_jobs(4, (0..16).collect(), |x: u32| {
+                assert!(x != 7, "injected");
+                x
+            })
+        });
+        assert!(r.is_err(), "a panicking task must fail the map");
+    }
+}

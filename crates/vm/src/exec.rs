@@ -1,14 +1,19 @@
 //! The interpreter: deterministic multi-threaded execution of instrumented
 //! programs over simulated NVM, with per-scheme runtime semantics.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use ido_compiler::{Instrumented, Scheme};
-use ido_ir::{BinOp, BlockId, FuncId, Inst, Operand, Pc, Program, Reg, RtOp, StackSlot};
+use ido_ir::{
+    BinOp, BlockId, DecodedInst, DecodedProgram, FuncId, Inst, Operand, Pc, Program, Reg, RtOp,
+    StackSlot,
+};
 use ido_nvm::alloc::NvAllocator;
 use ido_nvm::root::RootTable;
 use ido_nvm::{PmemHandle, PmemPool, PoolConfig, PAddr};
 
+use crate::bitset::RegBitset;
 use crate::layout::{
     encode_pc, AppendLogLayout, IdoLogLayout, JustDoLogLayout, LogEntryKind, LOCK_ARRAY_SLOTS,
 };
@@ -178,24 +183,29 @@ pub(crate) struct ThreadCtx {
     stack_area: PAddr,
     stack_top: usize, // byte offset within the stack area
 
-    // Volatile scheme state.
+    // Volatile scheme state. The tracking sets are hot-path structures:
+    // the register sets are fixed-capacity bitsets (O(1) insert/test, no
+    // allocation), and the store-address sets are plain accumulators that
+    // are sorted + deduped only when drained to the log, which reproduces
+    // the old `BTreeSet` ascending flush order exactly (see DESIGN.md §7).
     lock_slots: [Option<u64>; LOCK_ARRAY_SLOTS],
-    region_stores: BTreeSet<PAddr>,
-    dirty_regs: BTreeSet<u32>,
-    written_regs: BTreeSet<u32>,
-    read_before_write: BTreeSet<u32>,
+    region_stores: Vec<PAddr>,
+    dirty_regs: RegBitset,
+    written_regs: RegBitset,
+    read_before_write: RegBitset,
     stores_since_boundary: u64,
-    fase_store_addrs: BTreeSet<PAddr>,
+    fase_store_addrs: Vec<PAddr>,
     in_tx: bool,
     fase_active: bool,
     /// iDO lazy step-2 fence: the recovery_pc write-back has been issued
     /// but not yet fenced. It must drain before the next persistent store
     /// executes (or at the next fence, whichever comes first).
     pc_fence_pending: bool,
-    tx_write_set: BTreeMap<PAddr, u64>,
+    /// Commit drains sort by address, so an unordered map is safe here.
+    tx_write_set: HashMap<PAddr, u64>,
     mn_cursor: usize,
-    dirty_pages: BTreeSet<usize>,
-    nvml_added: BTreeSet<PAddr>,
+    dirty_pages: HashSet<usize>,
+    nvml_added: HashSet<PAddr>,
 }
 
 impl std::fmt::Debug for ThreadCtx {
@@ -256,6 +266,11 @@ pub struct Vm {
     alloc: NvAllocator,
     roots: RootTable,
     program: Program,
+    /// The program decoded once at construction into flat per-function
+    /// instruction streams; `step_thread` fetches from here by reference.
+    /// Behind an `Arc` so `run_steps` can hold the stream across the step
+    /// loop while `&mut self` executes instructions.
+    code: Arc<DecodedProgram>,
     scheme: Scheme,
     config: VmConfig,
     pub(crate) threads: Vec<ThreadCtx>,
@@ -286,10 +301,6 @@ impl std::fmt::Debug for Vm {
     }
 }
 
-fn max_regs_of(program: &Program) -> u32 {
-    program.functions().iter().map(|f| f.num_regs()).max().unwrap_or(0).max(1)
-}
-
 impl Vm {
     /// Creates a VM over a freshly formatted pool.
     pub fn new(instrumented: Instrumented, config: VmConfig) -> Vm {
@@ -297,11 +308,13 @@ impl Vm {
         let mut h = pool.handle();
         let roots = RootTable::format(&mut h);
         let alloc = NvAllocator::format(&mut h, pool.size());
+        let code = Arc::new(DecodedProgram::decode(&instrumented.program));
         let mut vm = Vm {
             pool,
             alloc,
             roots,
-            max_regs: max_regs_of(&instrumented.program),
+            max_regs: code.max_regs(),
+            code,
             program: instrumented.program,
             scheme: instrumented.scheme,
             threads: Vec::new(),
@@ -333,11 +346,13 @@ impl Vm {
         let roots = RootTable::attach(&mut h).expect("pool must be formatted");
         let alloc = NvAllocator::attach();
         let registry = roots.root(&mut h, THREADS_ROOT).expect("thread registry root");
+        let code = Arc::new(DecodedProgram::decode(&instrumented.program));
         Vm {
             pool,
             alloc,
             roots,
-            max_regs: max_regs_of(&instrumented.program),
+            max_regs: code.max_regs(),
+            code,
             program: instrumented.program,
             scheme: instrumented.scheme,
             threads: Vec::new(),
@@ -460,22 +475,26 @@ impl Vm {
             stack_area,
             stack_top: slots,
             lock_slots: [None; LOCK_ARRAY_SLOTS],
-            region_stores: BTreeSet::new(),
+            region_stores: Vec::new(),
             // Parameters count as defined-since-the-last-boundary so the
             // first boundary of the first FASE logs them; a live register's
             // log slot then always holds its value as of the last boundary.
-            dirty_regs: (0..args.len() as u32).collect(),
-            written_regs: BTreeSet::new(),
-            read_before_write: BTreeSet::new(),
+            dirty_regs: {
+                let mut d = RegBitset::new(self.max_regs);
+                d.insert_range(args.len() as u32);
+                d
+            },
+            written_regs: RegBitset::new(self.max_regs),
+            read_before_write: RegBitset::new(self.max_regs),
             stores_since_boundary: 0,
-            fase_store_addrs: BTreeSet::new(),
+            fase_store_addrs: Vec::new(),
             in_tx: false,
             fase_active: false,
             pc_fence_pending: false,
-            tx_write_set: BTreeMap::new(),
+            tx_write_set: HashMap::new(),
             mn_cursor: 0,
-            dirty_pages: BTreeSet::new(),
-            nvml_added: BTreeSet::new(),
+            dirty_pages: HashSet::new(),
+            nvml_added: HashSet::new(),
         };
         self.threads.push(ctx);
         ThreadId(idx)
@@ -514,19 +533,19 @@ impl Vm {
             stack_area,
             stack_top: (stack_base - stack_area) + f.num_stack_slots() as usize * 8,
             lock_slots,
-            region_stores: BTreeSet::new(),
-            dirty_regs: BTreeSet::new(),
-            written_regs: BTreeSet::new(),
-            read_before_write: BTreeSet::new(),
+            region_stores: Vec::new(),
+            dirty_regs: RegBitset::new(self.max_regs),
+            written_regs: RegBitset::new(self.max_regs),
+            read_before_write: RegBitset::new(self.max_regs),
             stores_since_boundary: 0,
-            fase_store_addrs: BTreeSet::new(),
+            fase_store_addrs: Vec::new(),
             in_tx: false,
             fase_active: false,
             pc_fence_pending: false,
-            tx_write_set: BTreeMap::new(),
+            tx_write_set: HashMap::new(),
             mn_cursor: 0,
-            dirty_pages: BTreeSet::new(),
-            nvml_added: BTreeSet::new(),
+            dirty_pages: HashSet::new(),
+            nvml_added: HashSet::new(),
         }
     }
 
@@ -557,31 +576,45 @@ impl Vm {
     /// Executes up to `budget` instructions; returns when the budget is
     /// exhausted, all threads are done, or no thread can run.
     pub fn run_steps(&mut self, budget: u64) -> RunOutcome {
+        // Hold the decoded stream for the whole loop: one Arc clone per
+        // call, zero per-step refcount traffic or program lookups.
+        let code = Arc::clone(&self.code);
         for _ in 0..budget {
-            let runnable: Vec<usize> = self
-                .threads
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| t.status == Status::Runnable)
-                .map(|(i, _)| i)
-                .collect();
-            if runnable.is_empty() {
-                return if self.threads.iter().all(|t| t.status == Status::Done) {
-                    RunOutcome::Completed
-                } else {
-                    RunOutcome::Deadlocked
-                };
-            }
+            // Allocation-free scheduler pick. Both policies reproduce the
+            // old collect-into-a-Vec selection exactly: Random draws one
+            // RNG word per executed step and indexes the runnable list in
+            // thread order; MinClock takes the (clock, index)-minimal
+            // runnable thread.
             let pick = match self.config.sched {
                 SchedPolicy::Random => {
-                    runnable[(self.next_rng() % runnable.len() as u64) as usize]
+                    let runnable =
+                        self.threads.iter().filter(|t| t.status == Status::Runnable).count();
+                    if runnable == 0 {
+                        return self.stalled_outcome();
+                    }
+                    let k = (self.next_rng() % runnable as u64) as usize;
+                    self.threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.status == Status::Runnable)
+                        .nth(k)
+                        .expect("kth runnable thread")
+                        .0
                 }
-                SchedPolicy::MinClock => runnable
-                    .into_iter()
-                    .min_by_key(|&i| (self.threads[i].handle.clock_ns(), i))
-                    .expect("nonempty"),
+                SchedPolicy::MinClock => {
+                    match self
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.status == Status::Runnable)
+                        .min_by_key(|(i, t)| (t.handle.clock_ns(), *i))
+                    {
+                        Some((i, _)) => i,
+                        None => return self.stalled_outcome(),
+                    }
+                }
             };
-            self.step_thread(pick);
+            self.step_thread(pick, &code);
             self.steps += 1;
             let info = StepInfo {
                 step: self.steps,
@@ -598,6 +631,15 @@ impl Vm {
             RunOutcome::Completed
         } else {
             RunOutcome::Paused
+        }
+    }
+
+    /// The outcome when no thread is runnable.
+    fn stalled_outcome(&self) -> RunOutcome {
+        if self.threads.iter().all(|t| t.status == Status::Done) {
+            RunOutcome::Completed
+        } else {
+            RunOutcome::Deadlocked
         }
     }
 
@@ -649,12 +691,14 @@ impl Vm {
     // Instruction execution
     // ------------------------------------------------------------------
 
-    fn step_thread(&mut self, t: usize) {
-        let frame = self.threads[t].frames.last().expect("runnable thread has a frame");
-        let pc = frame.pc;
-        let inst =
-            self.program.function(pc.func).block(pc.block).insts[pc.index as usize].clone();
-        self.exec_inst(t, pc, inst);
+    fn step_thread(&mut self, t: usize, code: &DecodedProgram) {
+        let pc = self.threads[t].frames.last().expect("runnable thread has a frame").pc;
+        // Hot-loop contract (ISSUE 2 / DESIGN.md §7): the instruction is
+        // *borrowed* from the decoded stream for the duration of the step —
+        // never cloned, never allocated. The explicit reference type is the
+        // code-level assertion of that contract.
+        let inst: &DecodedInst = code.function(pc.func).inst_at(pc);
+        self.exec_inst(t, pc, inst, code);
     }
 
     fn advance(&mut self, t: usize) {
@@ -670,7 +714,7 @@ impl Vm {
 
     fn read_reg(&mut self, t: usize, r: Reg) -> u64 {
         let th = &mut self.threads[t];
-        if !th.written_regs.contains(&r.id) {
+        if !th.written_regs.contains(r.id) {
             th.read_before_write.insert(r.id);
         }
         th.frames.last().expect("frame").regs[r.id as usize]
@@ -746,12 +790,12 @@ impl Vm {
                     th.pc_fence_pending = false;
                 }
                 th.handle.write_u64(addr, value);
-                th.region_stores.insert(addr);
+                th.region_stores.push(addr);
             }
             Scheme::Atlas | Scheme::Nvml => {
                 let th = &mut self.threads[t];
                 th.handle.write_u64(addr, value);
-                th.fase_store_addrs.insert(addr);
+                th.fase_store_addrs.push(addr);
             }
             Scheme::Origin => {
                 self.threads[t].handle.write_u64(addr, value);
@@ -773,63 +817,63 @@ impl Vm {
         th.handle.read_u64(addr)
     }
 
-    fn exec_inst(&mut self, t: usize, pc: Pc, inst: Inst) {
+    fn exec_inst(&mut self, t: usize, pc: Pc, inst: &DecodedInst, code: &DecodedProgram) {
         if self.scheme == Scheme::JustDo && self.threads[t].fase_active {
             // No-register-caching rule: FASE temporaries live in memory.
             self.charge(t, self.config.justdo_mem_tax_ns);
         }
         match inst {
-            Inst::Mov { dst, src } => {
+            &Inst::Mov { dst, src } => {
                 let v = self.eval(t, src);
                 self.charge(t, self.config.inst_cost_ns);
                 self.write_reg(t, dst, v);
                 self.advance(t);
             }
-            Inst::Bin { op, dst, a, b } => {
+            &Inst::Bin { op, dst, a, b } => {
                 let x = self.eval(t, a);
                 let y = self.eval(t, b);
                 self.charge(t, self.config.inst_cost_ns);
                 self.write_reg(t, dst, eval_binop(op, x, y));
                 self.advance(t);
             }
-            Inst::LoadStack { dst, slot } => {
+            &Inst::LoadStack { dst, slot } => {
                 let addr = self.slot_addr(t, slot);
                 let v = self.scheme_load(t, addr);
                 self.write_reg(t, dst, v);
                 self.advance(t);
             }
-            Inst::StoreStack { slot, src } => {
+            &Inst::StoreStack { slot, src } => {
                 let v = self.eval(t, src);
                 let addr = self.slot_addr(t, slot);
                 self.scheme_store(t, addr, v);
                 self.advance(t);
             }
-            Inst::Load { dst, base, offset } => {
+            &Inst::Load { dst, base, offset } => {
                 let addr = mem_addr(self.read_reg(t, base), offset);
                 let v = self.scheme_load(t, addr);
                 self.write_reg(t, dst, v);
                 self.advance(t);
             }
-            Inst::Store { base, offset, src } => {
+            &Inst::Store { base, offset, src } => {
                 let addr = mem_addr(self.read_reg(t, base), offset);
                 let v = self.eval(t, src);
                 self.scheme_store(t, addr, v);
                 self.advance(t);
             }
-            Inst::Alloc { dst, size } => {
+            &Inst::Alloc { dst, size } => {
                 let sz = self.eval(t, size) as usize;
                 let th = &mut self.threads[t];
                 let addr = self.alloc.alloc(&mut th.handle, sz).expect("nv_malloc failed");
                 self.write_reg(t, dst, addr as u64);
                 self.advance(t);
             }
-            Inst::Free { base } => {
+            &Inst::Free { base } => {
                 let addr = self.read_reg(t, base) as usize;
                 let th = &mut self.threads[t];
                 self.alloc.free(&mut th.handle, addr).expect("nv_free failed");
                 self.advance(t);
             }
-            Inst::Lock { lock } => {
+            &Inst::Lock { lock } => {
                 if self.scheme == Scheme::Mnemosyne {
                     // Program locks are subsumed by the global txn lock.
                     self.advance(t);
@@ -845,7 +889,7 @@ impl Vm {
                     }
                 }
             }
-            Inst::Unlock { lock } => {
+            &Inst::Unlock { lock } => {
                 if self.scheme == Scheme::Mnemosyne {
                     self.advance(t);
                     return;
@@ -880,12 +924,17 @@ impl Vm {
                 }
             }
             Inst::Call { func, args, ret } => {
+                let func = *func;
+                let ret = *ret;
+                // Cold path relative to the step loop; the per-call `vals`
+                // and `regs` buffers are the frame's own storage, not
+                // per-step churn.
                 let vals: Vec<u64> = args.iter().map(|a| self.eval(t, *a)).collect();
                 self.charge(t, self.config.inst_cost_ns * 2);
-                let f = self.program.function(func);
+                let f = code.function(func);
                 let mut regs = vec![0u64; f.num_regs() as usize];
                 regs[..vals.len()].copy_from_slice(&vals);
-                let frame_bytes = f.num_stack_slots() as usize * 8;
+                let frame_bytes = f.frame_bytes();
                 let th = &mut self.threads[t];
                 assert!(
                     th.stack_top + frame_bytes <= self.config.stack_bytes,
@@ -895,7 +944,7 @@ impl Vm {
                 th.stack_top += frame_bytes;
                 // Callee parameters are fresh definitions for logging
                 // purposes (a FASE inside the callee must log them).
-                th.dirty_regs.extend(0..vals.len() as u32);
+                th.dirty_regs.insert_range(vals.len() as u32);
                 // Return to the instruction after the call.
                 th.frames.last_mut().expect("frame").pc.index += 1;
                 th.frames.push(Frame {
@@ -906,13 +955,12 @@ impl Vm {
                     ret_reg: ret,
                 });
             }
-            Inst::Ret { val } => {
+            &Inst::Ret { val } => {
                 let v = val.map(|o| self.eval(t, o));
                 self.charge(t, self.config.inst_cost_ns);
                 let th = &mut self.threads[t];
                 let frame = th.frames.pop().expect("frame");
-                let frame_bytes =
-                    self.program.function(frame.func).num_stack_slots() as usize * 8;
+                let frame_bytes = code.function(frame.func).frame_bytes();
                 th.stack_top -= frame_bytes;
                 if let Some(caller) = th.frames.last_mut() {
                     if let (Some(r), Some(v)) = (frame.ret_reg, v) {
@@ -926,15 +974,15 @@ impl Vm {
             Inst::RegionMarker => {
                 self.advance(t);
             }
-            Inst::Delay { ns } => {
+            &Inst::Delay { ns } => {
                 self.charge(t, ns);
                 self.advance(t);
             }
-            Inst::Jump { target } => {
+            &Inst::Jump { target } => {
                 self.charge(t, self.config.inst_cost_ns);
                 self.set_pc(t, target);
             }
-            Inst::Branch { cond, then_bb, else_bb } => {
+            &Inst::Branch { cond, then_bb, else_bb } => {
                 let c = self.eval(t, cond);
                 self.charge(t, self.config.inst_cost_ns);
                 self.set_pc(t, if c != 0 { then_bb } else { else_bb });
@@ -965,7 +1013,7 @@ impl Vm {
     // ------------------------------------------------------------------
 
     #[allow(clippy::too_many_lines)]
-    fn exec_rt(&mut self, t: usize, pc: Pc, op: RtOp) {
+    fn exec_rt(&mut self, t: usize, pc: Pc, op: &RtOp) {
         match op {
             RtOp::FaseBegin => {
                 self.profile.record_fase();
@@ -1033,9 +1081,7 @@ impl Vm {
                         // declare the FASE complete with its last stores
                         // missing.
                         if !th.region_stores.is_empty() {
-                            for addr in std::mem::take(&mut th.region_stores) {
-                                th.handle.clwb(addr);
-                            }
+                            flush_stores(&mut th.handle, &mut th.region_stores);
                             th.handle.sfence();
                         }
                         th.handle.write_u64(a, 0);
@@ -1055,9 +1101,7 @@ impl Vm {
                         let stamp = self.next_stamp();
                         let th = &mut self.threads[t];
                         // UNDO systems defer the FASE's writes-back to here.
-                        for addr in std::mem::take(&mut th.fase_store_addrs) {
-                            th.handle.clwb(addr);
-                        }
+                        flush_stores(&mut th.handle, &mut th.fase_store_addrs);
                         th.handle.sfence();
                         let log = th.app_log;
                         log.append(&mut th.handle, LogEntryKind::Commit, 0, 0, stamp);
@@ -1071,10 +1115,10 @@ impl Vm {
                 self.advance(t);
             }
             RtOp::IdoBoundary { out_regs, .. } => {
-                self.ido_boundary(t, pc, &out_regs);
+                self.ido_boundary(t, pc, out_regs);
                 self.advance(t);
             }
-            RtOp::IdoLockAcquired { lock } => {
+            &RtOp::IdoLockAcquired { lock } => {
                 let l = self.eval(t, lock);
                 let th = &mut self.threads[t];
                 let slot = th
@@ -1104,7 +1148,7 @@ impl Vm {
                 }
                 self.advance(t);
             }
-            RtOp::IdoLockReleasing { lock } => {
+            &RtOp::IdoLockReleasing { lock } => {
                 let l = self.eval(t, lock);
                 let th = &mut self.threads[t];
                 if let Some(slot) = th.lock_slots.iter().position(|s| *s == Some(l)) {
@@ -1122,19 +1166,19 @@ impl Vm {
                 }
                 self.advance(t);
             }
-            RtOp::JustDoLog { base, offset, value } => {
+            &RtOp::JustDoLog { base, offset, value } => {
                 let addr = mem_addr(self.read_reg(t, base), offset) as u64;
                 let v = self.eval(t, value);
                 self.justdo_log(t, pc, addr, v);
                 self.advance(t);
             }
-            RtOp::JustDoLogStack { slot, value } => {
+            &RtOp::JustDoLogStack { slot, value } => {
                 let addr = self.slot_addr(t, slot) as u64;
                 let v = self.eval(t, value);
                 self.justdo_log(t, pc, addr, v);
                 self.advance(t);
             }
-            RtOp::JustDoShadow { reg } => {
+            &RtOp::JustDoShadow { reg } => {
                 let v = self.read_reg(t, reg);
                 let th = &mut self.threads[t];
                 let a = th.jd_log.shadow_slot(reg.id);
@@ -1142,7 +1186,7 @@ impl Vm {
                 th.handle.clwb(a); // ordered by the next log fence
                 self.advance(t);
             }
-            RtOp::JustDoLockAcquired { lock } => {
+            &RtOp::JustDoLockAcquired { lock } => {
                 let l = self.eval(t, lock);
                 let th = &mut self.threads[t];
                 let slot = th.lock_slots.iter().position(|s| s.is_none()).expect("lock_array full");
@@ -1159,7 +1203,7 @@ impl Vm {
                 th.handle.sfence();
                 self.advance(t);
             }
-            RtOp::JustDoLockReleasing { lock } => {
+            &RtOp::JustDoLockReleasing { lock } => {
                 let l = self.eval(t, lock);
                 let th = &mut self.threads[t];
                 if let Some(slot) = th.lock_slots.iter().position(|s| *s == Some(l)) {
@@ -1178,17 +1222,17 @@ impl Vm {
                 }
                 self.advance(t);
             }
-            RtOp::AtlasUndoLog { base, offset } => {
+            &RtOp::AtlasUndoLog { base, offset } => {
                 let addr = mem_addr(self.read_reg(t, base), offset);
                 self.atlas_undo(t, addr);
                 self.advance(t);
             }
-            RtOp::AtlasUndoLogStack { slot } => {
+            &RtOp::AtlasUndoLogStack { slot } => {
                 let addr = self.slot_addr(t, slot);
                 self.atlas_undo(t, addr);
                 self.advance(t);
             }
-            RtOp::AtlasLockAcquired { lock } => {
+            &RtOp::AtlasLockAcquired { lock } => {
                 let l = self.eval(t, lock);
                 let observed = *self.lock_release_stamps.get(&l).unwrap_or(&0);
                 let stamp = self.next_stamp();
@@ -1199,7 +1243,7 @@ impl Vm {
                 log.append(&mut th.handle, LogEntryKind::LockAcquire, l, observed, stamp);
                 self.advance(t);
             }
-            RtOp::AtlasLockReleasing { lock } => {
+            &RtOp::AtlasLockReleasing { lock } => {
                 let l = self.eval(t, lock);
                 let stamp = self.next_stamp();
                 self.lock_release_stamps.insert(l, stamp);
@@ -1237,22 +1281,22 @@ impl Vm {
                 }
                 self.advance(t);
             }
-            RtOp::NvmlTxAdd { base, offset } => {
+            &RtOp::NvmlTxAdd { base, offset } => {
                 let addr = mem_addr(self.read_reg(t, base), offset);
                 self.nvml_tx_add(t, addr);
                 self.advance(t);
             }
-            RtOp::NvmlTxAddStack { slot } => {
+            &RtOp::NvmlTxAddStack { slot } => {
                 let addr = self.slot_addr(t, slot);
                 self.nvml_tx_add(t, addr);
                 self.advance(t);
             }
-            RtOp::NvthreadsPageTouch { base, offset } => {
+            &RtOp::NvthreadsPageTouch { base, offset } => {
                 let addr = mem_addr(self.read_reg(t, base), offset);
                 self.nvthreads_touch(t, addr);
                 self.advance(t);
             }
-            RtOp::NvthreadsPageTouchStack { slot } => {
+            &RtOp::NvthreadsPageTouchStack { slot } => {
                 let addr = self.slot_addr(t, slot);
                 self.nvthreads_touch(t, addr);
                 self.advance(t);
@@ -1264,27 +1308,27 @@ impl Vm {
     /// outputs (register log slots, persist-coalesced, plus run-time-tracked
     /// heap/stack stores), fence, advance `recovery_pc`, fence.
     fn ido_boundary(&mut self, t: usize, pc: Pc, live_filter: &[Reg]) {
-        let rf_base: Vec<(u32, u64)> = {
-            let th = &self.threads[t];
-            let frame = th.frames.last().expect("frame");
-            live_filter
-                .iter()
-                .filter(|r| th.dirty_regs.contains(&r.id))
-                .map(|r| (r.id, frame.regs[r.id as usize]))
-                .collect()
-        };
         let stores = self.threads[t].stores_since_boundary;
-        let inputs = self.threads[t].read_before_write.len() as u64;
+        let inputs = self.threads[t].read_before_write.count() as u64;
+        let no_coalescing = self.config.ido_no_coalescing;
         let th = &mut self.threads[t];
         // Step 1: write + write back Def ∩ LiveOut register slots (up to 8
         // slots share one line: persist coalescing) and tracked stores.
-        let no_coalescing = self.config.ido_no_coalescing;
-        for (id, v) in &rf_base {
-            let a = th.ido_log.rf_slot(*id);
-            th.handle.write_u64(a, *v);
-            th.handle.clwb(a); // duplicate lines coalesce in the queue
-            if no_coalescing {
-                th.handle.sfence();
+        // `live_filter` comes from the instrumentation in ascending register
+        // order; filtering it through the dirty bitset preserves that order,
+        // so no intermediate collection is needed.
+        {
+            let frame = th.frames.last().expect("frame");
+            let (handle, ido_log, dirty) = (&mut th.handle, &th.ido_log, &th.dirty_regs);
+            for r in live_filter {
+                if dirty.contains(r.id) {
+                    let a = ido_log.rf_slot(r.id);
+                    handle.write_u64(a, frame.regs[r.id as usize]);
+                    handle.clwb(a); // duplicate lines coalesce in the queue
+                    if no_coalescing {
+                        handle.sfence();
+                    }
+                }
             }
         }
         if self.config.ido_bug_skip_store_flush {
@@ -1293,9 +1337,7 @@ impl Vm {
             // eagerly below), durably claiming the region completed.
             th.region_stores.clear();
         } else {
-            for addr in std::mem::take(&mut th.region_stores) {
-                th.handle.clwb(addr);
-            }
+            flush_stores(&mut th.handle, &mut th.region_stores);
         }
         th.handle.sfence();
         // Step 2: advance recovery_pc to the instruction after the boundary.
@@ -1383,13 +1425,14 @@ impl Vm {
         let pages = self.threads[t].dirty_pages.len() as u64;
         let th = &mut self.threads[t];
         th.in_tx = false;
+        // Drain the write set in ascending address order (the order the old
+        // `BTreeMap` representation iterated in) for both the log entries
+        // and the in-place publication.
+        let writes = drain_write_set(&mut th.tx_write_set);
         // Write dirty pages to the redo log (word-precise entries for
         // replay; page-granular cost).
-        let entries: Vec<_> = th
-            .tx_write_set
-            .iter()
-            .map(|(a, v)| (LogEntryKind::Redo, *a as u64, *v, stamp))
-            .collect();
+        let entries: Vec<_> =
+            writes.iter().map(|&(a, v)| (LogEntryKind::Redo, a as u64, v, stamp)).collect();
         th.handle.advance(pages * self.config.page_log_ns);
         let log = th.app_log;
         if !entries.is_empty() {
@@ -1397,7 +1440,7 @@ impl Vm {
         }
         log.append(&mut th.handle, LogEntryKind::Commit, 0, 0, stamp);
         // Publish the write set in place, persist, then retire the log.
-        for (addr, v) in std::mem::take(&mut th.tx_write_set) {
+        for (addr, v) in writes {
             th.handle.write_u64(addr, v);
             th.handle.clwb(addr);
         }
@@ -1420,8 +1463,9 @@ impl Vm {
         th.handle.nt_store_u64(e + 24, 0);
         th.handle.nt_store_u64(e, LogEntryKind::Commit as u64);
         th.handle.sfence();
-        // Apply the write set in place and persist it.
-        for (addr, v) in std::mem::take(&mut th.tx_write_set) {
+        // Apply the write set in place (ascending address order, matching
+        // the old `BTreeMap` drain) and persist it.
+        for (addr, v) in drain_write_set(&mut th.tx_write_set) {
             th.handle.write_u64(addr, v);
             th.handle.clwb(addr);
         }
@@ -1442,6 +1486,29 @@ impl Vm {
 
 fn mem_addr(base: u64, offset: i64) -> PAddr {
     (base as i64 + offset) as PAddr
+}
+
+/// Writes back a store-address accumulator in deterministic order — sort
+/// ascending, dedup, `clwb` each line — then clears it (keeping capacity
+/// for the next region). This reproduces the drain order of the previous
+/// `BTreeSet<PAddr>` representation exactly, so the persist-event journal
+/// (and hence crash equivalence classes) is unchanged by the fast path.
+fn flush_stores(handle: &mut PmemHandle, stores: &mut Vec<PAddr>) {
+    stores.sort_unstable();
+    stores.dedup();
+    for &addr in stores.iter() {
+        handle.clwb(addr);
+    }
+    stores.clear();
+}
+
+/// Drains a transactional write set into ascending address order — the
+/// iteration order of the previous `BTreeMap<PAddr, u64>` representation —
+/// so commit-time log appends and publications stay byte-identical.
+fn drain_write_set(ws: &mut HashMap<PAddr, u64>) -> Vec<(PAddr, u64)> {
+    let mut writes: Vec<(PAddr, u64)> = ws.drain().collect();
+    writes.sort_unstable_by_key(|&(a, _)| a);
+    writes
 }
 
 fn eval_binop(op: BinOp, a: u64, b: u64) -> u64 {

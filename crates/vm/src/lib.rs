@@ -27,6 +27,7 @@
 
 #![deny(missing_docs)]
 
+mod bitset;
 mod exec;
 pub mod layout;
 pub mod locks;

@@ -14,7 +14,13 @@ use ido_vm::layout::AppendLogLayout;
 use ido_vm::{Profile, RunOutcome, SchedPolicy, Vm, VmConfig, THREADS_ROOT};
 
 /// A benchmark workload: an IR program plus its persistent-state setup.
-pub trait WorkloadSpec {
+///
+/// `Sync` is a supertrait so a `&dyn WorkloadSpec` can be shared with the
+/// worker threads of `ido-par`'s deterministic parallel map (the sweep
+/// engine fans one task per (scheme × thread-count) point out over a
+/// shared spec). Specs are plain configuration data, so this costs
+/// implementors nothing.
+pub trait WorkloadSpec: Sync {
     /// Display name.
     fn name(&self) -> String;
 

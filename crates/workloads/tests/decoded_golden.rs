@@ -1,0 +1,94 @@
+//! Pins the interpreter's dynamic behaviour on the twin-counter workload —
+//! step count, simulated nanoseconds, and a hash of the final persistent
+//! image — for every scheme.
+//!
+//! The golden values below were captured from the original (pre-decode)
+//! interpreter, which cloned each `Inst` per step and tracked registers in
+//! `BTreeSet`s. The decoded fast path (flat per-function instruction
+//! streams, bitset register tracking, sort-on-drain store sets) must execute
+//! **step-for-step identically**: same schedule, same persist events, same
+//! simulated clocks, same bytes in NVM. Any divergence here means the
+//! optimization changed semantics, not just speed.
+
+use ido_compiler::{instrument_program, Scheme};
+use ido_vm::{RunOutcome, SchedPolicy, Vm, VmConfig};
+use ido_workloads::micro::TwinSpec;
+use ido_workloads::WorkloadSpec;
+
+const THREADS: usize = 2;
+const OPS: u64 = 4;
+
+/// FNV-1a over the persistent image: stable, dependency-free fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs the twin-counter workload exactly like the DES harness does and
+/// returns `(steps, sim_ns, fnv1a(persistent image))`.
+fn fingerprint(scheme: Scheme) -> (u64, u64, u64) {
+    let spec = TwinSpec;
+    let inst = instrument_program(spec.build_program(), scheme).expect("instruments cleanly");
+    let mut cfg = VmConfig::for_tests();
+    cfg.sched = SchedPolicy::MinClock;
+    let mut vm = Vm::new(inst, cfg);
+    let base = spec.setup(&mut vm, THREADS, OPS);
+    for t in 0..THREADS {
+        vm.spawn("worker", &spec.worker_args(&base, t, OPS));
+    }
+    assert_eq!(vm.run(), RunOutcome::Completed);
+    spec.verify(&vm, &base, THREADS as u64 * OPS);
+    let steps = vm.steps();
+    let sim_ns = vm.max_clock_ns();
+    let image = vm.pool().persistent_snapshot();
+    // Make the unflushed tail explicit: crash-drop dirty lines so the hash
+    // covers exactly what a failure would have preserved.
+    (steps, sim_ns, fnv1a(&image))
+}
+
+/// Golden `(scheme, steps, sim_ns, image_hash)` rows captured from the
+/// pre-decode interpreter (seed revision, 2 threads x 4 ops, MinClock,
+/// `VmConfig::for_tests()`).
+const GOLDEN: [(Scheme, u64, u64, u64); 7] = [
+    (Scheme::Origin, 113, 345, 0xc579eda0d6f4fa8f),
+    (Scheme::Ido, 193, 346, 0xe662a73ef47958e7),
+    (Scheme::Atlas, 161, 16345, 0xd5d6cd673170dc4f),
+    (Scheme::Mnemosyne, 129, 345, 0x441be4203e7cd48f),
+    (Scheme::JustDo, 193, 1785, 0xc8287cf1d2d7f5f3),
+    (Scheme::Nvml, 145, 345, 0x413603d71e91ffcf),
+    (Scheme::Nvthreads, 145, 29945, 0x528d27ae35c4f6e6),
+];
+
+#[test]
+fn decoded_fast_path_matches_the_golden_pre_decode_run() {
+    for (scheme, steps, sim_ns, hash) in GOLDEN {
+        let got = fingerprint(scheme);
+        assert_eq!(
+            got,
+            (steps, sim_ns, hash),
+            "{scheme}: decoded interpreter diverged from the pre-decode golden run"
+        );
+    }
+}
+
+#[test]
+fn fingerprints_are_reproducible_within_a_build() {
+    // Guards the golden test's own premise: the fingerprint is a pure
+    // function of (scheme, config) on this interpreter build.
+    for scheme in [Scheme::Ido, Scheme::Mnemosyne] {
+        assert_eq!(fingerprint(scheme), fingerprint(scheme), "{scheme}");
+    }
+}
+
+#[test]
+#[ignore = "probe: prints golden rows for capture"]
+fn probe_print_goldens() {
+    for scheme in Scheme::ALL {
+        let (steps, sim_ns, hash) = fingerprint(scheme);
+        println!("    (Scheme::{scheme:?}, {steps}, {sim_ns}, {hash:#x}),");
+    }
+}

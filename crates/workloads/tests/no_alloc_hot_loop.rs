@@ -1,0 +1,105 @@
+//! Zero-allocation regression test for the interpreter hot loop (ISSUE 2
+//! acceptance: "no per-step heap allocation or `Inst` clone in the hot
+//! loop").
+//!
+//! The instruction stream is pre-decoded at `Vm::new`, `step_thread`
+//! borrows instructions from it, and the per-access tracking sets are
+//! fixed-size bitsets — so executing straight-line arithmetic must not
+//! touch the heap at all. This test pins that with a counting
+//! `#[global_allocator]`: after warmup, a 100k-step window of a pure
+//! arithmetic loop must perform exactly zero allocations. Any future
+//! regression to per-step cloning/collecting shows up as a nonzero count.
+//!
+//! This file must contain only this test: the global allocator counts
+//! every allocation in the process, so an unrelated concurrent test would
+//! pollute the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ido_compiler::{instrument_program, Scheme};
+use ido_ir::{BinOp, ProgramBuilder};
+use ido_vm::{RunOutcome, Vm, VmConfig};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, n)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(l)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// `worker(n)`: a counted loop of pure register arithmetic — the distilled
+/// interpreter hot path (Mov/Bin/Branch/Jump; no locks, stores, or calls).
+fn arithmetic_loop() -> ido_ir::Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.new_function("worker", 1);
+    let n = f.param(0);
+    let i = f.new_reg();
+    let acc = f.new_reg();
+
+    let head = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+
+    f.mov(i, 0i64);
+    f.mov(acc, 1i64);
+    f.jump(head);
+
+    f.switch_to(head);
+    let c = f.new_reg();
+    f.bin(BinOp::Lt, c, i, n);
+    f.branch(c, body, exit);
+
+    f.switch_to(body);
+    f.bin(BinOp::Add, acc, acc, i);
+    f.bin(BinOp::Xor, acc, acc, 0x5aa5i64);
+    f.bin(BinOp::Add, i, i, 1i64);
+    f.jump(head);
+
+    f.switch_to(exit);
+    f.ret(None);
+    f.finish().expect("arithmetic loop verifies");
+    pb.finish()
+}
+
+#[test]
+fn hot_loop_makes_zero_allocations_per_step() {
+    let inst = instrument_program(arithmetic_loop(), Scheme::Origin)
+        .expect("origin instrumentation is the identity");
+    let mut vm = Vm::new(inst, VmConfig::for_tests());
+    // More iterations than the measured window can consume, so the thread
+    // never exits the loop (Ret/teardown is not the hot path).
+    vm.spawn("worker", &[u64::MAX / 2]);
+
+    // Warmup: first steps may lazily grow frames, scheduler state, etc.
+    assert_eq!(vm.run_steps(10_000), RunOutcome::Paused);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(vm.run_steps(100_000), RunOutcome::Paused);
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "the decoded-instruction hot loop must not allocate: {} allocations in 100k steps",
+        after - before
+    );
+}

@@ -21,4 +21,20 @@ cargo test --workspace -q
 echo "== crash-oracle smoke sweep =="
 IDO_ORACLE_SMOKE=1 cargo run -q --release -p ido-bench --bin crash_oracle
 
+echo "== interpreter throughput smoke (quick mode) =="
+IDO_BENCH_QUICK=1 cargo run -q --release -p ido-bench --bin interp_bench
+
+echo "== sweep determinism: IDO_JOBS=2 must match IDO_JOBS=1 =="
+IDO_BENCH_QUICK=1 IDO_JOBS=1 cargo run -q --release -p ido-bench --bin interp_bench
+cp BENCH_interp.json /tmp/bench_jobs1.json
+IDO_BENCH_QUICK=1 IDO_JOBS=2 cargo run -q --release -p ido-bench --bin interp_bench
+# Steps (and everything else derived from simulation state) are identical
+# across job counts; only wall-clock fields may differ.
+for f in /tmp/bench_jobs1.json BENCH_interp.json; do
+  grep -o '"steps": [0-9]*' "$f" > "$f.steps"
+done
+diff /tmp/bench_jobs1.json.steps BENCH_interp.json.steps \
+  || { echo "IDO_JOBS=2 changed simulation results"; exit 1; }
+rm -f /tmp/bench_jobs1.json /tmp/bench_jobs1.json.steps BENCH_interp.json.steps
+
 echo "CI OK"
