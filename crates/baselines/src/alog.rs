@@ -7,6 +7,7 @@
 //! persist fence and recovery scans until the first zero kind.
 
 use ido_nvm::{PmemHandle, PAddr};
+use ido_trace::EventKind;
 
 /// Entry kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +110,7 @@ impl AppendLog {
 
     /// Appends several entries under a single fence.
     pub fn append_batch(&mut self, h: &mut PmemHandle, entries: &[(Kind, u64, u64, u64)]) {
+        h.begin_log();
         for (k, (kind, a, b, stamp)) in entries.iter().enumerate() {
             let e = self.entry_addr(self.cursor + k);
             h.write_u64(e + 8, *a);
@@ -117,19 +119,28 @@ impl AppendLog {
             h.write_u64(e, *kind as u64); // kind last: torn entries invisible
             h.clwb(e);
         }
+        h.end_log();
         h.sfence();
         self.cursor += entries.len();
+        h.trace_event(
+            EventKind::LogAppend,
+            entries.len() as u64,
+            (entries.len() * ENTRY_BYTES) as u64,
+        );
     }
 
     /// Appends one entry with non-temporal stores and **no fence**
     /// (Mnemosyne's raw-word log mode; the commit fence orders them).
     pub fn append_nt(&mut self, h: &mut PmemHandle, kind: Kind, a: u64, b: u64) {
         let e = self.entry_addr(self.cursor);
+        h.begin_log();
         h.nt_store_u64(e + 8, a);
         h.nt_store_u64(e + 16, b);
         h.nt_store_u64(e + 24, 0);
         h.nt_store_u64(e, kind as u64);
+        h.end_log();
         self.cursor += 1;
+        h.trace_event(EventKind::LogAppend, 1, ENTRY_BYTES as u64);
     }
 
     /// Reads entry `i`.
@@ -146,11 +157,13 @@ impl AppendLog {
     /// Durably retires the log (zeroes the used prefix).
     pub fn reset(&mut self, h: &mut PmemHandle) {
         let used = self.cursor.max(self.scan_len(h));
+        h.begin_log();
         for i in 0..used {
             let e = self.entry_addr(i);
             h.write_u64(e, 0);
             h.clwb(e);
         }
+        h.end_log();
         h.sfence();
         self.cursor = 0;
     }
@@ -161,9 +174,11 @@ impl AppendLog {
         // Zero every used entry, not just entry 0: the next append
         // re-validates slot 0, which would make a content scan read the
         // stale tail as a phantom committed suffix.
+        h.begin_log();
         for i in 0..self.cursor {
             h.nt_store_u64(self.entry_addr(i), 0);
         }
+        h.end_log();
         h.sfence();
         self.cursor = 0;
     }

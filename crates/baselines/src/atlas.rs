@@ -8,6 +8,7 @@ use std::sync::{Arc, Mutex};
 use ido_core::Session;
 use ido_nvm::alloc::NvAllocator;
 use ido_nvm::{NvmError, PmemHandle, PmemPool, PAddr};
+use ido_trace::Category;
 
 use crate::alog::{AppendLog, Kind};
 use crate::registry::LogRegistry;
@@ -118,7 +119,7 @@ impl Session for AtlasSession {
 
     fn store(&mut self, addr: PAddr, value: u64) {
         if self.fase_depth > 0 {
-            self.handle.advance(TRACKING_NS);
+            self.handle.advance_as(Category::Log, TRACKING_NS);
             let old = self.handle.read_u64(addr);
             let stamp = self.next_stamp();
             self.log.append(&mut self.handle, Kind::Undo, addr as u64, old, stamp);
@@ -143,7 +144,7 @@ impl Session for AtlasSession {
             self.log.append(&mut self.handle, Kind::Begin, 0, 0, stamp);
         }
         self.fase_depth += 1;
-        self.handle.advance(TRACKING_NS);
+        self.handle.advance_as(Category::Log, TRACKING_NS);
         let observed = *self
             .last_release
             .lock()
@@ -155,7 +156,7 @@ impl Session for AtlasSession {
     }
 
     fn on_lock_releasing(&mut self, holder: PAddr) {
-        self.handle.advance(TRACKING_NS);
+        self.handle.advance_as(Category::Log, TRACKING_NS);
         let stamp = self.next_stamp();
         self.last_release.lock().expect("release table").insert(holder, stamp);
         self.log.append(&mut self.handle, Kind::LockRelease, holder as u64, stamp, stamp);

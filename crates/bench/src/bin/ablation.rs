@@ -9,7 +9,7 @@
 //!    could be improved with better alias analysis"): basicAA vs. no alias
 //!    analysis at all.
 
-use ido_bench::{bench_config, ops_per_thread, run_point};
+use ido_bench::{bench_config, counters_to_fields, ops_per_thread, run_point, COUNTER_HEADER};
 use ido_compiler::Scheme;
 use ido_idem::{analyze_with, AliasMode, RegionStats};
 use ido_vm::VmConfig;
@@ -17,8 +17,22 @@ use ido_workloads::kv::memcached::MemcachedSpec;
 use ido_workloads::micro::{ListSpec, StackSpec};
 use ido_workloads::WorkloadSpec;
 
-fn throughput(spec: &dyn WorkloadSpec, threads: usize, ops: u64, cfg: VmConfig) -> f64 {
-    run_point(spec, Scheme::Ido, threads, ops, cfg).mops()
+fn measure(
+    spec: &dyn WorkloadSpec,
+    threads: usize,
+    ops: u64,
+    cfg: VmConfig,
+    variant: &str,
+    counter_rows: &mut Vec<String>,
+) -> f64 {
+    let stats = run_point(spec, Scheme::Ido, threads, ops, cfg);
+    counter_rows.push(format!(
+        "{variant},{},{threads},{:.4},{}",
+        stats.workload,
+        stats.mops(),
+        counters_to_fields(&stats.mem_stats)
+    ));
+    stats.mops()
 }
 
 fn main() {
@@ -43,14 +57,20 @@ fn main() {
     let list = ListSpec { key_range: 128 };
     let mc = MemcachedSpec::insertion_intensive();
     let mut rows = Vec::new();
+    let mut counter_rows = Vec::new();
     for (name, cfg) in variants {
-        let a = throughput(&stack, 4, ops, cfg.clone());
-        let b = throughput(&list, 8, ops / 2, cfg.clone());
-        let c = throughput(&mc, 8, ops, cfg);
+        let a = measure(&stack, 4, ops, cfg.clone(), name, &mut counter_rows);
+        let b = measure(&list, 8, ops / 2, cfg.clone(), name, &mut counter_rows);
+        let c = measure(&mc, 8, ops, cfg, name, &mut counter_rows);
         println!("{name:>34} {a:>10.3} {b:>12.3} {c:>14.3}");
         rows.push(format!("{name},{a:.4},{b:.4},{c:.4}"));
     }
     ido_bench::write_csv("ablation_runtime", "variant,stack,list,memcached", &rows);
+    ido_bench::write_csv(
+        "ablation_counters",
+        &format!("variant,workload,threads,mops,{COUNTER_HEADER}"),
+        &counter_rows,
+    );
 
     println!("\n== Ablation 3 — alias-analysis precision vs. region shape ==");
     println!(

@@ -10,8 +10,8 @@
 //! overtakes it as extracted parallelism wins.
 
 use ido_bench::{
-    bench_config, curves_to_rows, format_curves, ops_per_thread, point_at, sweep_threads,
-    write_csv, THREAD_SWEEP,
+    bench_config, counters_to_fields, curves_from_stats, curves_to_rows, format_curves,
+    ops_per_thread, point_at, sweep_stats, write_csv, COUNTER_HEADER, THREAD_SWEEP,
 };
 use ido_compiler::Scheme;
 use ido_workloads::micro::{ListSpec, MapSpec, QueueSpec, StackSpec};
@@ -31,9 +31,31 @@ fn main() {
     ];
 
     for (name, spec) in &specs {
-        let curves = sweep_threads(spec.as_ref(), &schemes, &THREAD_SWEEP, ops, cfg.clone());
+        let stats = sweep_stats(spec.as_ref(), &schemes, &THREAD_SWEEP, ops, cfg.clone());
+        let curves = curves_from_stats(&schemes, &THREAD_SWEEP, &stats);
         println!("{}", format_curves(&format!("Fig. 7 — {name}"), &curves));
         write_csv(&format!("fig7_{name}"), "threads,scheme,mops", &curves_to_rows(&curves));
+
+        // Per-point persistence counters: one row per (scheme, threads)
+        // point, with one column per `PersistStats` counter — the raw
+        // material behind the Fig. 7 cost story.
+        let counter_rows: Vec<String> = stats
+            .iter()
+            .map(|s| {
+                format!(
+                    "{},{},{:.4},{}",
+                    s.threads,
+                    s.scheme.name(),
+                    s.mops(),
+                    counters_to_fields(&s.mem_stats)
+                )
+            })
+            .collect();
+        write_csv(
+            &format!("fig7_{name}_counters"),
+            &format!("threads,scheme,mops,{COUNTER_HEADER}"),
+            &counter_rows,
+        );
 
         // Shape summaries (curves looked up by scheme, not position).
         let ido64 = point_at(&curves, Scheme::Ido, 64);

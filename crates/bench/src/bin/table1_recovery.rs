@@ -18,6 +18,7 @@
 
 use ido_bench::{bench_config, ops_per_thread};
 use ido_compiler::{instrument_program, Scheme};
+use ido_trace::TraceConfig;
 use ido_vm::{recover, RecoveryConfig, SchedPolicy, Vm};
 use ido_workloads::micro::{ListSpec, MapSpec, QueueSpec, StackSpec};
 use ido_workloads::WorkloadSpec;
@@ -30,13 +31,19 @@ struct Calibration {
     atlas_fixed_ns: f64,
     atlas_per_entry_ns: f64,
     ido_recovery_ns: f64,
+    /// Measured `[scan, resume, release]` split of the Atlas recovery, ns.
+    atlas_phase_ns: [u64; 3],
+    /// Measured `[scan, resume, release]` split of the iDO recovery, ns.
+    ido_phase_ns: [u64; 3],
 }
 
 fn calibrate(spec: &dyn WorkloadSpec, ops: u64) -> Calibration {
     let rc = RecoveryConfig::default();
 
     // Atlas calibration run: measure log growth and real recovery cost.
-    let (atlas_sim_ns, atlas_entries, atlas_recovery) = {
+    // Tracing is switched on *after* the crash, so only the recovery's own
+    // phase markers land in the trace (the workload run stays untraced).
+    let (atlas_sim_ns, atlas_entries, atlas_recovery, atlas_phase_ns) = {
         let program = spec.build_program();
         let inst = instrument_program(program, Scheme::Atlas).expect("instrument atlas");
         let mut cfg = bench_config(256, 1 << 15);
@@ -49,12 +56,15 @@ fn calibrate(spec: &dyn WorkloadSpec, ops: u64) -> Calibration {
         vm.run();
         let sim_ns = vm.max_clock_ns();
         let pool = vm.crash(1);
+        pool.set_trace(TraceConfig::on());
+        let traced = pool.clone();
         let report = recover(pool, inst, cfg, rc);
-        (sim_ns, report.log_entries_scanned, report.sim_ns)
+        let phases = traced.take_trace().map(|t| t.recovery_phase_ns()).unwrap_or_default();
+        (sim_ns, report.log_entries_scanned, report.sim_ns, phases)
     };
 
     // iDO recovery cost on the same workload (constant by design).
-    let ido_recovery_ns = {
+    let (ido_recovery_ns, ido_phase_ns) = {
         let program = spec.build_program();
         let inst = instrument_program(program, Scheme::Ido).expect("instrument ido");
         let mut cfg = bench_config(256, 1 << 15);
@@ -67,8 +77,11 @@ fn calibrate(spec: &dyn WorkloadSpec, ops: u64) -> Calibration {
         // Crash mid-run so recovery actually resumes FASEs.
         vm.run_steps(vm.steps() + ops * THREADS as u64 / 2);
         let pool = vm.crash(2);
+        pool.set_trace(TraceConfig::on());
+        let traced = pool.clone();
         let report = recover(pool, inst, cfg, rc);
-        report.sim_ns as f64
+        let phases = traced.take_trace().map(|t| t.recovery_phase_ns()).unwrap_or_default();
+        (report.sim_ns as f64, phases)
     };
 
     let fixed = rc.base_ns as f64 + rc.per_thread_ns as f64 * THREADS as f64;
@@ -82,6 +95,8 @@ fn calibrate(spec: &dyn WorkloadSpec, ops: u64) -> Calibration {
         atlas_fixed_ns: fixed,
         atlas_per_entry_ns: per_entry,
         ido_recovery_ns,
+        atlas_phase_ns,
+        ido_phase_ns,
     }
 }
 
@@ -102,8 +117,12 @@ fn main() {
     println!();
 
     let mut rows = Vec::new();
+    let mut phase_rows = Vec::new();
     for (name, spec) in &specs {
         let cal = calibrate(spec.as_ref(), ops);
+        for (scheme, p) in [("Atlas", cal.atlas_phase_ns), ("iDO", cal.ido_phase_ns)] {
+            phase_rows.push(format!("{name},{scheme},{},{},{}", p[0], p[1], p[2]));
+        }
         print!("{name:>12}");
         let mut cols = Vec::new();
         for t in KILL_TIMES_S {
@@ -121,6 +140,29 @@ fn main() {
         rows.push(format!("{name},{}", cols.join(",")));
     }
     ido_bench::write_csv("table1_recovery", "structure,r1s,r10s,r20s,r30s,r40s,r50s", &rows);
+
+    // Measured phase split of the calibration crashes, from the recovery
+    // phase markers in the trace stream (log scan / FASE resume / lock
+    // release — the paper's description of both recovery procedures).
+    println!("\n== Table I aux — measured recovery phase split (ms, calibration crash) ==");
+    println!("{:>12} {:>7} {:>12} {:>12} {:>12}", "structure", "scheme", "log scan", "resume", "release");
+    for row in &phase_rows {
+        let f: Vec<&str> = row.split(',').collect();
+        let ms = |s: &str| s.parse::<u64>().unwrap_or(0) as f64 / 1e6;
+        println!(
+            "{:>12} {:>7} {:>12.3} {:>12.3} {:>12.3}",
+            f[0],
+            f[1],
+            ms(f[2]),
+            ms(f[3]),
+            ms(f[4])
+        );
+    }
+    ido_bench::write_csv(
+        "table1_recovery_phases",
+        "structure,scheme,scan_ns,resume_ns,release_ns",
+        &phase_rows,
+    );
 
     println!("\npaper (Table I, for comparison):");
     println!("{:>12}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}", "", "1 s", "10 s", "20 s", "30 s", "40 s", "50 s");

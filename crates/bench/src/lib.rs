@@ -77,22 +77,66 @@ pub fn sweep_threads_jobs(
     ops: u64,
     cfg: VmConfig,
 ) -> Vec<Curve> {
+    let stats = sweep_stats_jobs(jobs, spec, schemes, threads, ops, cfg);
+    curves_from_stats(schemes, threads, &stats)
+}
+
+/// Regroups a [`sweep_stats_jobs`] result (schemes-major order) into
+/// per-scheme throughput curves.
+pub fn curves_from_stats(schemes: &[Scheme], threads: &[usize], stats: &[RunStats]) -> Vec<Curve> {
     if threads.is_empty() {
         return schemes.iter().map(|&scheme| Curve { scheme, points: Vec::new() }).collect();
     }
+    schemes
+        .iter()
+        .zip(stats.chunks(threads.len()))
+        .map(|(&scheme, pts)| Curve {
+            scheme,
+            points: pts.iter().map(|s| (s.threads, s.mops())).collect(),
+        })
+        .collect()
+}
+
+/// [`sweep_stats_jobs`] with the ambient (`IDO_JOBS`) worker count.
+pub fn sweep_stats(
+    spec: &dyn WorkloadSpec,
+    schemes: &[Scheme],
+    threads: &[usize],
+    ops: u64,
+    cfg: VmConfig,
+) -> Vec<RunStats> {
+    sweep_stats_jobs(ido_par::jobs(), spec, schemes, threads, ops, cfg)
+}
+
+/// Runs the (scheme × threads) cross product and returns the **full**
+/// [`RunStats`] for every point, in `schemes`-major input order. This is
+/// the counter-CSV driver: the figure binaries pull per-point
+/// [`ido_nvm::StatsSnapshot`] columns out of these instead of re-running.
+pub fn sweep_stats_jobs(
+    jobs: usize,
+    spec: &dyn WorkloadSpec,
+    schemes: &[Scheme],
+    threads: &[usize],
+    ops: u64,
+    cfg: VmConfig,
+) -> Vec<RunStats> {
     let tasks: Vec<(Scheme, usize)> = schemes
         .iter()
         .flat_map(|&scheme| threads.iter().map(move |&t| (scheme, t)))
         .collect();
-    let points = ido_par::par_map_jobs(jobs, tasks, |(scheme, t)| {
-        let stats = run_workload(scheme, spec, t, ops, cfg.clone());
-        (t, stats.mops())
-    });
-    schemes
-        .iter()
-        .zip(points.chunks(threads.len()))
-        .map(|(&scheme, pts)| Curve { scheme, points: pts.to_vec() })
-        .collect()
+    ido_par::par_map_jobs(jobs, tasks, |(scheme, t)| run_workload(scheme, spec, t, ops, cfg.clone()))
+}
+
+/// CSV header fragment for the per-point persistence counters appended by
+/// [`counters_to_fields`]. Keep the two in sync.
+pub const COUNTER_HEADER: &str = "loads,stores,nt_stores,clwbs,fences,lines_persisted,log_bytes";
+
+/// Formats a snapshot as the CSV fields named by [`COUNTER_HEADER`].
+pub fn counters_to_fields(s: &ido_nvm::StatsSnapshot) -> String {
+    format!(
+        "{},{},{},{},{},{},{}",
+        s.loads, s.stores, s.nt_stores, s.clwbs, s.fences, s.lines_persisted, s.log_bytes
+    )
 }
 
 /// Runs one point and returns full stats.

@@ -3,6 +3,7 @@
 use ido_nvm::alloc::NvAllocator;
 use ido_nvm::root::RootTable;
 use ido_nvm::{line_of, NvmError, PmemHandle, PmemPool, PAddr};
+use ido_trace::EventKind;
 use std::collections::BTreeSet;
 
 use crate::log::{NativeIdoLog, LOCK_SLOTS, LOG_BYTES, OUT_SLOTS};
@@ -203,6 +204,7 @@ impl IdoSession {
         // the FASE (e.g. node preparation outside the critical section)
         // must be written back by the FASE's first boundary so the data a
         // resumed region links to is durable.
+        self.handle.trace_event(EventKind::FaseEnter, 0, 0);
     }
 
     fn fase_end(&mut self) {
@@ -214,10 +216,13 @@ impl IdoSession {
         if had_stores {
             self.handle.sfence();
         }
+        self.handle.begin_log();
         self.handle.write_u64(self.log.region_seq(), 0);
         self.handle.clwb(self.log.region_seq());
+        self.handle.end_log();
         self.handle.sfence();
         self.region_seq = 0;
+        self.handle.trace_event(EventKind::FaseExit, 0, 0);
     }
 }
 
@@ -260,11 +265,14 @@ impl Session for IdoSession {
         self.lock_mirror[slot] = Some(holder);
         let slot_addr = self.log.lock_slot(slot);
         let bitmap = self.log.lock_bitmap();
+        self.handle.begin_log();
         self.handle.write_u64(slot_addr, holder as u64);
         let bm = self.handle.read_u64(bitmap);
         self.handle.write_u64(bitmap, bm | (1 << slot));
         self.handle.clwb(slot_addr);
         self.handle.clwb(bitmap);
+        self.handle.end_log();
+        self.handle.trace_event(EventKind::LockAcquire, holder as u64, 0);
         // No fence: callers place a region boundary immediately after the
         // acquire (as the compiler does), and its first fence drains these
         // write-backs before the recovery marker advances — the paper's
@@ -275,12 +283,15 @@ impl Session for IdoSession {
         if let Some(slot) = self.lock_mirror.iter().position(|s| *s == Some(holder)) {
             self.lock_mirror[slot] = None;
             let bitmap = self.log.lock_bitmap();
+            self.handle.begin_log();
             let bm = self.handle.read_u64(bitmap);
             self.handle.write_u64(bitmap, bm & !(1u64 << slot));
             self.handle.write_u64(self.log.lock_slot(slot), 0);
             self.handle.clwb(self.log.lock_slot(slot));
             self.handle.clwb(bitmap);
+            self.handle.end_log();
             self.handle.sfence(); // single fence
+            self.handle.trace_event(EventKind::LockRelease, holder as u64, 0);
         }
         self.fase_depth = self.fase_depth.saturating_sub(1);
         if self.fase_depth == 0 {
@@ -304,8 +315,10 @@ impl Session for IdoSession {
 
     fn boundary(&mut self, outputs: &[u64]) {
         assert!(outputs.len() <= OUT_SLOTS, "too many region outputs");
+        let stores = self.region_stores.len() as u64;
         // Step 1: persist outputs (persist-coalesced) and tracked stores.
         let mut lines = BTreeSet::new();
+        self.handle.begin_log();
         for (i, v) in outputs.iter().enumerate() {
             let a = self.log.out_slot(i);
             self.handle.write_u64(a, *v);
@@ -314,20 +327,26 @@ impl Session for IdoSession {
         for line in lines {
             self.handle.clwb(line * ido_nvm::CACHE_LINE);
         }
+        self.handle.end_log();
         for addr in std::mem::take(&mut self.region_stores) {
             self.handle.clwb(addr);
         }
         self.handle.sfence();
         // Step 2: advance the recovery marker.
         self.region_seq += 1;
+        self.handle.begin_log();
         self.handle.write_u64(self.log.region_seq(), self.region_seq);
         self.handle.clwb(self.log.region_seq());
+        self.handle.end_log();
         self.handle.sfence();
+        self.handle.trace_event(EventKind::RegionBoundary, stores, outputs.len() as u64);
     }
 
     fn set_op_token(&mut self, token: u64) {
+        self.handle.begin_log();
         self.handle.write_u64(self.log.op_token(), token);
         self.handle.clwb(self.log.op_token()); // ordered by the next boundary fence
+        self.handle.end_log();
     }
 }
 

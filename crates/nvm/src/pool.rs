@@ -1,8 +1,10 @@
 //! The simulated persistent memory pool and per-thread access handles.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ido_trace::{Category, CostBreakdown, EventKind, Trace, TraceBuf, TraceConfig, TraceHandle};
 
 use crate::journal::{Journal, PersistEvent, PersistEventKind};
 use crate::latency::LatencyModel;
@@ -71,6 +73,10 @@ pub struct PoolConfig {
     pub latency: LatencyModel,
     /// What happens to dirty lines at crash time.
     pub crash_policy: CrashPolicy,
+    /// Event tracing for handles of this pool. The default reads
+    /// `IDO_TRACE` / `IDO_TRACE_BUF` from the environment, so every
+    /// binary supports tracing without plumbing a flag.
+    pub trace: TraceConfig,
 }
 
 impl Default for PoolConfig {
@@ -79,14 +85,21 @@ impl Default for PoolConfig {
             size: 16 << 20, // 16 MiB
             latency: LatencyModel::default(),
             crash_policy: CrashPolicy::DropDirty,
+            trace: TraceConfig::from_env(),
         }
     }
 }
 
 impl PoolConfig {
-    /// A small, zero-latency pool for unit tests.
+    /// A small, zero-latency pool for unit tests (tracing off regardless
+    /// of the environment, for determinism; tests opt in explicitly).
     pub fn small_for_tests() -> Self {
-        Self { size: 1 << 20, latency: LatencyModel::zero(), crash_policy: CrashPolicy::DropDirty }
+        Self {
+            size: 1 << 20,
+            latency: LatencyModel::zero(),
+            crash_policy: CrashPolicy::DropDirty,
+            trace: TraceConfig { enabled: false, ..TraceConfig::default() },
+        }
     }
 }
 
@@ -102,6 +115,15 @@ struct Inner {
     crashes: AtomicU64,
     global_stats: PersistStats,
     journal: Journal,
+    /// Tracing state. Enablement is sampled at handle creation, so
+    /// [`PmemPool::set_trace`] affects only handles created afterwards —
+    /// which is exactly what lets recovery drivers trace the post-crash
+    /// segment alone.
+    trace_enabled: AtomicBool,
+    trace_buf_entries: AtomicUsize,
+    trace_next_tid: AtomicU64,
+    /// Rings folded from dropped handles, awaiting [`PmemPool::take_trace`].
+    trace_bufs: Mutex<Vec<Box<TraceBuf>>>,
 }
 
 impl Inner {
@@ -183,6 +205,7 @@ impl PmemPool {
         let lines = size / CACHE_LINE;
         let mk = zeroed_atomics;
         let config = PoolConfig { size, ..config };
+        let trace = config.trace;
         PmemPool {
             inner: Arc::new(Inner {
                 volatile: mk(words),
@@ -192,6 +215,10 @@ impl PmemPool {
                 crashes: AtomicU64::new(0),
                 global_stats: PersistStats::default(),
                 journal: Journal::default(),
+                trace_enabled: AtomicBool::new(trace.enabled),
+                trace_buf_entries: AtomicUsize::new(trace.buf_entries),
+                trace_next_tid: AtomicU64::new(0),
+                trace_bufs: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -207,14 +234,59 @@ impl PmemPool {
     }
 
     /// Creates a per-thread access handle with a fresh simulated clock.
+    ///
+    /// When tracing is enabled, the handle's event ring is allocated here
+    /// — once, up front — and its trace-thread id is the pool-wide handle
+    /// creation ordinal (deterministic: handles are created in program
+    /// order by the single-OS-thread VM).
     pub fn handle(&self) -> PmemHandle {
+        let trace = if self.inner.trace_enabled.load(Ordering::Relaxed) {
+            let tid = self
+                .inner
+                .trace_next_tid
+                .fetch_add(1, Ordering::Relaxed)
+                .min(u16::MAX as u64 - 1) as u16;
+            let entries = self.inner.trace_buf_entries.load(Ordering::Relaxed);
+            TraceHandle::new(TraceBuf::new(tid, entries))
+        } else {
+            TraceHandle::OFF
+        };
         PmemHandle {
             inner: Arc::clone(&self.inner),
             latency: self.inner.config.latency,
             clock_ns: 0,
             pending: Vec::new(),
             stats: PersistStats::default(),
+            trace,
+            costs: CostBreakdown::default(),
+            log_depth: 0,
         }
+    }
+
+    /// Reconfigures tracing for handles created **after** this call.
+    /// Existing handles keep (or keep lacking) their rings. Recovery
+    /// drivers use this to trace only the post-crash segment.
+    pub fn set_trace(&self, config: TraceConfig) {
+        self.inner.trace_buf_entries.store(config.buf_entries.max(1), Ordering::Relaxed);
+        self.inner.trace_enabled.store(config.enabled, Ordering::Relaxed);
+    }
+
+    /// True when newly created handles will record trace events.
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.trace_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Merges every ring folded so far (handles must have been dropped)
+    /// into one deterministic [`Trace`], resetting the collector and the
+    /// trace-thread counter. Returns `None` when tracing never produced
+    /// anything (disabled and nothing collected).
+    pub fn take_trace(&self) -> Option<Trace> {
+        let bufs = std::mem::take(&mut *self.inner.trace_bufs.lock().expect("trace collector"));
+        self.inner.trace_next_tid.store(0, Ordering::Relaxed);
+        if bufs.is_empty() && !self.trace_enabled() {
+            return None;
+        }
+        Some(Trace::from_bufs(bufs))
     }
 
     /// Number of crashes injected so far.
@@ -280,6 +352,17 @@ impl PmemPool {
             evicted,
             dropped,
         });
+        if inner.trace_enabled.load(Ordering::Relaxed) {
+            // Record the crash as a pool-level event, timestamped at the
+            // latest simulated instant any (already-folded) thread
+            // reached — crashed threads' handles are dropped before the
+            // pool crashes, so this is the simulation's crash time.
+            let mut bufs = inner.trace_bufs.lock().expect("trace collector");
+            let ts = bufs.iter().filter_map(|b| b.last_ts()).max().unwrap_or(0);
+            let mut cb = TraceBuf::new(u16::MAX, 1);
+            cb.push(ts, EventKind::Crash, evicted as u64, dropped as u64);
+            bufs.push(cb);
+        }
         CrashOutcome { lines_evicted: evicted, lines_dropped: dropped }
     }
 
@@ -411,6 +494,16 @@ pub struct PmemHandle {
     clock_ns: u64,
     pending: Vec<usize>,
     stats: PersistStats,
+    trace: TraceHandle,
+    /// Per-category simulated-time attribution, accumulated
+    /// unconditionally (a single add per charge — cheaper than branching
+    /// on the trace handle in the per-instruction hot path) and folded
+    /// into the trace ring at drop time; discarded when tracing is off.
+    costs: CostBreakdown,
+    /// Nesting depth of [`PmemHandle::begin_log`] scopes: while positive,
+    /// stores count as log writes (bytes into `stats.log_bytes`, cost
+    /// into the `Log` category).
+    log_depth: u32,
 }
 
 impl std::fmt::Debug for PmemHandle {
@@ -425,7 +518,35 @@ impl std::fmt::Debug for PmemHandle {
 impl PmemHandle {
     #[inline]
     fn charge(&mut self, ns: u64) {
+        self.charge_cat(Category::Work, ns);
+    }
+
+    #[inline]
+    fn charge_cat(&mut self, cat: Category, ns: u64) {
         self.clock_ns += ns;
+        // `cat` is a constant at every call site, so this folds to one add.
+        self.costs.add(cat, ns);
+        self.latency.realize(ns);
+    }
+
+    /// The store-path accounting tail: clock, log-byte counting, cost
+    /// attribution, and the `store` event. Cost attribution rides the
+    /// log-scope branch that log-byte counting needs anyway, so the only
+    /// trace-specific work on the traced-off path is one untaken branch
+    /// for the event push (measured: multiple separate branches here cost
+    /// ~5% of interpreter throughput).
+    #[inline(always)]
+    fn charge_store_and_emit(&mut self, ns: u64, bytes: u64, addr: PAddr, value: u64) {
+        self.clock_ns += ns;
+        if self.log_depth > 0 {
+            self.stats.log_bytes += bytes;
+            self.costs.log_ns += ns;
+        } else {
+            self.costs.work_ns += ns;
+        }
+        if let Some(buf) = self.trace.as_buf_mut() {
+            trace_push(buf, self.clock_ns, EventKind::Store, addr as u64, value);
+        }
         self.latency.realize(ns);
     }
 
@@ -445,6 +566,47 @@ impl PmemHandle {
     /// harness to account for non-memory instruction costs and lock waits).
     pub fn advance(&mut self, ns: u64) {
         self.charge(ns);
+    }
+
+    /// Like [`PmemHandle::advance`], but attributes the time to an
+    /// explicit cost [`Category`] (interpreters use this for scheme taxes
+    /// such as Atlas's per-store tracking work).
+    pub fn advance_as(&mut self, cat: Category, ns: u64) {
+        self.charge_cat(cat, ns);
+    }
+
+    /// Opens a log scope: until the matching [`PmemHandle::end_log`],
+    /// stores are accounted as log writes — their bytes accumulate in
+    /// `log_bytes` and their cost in the `Log` category. Scopes nest.
+    #[inline]
+    pub fn begin_log(&mut self) {
+        self.log_depth += 1;
+    }
+
+    /// Closes the innermost log scope (see [`PmemHandle::begin_log`]).
+    #[inline]
+    pub fn end_log(&mut self) {
+        debug_assert!(self.log_depth > 0, "end_log without begin_log");
+        self.log_depth = self.log_depth.saturating_sub(1);
+    }
+
+    /// True while inside a [`PmemHandle::begin_log`] scope.
+    pub fn in_log(&self) -> bool {
+        self.log_depth > 0
+    }
+
+    /// True when this handle records trace events (callers can skip
+    /// computing event payloads otherwise).
+    #[inline]
+    pub fn trace_on(&self) -> bool {
+        self.trace.is_on()
+    }
+
+    /// Emits a trace event at the handle's current simulated time.
+    /// No-op (one branch) when tracing is off.
+    #[inline]
+    pub fn trace_event(&mut self, kind: EventKind, a: u64, b: u64) {
+        self.trace.emit(self.clock_ns, kind, a, b);
     }
 
     /// Sets the simulated clock (used by the DES harness when a thread's
@@ -483,7 +645,35 @@ impl PmemHandle {
     pub fn write_u64(&mut self, addr: PAddr, value: u64) {
         let w = self.check_word(addr);
         self.stats.stores += 1;
-        self.charge(self.latency.store_ns);
+        self.charge_store_and_emit(self.latency.store_ns, 8, addr, value);
+        self.inner.volatile[w].store(value, Ordering::Release);
+        let line = line_of(addr);
+        let line_was_clean = !self.inner.is_dirty(line);
+        self.inner.set_dirty(line);
+        self.inner.journal.record(|| PersistEventKind::Store { addr, value, line_was_clean });
+    }
+
+    /// Stores a word with log-write accounting, without requiring an open
+    /// log scope: identical in effect (stats, cost attribution, trace
+    /// events, persistence semantics) to `begin_log(); write_u64(addr,
+    /// value); end_log()`, but skips the per-word scope test. JUSTDO
+    /// writes three log words for *every* application store, which makes
+    /// this the hottest store variant in that scheme.
+    ///
+    /// # Panics
+    /// Panics if `addr` is unaligned or out of bounds.
+    #[inline]
+    pub fn log_write_u64(&mut self, addr: PAddr, value: u64) {
+        let w = self.check_word(addr);
+        self.stats.stores += 1;
+        let ns = self.latency.store_ns;
+        self.clock_ns += ns;
+        self.stats.log_bytes += 8;
+        self.costs.log_ns += ns;
+        if let Some(buf) = self.trace.as_buf_mut() {
+            trace_push(buf, self.clock_ns, EventKind::Store, addr as u64, value);
+        }
+        self.latency.realize(ns);
         self.inner.volatile[w].store(value, Ordering::Release);
         let line = line_of(addr);
         let line_was_clean = !self.inner.is_dirty(line);
@@ -497,7 +687,7 @@ impl PmemHandle {
     pub fn nt_store_u64(&mut self, addr: PAddr, value: u64) {
         let w = self.check_word(addr);
         self.stats.nt_stores += 1;
-        self.charge(self.latency.nt_store_cost());
+        self.charge_store_and_emit(self.latency.nt_store_cost(), 8, addr, value);
         self.inner.volatile[w].store(value, Ordering::Release);
         self.inner.persistent[w].store(value, Ordering::Release);
         self.inner.journal.record(|| PersistEventKind::NtStore { addr, value });
@@ -510,11 +700,17 @@ impl PmemHandle {
         assert!(addr < self.inner.config.size, "clwb out of bounds at {addr:#x}");
         let line = line_of(addr);
         self.stats.clwbs += 1;
-        self.charge(self.latency.clwb_issue_ns);
+        let ns = self.latency.clwb_issue_ns;
+        self.clock_ns += ns;
         if !self.pending.contains(&line) {
             self.pending.push(line);
         }
         self.inner.journal.record(|| PersistEventKind::Clwb { line });
+        self.costs.clwb_ns += ns;
+        if let Some(buf) = self.trace.as_buf_mut() {
+            trace_push(buf, self.clock_ns, EventKind::Clwb, line as u64, 0);
+        }
+        self.latency.realize(ns);
     }
 
     /// Issues write-backs for every line spanned by `[addr, addr + len)`.
@@ -531,7 +727,10 @@ impl PmemHandle {
         let n = self.pending.len() as u64;
         self.stats.fences += 1;
         self.stats.lines_persisted += n;
-        self.charge(self.latency.fence_cost(n));
+        let ns = self.latency.fence_cost(n);
+        self.clock_ns += ns;
+        self.costs.fence_ns += ns;
+        self.latency.realize(ns);
         // Iterate in place and clear afterwards so `pending` keeps its
         // capacity across fence epochs (taking the Vec would free it and
         // force the next clwb to re-allocate). The clone in the closure is
@@ -542,6 +741,7 @@ impl PmemHandle {
         }
         self.inner.journal.record(|| PersistEventKind::Sfence { lines: self.pending.clone() });
         self.pending.clear();
+        self.trace.emit(self.clock_ns, EventKind::Fence, n, 0);
     }
 
     /// Convenience: `clwb` every line of the range, then `sfence`.
@@ -584,8 +784,13 @@ impl PmemHandle {
             self.inner.set_dirty(line);
         }
         self.stats.stores += buf.len().div_ceil(8) as u64;
-        self.charge(self.latency.store_ns * buf.len().div_ceil(8) as u64);
         let len = buf.len();
+        self.charge_store_and_emit(
+            self.latency.store_ns * len.div_ceil(8) as u64,
+            len as u64,
+            addr,
+            len as u64,
+        );
         self.inner.journal.record(|| PersistEventKind::StoreBytes { addr, len });
     }
 
@@ -593,10 +798,10 @@ impl PmemHandle {
     pub fn fetch_or_u64(&mut self, addr: PAddr, bits: u64) -> u64 {
         let w = self.check_word(addr);
         self.stats.stores += 1;
-        self.charge(self.latency.store_ns);
         let line_was_clean = !self.inner.is_dirty(line_of(addr));
         self.inner.set_dirty(line_of(addr));
         let prev = self.inner.volatile[w].fetch_or(bits, Ordering::AcqRel);
+        self.charge_store_and_emit(self.latency.store_ns, 8, addr, prev | bits);
         self.inner.journal.record(|| PersistEventKind::Store {
             addr,
             value: prev | bits,
@@ -609,10 +814,10 @@ impl PmemHandle {
     pub fn fetch_and_u64(&mut self, addr: PAddr, bits: u64) -> u64 {
         let w = self.check_word(addr);
         self.stats.stores += 1;
-        self.charge(self.latency.store_ns);
         let line_was_clean = !self.inner.is_dirty(line_of(addr));
         self.inner.set_dirty(line_of(addr));
         let prev = self.inner.volatile[w].fetch_and(bits, Ordering::AcqRel);
+        self.charge_store_and_emit(self.latency.store_ns, 8, addr, prev & bits);
         self.inner.journal.record(|| PersistEventKind::Store {
             addr,
             value: prev & bits,
@@ -625,9 +830,23 @@ impl PmemHandle {
     pub fn compare_exchange_u64(&mut self, addr: PAddr, current: u64, new: u64) -> Result<u64, u64> {
         let w = self.check_word(addr);
         self.stats.stores += 1;
-        self.charge(self.latency.store_ns);
+        let ns = self.latency.store_ns;
+        self.clock_ns += ns;
+        if self.log_depth > 0 {
+            self.stats.log_bytes += 8;
+            self.costs.log_ns += ns;
+        } else {
+            self.costs.work_ns += ns;
+        }
         let line_was_clean = !self.inner.is_dirty(line_of(addr));
         let r = self.inner.volatile[w].compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
+        // The store event only fires when the exchange took effect.
+        if r.is_ok() {
+            if let Some(buf) = self.trace.as_buf_mut() {
+                trace_push(buf, self.clock_ns, EventKind::Store, addr as u64, new);
+            }
+        }
+        self.latency.realize(ns);
         if r.is_ok() {
             self.inner.set_dirty(line_of(addr));
             self.inner.journal.record(|| PersistEventKind::Store {
@@ -655,7 +874,21 @@ impl PmemHandle {
 impl Drop for PmemHandle {
     fn drop(&mut self) {
         self.inner.global_stats.merge(&self.stats);
+        if let Some(mut buf) = self.trace.take() {
+            // Cost attribution accumulates inline in the handle (see the
+            // `costs` field); it becomes part of the trace only here.
+            buf.costs.merge(&self.costs);
+            self.inner.trace_bufs.lock().expect("trace collector poisoned").push(buf);
+        }
     }
+}
+
+/// Outlined traced-event push. `#[cold]` keeps the (much larger) ring
+/// code out of the inlined store path, so the traced-off interpreter hot
+/// loop stays icache-tight.
+#[cold]
+fn trace_push(buf: &mut TraceBuf, ts: u64, kind: EventKind, a: u64, b: u64) {
+    buf.push(ts, kind, a, b);
 }
 
 /// Small deterministic PRNG for crash-time eviction decisions.
@@ -1005,5 +1238,138 @@ mod tests {
         let mut h = p.handle();
         assert_eq!(h.read_u64(256), 1);
         assert_eq!(h.read_u64(320), 0);
+    }
+
+    fn traced_pool() -> PmemPool {
+        let mut cfg = PoolConfig::small_for_tests();
+        cfg.latency = LatencyModel::default(); // nonzero so cost attribution is visible
+        cfg.trace = TraceConfig { enabled: true, buf_entries: 1 << 10 };
+        PmemPool::new(cfg)
+    }
+
+    #[test]
+    fn trace_is_off_by_default_in_tests() {
+        let p = pool();
+        let mut h = p.handle();
+        assert!(!h.trace_on());
+        h.write_u64(0, 1);
+        h.persist(0, 8);
+        drop(h);
+        assert!(p.take_trace().is_none());
+    }
+
+    #[test]
+    fn trace_records_memory_ops_with_clock_timestamps() {
+        let p = traced_pool();
+        let mut h = p.handle();
+        h.write_u64(64, 7);
+        h.clwb(64);
+        h.sfence();
+        drop(h);
+        let t = p.take_trace().expect("tracing enabled");
+        let counts = t.counts_by_kind();
+        assert_eq!(counts[EventKind::Store as usize], 1);
+        assert_eq!(counts[EventKind::Clwb as usize], 1);
+        assert_eq!(counts[EventKind::Fence as usize], 1);
+        assert!(t.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns), "sorted by ts");
+        assert!(t.costs.clwb_ns > 0 && t.costs.fence_ns > 0 && t.costs.work_ns > 0);
+        assert_eq!(t.costs.log_ns, 0, "no log scope was opened");
+    }
+
+    #[test]
+    fn log_scope_counts_bytes_and_attributes_cost() {
+        let p = traced_pool();
+        let mut h = p.handle();
+        h.write_u64(0, 1); // outside scope
+        h.begin_log();
+        assert!(h.in_log());
+        h.write_u64(8, 2);
+        h.write_u64(16, 3);
+        h.write_bytes(64, &[0xAB; 12]);
+        h.end_log();
+        assert!(!h.in_log());
+        h.write_u64(24, 4); // outside again
+        assert_eq!(h.stats().log_bytes, 8 + 8 + 12);
+        drop(h);
+        let t = p.take_trace().unwrap();
+        assert!(t.costs.log_ns > 0);
+        assert!(t.costs.work_ns > 0);
+    }
+
+    #[test]
+    fn log_bytes_flow_into_global_stats() {
+        let p = traced_pool();
+        let mut h = p.handle();
+        h.begin_log();
+        h.write_u64(0, 1);
+        h.end_log();
+        drop(h);
+        assert_eq!(p.global_stats().log_bytes, 8);
+    }
+
+    #[test]
+    fn crash_appends_pool_level_crash_event() {
+        let p = traced_pool();
+        let mut h = p.handle();
+        h.write_u64(0, 5);
+        h.persist(0, 8);
+        h.write_u64(64, 6); // left dirty -> dropped by crash
+        drop(h);
+        p.crash(0);
+        let t = p.take_trace().unwrap();
+        let crash: Vec<_> =
+            t.events.iter().filter(|e| e.kind == EventKind::Crash).collect();
+        assert_eq!(crash.len(), 1);
+        assert_eq!(crash[0].thread, u16::MAX);
+        assert_eq!(crash[0].b, 1, "one dirty line dropped");
+        let max_ts = t.events.iter().map(|e| e.ts_ns).max().unwrap();
+        assert_eq!(crash[0].ts_ns, max_ts, "crash is the final event");
+    }
+
+    #[test]
+    fn take_trace_drains_and_resets_thread_ids() {
+        let p = traced_pool();
+        let mut h = p.handle();
+        h.write_u64(0, 1);
+        drop(h);
+        let t1 = p.take_trace().unwrap();
+        assert_eq!(t1.events[0].thread, 0);
+        let mut h = p.handle();
+        h.write_u64(0, 2);
+        drop(h);
+        let t2 = p.take_trace().unwrap();
+        assert_eq!(t2.events[0].thread, 0, "tid counter resets on take");
+    }
+
+    #[test]
+    fn set_trace_affects_only_later_handles() {
+        let p = pool();
+        let mut h = p.handle();
+        h.write_u64(0, 1);
+        p.set_trace(TraceConfig { enabled: true, buf_entries: 64 });
+        h.write_u64(8, 2); // pre-enable handle stays untraced
+        drop(h);
+        let mut h2 = p.handle();
+        h2.write_u64(16, 3);
+        drop(h2);
+        let t = p.take_trace().unwrap();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].a, 16);
+    }
+
+    #[test]
+    fn trace_ring_overflow_reports_exact_drop_count() {
+        let mut cfg = PoolConfig::small_for_tests();
+        cfg.trace = TraceConfig { enabled: true, buf_entries: 8 };
+        let p = PmemPool::new(cfg);
+        let mut h = p.handle();
+        for i in 0..20u64 {
+            h.write_u64(i as usize * 8, i);
+        }
+        drop(h);
+        let t = p.take_trace().unwrap();
+        assert_eq!(t.pushed, 20);
+        assert_eq!(t.dropped, 12);
+        assert_eq!(t.events.len(), 8);
     }
 }

@@ -19,6 +19,10 @@ pub struct PersistStats {
     pub fences: u64,
     /// Cache lines actually drained to NVM by fences.
     pub lines_persisted: u64,
+    /// Bytes written into log structures (stores issued inside a
+    /// [`log scope`](crate::PmemHandle::begin_log) — UNDO/REDO entry
+    /// payloads, shadow register files, recovery markers).
+    pub log_bytes: u64,
     global: GlobalCounters,
 }
 
@@ -30,6 +34,7 @@ struct GlobalCounters {
     clwbs: AtomicU64,
     fences: AtomicU64,
     lines_persisted: AtomicU64,
+    log_bytes: AtomicU64,
 }
 
 impl PersistStats {
@@ -42,6 +47,7 @@ impl PersistStats {
         self.global.clwbs.fetch_add(o.clwbs, Ordering::Relaxed);
         self.global.fences.fetch_add(o.fences, Ordering::Relaxed);
         self.global.lines_persisted.fetch_add(o.lines_persisted, Ordering::Relaxed);
+        self.global.log_bytes.fetch_add(o.log_bytes, Ordering::Relaxed);
     }
 
     /// A point-in-time copy combining the local and global halves.
@@ -54,6 +60,7 @@ impl PersistStats {
             fences: self.fences + self.global.fences.load(Ordering::Relaxed),
             lines_persisted: self.lines_persisted
                 + self.global.lines_persisted.load(Ordering::Relaxed),
+            log_bytes: self.log_bytes + self.global.log_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -73,6 +80,8 @@ pub struct StatsSnapshot {
     pub fences: u64,
     /// Cache lines actually drained to NVM by fences.
     pub lines_persisted: u64,
+    /// Bytes written into log structures (see [`PersistStats::log_bytes`]).
+    pub log_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -87,8 +96,14 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "loads={} stores={} nt={} clwb={} fences={} lines={}",
-            self.loads, self.stores, self.nt_stores, self.clwbs, self.fences, self.lines_persisted
+            "loads={} stores={} nt={} clwb={} fences={} lines={} logB={}",
+            self.loads,
+            self.stores,
+            self.nt_stores,
+            self.clwbs,
+            self.fences,
+            self.lines_persisted,
+            self.log_bytes
         )
     }
 }
@@ -103,12 +118,14 @@ mod tests {
         let mut a = PersistStats::default();
         a.loads = 3;
         a.fences = 1;
+        a.log_bytes = 64;
         g.merge(&a);
         a.loads = 2;
         g.merge(&a);
         let s = g.snapshot();
         assert_eq!(s.loads, 5);
         assert_eq!(s.fences, 2);
+        assert_eq!(s.log_bytes, 128);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! The compact binary event model.
+
+/// What happened. One byte on the wire; the payload words `a`/`b` are
+/// kind-specific (documented per variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A store reached the volatile image (cached, non-temporal, or RMW).
+    /// `a` = address, `b` = value (or length for bulk writes).
+    Store = 0,
+    /// A cache-line write-back was issued. `a` = line index.
+    Clwb = 1,
+    /// A persist fence drained. `a` = pending lines drained.
+    Fence = 2,
+    /// A log append published. `a` = entries, `b` = payload bytes.
+    LogAppend = 3,
+    /// A failure-atomic section began.
+    FaseEnter = 4,
+    /// A failure-atomic section ended. `b` = duration in simulated ns.
+    FaseExit = 5,
+    /// An idempotent-region boundary was crossed (iDO). `a` = stores in
+    /// the closed region, `b` = live-in registers logged.
+    RegionBoundary = 6,
+    /// A lock was acquired. `a` = lock address.
+    LockAcquire = 7,
+    /// A lock was released. `a` = lock address.
+    LockRelease = 8,
+    /// A recovery phase began. `a` = [`RecoveryPhase`].
+    RecoveryBegin = 9,
+    /// A recovery phase ended. `a` = [`RecoveryPhase`], `b` = duration in
+    /// simulated ns.
+    RecoveryEnd = 10,
+    /// The pool crashed. `a` = dirty lines evicted, `b` = lines dropped.
+    Crash = 11,
+    /// A simulated thread ran to completion.
+    ThreadDone = 12,
+}
+
+/// Number of distinct [`EventKind`]s.
+pub const EVENT_KINDS: usize = 13;
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; EVENT_KINDS] = [
+        EventKind::Store,
+        EventKind::Clwb,
+        EventKind::Fence,
+        EventKind::LogAppend,
+        EventKind::FaseEnter,
+        EventKind::FaseExit,
+        EventKind::RegionBoundary,
+        EventKind::LockAcquire,
+        EventKind::LockRelease,
+        EventKind::RecoveryBegin,
+        EventKind::RecoveryEnd,
+        EventKind::Crash,
+        EventKind::ThreadDone,
+    ];
+
+    /// Stable display name (also the `"k"` arg in the Chrome export).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Store => "store",
+            EventKind::Clwb => "clwb",
+            EventKind::Fence => "fence",
+            EventKind::LogAppend => "log-append",
+            EventKind::FaseEnter => "fase-enter",
+            EventKind::FaseExit => "fase-exit",
+            EventKind::RegionBoundary => "region-boundary",
+            EventKind::LockAcquire => "lock-acquire",
+            EventKind::LockRelease => "lock-release",
+            EventKind::RecoveryBegin => "recovery-begin",
+            EventKind::RecoveryEnd => "recovery-end",
+            EventKind::Crash => "crash",
+            EventKind::ThreadDone => "thread-done",
+        }
+    }
+}
+
+/// One trace event: 32 bytes, plain data, timestamped with the emitting
+/// handle's simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated-clock timestamp of the emitting thread, ns.
+    pub ts_ns: u64,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub a: u64,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub b: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Emitting trace-thread id (pool handle creation order;
+    /// `u16::MAX` marks pool-level events such as [`EventKind::Crash`]).
+    pub thread: u16,
+}
+
+/// Cost category a simulated-ns charge is attributed to (Fig. 7 axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Category {
+    /// Useful work: instruction execution, loads, application stores.
+    Work = 0,
+    /// Log writes: stores/nt-stores into log structures, logging taxes.
+    Log = 1,
+    /// Write-back (`clwb`) issue cost.
+    Clwb = 2,
+    /// Persist-fence stall (drain round trips).
+    Fence = 3,
+}
+
+/// The three recovery phases the per-phase timings attribute to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RecoveryPhase {
+    /// Log discovery and scanning (registry walk, entry reads).
+    Scan = 1,
+    /// Resumption (iDO/JUSTDO re-execution) or rollback/replay apply.
+    Resume = 2,
+    /// Log retirement and lock release.
+    Release = 3,
+}
+
+impl RecoveryPhase {
+    /// Decodes the `a` payload of a recovery event.
+    pub fn from_u64(v: u64) -> Option<RecoveryPhase> {
+        match v {
+            1 => Some(RecoveryPhase::Scan),
+            2 => Some(RecoveryPhase::Resume),
+            3 => Some(RecoveryPhase::Release),
+            _ => None,
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPhase::Scan => "scan",
+            RecoveryPhase::Resume => "resume",
+            RecoveryPhase::Release => "release",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_unique_discriminants_and_names() {
+        let mut names = std::collections::BTreeSet::new();
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "ALL must be in discriminant order");
+            assert!(names.insert(k.name()), "duplicate name {}", k.name());
+        }
+        assert_eq!(names.len(), EVENT_KINDS);
+    }
+
+    #[test]
+    fn event_is_32_bytes() {
+        assert!(std::mem::size_of::<Event>() <= 32);
+    }
+
+    #[test]
+    fn recovery_phase_roundtrip() {
+        for p in [RecoveryPhase::Scan, RecoveryPhase::Resume, RecoveryPhase::Release] {
+            assert_eq!(RecoveryPhase::from_u64(p as u64), Some(p));
+        }
+        assert_eq!(RecoveryPhase::from_u64(0), None);
+        assert_eq!(RecoveryPhase::from_u64(4), None);
+    }
+}

@@ -1,0 +1,191 @@
+//! Dependency-free log-bucketed histogram (HdrHistogram-style).
+//!
+//! Values are binned into buckets whose width doubles every octave, with
+//! [`SUB`] sub-buckets per octave (≈12% relative resolution) — enough for
+//! the paper's Fig. 8/9 shape plots without an external crate. Values
+//! below [`SUB`] get exact unit buckets, so small region sizes (0, 1, 2, 3
+//! stores) are never merged.
+
+const SUB_BITS: u32 = 2;
+/// Sub-buckets per power-of-two octave.
+pub const SUB: usize = 1 << SUB_BITS;
+
+/// Total bucket count (covers the full `u64` range).
+pub const HIST_BUCKETS: usize = (64 - SUB_BITS as usize) * SUB + SUB;
+
+/// A fixed-size log-bucketed histogram over `u64` values.
+#[derive(Debug, Clone)]
+pub struct Hist {
+    counts: [u64; HIST_BUCKETS],
+    n: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist { counts: [0; HIST_BUCKETS], n: 0, sum: 0, max: 0 }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (msb - SUB_BITS as usize)) & (SUB as u64 - 1)) as usize;
+    (msb - SUB_BITS as usize) * SUB + sub + SUB
+}
+
+/// Smallest value mapping to bucket `i`.
+fn lower_bound(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let b = i - SUB;
+    let msb = b / SUB + SUB_BITS as usize;
+    let sub = (b % SUB) as u64;
+    (1u64 << msb) + (sub << (msb - SUB_BITS as usize))
+}
+
+impl Hist {
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.n += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total values recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.n as f64
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.n += other.n;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound_exclusive, count)`,
+    /// ascending — the rows of the histogram CSVs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        let mut out = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                let lo = lower_bound(i);
+                let hi = if i + 1 < HIST_BUCKETS { lower_bound(i + 1) } else { u64::MAX };
+                out.push((lo, hi, c));
+            }
+        }
+        out
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile value
+    /// (`q` in `[0, 1]`; 0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.n == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i + 1 < HIST_BUCKETS { lower_bound(i + 1) - 1 } else { u64::MAX };
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        // Every value maps into exactly the bucket whose bounds contain it.
+        for i in 0..HIST_BUCKETS - 1 {
+            let lo = lower_bound(i);
+            let hi = lower_bound(i + 1);
+            assert!(lo < hi, "bucket {i}: {lo} !< {hi}");
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(hi - 1), i, "upper edge of bucket {i}");
+        }
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB as u64 {
+            assert_eq!(bucket_of(v), v as usize);
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Hist::default();
+        for v in [1u64, 1, 2, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1104);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 220.8).abs() < 1e-9);
+        let total: u64 = h.nonzero_buckets().iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 5);
+        // 1 appears twice in its own exact bucket.
+        assert!(h.nonzero_buckets().contains(&(1, 2, 2)));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        a.record(5);
+        b.record(5);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 17);
+        assert_eq!(a.max(), 7);
+    }
+
+    #[test]
+    fn quantile_brackets_the_value() {
+        let mut h = Hist::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert!(h.quantile(0.0) >= 1);
+        let p50 = h.quantile(0.5);
+        assert!((40..=70).contains(&p50), "p50 bucket edge {p50}");
+        assert!(h.quantile(1.0) >= 100);
+        assert_eq!(Hist::default().quantile(0.5), 0);
+    }
+}

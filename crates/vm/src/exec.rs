@@ -12,6 +12,7 @@ use ido_ir::{
 use ido_nvm::alloc::NvAllocator;
 use ido_nvm::root::RootTable;
 use ido_nvm::{PmemHandle, PmemPool, PoolConfig, PAddr};
+use ido_trace::{Category, EventKind};
 
 use crate::bitset::RegBitset;
 use crate::layout::{
@@ -757,10 +758,13 @@ impl Vm {
                     let th = &mut self.threads[t];
                     th.tx_write_set.insert(addr, value);
                     th.mn_cursor += 1;
+                    th.handle.begin_log();
                     th.handle.nt_store_u64(e + 8, addr as u64);
                     th.handle.nt_store_u64(e + 16, value);
                     th.handle.nt_store_u64(e + 24, 0);
                     th.handle.nt_store_u64(e, LogEntryKind::Redo as u64);
+                    th.handle.end_log();
+                    th.handle.trace_event(EventKind::LogAppend, 1, 32);
                 } else {
                     self.threads[t].handle.write_u64(addr, value);
                 }
@@ -820,7 +824,8 @@ impl Vm {
     fn exec_inst(&mut self, t: usize, pc: Pc, inst: &DecodedInst, code: &DecodedProgram) {
         if self.scheme == Scheme::JustDo && self.threads[t].fase_active {
             // No-register-caching rule: FASE temporaries live in memory.
-            self.charge(t, self.config.justdo_mem_tax_ns);
+            // Attributed to logging: it is JUSTDO's persistence tax.
+            self.threads[t].handle.advance_as(Category::Log, self.config.justdo_mem_tax_ns);
         }
         match inst {
             &Inst::Mov { dst, src } => {
@@ -882,7 +887,10 @@ impl Vm {
                 let l = self.eval(t, lock);
                 self.charge(t, self.config.lock_cost_ns);
                 match self.locks.acquire(l, ThreadId(t)) {
-                    Acquire::Granted | Acquire::AlreadyHeld => self.advance(t),
+                    Acquire::Granted | Acquire::AlreadyHeld => {
+                        self.threads[t].handle.trace_event(EventKind::LockAcquire, l, 0);
+                        self.advance(t);
+                    }
                     Acquire::Blocked => {
                         self.threads[t].status = Status::Blocked(l);
                         // pc stays; re-executes after handoff.
@@ -898,6 +906,7 @@ impl Vm {
                 self.charge(t, self.config.lock_cost_ns);
                 match self.locks.release(l, ThreadId(t)) {
                     Ok(next) => {
+                        self.threads[t].handle.trace_event(EventKind::LockRelease, l, 0);
                         if let Some(n) = next {
                             self.wake(t, n);
                         }
@@ -969,6 +978,7 @@ impl Vm {
                 } else {
                     th.ret_val = v;
                     th.status = Status::Done;
+                    th.handle.trace_event(EventKind::ThreadDone, t as u64, 0);
                 }
             }
             Inst::RegionMarker => {
@@ -995,6 +1005,7 @@ impl Vm {
         let th = &mut self.threads[t];
         th.status = Status::Done;
         th.halt_after_release = false;
+        th.handle.trace_event(EventKind::ThreadDone, t as u64, 0);
     }
 
     /// Wakes a lock waiter, advancing its clock to the release time so that
@@ -1017,13 +1028,16 @@ impl Vm {
         match op {
             RtOp::FaseBegin => {
                 self.profile.record_fase();
+                self.threads[t].handle.trace_event(EventKind::FaseEnter, 0, 0);
                 let stack_base = self.threads[t].frames.last().expect("frame").stack_base;
                 match self.scheme {
                     Scheme::Ido => {
                         let a = self.threads[t].ido_log.stack_base();
                         let th = &mut self.threads[t];
+                        th.handle.begin_log();
                         th.handle.write_u64(a, stack_base as u64);
                         th.handle.clwb(a);
+                        th.handle.end_log();
                         th.region_stores.clear();
                         // dirty_regs deliberately persists across FASE
                         // entry: registers defined since the previous
@@ -1043,6 +1057,7 @@ impl Vm {
                         let regs: Vec<u64> =
                             self.threads[t].frames.last().expect("frame").regs.clone();
                         let th = &mut self.threads[t];
+                        th.handle.begin_log();
                         th.handle.write_u64(a, stack_base as u64);
                         th.handle.clwb(a);
                         for (r, v) in regs.iter().enumerate() {
@@ -1050,6 +1065,7 @@ impl Vm {
                             th.handle.write_u64(s, *v);
                             th.handle.clwb(s);
                         }
+                        th.handle.end_log();
                         th.handle.sfence();
                     }
                     Scheme::Atlas | Scheme::Nvml => {
@@ -1084,8 +1100,10 @@ impl Vm {
                             flush_stores(&mut th.handle, &mut th.region_stores);
                             th.handle.sfence();
                         }
+                        th.handle.begin_log();
                         th.handle.write_u64(a, 0);
                         th.handle.clwb(a);
+                        th.handle.end_log();
                         th.handle.sfence();
                         th.pc_fence_pending = false;
                     }
@@ -1093,8 +1111,10 @@ impl Vm {
                         let a = self.threads[t].jd_log.active_pc();
                         let th = &mut self.threads[t];
                         th.fase_active = false;
+                        th.handle.begin_log();
                         th.handle.write_u64(a, 0);
                         th.handle.clwb(a);
+                        th.handle.end_log();
                         th.handle.sfence();
                     }
                     Scheme::Atlas | Scheme::Nvml => {
@@ -1109,6 +1129,7 @@ impl Vm {
                     Scheme::Nvthreads => self.nvthreads_commit(t),
                     Scheme::Origin | Scheme::Mnemosyne => {}
                 }
+                self.threads[t].handle.trace_event(EventKind::FaseExit, 0, 0);
                 if self.threads[t].recovery {
                     self.threads[t].halt_after_release = true;
                 }
@@ -1129,11 +1150,13 @@ impl Vm {
                 th.lock_slots[slot] = Some(l);
                 let slot_addr = th.ido_log.lock_slot(slot);
                 let bitmap_addr = th.ido_log.lock_bitmap();
+                th.handle.begin_log();
                 th.handle.write_u64(slot_addr, l);
                 let bm = th.handle.read_u64(bitmap_addr);
                 th.handle.write_u64(bitmap_addr, bm | (1 << slot));
                 th.handle.clwb(slot_addr);
                 th.handle.clwb(bitmap_addr);
+                th.handle.end_log();
                 if self.config.ido_unmerged_acquire_fence {
                     th.handle.sfence(); // the paper's single fence, unmerged
                 } else {
@@ -1155,11 +1178,13 @@ impl Vm {
                     th.lock_slots[slot] = None;
                     let slot_addr = th.ido_log.lock_slot(slot);
                     let bitmap_addr = th.ido_log.lock_bitmap();
+                    th.handle.begin_log();
                     let bm = th.handle.read_u64(bitmap_addr);
                     th.handle.write_u64(bitmap_addr, bm & !(1u64 << slot));
                     th.handle.write_u64(slot_addr, 0);
                     th.handle.clwb(slot_addr);
                     th.handle.clwb(bitmap_addr);
+                    th.handle.end_log();
                     th.handle.sfence(); // single fence
                 } else {
                     assert!(th.recovery, "releasing unrecorded lock outside recovery");
@@ -1182,7 +1207,7 @@ impl Vm {
                 let v = self.read_reg(t, reg);
                 let th = &mut self.threads[t];
                 let a = th.jd_log.shadow_slot(reg.id);
-                th.handle.write_u64(a, v);
+                th.handle.log_write_u64(a, v);
                 th.handle.clwb(a); // ordered by the next log fence
                 self.advance(t);
             }
@@ -1193,6 +1218,7 @@ impl Vm {
                 th.lock_slots[slot] = Some(l);
                 // Two persist fences: intention, then ownership.
                 let slot_addr = th.jd_log.lock_slot(slot);
+                th.handle.begin_log();
                 th.handle.write_u64(slot_addr, l);
                 th.handle.clwb(slot_addr);
                 th.handle.sfence();
@@ -1200,6 +1226,7 @@ impl Vm {
                 let bm = th.handle.read_u64(bitmap_addr);
                 th.handle.write_u64(bitmap_addr, bm | (1 << slot));
                 th.handle.clwb(bitmap_addr);
+                th.handle.end_log();
                 th.handle.sfence();
                 self.advance(t);
             }
@@ -1209,6 +1236,7 @@ impl Vm {
                 if let Some(slot) = th.lock_slots.iter().position(|s| *s == Some(l)) {
                     th.lock_slots[slot] = None;
                     let bitmap_addr = th.jd_log.lock_bitmap();
+                    th.handle.begin_log();
                     let bm = th.handle.read_u64(bitmap_addr);
                     th.handle.write_u64(bitmap_addr, bm & !(1u64 << slot));
                     th.handle.clwb(bitmap_addr);
@@ -1216,6 +1244,7 @@ impl Vm {
                     let slot_addr = th.jd_log.lock_slot(slot);
                     th.handle.write_u64(slot_addr, 0);
                     th.handle.clwb(slot_addr);
+                    th.handle.end_log();
                     th.handle.sfence();
                 } else {
                     assert!(th.recovery, "releasing unrecorded lock outside recovery");
@@ -1238,7 +1267,7 @@ impl Vm {
                 let stamp = self.next_stamp();
                 self.atlas_rt_serialize(t);
                 let th = &mut self.threads[t];
-                th.handle.advance(self.config.atlas_tracking_ns);
+                th.handle.advance_as(Category::Log, self.config.atlas_tracking_ns);
                 let log = th.app_log;
                 log.append(&mut th.handle, LogEntryKind::LockAcquire, l, observed, stamp);
                 self.advance(t);
@@ -1249,7 +1278,7 @@ impl Vm {
                 self.lock_release_stamps.insert(l, stamp);
                 self.atlas_rt_serialize(t);
                 let th = &mut self.threads[t];
-                th.handle.advance(self.config.atlas_tracking_ns);
+                th.handle.advance_as(Category::Log, self.config.atlas_tracking_ns);
                 let log = th.app_log;
                 log.append(&mut th.handle, LogEntryKind::LockRelease, l, stamp, stamp);
                 self.advance(t);
@@ -1262,6 +1291,8 @@ impl Vm {
                         th.in_tx = true;
                         th.tx_write_set.clear();
                         th.mn_cursor = 0;
+                        th.handle.trace_event(EventKind::LockAcquire, GLOBAL_TX_LOCK, 0);
+                        th.handle.trace_event(EventKind::FaseEnter, 0, 0);
                         self.profile.record_fase();
                         self.advance(t);
                     }
@@ -1273,6 +1304,9 @@ impl Vm {
             RtOp::TxCommit => {
                 self.mnemosyne_commit(t);
                 self.charge(t, self.config.lock_cost_ns);
+                let th = &mut self.threads[t];
+                th.handle.trace_event(EventKind::FaseExit, 0, 0);
+                th.handle.trace_event(EventKind::LockRelease, GLOBAL_TX_LOCK, 0);
                 if let Ok(Some(n)) = self.locks.release(GLOBAL_TX_LOCK, ThreadId(t)) {
                     self.wake(t, n);
                 }
@@ -1320,6 +1354,7 @@ impl Vm {
         {
             let frame = th.frames.last().expect("frame");
             let (handle, ido_log, dirty) = (&mut th.handle, &th.ido_log, &th.dirty_regs);
+            handle.begin_log();
             for r in live_filter {
                 if dirty.contains(r.id) {
                     let a = ido_log.rf_slot(r.id);
@@ -1330,6 +1365,7 @@ impl Vm {
                     }
                 }
             }
+            handle.end_log();
         }
         if self.config.ido_bug_skip_store_flush {
             // Injected bug: the region's heap stores are forgotten, not
@@ -1347,8 +1383,10 @@ impl Vm {
         // exhaustive crash sweeps in tests/crash_recovery.rs validate this.
         let next = Pc { func: pc.func, block: pc.block, index: pc.index + 1 };
         let a = th.ido_log.recovery_pc();
+        th.handle.begin_log();
         th.handle.write_u64(a, encode_pc(next));
         th.handle.clwb(a);
+        th.handle.end_log();
         if self.config.ido_eager_step2_fence || self.config.ido_bug_skip_store_flush {
             th.handle.sfence();
             th.pc_fence_pending = false;
@@ -1360,6 +1398,7 @@ impl Vm {
         th.written_regs.clear();
         th.read_before_write.clear();
         th.stores_since_boundary = 0;
+        th.handle.trace_event(EventKind::RegionBoundary, stores, inputs);
         self.profile.record_region(stores, inputs);
     }
 
@@ -1368,10 +1407,11 @@ impl Vm {
         let store_pc = Pc { func: pc.func, block: pc.block, index: pc.index + 1 };
         let th = &mut self.threads[t];
         let l = th.jd_log;
-        th.handle.write_u64(l.addr(), addr);
-        th.handle.write_u64(l.value(), value);
-        th.handle.write_u64(l.active_pc(), encode_pc(store_pc));
+        th.handle.log_write_u64(l.addr(), addr);
+        th.handle.log_write_u64(l.value(), value);
+        th.handle.log_write_u64(l.active_pc(), encode_pc(store_pc));
         th.handle.clwb(l.active_pc()); // one line holds all three fields
+        th.handle.trace_event(EventKind::LogAppend, 1, 24);
         th.handle.sfence(); // first fence; the store itself fences again
     }
 
@@ -1387,7 +1427,7 @@ impl Vm {
     fn atlas_undo(&mut self, t: usize, addr: PAddr) {
         let stamp = self.next_stamp();
         let th = &mut self.threads[t];
-        th.handle.advance(self.config.atlas_tracking_ns);
+        th.handle.advance_as(Category::Log, self.config.atlas_tracking_ns);
         let old = th.handle.read_u64(addr);
         let log = th.app_log;
         log.append(&mut th.handle, LogEntryKind::Undo, addr as u64, old, stamp);
@@ -1415,8 +1455,8 @@ impl Vm {
     fn nvthreads_touch(&mut self, t: usize, addr: PAddr) {
         let page = addr / self.config.page_bytes;
         if self.threads[t].dirty_pages.insert(page) {
-            // First touch: copy-on-write page duplication.
-            self.charge(t, self.config.page_copy_ns);
+            // First touch: copy-on-write page duplication (a logging tax).
+            self.threads[t].handle.advance_as(Category::Log, self.config.page_copy_ns);
         }
     }
 
@@ -1433,7 +1473,7 @@ impl Vm {
         // replay; page-granular cost).
         let entries: Vec<_> =
             writes.iter().map(|&(a, v)| (LogEntryKind::Redo, a as u64, v, stamp)).collect();
-        th.handle.advance(pages * self.config.page_log_ns);
+        th.handle.advance_as(Category::Log, pages * self.config.page_log_ns);
         let log = th.app_log;
         if !entries.is_empty() {
             log.append_batch(&mut th.handle, &entries);
@@ -1458,10 +1498,13 @@ impl Vm {
         let cur = th.mn_cursor;
         let log = th.app_log;
         let e = log.entry_addr(cur);
+        th.handle.begin_log();
         th.handle.nt_store_u64(e + 8, 0);
         th.handle.nt_store_u64(e + 16, 0);
         th.handle.nt_store_u64(e + 24, 0);
         th.handle.nt_store_u64(e, LogEntryKind::Commit as u64);
+        th.handle.end_log();
+        th.handle.trace_event(EventKind::LogAppend, 1, 32);
         th.handle.sfence();
         // Apply the write set in place (ascending address order, matching
         // the old `BTreeMap` drain) and persist it.
@@ -1476,9 +1519,11 @@ impl Vm {
         // would then read the stale tail (old redo entries plus the old
         // commit record) as a phantom committed transaction. The crash
         // oracle found exactly that tear.
+        th.handle.begin_log();
         for i in 0..=cur {
             th.handle.nt_store_u64(log.entry_addr(i), 0);
         }
+        th.handle.end_log();
         th.handle.sfence();
         th.mn_cursor = 0;
     }

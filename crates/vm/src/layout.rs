@@ -287,6 +287,7 @@ impl AppendLogLayout {
     /// object-granularity `TX_ADD`, which snapshots a whole cache line).
     pub fn append_batch(&self, h: &mut PmemHandle, entries: &[(LogEntryKind, u64, u64, u64)]) {
         let n = self.len(h);
+        h.begin_log();
         for (k, (kind, a, b, stamp)) in entries.iter().enumerate() {
             let e = self.entry_addr(n + k);
             h.write_u64(e, *kind as u64);
@@ -297,6 +298,12 @@ impl AppendLogLayout {
         }
         h.sfence();
         h.write_u64(self.len_addr(), (n + entries.len()) as u64);
+        h.end_log();
+        h.trace_event(
+            ido_trace::EventKind::LogAppend,
+            entries.len() as u64,
+            (entries.len() * APPEND_ENTRY_BYTES) as u64,
+        );
     }
 
     /// Reads entry `i`.
@@ -314,6 +321,7 @@ impl AppendLogLayout {
     /// content-validity scan terminates.
     pub fn reset(&self, h: &mut PmemHandle) {
         let used = self.scan_len(h).max(self.len(h));
+        h.begin_log();
         for i in 0..used {
             let e = self.entry_addr(i);
             h.write_u64(e, 0);
@@ -322,6 +330,7 @@ impl AppendLogLayout {
         h.write_u64(self.len_addr(), 0);
         h.clwb(self.len_addr());
         h.sfence();
+        h.end_log();
     }
 }
 

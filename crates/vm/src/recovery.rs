@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use ido_compiler::{Instrumented, Scheme};
 use ido_nvm::root::RootTable;
 use ido_nvm::{PmemHandle, PmemPool, PAddr};
+use ido_trace::{EventKind, RecoveryPhase};
 
 use crate::exec::{RunOutcome, Vm, VmConfig, THREADS_ROOT};
 use crate::layout::{IdoLogLayout, JustDoLogLayout, LogEntryKind, AppendLogLayout, LOCK_ARRAY_SLOTS};
@@ -120,9 +121,9 @@ pub fn recover_interrupted(
             )
         })
         .collect();
-    drop(h);
     let mut vm = Vm::attach(pool.clone(), instrumented, vm_config);
-    build_recovery_threads(&mut vm, &entries, scheme == Scheme::Ido);
+    build_recovery_threads(&mut vm, &mut h, &entries, scheme == Scheme::Ido);
+    drop(h);
     let outcome = vm.run_steps(budget);
     if outcome == RunOutcome::Completed {
         return true;
@@ -136,16 +137,16 @@ pub fn recover_interrupted(
 /// [`recover`] and [`recover_interrupted`]). Returns how many were resumed.
 fn build_recovery_threads(
     vm: &mut Vm,
+    h: &mut PmemHandle,
     entries: &[(PAddr, PAddr, PAddr, PAddr)],
     ido: bool,
 ) -> usize {
     let max_regs = vm.program().functions().iter().map(|f| f.num_regs()).max().unwrap_or(1);
     let mut resumed = 0;
     for (idx, &(ido_base, jd_base, app_base, stack_area)) in entries.iter().enumerate() {
-        let mut h = vm.pool().handle();
         let (pc, stack_base, regs, lock_list, bitmap_addr) = if ido {
             let l = IdoLogLayout { base: ido_base, max_regs };
-            let pc = l.read_recovery_pc(&mut h);
+            let pc = l.read_recovery_pc(h);
             let sb = h.read_u64(l.stack_base()) as PAddr;
             let regs: Vec<u64> = (0..max_regs).map(|r| h.read_u64(l.rf_slot(r))).collect();
             let bm = h.read_u64(l.lock_bitmap());
@@ -243,9 +244,11 @@ pub fn recover(
 
     match scheme {
         Scheme::Origin => {}
-        Scheme::Ido => recover_resumption(pool, instrumented, vm_config, rc, &entries, &mut report, true),
+        Scheme::Ido => {
+            recover_resumption(pool, instrumented, vm_config, rc, &entries, &mut report, true, &mut h)
+        }
         Scheme::JustDo => {
-            recover_resumption(pool, instrumented, vm_config, rc, &entries, &mut report, false)
+            recover_resumption(pool, instrumented, vm_config, rc, &entries, &mut report, false, &mut h)
         }
         Scheme::Atlas => recover_atlas(&mut h, vm_config, rc, &entries, &mut report),
         Scheme::Nvml => recover_nvml(&mut h, vm_config, rc, &entries, &mut report),
@@ -257,6 +260,7 @@ pub fn recover(
 }
 
 /// Recovery via resumption (iDO and JUSTDO).
+#[allow(clippy::too_many_arguments)]
 fn recover_resumption(
     pool: PmemPool,
     instrumented: Instrumented,
@@ -265,11 +269,29 @@ fn recover_resumption(
     entries: &[(PAddr, PAddr, PAddr, PAddr)],
     report: &mut RecoveryReport,
     ido: bool,
+    h: &mut PmemHandle,
 ) {
     let mut vm = Vm::attach(pool, instrumented, vm_config);
-    let resumed = build_recovery_threads(&mut vm, entries, ido);
+    // Scan phase: read each interrupted thread's log into a recovery
+    // context (registers, stack pointer, held locks, recovery_pc).
+    let scan_t0 = h.clock_ns();
+    h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Scan as u64, 0);
+    let resumed = build_recovery_threads(&mut vm, h, entries, ido);
+    let scan_ns = h.clock_ns() - scan_t0 + rc.per_thread_ns * entries.len() as u64;
+    h.set_clock_ns(scan_t0 + scan_ns);
+    h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Scan as u64, scan_ns);
+    // Resume phase: execute every interrupted FASE forward to completion.
+    h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Resume as u64, 0);
     let outcome = vm.run();
     assert_eq!(outcome, RunOutcome::Completed, "recovery must drive every FASE to completion");
+    let resume_ns = vm.max_clock_ns();
+    h.set_clock_ns(scan_t0 + scan_ns + resume_ns);
+    h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, resume_ns);
+    // Release phase: recovery threads release their locks as part of FASE
+    // completion (measured inside Resume), so this span records only the
+    // handoff back to the application.
+    h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Release as u64, 0);
+    h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Release as u64, 0);
     report.resumed = resumed;
     report.steps = vm.steps();
     report.sim_ns += rc.per_thread_ns * entries.len() as u64 + vm.max_clock_ns();
@@ -292,6 +314,8 @@ fn recover_atlas(
     report: &mut RecoveryReport,
 ) {
     // 1. Scan every thread's log into FASE records.
+    let scan_t0 = h.clock_ns();
+    h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Scan as u64, 0);
     let mut fases: Vec<FaseRec> = Vec::new();
     let mut total_entries = 0;
     for &(_, _, app_base, _) in entries.iter() {
@@ -342,6 +366,9 @@ fn recover_atlas(
             fases.push(f);
         }
     }
+    h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Scan as u64, h.clock_ns() - scan_t0);
+    let resume_t0 = h.clock_ns();
+    h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Resume as u64, 0);
 
     // 2. Compute the invalidated set: interrupted FASEs, plus (to a fixed
     // point) any FASE that acquired a lock whose observed release stamp was
@@ -390,12 +417,16 @@ fn recover_atlas(
         h.clwb(addr as PAddr);
     }
     h.sfence();
+    h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, h.clock_ns() - resume_t0);
+    let release_t0 = h.clock_ns();
+    h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Release as u64, 0);
 
     // 4. Retire the logs.
     for &(_, _, app_base, _) in entries {
         let log = AppendLogLayout { base: app_base, capacity: vm_config.log_entries };
         log.reset(h);
     }
+    h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Release as u64, h.clock_ns() - release_t0);
 
     report.rolled_back = undone.iter().filter(|u| **u).count();
     report.undo_entries = rollback.len();
@@ -413,6 +444,10 @@ fn recover_nvml(
 ) {
     for &(_, _, app_base, _) in entries {
         let log = AppendLogLayout { base: app_base, capacity: vm_config.log_entries };
+        // Per-log segmented phases: the durations of all segments of one
+        // phase sum to that phase's total recovery time.
+        let scan_t0 = h.clock_ns();
+        h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Scan as u64, 0);
         let n = log.scan_len(h);
         report.log_entries_scanned += n;
         // Find the start of the uncommitted suffix.
@@ -424,6 +459,9 @@ fn recover_nvml(
                 suffix_start = i + 1;
             }
         }
+        h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Scan as u64, h.clock_ns() - scan_t0);
+        let resume_t0 = h.clock_ns();
+        h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Resume as u64, 0);
         let mut any = false;
         for i in (suffix_start..n).rev() {
             let (kind, a, b, _) = log.read(h, i);
@@ -438,7 +476,11 @@ fn recover_nvml(
             h.sfence();
             report.rolled_back += 1;
         }
+        h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, h.clock_ns() - resume_t0);
+        let release_t0 = h.clock_ns();
+        h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Release as u64, 0);
         log.reset(h);
+        h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Release as u64, h.clock_ns() - release_t0);
     }
     report.sim_ns += rc.per_thread_ns * entries.len() as u64 + h.clock_ns();
 }
@@ -454,9 +496,12 @@ fn recover_redo(
 ) {
     for &(_, _, app_base, _) in entries {
         let log = AppendLogLayout { base: app_base, capacity: vm_config.log_entries };
+        let scan_t0 = h.clock_ns();
+        h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Scan as u64, 0);
         let n = log.scan_len(h);
         report.log_entries_scanned += n;
         if n == 0 {
+            h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Scan as u64, h.clock_ns() - scan_t0);
             continue;
         }
         let mut committed = false;
@@ -467,6 +512,9 @@ fn recover_redo(
                 committed = true;
             }
         }
+        h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Scan as u64, h.clock_ns() - scan_t0);
+        let resume_t0 = h.clock_ns();
+        h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Resume as u64, 0);
         if committed {
             for i in 0..n {
                 let (kind, a, b, _) = log.read(h, i);
@@ -480,7 +528,11 @@ fn recover_redo(
         } else {
             report.rolled_back += 1;
         }
+        h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, h.clock_ns() - resume_t0);
+        let release_t0 = h.clock_ns();
+        h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Release as u64, 0);
         log.reset(h);
+        h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Release as u64, h.clock_ns() - release_t0);
     }
     report.sim_ns += rc.per_thread_ns * entries.len() as u64 + h.clock_ns();
 }

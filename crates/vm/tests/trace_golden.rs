@@ -1,0 +1,116 @@
+//! Golden-file test of the trace event stream: a tiny fixed workload (two
+//! locked twin-counter FASEs on one thread) must produce exactly the
+//! checked-in event sequence under every scheme.
+//!
+//! This pins the *semantic* shape of each scheme's instrumentation — which
+//! events fire, in what order, at what simulated times — so an accidental
+//! change to event emission (or to a scheme's persistence sequence, which
+//! shifts timestamps) shows up as a readable diff instead of a silent
+//! drift. Regenerate after an intentional change with:
+//!
+//! ```sh
+//! IDO_BLESS=1 cargo test -p ido-vm --test trace_golden
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use ido_compiler::{instrument_program, Scheme};
+use ido_ir::{Operand, ProgramBuilder};
+use ido_nvm::LatencyModel;
+use ido_trace::TraceConfig;
+use ido_vm::{RunOutcome, Vm, VmConfig};
+
+/// `worker(lock, p)`: two FASEs, each incrementing `mem[p]` and
+/// `mem[p+64]` under `lock`.
+fn twin_counter(scheme: Scheme) -> ido_compiler::Instrumented {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.new_function("worker", 2);
+    let l = f.param(0);
+    let p = f.param(1);
+    for _ in 0..2 {
+        let a = f.new_reg();
+        let a2 = f.new_reg();
+        let b = f.new_reg();
+        let b2 = f.new_reg();
+        f.lock(l);
+        f.load(a, p, 0);
+        f.bin(ido_ir::BinOp::Add, a2, a, 1i64);
+        f.store(p, 0, Operand::Reg(a2));
+        f.load(b, p, 64);
+        f.bin(ido_ir::BinOp::Add, b2, b, 1i64);
+        f.store(p, 64, Operand::Reg(b2));
+        f.unlock(l);
+    }
+    f.ret(None);
+    f.finish().unwrap();
+    instrument_program(pb.finish(), scheme).expect("instrumentation")
+}
+
+/// Runs the tiny workload traced and renders one line per event.
+fn rendered_trace(scheme: Scheme) -> String {
+    let mut cfg = VmConfig::for_tests();
+    // Realistic latency so timestamps advance (zero latency would pin
+    // every ts to 0 and hide reordering).
+    cfg.pool.latency = LatencyModel::default();
+    cfg.pool.trace = TraceConfig { enabled: true, buf_entries: 1 << 12 };
+    let mut vm = Vm::new(twin_counter(scheme), cfg);
+    let (lock, cell) = vm.setup(|h, alloc, _| {
+        let lock = alloc.alloc(h, 8).unwrap();
+        let cell = alloc.alloc(h, 128).unwrap();
+        (lock, cell)
+    });
+    vm.spawn("worker", &[lock as u64, cell as u64]);
+    assert_eq!(vm.run(), RunOutcome::Completed);
+    let pool = vm.pool().clone();
+    drop(vm);
+    let trace = pool.take_trace().expect("tracing was on");
+    assert_eq!(trace.dropped, 0, "the ring must hold the whole tiny run");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# trace golden: twin-counter x2, 1 thread, scheme={scheme}");
+    let _ = writeln!(out, "# ts_ns kind a b thread");
+    for e in &trace.events {
+        let _ = writeln!(out, "{} {} {} {} {}", e.ts_ns, e.kind.name(), e.a, e.b, e.thread);
+    }
+    out
+}
+
+fn golden_path(scheme: Scheme) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("trace_{}.txt", scheme.name().to_lowercase()))
+}
+
+#[test]
+fn event_sequences_match_checked_in_goldens() {
+    let bless = std::env::var("IDO_BLESS").is_ok_and(|v| v == "1");
+    for scheme in Scheme::ALL {
+        let got = rendered_trace(scheme);
+        let path = golden_path(scheme);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); regenerate with IDO_BLESS=1",
+                path.display()
+            )
+        });
+        assert_eq!(
+            got,
+            want,
+            "event stream for {scheme} diverged from {} — if intentional, \
+             regenerate with IDO_BLESS=1",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_runs_are_repeatable_in_process() {
+    // The golden only means something if the render itself is stable.
+    assert_eq!(rendered_trace(Scheme::Ido), rendered_trace(Scheme::Ido));
+}

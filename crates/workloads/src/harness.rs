@@ -65,6 +65,9 @@ pub struct RunStats {
     /// Total append-log entries left in per-thread logs (Atlas's recovery
     /// must scan these — the Table I driver).
     pub log_entries: usize,
+    /// Merged event trace, when the pool was configured with tracing on
+    /// (`PoolConfig::trace`). `None` when tracing was disabled.
+    pub trace: Option<ido_trace::Trace>,
 }
 
 impl RunStats {
@@ -111,7 +114,7 @@ pub fn run_workload(
     let profile = vm.profile().clone();
     let log_entries = count_log_entries(&vm);
     let pool = vm.pool().clone();
-    drop(vm); // fold per-thread stats into the pool
+    drop(vm); // fold per-thread stats (and trace rings) into the pool
     RunStats {
         scheme,
         workload: spec.name(),
@@ -122,6 +125,7 @@ pub fn run_workload(
         profile,
         mem_stats: pool.global_stats(),
         log_entries,
+        trace: pool.take_trace(),
     }
 }
 

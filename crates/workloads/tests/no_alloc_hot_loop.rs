@@ -10,6 +10,12 @@
 //! arithmetic loop must perform exactly zero allocations. Any future
 //! regression to per-step cloning/collecting shows up as a nonzero count.
 //!
+//! The trace subsystem extends the guarantee: with `PoolConfig::trace`
+//! enabled, every event lands in the ring buffer preallocated at handle
+//! creation (wrapping overwrites, never grows), so the traced hot loop
+//! must also measure zero allocations. Both phases run sequentially in the
+//! single test below.
+//!
 //! This file must contain only this test: the global allocator counts
 //! every allocation in the process, so an unrelated concurrent test would
 //! pollute the measured window.
@@ -80,11 +86,45 @@ fn arithmetic_loop() -> ido_ir::Program {
     pb.finish()
 }
 
-#[test]
-fn hot_loop_makes_zero_allocations_per_step() {
-    let inst = instrument_program(arithmetic_loop(), Scheme::Origin)
+/// `worker(n)`: the arithmetic loop with a persistent store per iteration
+/// — the distilled *traced* hot path (every store emits a ring event).
+fn store_loop() -> ido_ir::Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.new_function("worker", 1);
+    let n = f.param(0);
+    let i = f.new_reg();
+    let base = f.new_reg();
+
+    let head = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+
+    f.alloc(base, 64i64);
+    f.mov(i, 0i64);
+    f.jump(head);
+
+    f.switch_to(head);
+    let c = f.new_reg();
+    f.bin(BinOp::Lt, c, i, n);
+    f.branch(c, body, exit);
+
+    f.switch_to(body);
+    f.store(base, 0, i);
+    f.bin(BinOp::Add, i, i, 1i64);
+    f.jump(head);
+
+    f.switch_to(exit);
+    f.ret(None);
+    f.finish().expect("store loop verifies");
+    pb.finish()
+}
+
+/// Runs `program` for a measured 100k-step window and returns the VM for
+/// post-window assertions.
+fn measure_window(program: ido_ir::Program, cfg: VmConfig, what: &str) -> Vm {
+    let inst = instrument_program(program, Scheme::Origin)
         .expect("origin instrumentation is the identity");
-    let mut vm = Vm::new(inst, VmConfig::for_tests());
+    let mut vm = Vm::new(inst, cfg);
     // More iterations than the measured window can consume, so the thread
     // never exits the loop (Ret/teardown is not the hot path).
     vm.spawn("worker", &[u64::MAX / 2]);
@@ -93,13 +133,34 @@ fn hot_loop_makes_zero_allocations_per_step() {
     assert_eq!(vm.run_steps(10_000), RunOutcome::Paused);
 
     let before = ALLOCS.load(Ordering::Relaxed);
-    assert_eq!(vm.run_steps(100_000), RunOutcome::Paused);
+    assert_eq!(vm.run_steps(110_000), RunOutcome::Paused);
     let after = ALLOCS.load(Ordering::Relaxed);
 
     assert_eq!(
         after - before,
         0,
-        "the decoded-instruction hot loop must not allocate: {} allocations in 100k steps",
+        "the {what} hot loop must not allocate: {} allocations in 100k steps",
         after - before
     );
+    vm
+}
+
+#[test]
+fn hot_loop_makes_zero_allocations_per_step() {
+    // Phase 1: tracing disabled (the default) — the original guarantee.
+    measure_window(arithmetic_loop(), VmConfig::for_tests(), "decoded-instruction");
+
+    // Phase 2: tracing enabled with a deliberately tiny ring, so the
+    // measured window both emits events and wraps the ring many times —
+    // wrapping must overwrite in place, never grow.
+    let mut cfg = VmConfig::for_tests();
+    cfg.pool.trace = ido_trace::TraceConfig { enabled: true, buf_entries: 256 };
+    let vm = measure_window(store_loop(), cfg, "traced");
+
+    let pool = vm.pool().clone();
+    drop(vm); // fold the thread's ring into the pool collector
+    let trace = pool.take_trace().expect("tracing was on");
+    assert!(trace.pushed > 10_000, "window must emit events ({} pushed)", trace.pushed);
+    assert!(trace.dropped > 0, "the 256-entry ring must wrap ({} pushed)", trace.pushed);
+    assert_eq!(trace.events.len() as u64, trace.pushed - trace.dropped);
 }

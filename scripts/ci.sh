@@ -24,6 +24,20 @@ IDO_ORACLE_SMOKE=1 cargo run -q --release -p ido-bench --bin crash_oracle
 echo "== interpreter throughput smoke (quick mode) =="
 IDO_BENCH_QUICK=1 cargo run -q --release -p ido-bench --bin interp_bench
 
+echo "== trace smoke: quick trace_report + JSON/event-kind self-check =="
+IDO_BENCH_QUICK=1 IDO_TRACE_SMOKE=1 cargo run -q --release -p ido-bench --bin trace_report
+
+echo "== trace determinism: IDO_JOBS=2 must match IDO_JOBS=1 byte-for-byte =="
+IDO_BENCH_QUICK=1 IDO_JOBS=1 cargo run -q --release -p ido-bench --bin trace_report > /dev/null
+cp target/figures/trace_hash-map.trace.json /tmp/trace_jobs1.json
+IDO_BENCH_QUICK=1 IDO_JOBS=2 cargo run -q --release -p ido-bench --bin trace_report > /dev/null
+cmp /tmp/trace_jobs1.json target/figures/trace_hash-map.trace.json \
+  || { echo "IDO_JOBS=2 changed the emitted trace"; exit 1; }
+rm -f /tmp/trace_jobs1.json
+
+echo "== interp-throughput smoke with tracing explicitly disabled =="
+IDO_TRACE=0 IDO_BENCH_QUICK=1 cargo run -q --release -p ido-bench --bin interp_bench
+
 echo "== sweep determinism: IDO_JOBS=2 must match IDO_JOBS=1 =="
 IDO_BENCH_QUICK=1 IDO_JOBS=1 cargo run -q --release -p ido-bench --bin interp_bench
 cp BENCH_interp.json /tmp/bench_jobs1.json
