@@ -44,12 +44,16 @@ use std::sync::Once;
 
 use ido_compiler::{instrument_program, Instrumented, Scheme};
 use ido_nvm::{CrashPolicy, PersistEvent};
-use ido_vm::{recover, RecoveryConfig, RunOutcome, StepControl, Vm, VmConfig};
+use ido_vm::{recover, recover_partial, RecoveryConfig, RunOutcome, StepControl, Vm, VmConfig};
 use ido_workloads::WorkloadSpec;
 
 /// Salt mixed into the crash seed so injected crashes are decorrelated from
 /// the scheduling seed while staying deterministic.
 const CRASH_SALT: u64 = 0x0bc3_5eed;
+
+/// Salt for the *second* crash of a crash-during-recovery check, so the two
+/// injected failures draw independent line-survival decisions.
+const RECOVERY_CRASH_SALT: u64 = 0x7e_c0_7e_55;
 
 /// The six durable schemes the oracle explores: iDO plus the five baseline
 /// runtimes. `Origin` is excluded — it makes no durability promise, so
@@ -333,6 +337,261 @@ pub fn check_crash_state(
         }))
     })
     .map_err(panic_text)
+}
+
+/// Checks one crash-**during-recovery** state: replay to `step`, crash
+/// losing `lost_lines`, run recovery with a work budget of
+/// `recovery_budget` (interpreter steps for resumption schemes, persist
+/// operations for the log-processing baselines), and — if the budget
+/// interrupts it — crash *again* losing exactly `recovery_lost` of the
+/// lines the interrupted recovery left dirty. A full recovery must then
+/// restore the workload's invariants, and a third recovery must find
+/// nothing left to do.
+///
+/// # Errors
+/// The panic message of whichever stage failed.
+pub fn check_recovery_crash_state(
+    spec: &dyn WorkloadSpec,
+    inst: &Instrumented,
+    cfg: &OracleConfig,
+    step: u64,
+    lost_lines: &[usize],
+    recovery_budget: u64,
+    recovery_lost: &[usize],
+) -> Result<(), String> {
+    let (mut vm, base) = make_vm(spec, inst, cfg);
+    vm.run_steps(step);
+    let pool = vm.crash_with(cfg.seed ^ CRASH_SALT, &CrashPolicy::losing(lost_lines.iter().copied()));
+    let vc = cfg.vm_config();
+    let total_ops = cfg.total_ops();
+    quiet_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let complete =
+                recover_partial(pool.clone(), inst.clone(), vc.clone(), recovery_budget);
+            if !complete {
+                pool.crash_with(
+                    cfg.seed ^ RECOVERY_CRASH_SALT,
+                    &CrashPolicy::losing(recovery_lost.iter().copied()),
+                );
+                let _ =
+                    recover(pool.clone(), inst.clone(), vc.clone(), RecoveryConfig::for_tests());
+            }
+            let post = Vm::attach(pool.clone(), inst.clone(), vc.clone());
+            spec.verify(&post, &base, total_ops);
+            drop(post);
+            let second = recover(pool, inst.clone(), vc, RecoveryConfig::for_tests());
+            assert_eq!(second.resumed, 0, "final recovery must find nothing to resume");
+        }))
+    })
+    .map_err(panic_text)
+}
+
+/// The dirty-line set an interrupted recovery leaves behind: replay to
+/// `step`, crash losing `lost_lines`, run recovery under `recovery_budget`.
+/// `None` when the recovery completes within the budget (nothing left to
+/// crash).
+fn interrupted_recovery_dirty(
+    spec: &dyn WorkloadSpec,
+    inst: &Instrumented,
+    cfg: &OracleConfig,
+    step: u64,
+    lost_lines: &[usize],
+    recovery_budget: u64,
+) -> Option<Vec<usize>> {
+    let (mut vm, _) = make_vm(spec, inst, cfg);
+    vm.run_steps(step);
+    let pool = vm.crash_with(cfg.seed ^ CRASH_SALT, &CrashPolicy::losing(lost_lines.iter().copied()));
+    let complete = quiet_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            recover_partial(pool.clone(), inst.clone(), cfg.vm_config(), recovery_budget)
+        }))
+    })
+    .unwrap_or(true); // a panicking recovery is caught by the checker proper
+    if complete {
+        None
+    } else {
+        Some(pool.dirty_lines())
+    }
+}
+
+/// A minimal failing crash-during-recovery state.
+#[derive(Debug, Clone)]
+pub struct RecoveryCounterexample {
+    /// Scheme that failed.
+    pub scheme: Scheme,
+    /// Workload name.
+    pub workload: String,
+    /// Scheduling seed.
+    pub seed: u64,
+    /// Step of the first (application) crash.
+    pub crash_step: u64,
+    /// Lines lost by the first crash.
+    pub lost_lines: Vec<usize>,
+    /// Recovery work budget at which the second crash hit.
+    pub recovery_budget: u64,
+    /// Lines lost by the crash *during recovery*.
+    pub recovery_lost_lines: Vec<usize>,
+    /// The panic message of the failing stage.
+    pub failure: String,
+}
+
+impl std::fmt::Display for RecoveryCounterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "crash at step {} losing {:?}, then crash after {} recovery unit(s) losing {:?} (seed {:#x}): {}",
+            self.crash_step,
+            self.lost_lines,
+            self.recovery_budget,
+            self.recovery_lost_lines,
+            self.seed,
+            first_line(&self.failure)
+        )
+    }
+}
+
+/// The result of a crash-during-recovery exploration.
+#[derive(Debug, Clone)]
+pub struct RecoveryExploration {
+    /// Scheme explored.
+    pub scheme: Scheme,
+    /// Workload name.
+    pub workload: String,
+    /// Persist-boundary crash steps swept.
+    pub boundary_steps: usize,
+    /// (boundary, budget) pairs at which recovery was actually interrupted
+    /// mid-protocol (budgets larger than the recovery's total work never
+    /// interrupt and are skipped).
+    pub interruptions: usize,
+    /// Crash-during-recovery states checked: one per (boundary, budget,
+    /// recovery-lost-subset) triple.
+    pub crash_states_explored: usize,
+    /// The first failing state, minimized over its recovery-lost set.
+    pub counterexample: Option<RecoveryCounterexample>,
+}
+
+impl std::fmt::Display for RecoveryExploration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} recovery-crash: {} boundaries, {} interruptions, {} states: {}",
+            self.workload,
+            self.scheme,
+            self.boundary_steps,
+            self.interruptions,
+            self.crash_states_explored,
+            match &self.counterexample {
+                None => "all consistent".to_string(),
+                Some(c) => format!("FAILED ({c})"),
+            }
+        )
+    }
+}
+
+/// Sweeps crash-**during-recovery** states: for every persist-boundary
+/// crash step, crash losing all dirty lines, interrupt the subsequent
+/// recovery at each work budget in `budgets`, and crash again over
+/// lost-line subsets of whatever the interrupted recovery left dirty. This
+/// is the oracle's coverage of the recovery paths themselves — rollback and
+/// replay writes, log retirement — which the plain [`explore`] sweep never
+/// exercises mid-protocol.
+pub fn explore_recovery(
+    spec: &dyn WorkloadSpec,
+    scheme: Scheme,
+    cfg: &OracleConfig,
+    budgets: &[u64],
+) -> RecoveryExploration {
+    let inst = instrument(spec, scheme);
+    let (_, _, boundaries) = persist_boundaries(spec, &inst, cfg);
+    let inst_ref = &inst;
+
+    // One task per boundary: the first crash loses everything dirty (the
+    // classic drop-all crash maximizes the recovery work available to
+    // interrupt), then each budget that actually interrupts the recovery
+    // fans out over subsets of the mid-recovery dirty set.
+    type Outcome = (usize, usize, Option<(u64, Vec<usize>)>);
+    let outcomes: Vec<Outcome> = ido_par::par_map_jobs(ido_par::jobs(), boundaries.clone(), |step| {
+        let (mut vm, _) = make_vm(spec, inst_ref, cfg);
+        vm.run_steps(step);
+        let lost = vm.pool().dirty_lines();
+        drop(vm);
+        let mut interruptions = 0usize;
+        let mut checked = 0usize;
+        for &budget in budgets {
+            let Some(dirty) =
+                interrupted_recovery_dirty(spec, inst_ref, cfg, step, &lost, budget)
+            else {
+                continue;
+            };
+            interruptions += 1;
+            for rec_lost in candidate_subsets(&dirty, cfg, step ^ budget.rotate_left(17)) {
+                checked += 1;
+                if check_recovery_crash_state(spec, inst_ref, cfg, step, &lost, budget, &rec_lost)
+                    .is_err()
+                {
+                    return (interruptions, checked, Some((budget, rec_lost)));
+                }
+            }
+        }
+        (interruptions, checked, None)
+    });
+
+    let mut interruptions = 0usize;
+    let mut explored = 0usize;
+    let mut counterexample = None;
+    for (&step, (ints, checked, fail)) in boundaries.iter().zip(outcomes) {
+        interruptions += ints;
+        explored += checked;
+        if let Some((budget, mut rec_lost)) = fail {
+            let (mut vm, _) = make_vm(spec, &inst, cfg);
+            vm.run_steps(step);
+            let lost = vm.pool().dirty_lines();
+            drop(vm);
+            // Greedily minimize the recovery-lost set.
+            let mut failure = check_recovery_crash_state(
+                spec, &inst, cfg, step, &lost, budget, &rec_lost,
+            )
+            .expect_err("failure must reproduce during shrinking");
+            loop {
+                let mut reduced = false;
+                for i in 0..rec_lost.len() {
+                    let mut cand = rec_lost.clone();
+                    cand.remove(i);
+                    if let Err(f) =
+                        check_recovery_crash_state(spec, &inst, cfg, step, &lost, budget, &cand)
+                    {
+                        rec_lost = cand;
+                        failure = f;
+                        reduced = true;
+                        break;
+                    }
+                }
+                if !reduced {
+                    break;
+                }
+            }
+            counterexample = Some(RecoveryCounterexample {
+                scheme,
+                workload: spec.name(),
+                seed: cfg.seed,
+                crash_step: step,
+                lost_lines: lost,
+                recovery_budget: budget,
+                recovery_lost_lines: rec_lost,
+                failure,
+            });
+            break;
+        }
+    }
+
+    RecoveryExploration {
+        scheme,
+        workload: spec.name(),
+        boundary_steps: boundaries.len(),
+        interruptions,
+        crash_states_explored: explored,
+        counterexample,
+    }
 }
 
 /// Explores every persist-boundary crash step of `spec` under `scheme`,

@@ -1,0 +1,56 @@
+//! Crash-*during*-recovery acceptance tests.
+//!
+//! The plain oracle sweep crashes the application and runs recovery to
+//! completion; these tests crash the *recovery* too. For every
+//! persist-boundary crash step, recovery is interrupted at a range of work
+//! budgets (interpreter steps for iDO/JUSTDO, persist operations for the
+//! log-processing baselines) and the machine crashes again over lost-line
+//! subsets of whatever the interrupted recovery left dirty. A full
+//! recovery afterwards must still restore the workload's invariants — i.e.
+//! every step of every scheme's recovery must be idempotent.
+//!
+//! This is the regression suite for the append-log reset protocol: the old
+//! reset zeroed entries and the length word under one trailing fence, so a
+//! crash mid-reset could persist `len = 0` while a valid-looking stale
+//! tail (including a Commit record) survived for the next append to
+//! reconnect — a phantom committed transaction on the following recovery.
+
+use ido_crashtest::{explore_recovery, OracleConfig, DURABLE_SCHEMES};
+use ido_workloads::micro::TwinSpec;
+
+/// Budgets chosen to interrupt recovery at its interesting joints: the
+/// very first unit of work, mid-rollback/replay, and mid-log-retirement.
+const BUDGETS: [u64; 4] = [1, 2, 5, 11];
+
+#[test]
+fn every_durable_scheme_survives_crash_during_recovery() {
+    let cfg = OracleConfig::default(); // 2 threads x 2 ops
+    let mut interrupted_anywhere = 0usize;
+    for &scheme in &DURABLE_SCHEMES {
+        let report = explore_recovery(&TwinSpec, scheme, &cfg, &BUDGETS);
+        assert!(
+            report.counterexample.is_none(),
+            "{scheme} failed the crash-during-recovery sweep: {}",
+            report.counterexample.as_ref().unwrap()
+        );
+        assert!(report.boundary_steps >= 3, "{scheme}: implausibly few boundaries");
+        interrupted_anywhere += report.interruptions;
+    }
+    // The sweep must actually reach mid-recovery states — a vacuous pass
+    // (every budget large enough to finish recovery) proves nothing.
+    assert!(
+        interrupted_anywhere > 0,
+        "at least one (scheme, boundary, budget) must interrupt recovery mid-protocol"
+    );
+}
+
+#[test]
+fn recovery_crash_exploration_is_deterministic() {
+    let cfg = OracleConfig::smoke();
+    let a = explore_recovery(&TwinSpec, ido_compiler::Scheme::Atlas, &cfg, &BUDGETS);
+    let b = explore_recovery(&TwinSpec, ido_compiler::Scheme::Atlas, &cfg, &BUDGETS);
+    assert_eq!(a.boundary_steps, b.boundary_steps);
+    assert_eq!(a.interruptions, b.interruptions);
+    assert_eq!(a.crash_states_explored, b.crash_states_explored);
+    assert!(a.counterexample.is_none() && b.counterexample.is_none());
+}

@@ -48,11 +48,29 @@ impl Cfg {
 
     /// Blocks in reverse postorder from the entry. Unreachable blocks are
     /// appended at the end (in index order) so analyses still cover them.
+    ///
+    /// Iterative DFS: instrumented programs reach tens of thousands of
+    /// blocks, so a call-stack recursion per block would overflow.
     pub fn rpo(&self) -> Vec<BlockId> {
         let n = self.len();
         let mut visited = vec![false; n];
         let mut post = Vec::with_capacity(n);
-        self.dfs_post(BlockId(0), &mut visited, &mut post);
+        if n > 0 {
+            visited[0] = true;
+            let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+            while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+                if *i < self.succs(b).len() {
+                    let s = self.succs(b)[*i];
+                    *i += 1;
+                    if !std::mem::replace(&mut visited[s.0 as usize], true) {
+                        stack.push((s, 0));
+                    }
+                } else {
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+        }
         post.reverse();
         for (i, seen) in visited.iter().enumerate() {
             if !seen {
@@ -60,16 +78,6 @@ impl Cfg {
             }
         }
         post
-    }
-
-    fn dfs_post(&self, b: BlockId, visited: &mut [bool], post: &mut Vec<BlockId>) {
-        if std::mem::replace(&mut visited[b.0 as usize], true) {
-            return;
-        }
-        for &s in self.succs(b) {
-            self.dfs_post(s, visited, post);
-        }
-        post.push(b);
     }
 
     /// Edges `(from, to)` that close a cycle in a DFS from the entry.

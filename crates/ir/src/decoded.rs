@@ -97,6 +97,14 @@ pub struct DecodedProgram {
     max_regs: u32,
 }
 
+/// Checked conversion for `block_start` offsets. The table stores `u32`
+/// to stay cache-dense; a function with more than `u32::MAX` instructions
+/// must be rejected loudly rather than silently wrapping the offsets of
+/// every later block.
+fn flat_offset(len: usize) -> u32 {
+    u32::try_from(len).expect("function exceeds u32 instruction addressing")
+}
+
 impl DecodedProgram {
     /// Flattens every function of `program` into its decoded form.
     pub fn decode(program: &Program) -> DecodedProgram {
@@ -108,10 +116,10 @@ impl DecodedProgram {
                 let mut insts = Vec::with_capacity(total);
                 let mut block_start = Vec::with_capacity(f.blocks().len() + 1);
                 for b in f.blocks() {
-                    block_start.push(insts.len() as u32);
+                    block_start.push(flat_offset(insts.len()));
                     insts.extend(b.insts.iter().cloned());
                 }
-                block_start.push(insts.len() as u32);
+                block_start.push(flat_offset(insts.len()));
                 DecodedFunction {
                     insts,
                     block_start,

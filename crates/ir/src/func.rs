@@ -24,8 +24,27 @@ pub struct Pc {
 }
 
 impl Pc {
+    /// Widest representable function id in an encoded PC word (24 bits;
+    /// the packing is `func << 40 | block << 20 | index`).
+    pub const MAX_FUNC: u32 = (1 << 24) - 1;
+    /// Widest representable block id in an encoded PC word (20 bits).
+    pub const MAX_BLOCK: u32 = (1 << 20) - 1;
+    /// Widest representable instruction index in an encoded PC word
+    /// (20 bits).
+    pub const MAX_INDEX: u32 = (1 << 20) - 1;
+
     /// Packs the PC into a single word for persistent logging.
+    ///
+    /// # Panics
+    /// Panics if a field exceeds its bit width ([`Pc::MAX_FUNC`],
+    /// [`Pc::MAX_BLOCK`], [`Pc::MAX_INDEX`]). `decode` masks each field, so
+    /// an unchecked overflow here would not round-trip — it would silently
+    /// corrupt the *adjacent* field and recovery would resume at a wrong
+    /// (but plausible-looking) program point.
     pub fn encode(self) -> u64 {
+        assert!(self.func.0 <= Self::MAX_FUNC, "function id {} exceeds encodable range", self.func.0);
+        assert!(self.block.0 <= Self::MAX_BLOCK, "block id {} exceeds encodable range", self.block.0);
+        assert!(self.index <= Self::MAX_INDEX, "inst index {} exceeds encodable range", self.index);
         ((self.func.0 as u64) << 40) | ((self.block.0 as u64) << 20) | self.index as u64
     }
 
@@ -195,6 +214,32 @@ mod tests {
     fn pc_encode_roundtrip() {
         let pc = Pc { func: FuncId(7), block: BlockId(513), index: 1029 };
         assert_eq!(Pc::decode(pc.encode()), pc);
+    }
+
+    #[test]
+    fn pc_encode_roundtrip_at_field_limits() {
+        // Block ids far beyond u16 (a 70k-block program is legal) must
+        // round-trip; the field limits themselves must too.
+        for pc in [
+            Pc { func: FuncId(0), block: BlockId(70_000), index: 3 },
+            Pc { func: FuncId(Pc::MAX_FUNC), block: BlockId(Pc::MAX_BLOCK), index: Pc::MAX_INDEX },
+        ] {
+            assert_eq!(Pc::decode(pc.encode()), pc);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block id")]
+    fn pc_encode_rejects_oversized_block() {
+        // Regression: encode used to pack unchecked while decode masked, so
+        // block 2^20 silently decoded as (func+1, block 0).
+        let _ = Pc { func: FuncId(0), block: BlockId(1 << 20), index: 0 }.encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "inst index")]
+    fn pc_encode_rejects_oversized_index() {
+        let _ = Pc { func: FuncId(0), block: BlockId(0), index: 1 << 20 }.encode();
     }
 
     #[test]

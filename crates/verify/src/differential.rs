@@ -1,0 +1,86 @@
+//! Differential mode: cross-check every static verdict against the crash
+//! oracle.
+//!
+//! The static pass and the oracle make the same claim from opposite sides:
+//! the verifier proves the invariants that make every crash state
+//! recoverable; the oracle enumerates crash states and checks recovery on
+//! each. On a given workload the two must agree — a static violation with
+//! no dynamic counterexample means the analysis is unsound or too strict
+//! for this runtime, and a dynamic counterexample on a statically-clean
+//! program means an invariant is missing from the analysis. Either
+//! disagreement is itself a bug, which is exactly what this mode exists to
+//! surface.
+//!
+//! Caveat on direction: agreement is judged per (workload, scheme) pair,
+//! not per diagnostic. A static finding is an *invariant* violation; the
+//! oracle only observes it when some schedule reaches a crash state that
+//! exercises it, so the oracle confirms "at least one finding is real"
+//! rather than validating findings one by one.
+
+use ido_compiler::{instrument_program, Scheme};
+use ido_crashtest::{explore, Exploration, OracleConfig, DURABLE_SCHEMES};
+use ido_workloads::WorkloadSpec;
+
+use crate::diag::Diagnostic;
+use crate::model::RuntimeModel;
+use crate::verify_instrumented;
+
+/// Outcome of cross-checking one (workload, scheme) pair.
+#[derive(Debug, Clone)]
+pub struct DifferentialReport {
+    /// Scheme checked.
+    pub scheme: Scheme,
+    /// Workload name.
+    pub workload: String,
+    /// Findings of the static pass on the instrumented program.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The crash oracle's exploration of the same program under the same
+    /// VM configuration.
+    pub exploration: Exploration,
+    /// True when both sides agree: statically clean and no dynamic
+    /// counterexample, or statically flagged and a counterexample found.
+    pub agree: bool,
+}
+
+impl std::fmt::Display for DifferentialReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: static {} finding(s), oracle {}: {}",
+            self.workload,
+            self.scheme,
+            self.diagnostics.len(),
+            match &self.exploration.counterexample {
+                None => "clean".to_string(),
+                Some(c) => format!("counterexample at step {}", c.crash_step),
+            },
+            if self.agree { "AGREE" } else { "DISAGREE" }
+        )
+    }
+}
+
+/// Statically verifies `spec` under `scheme`, runs the crash oracle on the
+/// identical instrumented program and VM configuration, and reports
+/// whether the two verdicts agree.
+///
+/// # Panics
+/// Panics if the workload fails to instrument (a harness precondition, not
+/// a verdict).
+pub fn differential(
+    spec: &dyn WorkloadSpec,
+    scheme: Scheme,
+    cfg: &OracleConfig,
+) -> DifferentialReport {
+    let inst = instrument_program(spec.build_program(), scheme)
+        .expect("workload instruments cleanly");
+    let model = RuntimeModel::from_config(&cfg.vm);
+    let diagnostics = verify_instrumented(&inst, &model);
+    let exploration = explore(spec, scheme, cfg);
+    let agree = diagnostics.is_empty() == exploration.counterexample.is_none();
+    DifferentialReport { scheme, workload: spec.name(), diagnostics, exploration, agree }
+}
+
+/// [`differential`] over every durable scheme.
+pub fn differential_all(spec: &dyn WorkloadSpec, cfg: &OracleConfig) -> Vec<DifferentialReport> {
+    DURABLE_SCHEMES.iter().map(|&s| differential(spec, s, cfg)).collect()
+}

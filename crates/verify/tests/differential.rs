@@ -1,0 +1,49 @@
+//! Differential-mode acceptance: the static verifier and the crash oracle
+//! must agree on every (workload, scheme) verdict — clean/clean on the
+//! fixed tree, flagged/counterexample under the injected persist-ordering
+//! bug.
+
+use ido_compiler::Scheme;
+use ido_crashtest::OracleConfig;
+use ido_verify::{differential, differential_all, Invariant};
+use ido_workloads::micro::TwinSpec;
+
+#[test]
+fn static_and_dynamic_verdicts_agree_on_the_clean_tree() {
+    let reports = differential_all(&TwinSpec, &OracleConfig::smoke());
+    for r in &reports {
+        assert!(r.agree, "disagreement: {r}");
+        assert!(r.diagnostics.is_empty(), "static findings on clean tree: {r}");
+        assert!(r.exploration.counterexample.is_none(), "oracle failure on clean tree: {r}");
+    }
+    assert_eq!(reports.len(), 6);
+}
+
+#[test]
+fn injected_bug_is_flagged_by_both_sides_and_they_agree() {
+    let mut cfg = OracleConfig::smoke();
+    cfg.vm.ido_bug_skip_store_flush = true;
+    let r = differential(&TwinSpec, Scheme::Ido, &cfg);
+    assert!(
+        r.diagnostics.iter().any(|d| d.invariant == Invariant::PersistOrdering),
+        "static side must flag the injected bug: {r}"
+    );
+    assert!(
+        r.exploration.counterexample.is_some(),
+        "oracle must find a counterexample for the injected bug: {r}"
+    );
+    assert!(r.agree, "{r}");
+}
+
+#[test]
+fn injected_bug_does_not_leak_into_baseline_verdicts() {
+    // The iDO-specific injection must not change any baseline's verdict —
+    // a scheme-confused model would disagree with the oracle here.
+    let mut cfg = OracleConfig::smoke();
+    cfg.vm.ido_bug_skip_store_flush = true;
+    for scheme in [Scheme::Atlas, Scheme::Mnemosyne] {
+        let r = differential(&TwinSpec, scheme, &cfg);
+        assert!(r.diagnostics.is_empty(), "{r}");
+        assert!(r.agree, "{r}");
+    }
+}

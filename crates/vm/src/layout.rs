@@ -13,6 +13,10 @@ pub const LOCK_ARRAY_SLOTS: usize = 64;
 
 /// Encodes a PC for persistent storage; 0 is reserved for "none".
 pub fn encode_pc(pc: Pc) -> u64 {
+    // The `+ 1` must not carry out of the index field: `Pc::encode` packs
+    // the instruction index in the low 20 bits, so an index of exactly
+    // `MAX_INDEX` would decode as `(block, 0)` of the *next* block.
+    assert!(pc.index < Pc::MAX_INDEX, "inst index {} unencodable as a persistent pc", pc.index);
     pc.encode() + 1
 }
 
@@ -218,6 +222,16 @@ pub struct AppendLogLayout {
 /// Size of one append-log entry in bytes.
 pub const APPEND_ENTRY_BYTES: usize = 32;
 
+/// Value published into the append log's length word for the duration of a
+/// [`AppendLogLayout::reset`]. While it is present, the log's contents are
+/// retired garbage: [`AppendLogLayout::scan_len`] reports the log empty and
+/// the next reset purges the whole entry array. Without this marker a crash
+/// mid-reset can persist the zeroed length word *before* all entry-zeroing
+/// write-backs, leaving a valid-looking stale tail that a later append
+/// would reconnect into the live log — recovery would then replay retired
+/// (already-committed or rolled-back) records as a phantom transaction.
+pub const RESET_SENTINEL: u64 = u64::MAX;
+
 impl AppendLogLayout {
     const LEN: usize = 0;
     const ENTRIES: usize = 64; // keep the length word on its own line
@@ -250,9 +264,14 @@ impl AppendLogLayout {
     }
 
     /// Cursor position hint (updated without fencing; authoritative count
-    /// comes from [`AppendLogLayout::scan_len`]).
+    /// comes from [`AppendLogLayout::scan_len`]). A [`RESET_SENTINEL`] (or
+    /// any out-of-range stale hint) reads as empty/clamped.
     pub fn len(&self, h: &mut PmemHandle) -> usize {
-        h.read_u64(self.len_addr()) as usize
+        let w = h.read_u64(self.len_addr());
+        if w == RESET_SENTINEL {
+            return 0;
+        }
+        (w as usize).min(self.capacity)
     }
 
     /// True when the log holds no entries.
@@ -265,6 +284,11 @@ impl AppendLogLayout {
     /// zero kind. This is Atlas's trick for publishing a log entry with a
     /// **single** persist fence — no separately-fenced length word.
     pub fn scan_len(&self, h: &mut PmemHandle) -> usize {
+        if h.read_u64(self.len_addr()) == RESET_SENTINEL {
+            // A reset was in flight at the crash: every surviving entry is
+            // retired garbage awaiting the purge, not live log content.
+            return 0;
+        }
         for i in 0..self.capacity {
             if LogEntryKind::from_word(h.read_u64(self.entry_addr(i))).is_none() {
                 return i;
@@ -319,18 +343,72 @@ impl AppendLogLayout {
 
     /// Durably resets the log to empty, zeroing the used prefix so the
     /// content-validity scan terminates.
+    ///
+    /// Crash-safe via the [`RESET_SENTINEL`] protocol: the length word is
+    /// durably set to the sentinel *before* any entry is zeroed, so a crash
+    /// at any interior point leaves the log observably "reset in progress"
+    /// (scanned as empty) rather than half-retired. The zeroed length word
+    /// is only published after the entry zeroes are fenced.
     pub fn reset(&self, h: &mut PmemHandle) {
-        let used = self.scan_len(h).max(self.len(h));
+        let done = self.reset_budgeted(h, &mut { u64::MAX });
+        debug_assert!(done, "unbudgeted reset always completes");
+    }
+
+    /// [`AppendLogLayout::reset`] with a persist-operation budget, for
+    /// crash-during-recovery exploration. Each durable step (a fenced
+    /// sentinel publish, one entry-zero write-back, the final length
+    /// publish) costs one unit, decremented from `*budget` in place so one
+    /// budget can span several logs. Returns `false` — with **no** trailing
+    /// fence, so in-flight write-backs stay crash-vulnerable — when the
+    /// budget runs out before the reset retires.
+    pub fn reset_budgeted(&self, h: &mut PmemHandle, budget: &mut u64) -> bool {
+        let left = budget;
+        let raw_len = h.read_u64(self.len_addr());
+        let interrupted = raw_len == RESET_SENTINEL;
+        let used = if interrupted {
+            // A previous reset was cut short. Its zeroed prefix says
+            // nothing about how far it got, so purge the whole array.
+            self.capacity
+        } else {
+            self.scan_len(h).max((raw_len as usize).min(self.capacity))
+        };
+        if used == 0 && !interrupted {
+            return true; // already durably empty
+        }
         h.begin_log();
+        if !interrupted {
+            if *left == 0 {
+                h.end_log();
+                return false;
+            }
+            h.write_u64(self.len_addr(), RESET_SENTINEL);
+            h.clwb(self.len_addr());
+            h.sfence();
+            *left -= 1;
+        }
         for i in 0..used {
+            if *left == 0 {
+                h.end_log();
+                return false;
+            }
             let e = self.entry_addr(i);
             h.write_u64(e, 0);
             h.clwb(e);
+            *left -= 1;
+        }
+        // Entries must be durably zero before the length word says
+        // "empty"; otherwise a crash could persist len = 0 while stale
+        // valid-looking entries survive for a later append to reconnect.
+        h.sfence();
+        if *left == 0 {
+            h.end_log();
+            return false;
         }
         h.write_u64(self.len_addr(), 0);
         h.clwb(self.len_addr());
         h.sfence();
         h.end_log();
+        true
     }
 }
 
@@ -477,6 +555,99 @@ mod tests {
         pool.crash(0);
         let mut h = pool.handle();
         assert_eq!(log.scan_len(&mut h), 0, "reset is durable");
+    }
+
+    #[test]
+    fn reset_sentinel_reads_as_empty() {
+        // While a reset is in flight the length word holds the sentinel and
+        // the log's (retired) contents must not be scannable.
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = pool.handle();
+        let log = AppendLogLayout { base: 4096, capacity: 32 };
+        log.append(&mut h, LogEntryKind::Undo, 1, 2, 3);
+        log.append(&mut h, LogEntryKind::Commit, 0, 0, 4);
+        h.write_u64(log.len_addr(), RESET_SENTINEL);
+        h.clwb(log.len_addr());
+        h.sfence();
+        assert_eq!(log.scan_len(&mut h), 0);
+        assert_eq!(log.len(&mut h), 0);
+        assert!(log.is_empty(&mut h));
+    }
+
+    #[test]
+    fn interrupted_reset_does_not_resurrect_stale_tail() {
+        // Regression: the old reset zeroed entries and the length word under
+        // a single trailing fence, so a crash mid-reset could durably zero
+        // entry 0 and the length word while entries 1.. survived as a
+        // valid-looking stale tail (including a Commit) — which the next
+        // append would reconnect into the live log, and recovery would then
+        // replay retired records as a phantom committed transaction.
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = pool.handle();
+        let log = AppendLogLayout { base: 4096, capacity: 32 };
+        log.append(&mut h, LogEntryKind::Redo, 100, 7, 1);
+        log.append(&mut h, LogEntryKind::Redo, 108, 9, 2);
+        log.append(&mut h, LogEntryKind::Commit, 0, 0, 3);
+        // A reset that crashes after publishing the sentinel but before any
+        // entry-zero write-back persisted.
+        assert!(!log.reset_budgeted(&mut h, &mut 1), "budget of 1 covers only the sentinel");
+        drop(h);
+        pool.crash(0);
+        let mut h = pool.handle();
+        assert_eq!(log.scan_len(&mut h), 0, "in-flight reset must scan as empty");
+        // Recovery re-runs the reset; stale entries must be purged for good.
+        log.reset(&mut h);
+        assert_eq!(h.read_u64(log.len_addr()), 0);
+        log.append(&mut h, LogEntryKind::Undo, 200, 1, 9);
+        assert_eq!(
+            log.scan_len(&mut h),
+            1,
+            "a fresh append must not reconnect the retired tail"
+        );
+        let (k, ..) = log.read(&mut h, 1);
+        assert_eq!(k, None, "entry 1 stays retired");
+    }
+
+    #[test]
+    fn budgeted_reset_completes_incrementally() {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = pool.handle();
+        let log = AppendLogLayout { base: 4096, capacity: 8 };
+        for i in 0..5 {
+            log.append(&mut h, LogEntryKind::Undo, i, i, i);
+        }
+        assert!(!log.reset_budgeted(&mut h, &mut 3));
+        // Once interrupted, a resume purges the full capacity (8 entries)
+        // plus the final length publish = 9 units.
+        assert!(!log.reset_budgeted(&mut h, &mut 8));
+        assert!(log.reset_budgeted(&mut h, &mut 9));
+        assert_eq!(log.scan_len(&mut h), 0);
+        assert_eq!(h.read_u64(log.len_addr()), 0);
+        drop(h);
+        pool.crash(0);
+        let mut h = pool.handle();
+        assert_eq!(log.scan_len(&mut h), 0, "completed reset is durable");
+    }
+
+    #[test]
+    #[should_panic(expected = "unencodable")]
+    fn encode_pc_rejects_index_that_would_carry() {
+        // index == MAX_INDEX would `+ 1` into the block field and decode as
+        // the next block's instruction 0.
+        let _ = encode_pc(Pc { func: FuncId(0), block: BlockId(0), index: Pc::MAX_INDEX });
+    }
+
+    #[test]
+    fn stale_oversized_len_hint_is_clamped() {
+        // An unfenced length hint can persist garbage; `len` must clamp it
+        // so reset's prefix walk cannot index past capacity.
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = pool.handle();
+        let log = AppendLogLayout { base: 4096, capacity: 8 };
+        h.write_u64(log.len_addr(), 10_000);
+        assert_eq!(log.len(&mut h), 8);
+        log.reset(&mut h); // must not panic in entry_addr
+        assert_eq!(log.scan_len(&mut h), 0);
     }
 
     #[test]

@@ -40,4 +40,7 @@ pub use exec::{
 };
 pub use locks::ThreadId;
 pub use profile::Profile;
-pub use recovery::{recover, recover_interrupted, RecoveryConfig, RecoveryReport};
+pub use recovery::{
+    recover, recover_budgeted, recover_interrupted, recover_partial, RecoveryConfig,
+    RecoveryReport,
+};

@@ -84,12 +84,15 @@ pub struct RecoveryReport {
     pub sim_ns: u64,
 }
 
-/// Like [`recover`], but crashes the recovery itself after `budget`
-/// interpreter steps (resumption schemes only; log-processing schemes
-/// complete atomically from the VM's perspective). Used to verify that
-/// recovery tolerates failures *during* recovery: because resumption only
-/// ever re-executes idempotent regions and recovery metadata updates are
-/// themselves crash-ordered, a second recovery must succeed.
+/// Like [`recover`], but crashes the recovery itself after a budget of
+/// work. For resumption schemes (iDO/JUSTDO) the budget counts interpreter
+/// steps of the recovery threads; for the log-processing baselines (Atlas,
+/// NVML, Mnemosyne, NVThreads) it counts persist operations — rollback and
+/// replay write-backs plus the per-step log-retirement protocol. Used to
+/// verify that recovery tolerates failures *during* recovery: because
+/// resumption only ever re-executes idempotent regions, rollback/replay
+/// writes are themselves idempotent, and log retirement is crash-ordered
+/// (see [`crate::layout::RESET_SENTINEL`]), a second recovery must succeed.
 ///
 /// Returns `true` if the recovery ran to completion within the budget
 /// (nothing left to crash).
@@ -100,11 +103,38 @@ pub fn recover_interrupted(
     budget: u64,
     crash_seed: u64,
 ) -> bool {
+    if recover_partial(pool.clone(), instrumented, vm_config, budget) {
+        return true;
+    }
+    pool.crash(crash_seed);
+    false
+}
+
+/// Runs recovery under a budget **without** crashing on exhaustion: when
+/// the budget runs out the pool is left mid-protocol, its dirty (unfenced)
+/// lines intact, so the caller can crash it with a policy of its choosing
+/// (the crash oracle sweeps `PmemPool::crash_with` over lost-line subsets
+/// at exactly this point). Budget units are interpreter steps for
+/// resumption schemes, persist operations for the log-processing ones —
+/// see [`recover_interrupted`].
+///
+/// Returns `true` when recovery ran to completion within the budget.
+pub fn recover_partial(
+    pool: PmemPool,
+    instrumented: Instrumented,
+    vm_config: VmConfig,
+    budget: u64,
+) -> bool {
     let scheme = instrumented.scheme;
     if !scheme.recovers_by_resumption() {
-        // Log-processing recoveries re-scan from scratch; just run fully.
-        recover(pool, instrumented, vm_config, RecoveryConfig::for_tests());
-        return true;
+        return recover_budgeted(
+            pool,
+            instrumented,
+            vm_config,
+            RecoveryConfig::for_tests(),
+            budget,
+        )
+        .is_some();
     }
     let mut h = pool.handle();
     let roots = RootTable::attach(&mut h).expect("pool must be formatted");
@@ -121,16 +151,10 @@ pub fn recover_interrupted(
             )
         })
         .collect();
-    let mut vm = Vm::attach(pool.clone(), instrumented, vm_config);
+    let mut vm = Vm::attach(pool, instrumented, vm_config);
     build_recovery_threads(&mut vm, &mut h, &entries, scheme == Scheme::Ido);
     drop(h);
-    let outcome = vm.run_steps(budget);
-    if outcome == RunOutcome::Completed {
-        return true;
-    }
-    drop(vm);
-    pool.crash(crash_seed);
-    false
+    vm.run_steps(budget) == RunOutcome::Completed
 }
 
 /// Constructs the recovery threads for a resumption scheme (shared by
@@ -213,6 +237,23 @@ pub fn recover(
     vm_config: VmConfig,
     rc: RecoveryConfig,
 ) -> RecoveryReport {
+    recover_budgeted(pool, instrumented, vm_config, rc, u64::MAX)
+        .expect("unbudgeted recovery runs to completion")
+}
+
+/// [`recover`] under a persist-operation budget (log-processing schemes
+/// only; resumption schemes and `Origin` ignore the budget — use
+/// [`recover_interrupted`] to bound resumption by interpreter steps).
+/// Returns `None`, with the pool left mid-protocol and in-flight
+/// write-backs unfenced, when the budget runs out — the caller decides how
+/// to crash (e.g. `PmemPool::crash_with` over chosen lost-line subsets).
+pub fn recover_budgeted(
+    pool: PmemPool,
+    instrumented: Instrumented,
+    vm_config: VmConfig,
+    rc: RecoveryConfig,
+    budget: u64,
+) -> Option<RecoveryReport> {
     let scheme = instrumented.scheme;
     let mut h = pool.handle();
     let roots = RootTable::attach(&mut h).expect("pool must be formatted");
@@ -242,21 +283,24 @@ pub fn recover(
         sim_ns: rc.base_ns,
     };
 
-    match scheme {
-        Scheme::Origin => {}
+    let mut left = budget;
+    let complete = match scheme {
+        Scheme::Origin => true,
         Scheme::Ido => {
-            recover_resumption(pool, instrumented, vm_config, rc, &entries, &mut report, true, &mut h)
+            recover_resumption(pool, instrumented, vm_config, rc, &entries, &mut report, true, &mut h);
+            true
         }
         Scheme::JustDo => {
-            recover_resumption(pool, instrumented, vm_config, rc, &entries, &mut report, false, &mut h)
+            recover_resumption(pool, instrumented, vm_config, rc, &entries, &mut report, false, &mut h);
+            true
         }
-        Scheme::Atlas => recover_atlas(&mut h, vm_config, rc, &entries, &mut report),
-        Scheme::Nvml => recover_nvml(&mut h, vm_config, rc, &entries, &mut report),
+        Scheme::Atlas => recover_atlas(&mut h, vm_config, rc, &entries, &mut report, &mut left),
+        Scheme::Nvml => recover_nvml(&mut h, vm_config, rc, &entries, &mut report, &mut left),
         Scheme::Mnemosyne | Scheme::Nvthreads => {
-            recover_redo(&mut h, vm_config, rc, &entries, &mut report)
+            recover_redo(&mut h, vm_config, rc, &entries, &mut report, &mut left)
         }
-    }
-    report
+    };
+    complete.then_some(report)
 }
 
 /// Recovery via resumption (iDO and JUSTDO).
@@ -305,14 +349,16 @@ struct FaseRec {
     releases: Vec<(u64, u64)>,  // (lock, stamp)
 }
 
-/// Atlas recovery: consistent-cut computation plus rollback.
+/// Atlas recovery: consistent-cut computation plus rollback. Returns
+/// `false` (mid-protocol, unfenced) on budget exhaustion.
 fn recover_atlas(
     h: &mut PmemHandle,
     vm_config: VmConfig,
     rc: RecoveryConfig,
     entries: &[(PAddr, PAddr, PAddr, PAddr)],
     report: &mut RecoveryReport,
-) {
+    budget: &mut u64,
+) -> bool {
     // 1. Scan every thread's log into FASE records.
     let scan_t0 = h.clock_ns();
     h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Scan as u64, 0);
@@ -413,8 +459,12 @@ fn recover_atlas(
     }
     rollback.sort_by_key(|&(_, _, stamp)| std::cmp::Reverse(stamp));
     for &(addr, old, _) in &rollback {
+        if *budget == 0 {
+            return false; // crash mid-rollback: writes so far unfenced
+        }
         h.write_u64(addr as PAddr, old);
         h.clwb(addr as PAddr);
+        *budget -= 1;
     }
     h.sfence();
     h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, h.clock_ns() - resume_t0);
@@ -424,7 +474,9 @@ fn recover_atlas(
     // 4. Retire the logs.
     for &(_, _, app_base, _) in entries {
         let log = AppendLogLayout { base: app_base, capacity: vm_config.log_entries };
-        log.reset(h);
+        if !log.reset_budgeted(h, budget) {
+            return false; // crash mid-retirement
+        }
     }
     h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Release as u64, h.clock_ns() - release_t0);
 
@@ -432,16 +484,19 @@ fn recover_atlas(
     report.undo_entries = rollback.len();
     report.log_entries_scanned = total_entries;
     report.sim_ns += rc.per_thread_ns * entries.len() as u64 + h.clock_ns();
+    true
 }
 
 /// NVML recovery: undo each thread's uncommitted trailing transaction.
+/// Returns `false` (mid-protocol, unfenced) on budget exhaustion.
 fn recover_nvml(
     h: &mut PmemHandle,
     vm_config: VmConfig,
     rc: RecoveryConfig,
     entries: &[(PAddr, PAddr, PAddr, PAddr)],
     report: &mut RecoveryReport,
-) {
+    budget: &mut u64,
+) -> bool {
     for &(_, _, app_base, _) in entries {
         let log = AppendLogLayout { base: app_base, capacity: vm_config.log_entries };
         // Per-log segmented phases: the durations of all segments of one
@@ -466,8 +521,12 @@ fn recover_nvml(
         for i in (suffix_start..n).rev() {
             let (kind, a, b, _) = log.read(h, i);
             if kind == Some(LogEntryKind::Undo) {
+                if *budget == 0 {
+                    return false; // crash mid-rollback
+                }
                 h.write_u64(a as PAddr, b);
                 h.clwb(a as PAddr);
+                *budget -= 1;
                 report.undo_entries += 1;
                 any = true;
             }
@@ -479,21 +538,26 @@ fn recover_nvml(
         h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, h.clock_ns() - resume_t0);
         let release_t0 = h.clock_ns();
         h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Release as u64, 0);
-        log.reset(h);
+        if !log.reset_budgeted(h, budget) {
+            return false; // crash mid-retirement
+        }
         h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Release as u64, h.clock_ns() - release_t0);
     }
     report.sim_ns += rc.per_thread_ns * entries.len() as u64 + h.clock_ns();
+    true
 }
 
 /// Mnemosyne/NVThreads recovery: replay committed REDO logs; discard
-/// uncommitted ones.
+/// uncommitted ones. Returns `false` (mid-protocol, unfenced) on budget
+/// exhaustion.
 fn recover_redo(
     h: &mut PmemHandle,
     vm_config: VmConfig,
     rc: RecoveryConfig,
     entries: &[(PAddr, PAddr, PAddr, PAddr)],
     report: &mut RecoveryReport,
-) {
+    budget: &mut u64,
+) -> bool {
     for &(_, _, app_base, _) in entries {
         let log = AppendLogLayout { base: app_base, capacity: vm_config.log_entries };
         let scan_t0 = h.clock_ns();
@@ -519,8 +583,12 @@ fn recover_redo(
             for i in 0..n {
                 let (kind, a, b, _) = log.read(h, i);
                 if kind == Some(LogEntryKind::Redo) {
+                    if *budget == 0 {
+                        return false; // crash mid-replay
+                    }
                     h.write_u64(a as PAddr, b);
                     h.clwb(a as PAddr);
+                    *budget -= 1;
                 }
             }
             h.sfence();
@@ -531,8 +599,11 @@ fn recover_redo(
         h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, h.clock_ns() - resume_t0);
         let release_t0 = h.clock_ns();
         h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Release as u64, 0);
-        log.reset(h);
+        if !log.reset_budgeted(h, budget) {
+            return false; // crash mid-retirement
+        }
         h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Release as u64, h.clock_ns() - release_t0);
     }
     report.sim_ns += rc.per_thread_ns * entries.len() as u64 + h.clock_ns();
+    true
 }

@@ -1,0 +1,74 @@
+//! Regression: programs whose block ids exceed `u16::MAX` must decode,
+//! execute, and — crucially — persist recovery PCs correctly.
+//!
+//! `Pc::encode` packs `func << 40 | block << 20 | index`; before the
+//! overflow asserts were added, a block id that did not fit its field
+//! silently corrupted the adjacent field, and the persisted `recovery_pc`
+//! of an iDO boundary in a late block would decode to a wrong (but
+//! plausible-looking) program point. Placing the FASE at the tail of a
+//! 70 000-block chain exercises the full encode → persist → decode path
+//! with a block id far beyond 16 bits.
+
+use ido_compiler::{instrument_program, Scheme};
+use ido_ir::{BinOp, Operand, Pc, ProgramBuilder};
+use ido_vm::{RunOutcome, Vm, VmConfig};
+
+const CHAIN_BLOCKS: u32 = 70_000;
+
+/// `worker(lock, p)`: fall through a 70k-block chain, then increment
+/// `mem[p]` inside a locked FASE — so the FASE's boundary PCs carry block
+/// ids > u16::MAX.
+fn chain_program() -> ido_ir::Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.new_function("worker", 2);
+    let l = f.param(0);
+    let p = f.param(1);
+    for _ in 0..CHAIN_BLOCKS {
+        let next = f.new_block();
+        f.jump(next);
+        f.switch_to(next);
+    }
+    let a = f.new_reg();
+    let a2 = f.new_reg();
+    f.lock(l);
+    f.load(a, p, 0);
+    f.bin(BinOp::Add, a2, a, 1i64);
+    f.store(p, 0, Operand::Reg(a2));
+    f.unlock(l);
+    f.ret(None);
+    f.finish().unwrap();
+    pb.finish()
+}
+
+#[test]
+fn seventy_thousand_block_program_runs_under_ido() {
+    let instrumented =
+        instrument_program(chain_program(), Scheme::Ido).expect("instrumentation scales");
+    let mut vm = Vm::new(instrumented, VmConfig::for_tests());
+    let (lock, cell) = vm.setup(|h, alloc, _| {
+        let lock = alloc.alloc(h, 8).unwrap();
+        let cell = alloc.alloc(h, 8).unwrap();
+        h.write_u64(cell, 41);
+        h.persist(cell, 8);
+        (lock, cell)
+    });
+    vm.spawn("worker", &[lock as u64, cell as u64]);
+    assert_eq!(vm.run(), RunOutcome::Completed);
+    let mut h = vm.pool().handle();
+    assert_eq!(h.read_u64(cell), 42, "the FASE in block ~{CHAIN_BLOCKS} ran");
+}
+
+#[test]
+fn late_block_pcs_roundtrip_through_the_persistent_encoding() {
+    // The exact words an iDO log would hold for the FASE at the chain's
+    // tail: block ids around CHAIN_BLOCKS must survive encode + decode.
+    for index in [0, 1, 5] {
+        let pc = Pc {
+            func: ido_ir::FuncId(0),
+            block: ido_ir::BlockId(CHAIN_BLOCKS),
+            index,
+        };
+        let word = ido_vm::layout::encode_pc(pc);
+        assert_eq!(ido_vm::layout::decode_pc(word), Some(pc));
+    }
+}

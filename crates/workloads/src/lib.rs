@@ -30,3 +30,19 @@ pub mod micro;
 mod util;
 
 pub use harness::{run_workload, RunStats, WorkloadSpec};
+
+/// The standard workload suite, one boxed spec per benchmark, in the order
+/// the figures present them: the four microbenchmarks, then the two
+/// key-value stores. Sweep-style consumers (the static verifier's lint
+/// mode, CI gates) iterate this instead of hand-listing specs so a new
+/// workload is automatically covered.
+pub fn standard_specs() -> Vec<Box<dyn WorkloadSpec>> {
+    vec![
+        Box::new(micro::StackSpec),
+        Box::new(micro::QueueSpec),
+        Box::new(micro::ListSpec::default()),
+        Box::new(micro::MapSpec::default()),
+        Box::new(kv::memcached::MemcachedSpec::insertion_intensive()),
+        Box::new(kv::redis::RedisSpec::with_range(256)),
+    ]
+}

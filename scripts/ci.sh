@@ -18,6 +18,12 @@ cargo build --release --workspace
 echo "== test (workspace) =="
 cargo test --workspace -q
 
+echo "== static atomicity lint + differential smoke (verify_report) =="
+# Lints every standard workload under every scheme and cross-checks the
+# static verdicts against the crash oracle; any violation or
+# static/dynamic disagreement makes the binary assert and fail CI.
+IDO_BENCH_QUICK=1 cargo run -q --release -p ido-bench --bin verify_report
+
 echo "== crash-oracle smoke sweep =="
 IDO_ORACLE_SMOKE=1 cargo run -q --release -p ido-bench --bin crash_oracle
 
