@@ -5,10 +5,15 @@
 //! `ido-vm` interpreter, so this binary measures what future PRs must not
 //! regress:
 //!
-//! * **steps/sec** of the interpreter hot loop on two fixed workloads
-//!   (a pure-compute twin-counter run under `Origin`, and the hash map
-//!   under `iDO` — the latter exercises region tracking and boundary
-//!   persists), and
+//! * **steps/sec** of the interpreter hot loop on fixed workloads —
+//!   the twin counter under `Origin`/`iDO`, the hash map under
+//!   `iDO`/`JustDo` (region tracking + boundary persists), and two
+//!   dispatch-bound microloops (pure arithmetic, and a branchy variant)
+//!   where instruction dispatch itself is the cost;
+//! * the same workloads on the **tier-2 block-compiled engine** (ISSUE 6),
+//!   reported as a `tier2` series with per-bench speedups — tier 2 must
+//!   hold ≥2× on the dispatch-bound loops while staying step-for-step
+//!   identical (the harness asserts equal step counts per pair); and
 //! * the **end-to-end wall-clock time of a `fig7`-style sweep** (schemes ×
 //!   thread counts on the hash map), which additionally measures the
 //!   deterministic parallel sweep engine.
@@ -23,8 +28,118 @@ use std::time::Instant;
 
 use ido_bench::{bench_config, ops_per_thread, sweep_threads};
 use ido_compiler::Scheme;
+use ido_ir::{BinOp, Program, ProgramBuilder};
+use ido_vm::{ExecTier, Vm};
 use ido_workloads::micro::{MapSpec, TwinSpec};
-use ido_workloads::run_workload;
+use ido_workloads::{run_workload, WorkloadSpec};
+
+/// `worker(n)`: a counted loop of pure register arithmetic — no memory
+/// traffic, so wall clock is interpreter dispatch and nothing else. The
+/// workload where block compilation has the most to win.
+struct ArithSpec;
+
+impl WorkloadSpec for ArithSpec {
+    fn name(&self) -> String {
+        "arith".into()
+    }
+
+    fn build_program(&self) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("worker", 1);
+        let n = f.param(0);
+        let i = f.new_reg();
+        let acc = f.new_reg();
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.mov(i, 0i64);
+        f.mov(acc, 1i64);
+        f.jump(head);
+        f.switch_to(head);
+        let c = f.new_reg();
+        f.bin(BinOp::Lt, c, i, n);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        f.bin(BinOp::Add, acc, acc, i);
+        f.bin(BinOp::Xor, acc, acc, 0x5aa5i64);
+        f.bin(BinOp::Mul, acc, acc, 3i64);
+        f.bin(BinOp::Add, i, i, 1i64);
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish().expect("arith loop verifies");
+        pb.finish()
+    }
+
+    fn setup(&self, _vm: &mut Vm, _threads: usize, _ops: u64) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn worker_args(&self, _base: &[u64], _thread: usize, ops: u64) -> Vec<u64> {
+        vec![ops]
+    }
+
+    fn verify(&self, _vm: &Vm, _base: &[u64], _total_ops: u64) {}
+}
+
+/// `worker(n)`: the arithmetic loop with a data-dependent branch diamond
+/// per iteration — exercises the fused compare+branch superinstruction and
+/// cross-block segment chaining rather than straight-line fusion.
+struct BranchySpec;
+
+impl WorkloadSpec for BranchySpec {
+    fn name(&self) -> String {
+        "branchy".into()
+    }
+
+    fn build_program(&self) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("worker", 1);
+        let n = f.param(0);
+        let i = f.new_reg();
+        let acc = f.new_reg();
+        let head = f.new_block();
+        let body = f.new_block();
+        let odd = f.new_block();
+        let even = f.new_block();
+        let join = f.new_block();
+        let exit = f.new_block();
+        f.mov(i, 0i64);
+        f.mov(acc, 0i64);
+        f.jump(head);
+        f.switch_to(head);
+        let c = f.new_reg();
+        f.bin(BinOp::Lt, c, i, n);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let par = f.new_reg();
+        f.bin(BinOp::And, par, i, 1i64);
+        f.branch(par, odd, even);
+        f.switch_to(odd);
+        f.bin(BinOp::Add, acc, acc, 3i64);
+        f.jump(join);
+        f.switch_to(even);
+        f.bin(BinOp::Xor, acc, acc, i);
+        f.jump(join);
+        f.switch_to(join);
+        f.bin(BinOp::Add, i, i, 1i64);
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish().expect("branchy loop verifies");
+        pb.finish()
+    }
+
+    fn setup(&self, _vm: &mut Vm, _threads: usize, _ops: u64) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn worker_args(&self, _base: &[u64], _thread: usize, ops: u64) -> Vec<u64> {
+        vec![ops]
+    }
+
+    fn verify(&self, _vm: &Vm, _base: &[u64], _total_ops: u64) {}
+}
 
 struct Measurement {
     name: &'static str,
@@ -33,15 +148,17 @@ struct Measurement {
     steps_per_sec: f64,
 }
 
-fn measure(
+fn measure_on(
     name: &'static str,
     scheme: Scheme,
-    spec: &dyn ido_workloads::WorkloadSpec,
+    spec: &dyn WorkloadSpec,
     threads: usize,
     ops: u64,
+    tier: ExecTier,
 ) -> Measurement {
     // One warmup run (page faults, lazy init), then the timed run.
-    let cfg = bench_config(64, 1 << 14);
+    let mut cfg = bench_config(64, 1 << 14);
+    cfg.tier = tier;
     run_workload(scheme, spec, threads, ops / 4 + 1, cfg.clone());
     let start = Instant::now();
     let stats = run_workload(scheme, spec, threads, ops, cfg);
@@ -59,20 +176,43 @@ fn main() {
     let quick = std::env::var("IDO_BENCH_QUICK").is_ok();
     let ops = ops_per_thread(if quick { 2_000 } else { 20_000 });
     let map = MapSpec { buckets: 64, key_range: 1024 };
+    let arith_ops = ops * 8; // dispatch-bound loops are cheap per step
 
-    let measurements = vec![
-        measure("origin_twin_1t", Scheme::Origin, &TwinSpec, 1, ops),
-        measure("ido_twin_1t", Scheme::Ido, &TwinSpec, 1, ops),
-        measure("ido_map_4t", Scheme::Ido, &map, 4, ops / 4),
-        measure("justdo_map_4t", Scheme::JustDo, &map, 4, ops / 4),
+    let rows: Vec<(&'static str, Scheme, &dyn WorkloadSpec, usize, u64)> = vec![
+        ("origin_twin_1t", Scheme::Origin, &TwinSpec, 1, ops),
+        ("ido_twin_1t", Scheme::Ido, &TwinSpec, 1, ops),
+        ("ido_map_4t", Scheme::Ido, &map, 4, ops / 4),
+        ("justdo_map_4t", Scheme::JustDo, &map, 4, ops / 4),
+        ("origin_arith_1t", Scheme::Origin, &ArithSpec, 1, arith_ops),
+        ("origin_branchy_1t", Scheme::Origin, &BranchySpec, 1, arith_ops),
     ];
 
+    let mut measurements = Vec::new();
+    let mut tier2 = Vec::new();
+    for &(name, scheme, spec, threads, n) in &rows {
+        let t1 = measure_on(name, scheme, spec, threads, n, ExecTier::Tier1);
+        let t2 = measure_on(name, scheme, spec, threads, n, ExecTier::Tier2);
+        assert_eq!(
+            t1.steps, t2.steps,
+            "{name}: tier-2 must execute step-for-step identically"
+        );
+        measurements.push(t1);
+        tier2.push(t2);
+    }
+
     println!("== Interpreter throughput (wall clock) ==");
-    println!("{:>16} {:>12} {:>10} {:>14}", "bench", "steps", "wall ms", "steps/sec");
-    for m in &measurements {
+    println!(
+        "{:>18} {:>12} {:>14} {:>14} {:>8}",
+        "bench", "steps", "t1 steps/sec", "t2 steps/sec", "t2/t1"
+    );
+    for (m, m2) in measurements.iter().zip(&tier2) {
         println!(
-            "{:>16} {:>12} {:>10.1} {:>14.0}",
-            m.name, m.steps, m.wall_ms, m.steps_per_sec
+            "{:>18} {:>12} {:>14.0} {:>14.0} {:>7.2}x",
+            m.name,
+            m.steps,
+            m.steps_per_sec,
+            m2.steps_per_sec,
+            m2.steps_per_sec / m.steps_per_sec
         );
     }
 
@@ -96,7 +236,7 @@ fn main() {
 
     // Machine-readable trajectory point at the repo root.
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ido-bench-interp-v1\",");
+    let _ = writeln!(json, "  \"schema\": \"ido-bench-interp-v2\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"jobs\": {},", ido_par::jobs());
     let _ = writeln!(json, "  \"ops_per_thread\": {ops},");
@@ -107,6 +247,20 @@ fn main() {
             json,
             "    {{\"name\": \"{}\", \"steps\": {}, \"wall_ms\": {:.3}, \"steps_per_sec\": {:.0}}}{comma}",
             m.name, m.steps, m.wall_ms, m.steps_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"tier2\": [");
+    for (i, (m, m2)) in measurements.iter().zip(&tier2).enumerate() {
+        let comma = if i + 1 == tier2.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"steps\": {}, \"wall_ms\": {:.3}, \"steps_per_sec\": {:.0}, \"speedup\": {:.3}}}{comma}",
+            m2.name,
+            m2.steps,
+            m2.wall_ms,
+            m2.steps_per_sec,
+            m2.steps_per_sec / m.steps_per_sec
         );
     }
     let _ = writeln!(json, "  ],");

@@ -55,6 +55,7 @@ pub mod opt;
 mod pretty;
 pub mod reaching;
 mod reg;
+pub mod tier2;
 mod verify;
 
 pub use builder::{FunctionBuilder, ProgramBuilder};
@@ -62,4 +63,5 @@ pub use decoded::{DecodedFunction, DecodedInst, DecodedProgram};
 pub use func::{BasicBlock, BlockId, FuncId, Function, Pc, Program};
 pub use inst::{BinOp, Inst, LockToken, RtOp};
 pub use reg::{Operand, Reg, RegClass, StackSlot};
+pub use tier2::{T2Kind, Tier2Block, Tier2Entry, Tier2Function, Tier2Op, Tier2Program, Tier2Segment};
 pub use verify::{verify_function, VerifyError};

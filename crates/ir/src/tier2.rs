@@ -1,0 +1,432 @@
+//! Tier-2 block-compiled program representation.
+//!
+//! The tier-1 interpreter ([`crate::DecodedProgram`]) dispatches one
+//! instruction per step. Tier 2 compiles each basic block into straight-line
+//! **segments** of superinstructions ([`Tier2Op`]) that the VM executes as
+//! direct-threaded Rust, batching cost accounting across runs of pure
+//! operations and chaining across fused terminators without returning to the
+//! scheduler. The representation built here is purely structural — it
+//! decides *which* instructions may be fused and pairs compare+branch
+//! sequences — while the executor in `ido-vm` is responsible for preserving
+//! tier-1's observable behaviour step for step.
+//!
+//! # Fusion legality
+//!
+//! An instruction is *fusible* ([`fusible`]) when its effect on the machine
+//! is expressible without leaving the segment executor:
+//!
+//! * register-only ops (`Mov`, `Bin`), control flow (`Jump`, `Branch`),
+//!   `Delay`, and the no-charge markers (`RegionMarker`, `DurableBegin`,
+//!   `DurableEnd`);
+//! * memory ops (`Load`, `Store`, `LoadStack`, `StoreStack`) — fused, but
+//!   the executor must flush pending cost accounting first so persist
+//!   events carry tier-1-identical clocks;
+//! * `Lock`/`Unlock` — fused, with segment exit on block/wake.
+//!
+//! Everything else deopts to tier 1: `Call`/`Ret` (frame manipulation),
+//! `Alloc`/`Free` (allocator state), and every `Rt` runtime op (the
+//! scheme-specific log scopes and region boundaries whose event order is the
+//! whole point of the reproduction). A block whose entry instruction is not
+//! fusible simply has an [`Tier2Entry::Unfused`] entry and runs on tier 1
+//! until control reaches a fusible instruction again.
+//!
+//! A `Bin` immediately followed by a `Branch` on the `Bin`'s destination
+//! register fuses into a single [`T2Kind::CmpBranch`] superinstruction that
+//! still *counts as two tier-1 steps* and can pause between its halves: the
+//! second half has its own entry ([`Tier2Entry::BranchHalf`]) so a segment
+//! can resume at the branch after a deopt or step-budget pause landed
+//! between the compare and the branch.
+
+use crate::func::{BlockId, FuncId, Pc, Program};
+use crate::inst::{BinOp, Inst};
+use crate::reg::{Operand, Reg, StackSlot};
+
+/// The superinstruction kinds tier 2 can execute in a segment.
+///
+/// Each variant mirrors the tier-1 semantics of the corresponding
+/// [`Inst`] exactly; see `ido-vm`'s `exec_inst` for the reference
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum T2Kind {
+    /// `Mov { dst, src }`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `Bin { op, dst, a, b }`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// A `Bin` fused with the `Branch` on its destination that immediately
+    /// follows it. Counts as **two** tier-1 steps; the branch half is
+    /// resumable on its own via [`Tier2Entry::BranchHalf`].
+    CmpBranch {
+        /// Compare operation.
+        op: BinOp,
+        /// Destination register of the compare (still written).
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Branch target when `dst != 0`.
+        then_bb: BlockId,
+        /// Branch target when `dst == 0`.
+        else_bb: BlockId,
+    },
+    /// `Load { dst, base, offset }` — heap load through a register address.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// `Store { base, offset, src }` — heap store through a register address.
+    Store {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+        /// Value stored.
+        src: Operand,
+    },
+    /// `LoadStack { dst, slot }`.
+    LoadStack {
+        /// Destination register.
+        dst: Reg,
+        /// Stack slot read.
+        slot: StackSlot,
+    },
+    /// `StoreStack { slot, src }`.
+    StoreStack {
+        /// Stack slot written.
+        slot: StackSlot,
+        /// Value stored.
+        src: Operand,
+    },
+    /// `Jump { target }` — fused terminator; the segment chains into
+    /// `target` when its entry instruction is fusible.
+    Jump {
+        /// Successor block.
+        target: BlockId,
+    },
+    /// `Branch { cond, then_bb, else_bb }` (condition not produced by the
+    /// immediately preceding instruction — otherwise it fuses into
+    /// [`T2Kind::CmpBranch`]).
+    Branch {
+        /// Condition operand.
+        cond: Operand,
+        /// Target when `cond != 0`.
+        then_bb: BlockId,
+        /// Target when `cond == 0`.
+        else_bb: BlockId,
+    },
+    /// `Delay { ns }` — charges simulated work time.
+    Delay {
+        /// Nanoseconds charged.
+        ns: u64,
+    },
+    /// `Lock { lock }` — may exit the segment blocked.
+    Lock {
+        /// Lock address operand.
+        lock: Operand,
+    },
+    /// `Unlock { lock }` — may exit the segment to wake a waiter.
+    Unlock {
+        /// Lock address operand.
+        lock: Operand,
+    },
+    /// `RegionMarker` / `DurableBegin` / `DurableEnd`: a pc advance with no
+    /// charge. (For `DurableBegin`/`DurableEnd` the scheme-specific
+    /// semantics live entirely in `Rt` ops inserted by instrumentation;
+    /// the markers themselves are free in tier 1 too.)
+    Skip,
+}
+
+/// One superinstruction: its tier-1 `pc.index` plus the fused kind.
+///
+/// `idx` is the index of the op's **first** constituent instruction; a
+/// [`T2Kind::CmpBranch`] covers indices `idx` and `idx + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tier2Op {
+    /// Tier-1 `pc.index` of the first fused instruction.
+    pub idx: u32,
+    /// What to execute.
+    pub kind: T2Kind,
+}
+
+/// A maximal straight-line run of fusible instructions within one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tier2Segment {
+    /// Superinstructions, in tier-1 order.
+    pub ops: Vec<Tier2Op>,
+    /// `pc.index` of the first instruction covered.
+    pub start: u32,
+    /// `pc.index` immediately after the last instruction covered — the
+    /// deopt pc when the segment ends at a non-fusible instruction.
+    pub end_index: u32,
+}
+
+/// Where a tier-1 `pc.index` lands within a block's segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier2Entry {
+    /// Start of op `op` in segment `seg`.
+    Op {
+        /// Segment index within the block.
+        seg: u32,
+        /// Op index within the segment.
+        op: u32,
+    },
+    /// The branch half of the [`T2Kind::CmpBranch`] at op `op` in segment
+    /// `seg` (the tier-1 pc sits on the `Branch`, the compare already ran).
+    BranchHalf {
+        /// Segment index within the block.
+        seg: u32,
+        /// Op index within the segment (points at the `CmpBranch`).
+        op: u32,
+    },
+    /// Not fusible here: execute on tier 1.
+    Unfused,
+}
+
+/// A basic block's compiled form: per-index entry table plus its segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tier2Block {
+    /// `entries[i]` locates tier-1 `pc.index == i`; indexes past the end
+    /// of the block are treated as [`Tier2Entry::Unfused`].
+    pub entries: Vec<Tier2Entry>,
+    /// Segments, in source order.
+    pub segs: Vec<Tier2Segment>,
+}
+
+/// A function's compiled blocks, indexed by [`BlockId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tier2Function {
+    /// Blocks, indexed by `BlockId.0`.
+    pub blocks: Vec<Tier2Block>,
+}
+
+impl Tier2Function {
+    /// Resolves a tier-1 pc within this function.
+    pub fn entry_at(&self, pc: Pc) -> Tier2Entry {
+        self.blocks
+            .get(pc.block.0 as usize)
+            .and_then(|b| b.entries.get(pc.index as usize))
+            .copied()
+            .unwrap_or(Tier2Entry::Unfused)
+    }
+}
+
+/// A whole program compiled to tier-2 form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tier2Program {
+    funcs: Vec<Tier2Function>,
+}
+
+impl Tier2Program {
+    /// Compiles every function of `program`.
+    pub fn compile(program: &Program) -> Self {
+        let funcs = program
+            .functions()
+            .iter()
+            .map(|f| Tier2Function {
+                blocks: f.blocks().iter().map(|b| compile_block(&b.insts)).collect(),
+            })
+            .collect();
+        Tier2Program { funcs }
+    }
+
+    /// The compiled form of `func`.
+    pub fn function(&self, func: FuncId) -> &Tier2Function {
+        &self.funcs[func.0 as usize]
+    }
+}
+
+/// Whether tier 2 can execute `inst` inside a segment.
+pub fn fusible(inst: &Inst) -> bool {
+    match inst {
+        Inst::Mov { .. }
+        | Inst::Bin { .. }
+        | Inst::Load { .. }
+        | Inst::Store { .. }
+        | Inst::LoadStack { .. }
+        | Inst::StoreStack { .. }
+        | Inst::Jump { .. }
+        | Inst::Branch { .. }
+        | Inst::Delay { .. }
+        | Inst::Lock { .. }
+        | Inst::Unlock { .. }
+        | Inst::RegionMarker
+        | Inst::DurableBegin
+        | Inst::DurableEnd => true,
+        // Frame manipulation, allocator state, and every scheme runtime op
+        // (log scopes, boundaries, recovery) deopt to tier 1.
+        Inst::Call { .. }
+        | Inst::Ret { .. }
+        | Inst::Alloc { .. }
+        | Inst::Free { .. }
+        | Inst::Rt(_) => false,
+    }
+}
+
+/// Returns the `CmpBranch` targets when `insts[i]` is a `Bin` whose
+/// destination is consumed by an immediately following `Branch`.
+fn cmp_branch_pair(insts: &[Inst], i: usize) -> Option<(BlockId, BlockId)> {
+    let Inst::Bin { dst, .. } = insts[i] else { return None };
+    match insts.get(i + 1) {
+        Some(&Inst::Branch { cond: Operand::Reg(c), then_bb, else_bb }) if c == dst => {
+            Some((then_bb, else_bb))
+        }
+        _ => None,
+    }
+}
+
+/// Lowers one fusible instruction (already known fusible, not a fused pair).
+fn lower(inst: &Inst) -> T2Kind {
+    match *inst {
+        Inst::Mov { dst, src } => T2Kind::Mov { dst, src },
+        Inst::Bin { op, dst, a, b } => T2Kind::Bin { op, dst, a, b },
+        Inst::Load { dst, base, offset } => T2Kind::Load { dst, base, offset },
+        Inst::Store { base, offset, src } => T2Kind::Store { base, offset, src },
+        Inst::LoadStack { dst, slot } => T2Kind::LoadStack { dst, slot },
+        Inst::StoreStack { slot, src } => T2Kind::StoreStack { slot, src },
+        Inst::Jump { target } => T2Kind::Jump { target },
+        Inst::Branch { cond, then_bb, else_bb } => T2Kind::Branch { cond, then_bb, else_bb },
+        Inst::Delay { ns } => T2Kind::Delay { ns },
+        Inst::Lock { ref lock } => T2Kind::Lock { lock: *lock },
+        Inst::Unlock { ref lock } => T2Kind::Unlock { lock: *lock },
+        Inst::RegionMarker | Inst::DurableBegin | Inst::DurableEnd => T2Kind::Skip,
+        _ => unreachable!("lower() called on non-fusible instruction"),
+    }
+}
+
+/// Greedy maximal-segment compilation of one block.
+fn compile_block(insts: &[Inst]) -> Tier2Block {
+    let mut entries = vec![Tier2Entry::Unfused; insts.len()];
+    let mut segs = Vec::new();
+    let mut i = 0usize;
+    while i < insts.len() {
+        if !fusible(&insts[i]) {
+            i += 1;
+            continue;
+        }
+        let seg = segs.len() as u32;
+        let start = i as u32;
+        let mut ops = Vec::new();
+        while i < insts.len() && fusible(&insts[i]) {
+            let op = ops.len() as u32;
+            if let Some((then_bb, else_bb)) = cmp_branch_pair(insts, i) {
+                let Inst::Bin { op: bop, dst, a, b } = insts[i] else { unreachable!() };
+                entries[i] = Tier2Entry::Op { seg, op };
+                entries[i + 1] = Tier2Entry::BranchHalf { seg, op };
+                ops.push(Tier2Op {
+                    idx: i as u32,
+                    kind: T2Kind::CmpBranch { op: bop, dst, a, b, then_bb, else_bb },
+                });
+                i += 2;
+            } else {
+                entries[i] = Tier2Entry::Op { seg, op };
+                ops.push(Tier2Op { idx: i as u32, kind: lower(&insts[i]) });
+                i += 1;
+            }
+        }
+        segs.push(Tier2Segment { ops, start, end_index: i as u32 });
+    }
+    Tier2Block { entries, segs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    /// A loop with a fused compare+branch, a call (deopt), and stores.
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("leaf", 1);
+        let p = f.param(0);
+        f.ret(Some(Operand::Reg(p)));
+        let leaf = f.finish().unwrap();
+
+        let mut f = pb.new_function("worker", 1);
+        let n = f.param(0);
+        let i = f.new_reg();
+        let acc = f.new_reg();
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.mov(i, 0i64);
+        f.mov(acc, 0i64);
+        f.jump(head);
+        f.switch_to(head);
+        let c = f.new_reg();
+        f.bin(BinOp::Lt, c, i, n);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let r = f.new_reg();
+        f.call(leaf, vec![Operand::Reg(i)], Some(r));
+        f.bin(BinOp::Add, acc, acc, r);
+        f.bin(BinOp::Add, i, i, 1i64);
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish().unwrap();
+        pb.finish()
+    }
+
+    #[test]
+    fn compiles_cmp_branch_pairs_with_branch_half_entries() {
+        let prog = sample();
+        let t2 = Tier2Program::compile(&prog);
+        let worker = FuncId(1);
+        let f2 = t2.function(worker);
+        // head block: Bin;Branch fuse into one 2-step op.
+        let head = &f2.blocks[1];
+        assert_eq!(head.segs.len(), 1);
+        assert_eq!(head.segs[0].ops.len(), 1);
+        assert!(matches!(head.segs[0].ops[0].kind, T2Kind::CmpBranch { .. }));
+        assert_eq!(head.entries[0], Tier2Entry::Op { seg: 0, op: 0 });
+        assert_eq!(head.entries[1], Tier2Entry::BranchHalf { seg: 0, op: 0 });
+    }
+
+    #[test]
+    fn call_splits_the_block_into_two_segments() {
+        let prog = sample();
+        let t2 = Tier2Program::compile(&prog);
+        let body = &t2.function(FuncId(1)).blocks[2];
+        // [Call] is unfused; the trailing Bin;Bin;Jump form a segment.
+        assert_eq!(body.entries[0], Tier2Entry::Unfused);
+        assert_eq!(body.segs.len(), 1);
+        assert_eq!(body.segs[0].start, 1);
+        assert_eq!(body.segs[0].ops.len(), 3);
+        assert_eq!(body.segs[0].end_index, 4);
+    }
+
+    #[test]
+    fn ret_only_blocks_have_no_segments() {
+        let prog = sample();
+        let t2 = Tier2Program::compile(&prog);
+        let leaf = &t2.function(FuncId(0)).blocks[0];
+        assert!(leaf.segs.is_empty());
+        assert_eq!(
+            t2.function(FuncId(0)).entry_at(Pc { func: FuncId(0), block: BlockId(0), index: 0 }),
+            Tier2Entry::Unfused
+        );
+        // Past-the-end pcs resolve to Unfused rather than panicking.
+        assert_eq!(
+            t2.function(FuncId(0)).entry_at(Pc { func: FuncId(0), block: BlockId(0), index: 99 }),
+            Tier2Entry::Unfused
+        );
+    }
+}

@@ -116,6 +116,17 @@ impl Trace {
         t
     }
 
+    /// Index of the first event where `self` and `other` differ, or
+    /// `None` when one stream is a prefix of the other (compare lengths
+    /// separately for full equality).
+    ///
+    /// Differential harnesses — notably the tier-1 vs tier-2 equivalence
+    /// suite — use this to report the exact point two executions diverge
+    /// instead of dumping both streams.
+    pub fn first_divergence(&self, other: &Trace) -> Option<usize> {
+        self.events.iter().zip(&other.events).position(|(a, b)| a != b)
+    }
+
     /// Per-kind event counts, indexed by `EventKind as usize`.
     pub fn counts_by_kind(&self) -> [u64; EVENT_KINDS] {
         let mut counts = [0u64; EVENT_KINDS];
@@ -192,6 +203,23 @@ mod tests {
         assert_eq!(t_ab.encode(), t_ba.encode());
         let order: Vec<(u64, u16)> = t_ab.events.iter().map(|e| (e.ts_ns, e.thread)).collect();
         assert_eq!(order, vec![(5, 0), (5, 1), (7, 0), (9, 1)]);
+    }
+
+    #[test]
+    fn first_divergence_points_at_the_first_differing_event() {
+        let a = Trace::from_bufs(vec![buf_with(
+            0,
+            &[(1, EventKind::Store, 7, 0), (2, EventKind::Clwb, 7, 0), (3, EventKind::Fence, 0, 0)],
+        )]);
+        let b = Trace::from_bufs(vec![buf_with(
+            0,
+            &[(1, EventKind::Store, 7, 0), (2, EventKind::Clwb, 8, 0), (3, EventKind::Fence, 0, 0)],
+        )]);
+        assert_eq!(a.first_divergence(&b), Some(1));
+        assert_eq!(a.first_divergence(&a.clone()), None);
+        // A strict prefix has no divergence point; lengths tell it apart.
+        let p = Trace::from_bufs(vec![buf_with(0, &[(1, EventKind::Store, 7, 0)])]);
+        assert_eq!(p.first_divergence(&a), None);
     }
 
     #[test]

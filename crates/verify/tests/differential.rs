@@ -20,6 +20,21 @@ fn static_and_dynamic_verdicts_agree_on_the_clean_tree() {
 }
 
 #[test]
+fn static_and_dynamic_verdicts_agree_with_tier2_execution() {
+    // The dynamic side of the differential check runs on the tier-2 engine:
+    // the static model knows nothing about execution tiers, so agreement
+    // here means tier 2 preserved the persist semantics the model predicts.
+    let mut cfg = OracleConfig::smoke();
+    cfg.vm.tier = ido_vm::ExecTier::Tier2;
+    let reports = differential_all(&TwinSpec, &cfg);
+    for r in &reports {
+        assert!(r.agree, "tier-2 disagreement: {r}");
+        assert!(r.diagnostics.is_empty(), "static findings on clean tree: {r}");
+        assert!(r.exploration.counterexample.is_none(), "tier-2 oracle failure: {r}");
+    }
+}
+
+#[test]
 fn injected_bug_is_flagged_by_both_sides_and_they_agree() {
     let mut cfg = OracleConfig::smoke();
     cfg.vm.ido_bug_skip_store_flush = true;

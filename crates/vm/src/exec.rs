@@ -7,7 +7,7 @@ use std::sync::Arc;
 use ido_compiler::{Instrumented, Scheme};
 use ido_ir::{
     BinOp, BlockId, DecodedInst, DecodedProgram, FuncId, Inst, Operand, Pc, Program, Reg, RtOp,
-    StackSlot,
+    StackSlot, Tier2Entry, Tier2Program,
 };
 use ido_nvm::alloc::NvAllocator;
 use ido_nvm::root::RootTable;
@@ -20,6 +20,7 @@ use crate::layout::{
 };
 use crate::locks::{Acquire, LockTable, ThreadId};
 use crate::profile::Profile;
+use crate::tier2;
 
 /// Reserved transient lock id for Mnemosyne's single global transaction
 /// lock (below the heap, so it can never collide with a lock holder).
@@ -44,6 +45,24 @@ pub enum SchedPolicy {
     /// figures). Lock handoffs advance the waiter's clock to the release
     /// time, so contention shows up as elapsed simulated time.
     MinClock,
+}
+
+/// Which execution engine runs the program.
+///
+/// Both tiers are **observationally identical** — same schedule, same
+/// simulated clocks, same persist-event stream, same bytes in NVM — which
+/// the cross-tier differential harness (`tier_equivalence`, the shared
+/// goldens, the crash oracle) pins. Tier 2 is purely a throughput
+/// optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecTier {
+    /// The decoded per-instruction interpreter (the reference semantics).
+    #[default]
+    Tier1,
+    /// The block-compiled segment engine: basic blocks fuse into
+    /// straight-line superinstruction traces with batched cost accounting,
+    /// deopting to tier 1 at calls, returns, allocation, and runtime ops.
+    Tier2,
 }
 
 /// VM configuration.
@@ -98,6 +117,15 @@ pub struct VmConfig {
     /// and must make the crash oracle report a minimal counterexample.
     /// Never enable outside oracle validation tests.
     pub ido_bug_skip_store_flush: bool,
+    /// Execution engine (see [`ExecTier`]).
+    pub tier: ExecTier,
+    /// **Deliberate bug injection** (differential-harness self-test only):
+    /// in the tier-2 store superinstruction under iDO, drop the tracked
+    /// store address after the scheme store — the mis-fused store+clwb pair
+    /// never gets its clwb at the next region boundary. The cross-tier
+    /// harness and the crash oracle must both catch this. Never enable
+    /// outside harness validation tests.
+    pub tier2_bug_misfuse_store_clwb: bool,
     /// NVThreads page size in bytes.
     pub page_bytes: usize,
     /// NVThreads cost of the copy-on-write page copy at first touch.
@@ -123,6 +151,8 @@ impl Default for VmConfig {
             ido_unmerged_acquire_fence: false,
             ido_no_coalescing: false,
             ido_bug_skip_store_flush: false,
+            tier: ExecTier::Tier1,
+            tier2_bug_misfuse_store_clwb: false,
             page_bytes: 4096,
             page_copy_ns: 1200,
             page_log_ns: 2500,
@@ -155,26 +185,26 @@ pub enum Status {
 
 /// One call frame.
 #[derive(Debug, Clone)]
-struct Frame {
-    func: FuncId,
-    pc: Pc,
-    regs: Vec<u64>,
+pub(crate) struct Frame {
+    pub(crate) func: FuncId,
+    pub(crate) pc: Pc,
+    pub(crate) regs: Vec<u64>,
     /// Pool address of this frame's slot 0.
-    stack_base: PAddr,
+    pub(crate) stack_base: PAddr,
     /// Register in the *caller's* frame receiving the return value.
-    ret_reg: Option<Reg>,
+    pub(crate) ret_reg: Option<Reg>,
 }
 
 /// Per-thread execution context.
 pub(crate) struct ThreadCtx {
     id: ThreadId,
     pub(crate) handle: PmemHandle,
-    frames: Vec<Frame>,
+    pub(crate) frames: Vec<Frame>,
     pub(crate) status: Status,
     /// True for threads created by the recovery procedure: lock operations
     /// become idempotent and the thread halts after its FASE completes.
     pub(crate) recovery: bool,
-    halt_after_release: bool,
+    pub(crate) halt_after_release: bool,
     ret_val: Option<u64>,
 
     // Persistent structures.
@@ -190,21 +220,21 @@ pub(crate) struct ThreadCtx {
     // are sorted + deduped only when drained to the log, which reproduces
     // the old `BTreeSet` ascending flush order exactly (see DESIGN.md §7).
     lock_slots: [Option<u64>; LOCK_ARRAY_SLOTS],
-    region_stores: Vec<PAddr>,
-    dirty_regs: RegBitset,
-    written_regs: RegBitset,
-    read_before_write: RegBitset,
-    stores_since_boundary: u64,
-    fase_store_addrs: Vec<PAddr>,
-    in_tx: bool,
-    fase_active: bool,
+    pub(crate) region_stores: Vec<PAddr>,
+    pub(crate) dirty_regs: RegBitset,
+    pub(crate) written_regs: RegBitset,
+    pub(crate) read_before_write: RegBitset,
+    pub(crate) stores_since_boundary: u64,
+    pub(crate) fase_store_addrs: Vec<PAddr>,
+    pub(crate) in_tx: bool,
+    pub(crate) fase_active: bool,
     /// iDO lazy step-2 fence: the recovery_pc write-back has been issued
     /// but not yet fenced. It must drain before the next persistent store
     /// executes (or at the next fence, whichever comes first).
-    pc_fence_pending: bool,
+    pub(crate) pc_fence_pending: bool,
     /// Commit drains sort by address, so an unordered map is safe here.
-    tx_write_set: HashMap<PAddr, u64>,
-    mn_cursor: usize,
+    pub(crate) tx_write_set: HashMap<PAddr, u64>,
+    pub(crate) mn_cursor: usize,
     dirty_pages: HashSet<usize>,
     nvml_added: HashSet<PAddr>,
 }
@@ -272,6 +302,10 @@ pub struct Vm {
     /// Behind an `Arc` so `run_steps` can hold the stream across the step
     /// loop while `&mut self` executes instructions.
     code: Arc<DecodedProgram>,
+    /// The tier-2 block-compiled form, built at construction only when
+    /// `config.tier == ExecTier::Tier2` (the crash oracle constructs many
+    /// short-lived tier-1 VMs; they skip the compile entirely).
+    t2: Option<Arc<Tier2Program>>,
     scheme: Scheme,
     config: VmConfig,
     pub(crate) threads: Vec<ThreadCtx>,
@@ -310,12 +344,15 @@ impl Vm {
         let roots = RootTable::format(&mut h);
         let alloc = NvAllocator::format(&mut h, pool.size());
         let code = Arc::new(DecodedProgram::decode(&instrumented.program));
+        let t2 = (config.tier == ExecTier::Tier2)
+            .then(|| Arc::new(Tier2Program::compile(&instrumented.program)));
         let mut vm = Vm {
             pool,
             alloc,
             roots,
             max_regs: code.max_regs(),
             code,
+            t2,
             program: instrumented.program,
             scheme: instrumented.scheme,
             threads: Vec::new(),
@@ -348,12 +385,15 @@ impl Vm {
         let alloc = NvAllocator::attach();
         let registry = roots.root(&mut h, THREADS_ROOT).expect("thread registry root");
         let code = Arc::new(DecodedProgram::decode(&instrumented.program));
+        let t2 = (config.tier == ExecTier::Tier2)
+            .then(|| Arc::new(Tier2Program::compile(&instrumented.program)));
         Vm {
             pool,
             alloc,
             roots,
             max_regs: code.max_regs(),
             code,
+            t2,
             program: instrumented.program,
             scheme: instrumented.scheme,
             threads: Vec::new(),
@@ -574,58 +614,203 @@ impl Vm {
         self.stamp
     }
 
-    /// Executes up to `budget` instructions; returns when the budget is
-    /// exhausted, all threads are done, or no thread can run.
-    pub fn run_steps(&mut self, budget: u64) -> RunOutcome {
-        // Hold the decoded stream for the whole loop: one Arc clone per
-        // call, zero per-step refcount traffic or program lookups.
-        let code = Arc::clone(&self.code);
-        for _ in 0..budget {
-            // Allocation-free scheduler pick. Both policies reproduce the
-            // old collect-into-a-Vec selection exactly: Random draws one
-            // RNG word per executed step and indexes the runnable list in
-            // thread order; MinClock takes the (clock, index)-minimal
-            // runnable thread.
-            let pick = match self.config.sched {
-                SchedPolicy::Random => {
-                    let runnable =
-                        self.threads.iter().filter(|t| t.status == Status::Runnable).count();
-                    if runnable == 0 {
-                        return self.stalled_outcome();
-                    }
-                    let k = (self.next_rng() % runnable as u64) as usize;
+    /// Allocation-free scheduler pick. Both policies reproduce the old
+    /// collect-into-a-Vec selection exactly: Random draws one RNG word per
+    /// executed step and indexes the runnable list in thread order;
+    /// MinClock takes the (clock, index)-minimal runnable thread. Shared by
+    /// both execution tiers so the schedule is tier-independent by
+    /// construction.
+    fn pick_runnable(&mut self) -> Option<usize> {
+        match self.config.sched {
+            SchedPolicy::Random => {
+                let runnable =
+                    self.threads.iter().filter(|t| t.status == Status::Runnable).count();
+                if runnable == 0 {
+                    return None;
+                }
+                let k = (self.next_rng() % runnable as u64) as usize;
+                Some(
                     self.threads
                         .iter()
                         .enumerate()
                         .filter(|(_, t)| t.status == Status::Runnable)
                         .nth(k)
                         .expect("kth runnable thread")
-                        .0
-                }
-                SchedPolicy::MinClock => {
-                    match self
-                        .threads
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, t)| t.status == Status::Runnable)
-                        .min_by_key(|(i, t)| (t.handle.clock_ns(), *i))
-                    {
-                        Some((i, _)) => i,
-                        None => return self.stalled_outcome(),
-                    }
-                }
-            };
-            self.step_thread(pick, &code);
-            self.steps += 1;
+                        .0,
+                )
+            }
+            SchedPolicy::MinClock => self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Runnable)
+                .min_by_key(|(i, t)| (t.handle.clock_ns(), *i))
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// Fires the step hook (if installed) for the step just executed by
+    /// thread `pick`; returns the hook's verdict.
+    fn fire_hook(&mut self, pick: usize) -> StepControl {
+        if let Some(hook) = self.step_hook.as_mut() {
             let info = StepInfo {
                 step: self.steps,
                 thread: ThreadId(pick),
                 persist_events: self.pool.persist_event_count(),
             };
-            if let Some(hook) = self.step_hook.as_mut() {
-                if hook(info) == StepControl::Pause {
-                    return RunOutcome::Paused;
+            hook(info)
+        } else {
+            StepControl::Continue
+        }
+    }
+
+    /// Executes up to `budget` instructions; returns when the budget is
+    /// exhausted, all threads are done, or no thread can run.
+    pub fn run_steps(&mut self, budget: u64) -> RunOutcome {
+        match self.config.tier {
+            ExecTier::Tier1 => self.run_steps_tier1(budget),
+            ExecTier::Tier2 => self.run_steps_tier2(budget),
+        }
+    }
+
+    fn run_steps_tier1(&mut self, budget: u64) -> RunOutcome {
+        // Hold the decoded stream for the whole loop: one Arc clone per
+        // call, zero per-step refcount traffic or program lookups.
+        let code = Arc::clone(&self.code);
+        for _ in 0..budget {
+            let pick = match self.pick_runnable() {
+                Some(p) => p,
+                None => return self.stalled_outcome(),
+            };
+            self.step_thread(pick, &code);
+            self.steps += 1;
+            if self.fire_hook(pick) == StepControl::Pause {
+                return RunOutcome::Paused;
+            }
+        }
+        if self.threads.iter().all(|t| t.status == Status::Done) {
+            RunOutcome::Completed
+        } else {
+            RunOutcome::Paused
+        }
+    }
+
+    /// The tier-2 step loop: the scheduler pick is identical to tier 1, but
+    /// once a thread is picked the VM executes as many consecutive
+    /// instructions of that thread as the policy would have granted it
+    /// anyway — a *segment* of fused superinstructions, chained across
+    /// blocks — before returning to the scheduler. Any pc whose entry is
+    /// not fusible deopts to one tier-1 `step_thread` call, so calls,
+    /// returns, allocation, and every scheme runtime op run on the
+    /// reference engine with bit-identical semantics.
+    fn run_steps_tier2(&mut self, budget: u64) -> RunOutcome {
+        let code = Arc::clone(&self.code);
+        let t2 = Arc::clone(self.t2.as_ref().expect("tier-2 program compiled at construction"));
+        let mut remaining = budget;
+        while remaining > 0 {
+            let pick = match self.pick_runnable() {
+                Some(p) => p,
+                None => return self.stalled_outcome(),
+            };
+            let th = &self.threads[pick];
+            let pc = th.frames.last().expect("runnable thread has a frame").pc;
+            // Recovery threads always run on tier 1: their lock semantics
+            // (idempotent release, halt-after-release) are deopt paths.
+            let entry = if th.recovery {
+                Tier2Entry::Unfused
+            } else {
+                t2.function(pc.func).entry_at(pc)
+            };
+            let (seg, op, branch_half) = match entry {
+                Tier2Entry::Unfused => {
+                    self.step_thread(pick, &code);
+                    self.steps += 1;
+                    remaining -= 1;
+                    if self.fire_hook(pick) == StepControl::Pause {
+                        return RunOutcome::Paused;
+                    }
+                    continue;
                 }
+                Tier2Entry::Op { seg, op } => (seg, op, false),
+                Tier2Entry::BranchHalf { seg, op } => (seg, op, true),
+            };
+            // How many steps may this thread run before the scheduler must
+            // get control back? With a hook installed, exactly one (the
+            // oracle pauses between individual steps). Under Random with
+            // other runnable threads, one (the next pick is a fresh draw).
+            // Under MinClock, until this thread's clock passes the next
+            // runnable thread's (ties break by index).
+            let hooked = self.step_hook.is_some();
+            let mut max_steps = if hooked { 1 } else { remaining };
+            let mut clock_limit = None;
+            let mut burn_rng = false;
+            match self.config.sched {
+                SchedPolicy::MinClock => {
+                    let mut min_other: Option<(u64, usize)> = None;
+                    for (i, t) in self.threads.iter().enumerate() {
+                        if i != pick && t.status == Status::Runnable {
+                            let key = (t.handle.clock_ns(), i);
+                            if min_other.map_or(true, |m| key < m) {
+                                min_other = Some(key);
+                            }
+                        }
+                    }
+                    if let Some((clock, idx)) = min_other {
+                        // `pick` keeps running while (clock, pick) is still
+                        // minimal: strictly-below when pick > idx,
+                        // at-or-below when pick < idx.
+                        clock_limit = Some(clock + u64::from(pick < idx));
+                    }
+                }
+                SchedPolicy::Random => {
+                    let runnable =
+                        self.threads.iter().filter(|t| t.status == Status::Runnable).count();
+                    if runnable == 1 {
+                        // Sole runnable thread: every tier-1 pick would
+                        // re-select it but still draw one RNG word per
+                        // step. The segment burns the same draws.
+                        burn_rng = true;
+                    } else {
+                        max_steps = 1;
+                    }
+                }
+            }
+            // Short-segment fast path: when the gate could only admit a
+            // single step anyway (clock already at the scheduler limit, or
+            // a contended Random pick), the segment's setup/teardown costs
+            // more than it fuses — execute that one step on the tier-1
+            // stepper instead, which is observationally identical for a
+            // single instruction. Never taken with a hook installed: the
+            // oracle must crash genuine tier-2 machine states.
+            let single_by_clock = clock_limit
+                .is_some_and(|lim| self.threads[pick].handle.clock_ns() >= lim);
+            if !hooked && !burn_rng && (max_steps == 1 || single_by_clock) {
+                self.step_thread(pick, &code);
+                self.steps += 1;
+                remaining -= 1;
+                continue;
+            }
+            let Vm { ref mut threads, ref mut locks, ref config, scheme, ref mut rng, .. } =
+                *self;
+            let run = tier2::exec_segment(
+                pick,
+                &mut threads[pick],
+                locks,
+                scheme,
+                config,
+                t2.function(pc.func),
+                tier2::SegEntry { seg, op, branch_half },
+                pc.block,
+                tier2::SegLimits { max_steps, clock_limit, rng: burn_rng.then_some(rng) },
+            );
+            debug_assert!(run.executed >= 1 && run.executed <= max_steps);
+            self.steps += run.executed;
+            remaining -= run.executed;
+            if let tier2::SegExit::Wake(woken) = run.exit {
+                self.wake(pick, woken);
+            }
+            if self.fire_hook(pick) == StepControl::Pause {
+                return RunOutcome::Paused;
             }
         }
         if self.threads.iter().all(|t| t.status == Status::Done) {
@@ -746,79 +931,13 @@ impl Vm {
     /// A persistent store as seen by the current scheme. Returns without
     /// writing memory for write-set-buffering schemes inside transactions.
     fn scheme_store(&mut self, t: usize, addr: PAddr, value: u64) {
-        self.threads[t].stores_since_boundary += 1;
-        match self.scheme {
-            Scheme::Mnemosyne => {
-                if self.threads[t].in_tx {
-                    // Buffer the write; append a REDO entry with
-                    // non-temporal stores (kind word last, so a torn entry
-                    // is invisible to the recovery scan).
-                    let cur = self.threads[t].mn_cursor;
-                    let e = self.threads[t].app_log.entry_addr(cur);
-                    let th = &mut self.threads[t];
-                    th.tx_write_set.insert(addr, value);
-                    th.mn_cursor += 1;
-                    th.handle.begin_log();
-                    th.handle.nt_store_u64(e + 8, addr as u64);
-                    th.handle.nt_store_u64(e + 16, value);
-                    th.handle.nt_store_u64(e + 24, 0);
-                    th.handle.nt_store_u64(e, LogEntryKind::Redo as u64);
-                    th.handle.end_log();
-                    th.handle.trace_event(EventKind::LogAppend, 1, 32);
-                } else {
-                    self.threads[t].handle.write_u64(addr, value);
-                }
-            }
-            Scheme::Nvthreads => {
-                if self.threads[t].in_tx {
-                    self.threads[t].tx_write_set.insert(addr, value);
-                } else {
-                    self.threads[t].handle.write_u64(addr, value);
-                }
-            }
-            Scheme::JustDo => {
-                // Persist the store before the next log entry can be
-                // overwritten: JUSTDO's second fence per store.
-                let th = &mut self.threads[t];
-                th.handle.write_u64(addr, value);
-                th.handle.clwb(addr);
-                th.handle.sfence();
-            }
-            Scheme::Ido => {
-                let th = &mut self.threads[t];
-                if th.pc_fence_pending {
-                    // The deferred step-2 fence: recovery_pc must persist
-                    // before this region performs a store that could
-                    // overwrite a predecessor region's inputs.
-                    th.handle.sfence();
-                    th.pc_fence_pending = false;
-                }
-                th.handle.write_u64(addr, value);
-                th.region_stores.push(addr);
-            }
-            Scheme::Atlas | Scheme::Nvml => {
-                let th = &mut self.threads[t];
-                th.handle.write_u64(addr, value);
-                th.fase_store_addrs.push(addr);
-            }
-            Scheme::Origin => {
-                self.threads[t].handle.write_u64(addr, value);
-            }
-        }
+        scheme_store(self.scheme, &mut self.threads[t], addr, value);
     }
 
     /// A persistent load as seen by the current scheme (transactional
     /// schemes must read through their write sets).
     fn scheme_load(&mut self, t: usize, addr: PAddr) -> u64 {
-        let th = &mut self.threads[t];
-        if th.in_tx {
-            if let Some(v) = th.tx_write_set.get(&addr) {
-                // Still charge a (cheap) lookup as a cached load.
-                th.handle.advance(1);
-                return *v;
-            }
-        }
-        th.handle.read_u64(addr)
+        scheme_load(&mut self.threads[t], addr)
     }
 
     fn exec_inst(&mut self, t: usize, pc: Pc, inst: &DecodedInst, code: &DecodedProgram) {
@@ -1529,8 +1648,84 @@ impl Vm {
     }
 }
 
-fn mem_addr(base: u64, offset: i64) -> PAddr {
+pub(crate) fn mem_addr(base: u64, offset: i64) -> PAddr {
     (base as i64 + offset) as PAddr
+}
+
+/// The scheme-specific persistent-store semantics, shared verbatim by both
+/// execution tiers (tier 2 must emit the identical persist-event stream).
+/// Operates on the thread context alone — notably it never touches the
+/// frame stack, which is what lets the tier-2 executor keep the register
+/// file checked out of the frame while storing.
+pub(crate) fn scheme_store(scheme: Scheme, th: &mut ThreadCtx, addr: PAddr, value: u64) {
+    th.stores_since_boundary += 1;
+    match scheme {
+        Scheme::Mnemosyne => {
+            if th.in_tx {
+                // Buffer the write; append a REDO entry with
+                // non-temporal stores (kind word last, so a torn entry
+                // is invisible to the recovery scan).
+                let cur = th.mn_cursor;
+                let e = th.app_log.entry_addr(cur);
+                th.tx_write_set.insert(addr, value);
+                th.mn_cursor += 1;
+                th.handle.begin_log();
+                th.handle.nt_store_u64(e + 8, addr as u64);
+                th.handle.nt_store_u64(e + 16, value);
+                th.handle.nt_store_u64(e + 24, 0);
+                th.handle.nt_store_u64(e, LogEntryKind::Redo as u64);
+                th.handle.end_log();
+                th.handle.trace_event(EventKind::LogAppend, 1, 32);
+            } else {
+                th.handle.write_u64(addr, value);
+            }
+        }
+        Scheme::Nvthreads => {
+            if th.in_tx {
+                th.tx_write_set.insert(addr, value);
+            } else {
+                th.handle.write_u64(addr, value);
+            }
+        }
+        Scheme::JustDo => {
+            // Persist the store before the next log entry can be
+            // overwritten: JUSTDO's second fence per store.
+            th.handle.write_u64(addr, value);
+            th.handle.clwb(addr);
+            th.handle.sfence();
+        }
+        Scheme::Ido => {
+            if th.pc_fence_pending {
+                // The deferred step-2 fence: recovery_pc must persist
+                // before this region performs a store that could
+                // overwrite a predecessor region's inputs.
+                th.handle.sfence();
+                th.pc_fence_pending = false;
+            }
+            th.handle.write_u64(addr, value);
+            th.region_stores.push(addr);
+        }
+        Scheme::Atlas | Scheme::Nvml => {
+            th.handle.write_u64(addr, value);
+            th.fase_store_addrs.push(addr);
+        }
+        Scheme::Origin => {
+            th.handle.write_u64(addr, value);
+        }
+    }
+}
+
+/// The scheme-specific persistent-load semantics (transactional schemes
+/// read through their write sets), shared by both execution tiers.
+pub(crate) fn scheme_load(th: &mut ThreadCtx, addr: PAddr) -> u64 {
+    if th.in_tx {
+        if let Some(v) = th.tx_write_set.get(&addr) {
+            // Still charge a (cheap) lookup as a cached load.
+            th.handle.advance(1);
+            return *v;
+        }
+    }
+    th.handle.read_u64(addr)
 }
 
 /// Writes back a store-address accumulator in deterministic order — sort
@@ -1556,7 +1751,7 @@ fn drain_write_set(ws: &mut HashMap<PAddr, u64>) -> Vec<(PAddr, u64)> {
     writes
 }
 
-fn eval_binop(op: BinOp, a: u64, b: u64) -> u64 {
+pub(crate) fn eval_binop(op: BinOp, a: u64, b: u64) -> u64 {
     let (sa, sb) = (a as i64, b as i64);
     match op {
         BinOp::Add => a.wrapping_add(b),

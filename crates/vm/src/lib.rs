@@ -33,9 +33,10 @@ pub mod layout;
 pub mod locks;
 pub mod profile;
 pub mod recovery;
+mod tier2;
 
 pub use exec::{
-    RunOutcome, SchedPolicy, Status, StepControl, StepHook, StepInfo, Vm, VmConfig,
+    ExecTier, RunOutcome, SchedPolicy, Status, StepControl, StepHook, StepInfo, Vm, VmConfig,
     GLOBAL_TX_LOCK, MAX_THREADS, THREADS_ROOT,
 };
 pub use locks::ThreadId;

@@ -19,7 +19,7 @@ use ido_compiler::{instrument_program, Scheme};
 use ido_ir::{Operand, ProgramBuilder};
 use ido_nvm::LatencyModel;
 use ido_trace::TraceConfig;
-use ido_vm::{RunOutcome, Vm, VmConfig};
+use ido_vm::{ExecTier, RunOutcome, Vm, VmConfig};
 
 /// `worker(lock, p)`: two FASEs, each incrementing `mem[p]` and
 /// `mem[p+64]` under `lock`.
@@ -49,11 +49,16 @@ fn twin_counter(scheme: Scheme) -> ido_compiler::Instrumented {
 
 /// Runs the tiny workload traced and renders one line per event.
 fn rendered_trace(scheme: Scheme) -> String {
+    rendered_trace_on(scheme, ExecTier::Tier1)
+}
+
+fn rendered_trace_on(scheme: Scheme, tier: ExecTier) -> String {
     let mut cfg = VmConfig::for_tests();
     // Realistic latency so timestamps advance (zero latency would pin
     // every ts to 0 and hide reordering).
     cfg.pool.latency = LatencyModel::default();
     cfg.pool.trace = TraceConfig { enabled: true, buf_entries: 1 << 12 };
+    cfg.tier = tier;
     let mut vm = Vm::new(twin_counter(scheme), cfg);
     let (lock, cell) = vm.setup(|h, alloc, _| {
         let lock = alloc.alloc(h, 8).unwrap();
@@ -104,6 +109,26 @@ fn event_sequences_match_checked_in_goldens() {
             want,
             "event stream for {scheme} diverged from {} — if intentional, \
              regenerate with IDO_BLESS=1",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn tier2_event_sequences_match_the_same_goldens() {
+    // The block-compiled engine reads the *identical* checked-in goldens:
+    // same events, same order, same timestamps. (No separate bless mode —
+    // tier 2 has no golden of its own to drift toward.)
+    for scheme in Scheme::ALL {
+        let got = rendered_trace_on(scheme, ExecTier::Tier2);
+        let path = golden_path(scheme);
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing golden {} ({e}); regenerate with IDO_BLESS=1", path.display())
+        });
+        assert_eq!(
+            got,
+            want,
+            "tier-2 event stream for {scheme} diverged from the tier-1 golden {}",
             path.display()
         );
     }

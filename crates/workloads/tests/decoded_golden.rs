@@ -11,7 +11,7 @@
 //! optimization changed semantics, not just speed.
 
 use ido_compiler::{instrument_program, Scheme};
-use ido_vm::{RunOutcome, SchedPolicy, Vm, VmConfig};
+use ido_vm::{ExecTier, RunOutcome, SchedPolicy, Vm, VmConfig};
 use ido_workloads::micro::TwinSpec;
 use ido_workloads::WorkloadSpec;
 
@@ -31,10 +31,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// Runs the twin-counter workload exactly like the DES harness does and
 /// returns `(steps, sim_ns, fnv1a(persistent image))`.
 fn fingerprint(scheme: Scheme) -> (u64, u64, u64) {
+    fingerprint_on(scheme, ExecTier::Tier1)
+}
+
+fn fingerprint_on(scheme: Scheme, tier: ExecTier) -> (u64, u64, u64) {
     let spec = TwinSpec;
     let inst = instrument_program(spec.build_program(), scheme).expect("instruments cleanly");
     let mut cfg = VmConfig::for_tests();
     cfg.sched = SchedPolicy::MinClock;
+    cfg.tier = tier;
     let mut vm = Vm::new(inst, cfg);
     let base = spec.setup(&mut vm, THREADS, OPS);
     for t in 0..THREADS {
@@ -71,6 +76,21 @@ fn decoded_fast_path_matches_the_golden_pre_decode_run() {
             got,
             (steps, sim_ns, hash),
             "{scheme}: decoded interpreter diverged from the pre-decode golden run"
+        );
+    }
+}
+
+#[test]
+fn tier2_matches_the_golden_pre_decode_run() {
+    // The block-compiled engine must land on the *same* golden rows the
+    // original clone-per-step interpreter produced: two optimization
+    // generations later, still step-for-step identical dynamics.
+    for (scheme, steps, sim_ns, hash) in GOLDEN {
+        let got = fingerprint_on(scheme, ExecTier::Tier2);
+        assert_eq!(
+            got,
+            (steps, sim_ns, hash),
+            "{scheme}: tier-2 engine diverged from the pre-decode golden run"
         );
     }
 }

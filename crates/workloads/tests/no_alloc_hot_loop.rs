@@ -13,8 +13,14 @@
 //! The trace subsystem extends the guarantee: with `PoolConfig::trace`
 //! enabled, every event lands in the ring buffer preallocated at handle
 //! creation (wrapping overwrites, never grows), so the traced hot loop
-//! must also measure zero allocations. Both phases run sequentially in the
-//! single test below.
+//! must also measure zero allocations.
+//!
+//! The tier-2 block-compiled engine (ISSUE 6) inherits the guarantee: a
+//! segment run borrows the thread's register file (`mem::take` of the
+//! frame's `Vec`, returned at segment exit), the compiled `Tier2Program`
+//! is built once at `Vm::new`, and batched cost charges are plain integer
+//! arithmetic — so tier-2 segments must also execute allocation-free.
+//! All phases run sequentially in the single test below.
 //!
 //! This file must contain only this test: the global allocator counts
 //! every allocation in the process, so an unrelated concurrent test would
@@ -25,7 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use ido_compiler::{instrument_program, Scheme};
 use ido_ir::{BinOp, ProgramBuilder};
-use ido_vm::{RunOutcome, Vm, VmConfig};
+use ido_vm::{ExecTier, RunOutcome, Vm, VmConfig};
 
 struct CountingAlloc;
 
@@ -163,4 +169,18 @@ fn hot_loop_makes_zero_allocations_per_step() {
     assert!(trace.pushed > 10_000, "window must emit events ({} pushed)", trace.pushed);
     assert!(trace.dropped > 0, "the 256-entry ring must wrap ({} pushed)", trace.pushed);
     assert_eq!(trace.events.len() as u64, trace.pushed - trace.dropped);
+
+    // Phase 3: the tier-2 engine on the same arithmetic loop — fused
+    // Mov/Bin/CmpBranch superinstructions in gated segments, register file
+    // borrowed from the frame, still zero allocations per step.
+    let mut t2 = VmConfig::for_tests();
+    t2.tier = ExecTier::Tier2;
+    measure_window(arithmetic_loop(), t2, "tier-2 block-compiled");
+
+    // Phase 4: tier 2 with tracing on and the tiny wrapping ring — the
+    // fused store+clwb path emits through the same preallocated ring.
+    let mut t2t = VmConfig::for_tests();
+    t2t.tier = ExecTier::Tier2;
+    t2t.pool.trace = ido_trace::TraceConfig { enabled: true, buf_entries: 256 };
+    measure_window(store_loop(), t2t, "tier-2 traced");
 }

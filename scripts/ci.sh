@@ -18,6 +18,17 @@ cargo build --release --workspace
 echo "== test (workspace) =="
 cargo test --workspace -q
 
+echo "== cross-tier differential harness (tier-2 must match tier-1) =="
+# Named gates for the block-compiled engine: byte-identical images, stats,
+# and traces across tiers; the pre-decode goldens reproduced on tier 2;
+# and the tier-2 crash-oracle pass (exhaustive explore + sabotage
+# self-test). All also run under the workspace pass above — kept explicit
+# so a tier-2 regression is called out by name in the CI log.
+cargo test -q -p ido-workloads --test tier_equivalence
+cargo test -q -p ido-workloads --test decoded_golden
+cargo test -q -p ido-vm --test trace_golden
+cargo test -q -p ido-crashtest --test tier2_oracle
+
 echo "== static atomicity lint + differential smoke (verify_report) =="
 # Lints every standard workload under every scheme and cross-checks the
 # static verdicts against the crash oracle; any violation or
@@ -27,7 +38,9 @@ IDO_BENCH_QUICK=1 cargo run -q --release -p ido-bench --bin verify_report
 echo "== crash-oracle smoke sweep =="
 IDO_ORACLE_SMOKE=1 cargo run -q --release -p ido-bench --bin crash_oracle
 
-echo "== interpreter throughput smoke (quick mode) =="
+echo "== interpreter throughput smoke (quick mode, tier-1 + tier-2 series) =="
+# interp_bench measures every bench on both execution tiers and asserts
+# equal step counts per pair, so this smoke also gates tier-2 determinism.
 IDO_BENCH_QUICK=1 cargo run -q --release -p ido-bench --bin interp_bench
 
 echo "== trace smoke: quick trace_report + JSON/event-kind self-check =="
