@@ -9,8 +9,8 @@
 //! above, with iDO reaching roughly 25–33% of it at peak.
 
 use ido_bench::{
-    bench_config, curve_for, curves_to_rows, format_curves, ops_per_thread, peak, sweep_threads,
-    write_csv, THREAD_SWEEP,
+    bench_config, curve_for, curves_to_rows, format_curves, hi_thread_config, ops_per_thread,
+    peak, sweep_threads, write_csv, HI_THREAD_SWEEP, THREAD_SWEEP,
 };
 use ido_compiler::Scheme;
 use ido_workloads::kv::memcached::MemcachedSpec;
@@ -47,5 +47,26 @@ fn main() {
         println!("  iDO/Origin peak ratio      = {:.2} (paper: 0.25–0.33)", ido / origin);
         println!("  iDO/Atlas  peak ratio      = {:.2} (paper: ≥ 2)", ido / atlas);
         println!("  iDO/JUSTDO peak ratio      = {:.2} (paper: ≥ 2)", ido / justdo);
+    }
+
+    // Extended sweep past the paper's 16-core testbed: 64–256 simulated
+    // threads over the sharded allocator (the global-mutex allocator would
+    // serialize spawn-time log allocation and mask the runtimes' own
+    // saturation, which is the phenomenon of interest here).
+    let hi_cfg = hi_thread_config(cfg);
+    for (tag, spec) in [
+        ("insert", MemcachedSpec::insertion_intensive()),
+        ("search", MemcachedSpec::search_intensive()),
+    ] {
+        let curves = sweep_threads(&spec, &schemes, &HI_THREAD_SWEEP, ops, hi_cfg.clone());
+        println!(
+            "{}",
+            format_curves(&format!("Fig. 5 — Memcached ({tag}), 64–256 threads"), &curves)
+        );
+        write_csv(
+            &format!("fig5_memcached_{tag}_hi"),
+            "threads,scheme,mops",
+            &curves_to_rows(&curves),
+        );
     }
 }

@@ -11,10 +11,11 @@
 
 use ido_bench::{
     bench_config, counters_to_fields, curves_from_stats, curves_to_rows, format_curves,
-    ops_per_thread, point_at, sweep_stats, write_csv, COUNTER_HEADER, THREAD_SWEEP,
+    hi_thread_config, ops_per_thread, point_at, sweep_stats, write_csv, COUNTER_HEADER,
+    HI_THREAD_SWEEP, THREAD_SWEEP,
 };
 use ido_compiler::Scheme;
-use ido_workloads::micro::{ListSpec, MapSpec, QueueSpec, StackSpec};
+use ido_workloads::micro::{AllocChurnSpec, ListSpec, MapSpec, QueueSpec, StackSpec};
 use ido_workloads::WorkloadSpec;
 
 fn main() {
@@ -66,5 +67,21 @@ fn main() {
             ido64 / ido1,
             ido64 / mnemo64
         );
+    }
+
+    // Extended sweep past the paper's testbed: the two structures with the
+    // most headroom — the near-linear hash map (does iDO keep scaling to
+    // 256 threads?) and the alloc-churn workload (the allocator itself on
+    // the hot path) — over 64–256 threads with the sharded allocator.
+    let hi_cfg = hi_thread_config(cfg);
+    let hi_specs: Vec<(&str, Box<dyn WorkloadSpec>)> = vec![
+        ("hash-map", Box::new(MapSpec { buckets: 512, key_range: 16384 })),
+        ("alloc-churn", Box::new(AllocChurnSpec)),
+    ];
+    for (name, spec) in &hi_specs {
+        let stats = sweep_stats(spec.as_ref(), &schemes, &HI_THREAD_SWEEP, ops, hi_cfg.clone());
+        let curves = curves_from_stats(&schemes, &HI_THREAD_SWEEP, &stats);
+        println!("{}", format_curves(&format!("Fig. 7 — {name}, 64–256 threads"), &curves));
+        write_csv(&format!("fig7_{name}_hi"), "threads,scheme,mops", &curves_to_rows(&curves));
     }
 }

@@ -19,6 +19,21 @@ use ido_workloads::{run_workload, RunStats, WorkloadSpec};
 /// Thread counts used by the scalability sweeps (the paper's x-axis).
 pub const THREAD_SWEEP: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
+/// Thread counts for the extended high-thread sweeps (beyond the paper's
+/// 16-core testbed: where the schemes' runtime serialization, lock
+/// convoys, and allocator contention dominate).
+pub const HI_THREAD_SWEEP: [usize; 3] = [64, 128, 256];
+
+/// Adapts a config for high-thread runs: a registry sized for
+/// [`HI_THREAD_SWEEP`]'s maximum and the sharded allocator (the legacy
+/// global-mutex allocator would serialize spawn-time log allocation and
+/// drown the signal being measured).
+pub fn hi_thread_config(mut cfg: VmConfig) -> VmConfig {
+    cfg.max_threads = 256;
+    cfg.alloc = ido_nvm::AllocPolicy::Sharded { shards: 64 };
+    cfg
+}
+
 /// Returns a VM configuration sized for the harness workloads.
 pub fn bench_config(pool_mib: usize, log_entries: usize) -> VmConfig {
     VmConfig {

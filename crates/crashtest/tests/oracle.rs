@@ -10,7 +10,7 @@
 
 use ido_crashtest::{explore, explore_all, Counterexample, OracleConfig, DURABLE_SCHEMES};
 use ido_compiler::Scheme;
-use ido_workloads::micro::TwinSpec;
+use ido_workloads::micro::{AllocChurnSpec, TwinSpec};
 
 /// Exhaustive sweep: all six durable schemes on the twin-counter workload.
 /// Every boundary step × candidate lost-line subset must recover to a state
@@ -120,4 +120,24 @@ fn fixed_scheme_passes_the_counterexample_state() {
     let mut fixed = cex.clone();
     fixed.vm.ido_bug_skip_store_flush = false;
     assert_eq!(fixed.reproduce(&TwinSpec), Ok(()), "without the bug the state recovers");
+}
+
+/// The sharded allocator under the full crash oracle: an alloc/free churn
+/// workload whose FASEs go through the bitfield fast path (plus the large
+/// fallback), explored at every persist boundary × lost-line subset, for
+/// iDO and JUSTDO. Recovery re-attaches the sharded heap, so a consistent
+/// verdict covers the allocator's own metadata too.
+#[test]
+fn sharded_allocator_survives_oracle_sweep_under_churn() {
+    let mut cfg = OracleConfig::default(); // 2 threads x 2 ops
+    cfg.vm.alloc = ido_nvm::AllocPolicy::Sharded { shards: 2 };
+    for scheme in [Scheme::Ido, Scheme::JustDo] {
+        let r = explore(&AllocChurnSpec, scheme, &cfg);
+        assert!(
+            r.counterexample.is_none(),
+            "{scheme} with sharded allocator failed the sweep: {}",
+            r.counterexample.as_ref().unwrap()
+        );
+        assert!(r.boundary_steps >= 3, "{scheme}: implausibly few boundaries");
+    }
 }

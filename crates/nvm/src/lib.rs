@@ -52,11 +52,14 @@ mod error;
 pub mod journal;
 mod latency;
 mod line;
+pub mod pad;
 mod pool;
 pub mod root;
 mod stats;
 
+pub use alloc::AllocPolicy;
 pub use error::NvmError;
+pub use pad::CachePadded;
 pub use journal::{PersistEvent, PersistEventKind};
 pub use latency::{EmulationMode, LatencyModel};
 pub use line::{line_of, line_offset, CACHE_LINE};

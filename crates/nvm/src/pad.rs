@@ -1,0 +1,79 @@
+//! Cache-line padding for contended data.
+//!
+//! The simulated machine runs many logical threads whose hot metadata
+//! (global persistence counters, lock-table entries, per-shard allocator
+//! state) lives in ordinary host memory. When sweeps fan simulations out
+//! over real OS threads (`ido-par`), adjacent atomics in one cache line
+//! false-share and serialize the host cores. [`CachePadded`] aligns and
+//! pads a value to one 64-byte line so neighbouring instances never share
+//! a line.
+
+/// Aligns `T` to a 64-byte cache line, padding it to fill the line.
+///
+/// `Deref`/`DerefMut` make the wrapper transparent at use sites:
+/// `padded.fetch_add(1, ...)` works directly on a
+/// `CachePadded<AtomicU64>`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn padded_values_occupy_distinct_lines() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 64);
+        assert!(std::mem::size_of::<CachePadded<AtomicU64>>() >= 64);
+        let pair = [CachePadded::new(AtomicU64::new(0)), CachePadded::new(AtomicU64::new(0))];
+        let a = &pair[0] as *const _ as usize;
+        let b = &pair[1] as *const _ as usize;
+        assert!(b - a >= 64, "adjacent padded atomics must not share a line");
+    }
+
+    #[test]
+    fn deref_is_transparent() {
+        let mut c = CachePadded::new(7u64);
+        *c += 1;
+        assert_eq!(*c, 8);
+        assert_eq!(c.into_inner(), 8);
+        let a = CachePadded::new(AtomicU64::new(1));
+        a.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(a.load(Ordering::Relaxed), 3);
+    }
+}

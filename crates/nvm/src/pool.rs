@@ -260,6 +260,7 @@ impl PmemPool {
             trace,
             costs: CostBreakdown::default(),
             log_depth: 0,
+            shard: 0,
         }
     }
 
@@ -504,6 +505,10 @@ pub struct PmemHandle {
     /// stores count as log writes (bytes into `stats.log_bytes`, cost
     /// into the `Log` category).
     log_depth: u32,
+    /// Allocator shard affinity (typically the simulated thread/core id).
+    /// The sharded allocator routes this handle's allocations and frees to
+    /// shard `shard % n_shards`; other allocator policies ignore it.
+    shard: u32,
 }
 
 impl std::fmt::Debug for PmemHandle {
@@ -613,6 +618,19 @@ impl PmemHandle {
     /// logical time jumps forward to a lock-release event).
     pub fn set_clock_ns(&mut self, ns: u64) {
         self.clock_ns = ns;
+    }
+
+    /// This handle's allocator shard affinity (see
+    /// [`crate::alloc::AllocPolicy::Sharded`]).
+    #[inline]
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Sets the allocator shard affinity; the VM assigns the simulated
+    /// thread index at spawn time.
+    pub fn set_shard(&mut self, shard: u32) {
+        self.shard = shard;
     }
 
     /// The latency model in effect for this handle.

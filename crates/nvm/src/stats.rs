@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::pad::CachePadded;
+
 /// Internal mutable counter block. Per-handle instances use it through
 /// `&mut`-free atomic adds so the same type can serve as the pool-global
 /// accumulator.
@@ -26,15 +28,18 @@ pub struct PersistStats {
     global: GlobalCounters,
 }
 
+/// The pool-global accumulator half. Each counter sits in its own cache
+/// line: sweeps running 64+ simulated threads fold per-handle stats in
+/// from many OS threads at once, and unpadded neighbours false-share.
 #[derive(Debug, Default)]
 struct GlobalCounters {
-    loads: AtomicU64,
-    stores: AtomicU64,
-    nt_stores: AtomicU64,
-    clwbs: AtomicU64,
-    fences: AtomicU64,
-    lines_persisted: AtomicU64,
-    log_bytes: AtomicU64,
+    loads: CachePadded<AtomicU64>,
+    stores: CachePadded<AtomicU64>,
+    nt_stores: CachePadded<AtomicU64>,
+    clwbs: CachePadded<AtomicU64>,
+    fences: CachePadded<AtomicU64>,
+    lines_persisted: CachePadded<AtomicU64>,
+    log_bytes: CachePadded<AtomicU64>,
 }
 
 impl PersistStats {

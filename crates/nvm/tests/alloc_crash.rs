@@ -15,7 +15,7 @@
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use ido_nvm::alloc::NvAllocator;
+use ido_nvm::alloc::{AllocPolicy, NvAllocator, CHUNK_BYTES, CLASS_SIZES, DESC_BYTES};
 use ido_nvm::root::{RootTable, HEAP_START};
 use ido_nvm::{CrashPolicy, PmemHandle, PmemPool, PoolConfig, PAddr};
 
@@ -73,16 +73,17 @@ struct Block {
     allocated: bool,
 }
 
-/// Walks the heap by headers from `HEAP_START` to the bump pointer and
-/// checks structural invariants; panics on any corruption.
-fn walk_heap(h: &mut PmemHandle) -> Vec<Block> {
+/// Walks the list-managed region by headers from `floor` (`HEAP_START`
+/// for the legacy policy, `large_start` for the sharded one) to the bump
+/// pointer and checks structural invariants; panics on any corruption.
+fn walk_heap_from(h: &mut PmemHandle, floor: PAddr) -> Vec<Block> {
     // Allocator metadata layout (stable, asserted by the allocator's own
     // unit tests): bump pointer is the first metadata word.
     let meta = ido_nvm::root::ALLOC_META_ADDR;
     let bump = h.read_u64(meta) as PAddr;
-    assert!(bump >= HEAP_START, "bump below heap start");
+    assert!(bump >= floor, "bump below region start");
     let mut blocks = Vec::new();
-    let mut cur = HEAP_START;
+    let mut cur = floor;
     while cur < bump {
         let header = h.read_u64(cur);
         let size = (header & !ALLOCATED_BIT) as usize;
@@ -102,9 +103,9 @@ fn walk_heap(h: &mut PmemHandle) -> Vec<Block> {
     blocks
 }
 
-/// Collects the free list, checking it is acyclic, in-heap, and never
+/// Collects the free list, checking it is acyclic, in-region, and never
 /// overlaps a block the walk says is live.
-fn check_free_list(h: &mut PmemHandle, blocks: &[Block]) -> BTreeSet<PAddr> {
+fn check_free_list_from(h: &mut PmemHandle, blocks: &[Block], floor: PAddr) -> BTreeSet<PAddr> {
     let meta = ido_nvm::root::ALLOC_META_ADDR;
     let bump = h.read_u64(meta) as PAddr;
     let mut seen = BTreeSet::new();
@@ -113,7 +114,7 @@ fn check_free_list(h: &mut PmemHandle, blocks: &[Block]) -> BTreeSet<PAddr> {
         assert!(seen.insert(cur), "free list cycles at {cur:#x}");
         assert!(seen.len() <= 1024, "free list unreasonably long");
         assert!(
-            (HEAP_START + HEADER_BYTES..bump).contains(&cur),
+            (floor + HEADER_BYTES..bump).contains(&cur),
             "free entry {cur:#x} outside heap"
         );
         let header = h.read_u64(cur - HEADER_BYTES);
@@ -133,8 +134,8 @@ fn check_free_list(h: &mut PmemHandle, blocks: &[Block]) -> BTreeSet<PAddr> {
 fn check_recovered_heap(pool: &PmemPool) {
     let alloc = NvAllocator::attach();
     let mut h = pool.handle();
-    let blocks = walk_heap(&mut h);
-    let free = check_free_list(&mut h, &blocks);
+    let blocks = walk_heap_from(&mut h, HEAP_START);
+    let free = check_free_list_from(&mut h, &blocks, HEAP_START);
 
     // At most one block can leak per interrupted operation: walk-free
     // blocks that are unreachable from the free list (including the
@@ -164,7 +165,7 @@ fn check_recovered_heap(pool: &PmemPool) {
         fresh_blocks.push((p, 16));
     }
     // And the recovered metadata stays internally consistent afterwards.
-    walk_heap(&mut h);
+    walk_heap_from(&mut h, HEAP_START);
 }
 
 /// Reference pass: how many persist events does the script produce?
@@ -232,8 +233,8 @@ fn interrupted_free_never_double_links() {
         pool.set_persist_trap(None);
         pool.crash(k);
         let mut h = pool.handle();
-        let blocks = walk_heap(&mut h);
-        let free = check_free_list(&mut h, &blocks);
+        let blocks = walk_heap_from(&mut h, HEAP_START);
+        let free = check_free_list_from(&mut h, &blocks, HEAP_START);
         assert!(free.len() <= 1, "block freed at most once");
         if r.is_ok() {
             // free() completed before the trap window closed — the block
@@ -241,4 +242,241 @@ fn interrupted_free_never_double_links() {
             assert!(free.contains(&a), "completed free must survive the crash");
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Sharded-policy sweep
+// ---------------------------------------------------------------------
+//
+// Same methodology over the two-level allocator's metadata: every flush
+// boundary of a script spanning multiple size classes, two shards,
+// cross-shard frees, chunk formatting, cache reuse, and the large-object
+// fallback. A durable side ledger records which blocks the "application"
+// published (entry persisted *before* the count bump, tombstoned *before*
+// the free), so the post-crash check can distinguish mandatory-live
+// blocks (must still be allocated — anything else is corruption) from
+// in-flight ones (may have leaked — allowed).
+
+const SHARDS: usize = 4;
+const LEDGER_BYTES: usize = 4096;
+
+fn fresh_sharded() -> (PmemPool, NvAllocator, PAddr) {
+    let pool = PmemPool::new(PoolConfig::small_for_tests());
+    let ledger = pool.size() - LEDGER_BYTES;
+    let mut h = pool.handle();
+    RootTable::format(&mut h);
+    let alloc =
+        NvAllocator::format_with(&mut h, ledger, AllocPolicy::Sharded { shards: SHARDS });
+    h.write_u64(ledger, 0);
+    h.persist(ledger, 8);
+    (pool, alloc, ledger)
+}
+
+/// Publishes `(addr, size)` in the ledger: entry first, count second, each
+/// persisted — a crash can lose the block (leak) but never fabricate a
+/// live entry for an unallocated block.
+fn publish(h: &mut PmemHandle, ledger: PAddr, addr: PAddr, size: usize) -> usize {
+    let n = h.read_u64(ledger) as usize;
+    let e = ledger + 8 + n * 32;
+    h.write_u64(e, addr as u64);
+    h.write_u64(e + 8, size as u64);
+    h.write_u64(e + 16, 1);
+    h.persist(e, 24);
+    h.write_u64(ledger, (n + 1) as u64);
+    h.persist(ledger, 8);
+    n
+}
+
+/// Durably retires ledger entry `idx` (tombstone before the free call).
+fn retire(h: &mut PmemHandle, ledger: PAddr, idx: usize) -> PAddr {
+    let e = ledger + 8 + idx * 32;
+    let addr = h.read_u64(e) as PAddr;
+    h.write_u64(e + 16, 0);
+    h.persist(e + 16, 8);
+    addr
+}
+
+/// The sharded workload: two shard handles, three small classes, chunk
+/// formatting, cross-shard free, cache reuse, and a large block through
+/// the fallback list.
+fn script_sharded(
+    alloc: &NvAllocator,
+    h0: &mut PmemHandle,
+    h1: &mut PmemHandle,
+    ledger: PAddr,
+) {
+    let a = alloc.alloc(h0, 16).unwrap();
+    let ia = publish(h0, ledger, a, 16);
+    let b = alloc.alloc(h0, 48).unwrap();
+    let ib = publish(h0, ledger, b, 48);
+    let c = alloc.alloc(h1, 16).unwrap();
+    publish(h1, ledger, c, 16);
+    let d = alloc.alloc(h0, 2048).unwrap(); // large: legacy fallback list
+    let id = publish(h0, ledger, d, 2048);
+
+    retire(h1, ledger, ia);
+    alloc.free(h1, a).unwrap(); // cross-shard free: lands in shard 1's cache
+    let e = alloc.alloc(h1, 16).unwrap(); // cache reuse (re-claims the bit)
+    publish(h1, ledger, e, 16);
+
+    retire(h0, ledger, id);
+    alloc.free(h0, d).unwrap(); // large free: list push
+    let f = alloc.alloc(h0, 300).unwrap(); // 512-byte class
+    publish(h0, ledger, f, 300);
+
+    retire(h0, ledger, ib);
+    alloc.free(h0, b).unwrap();
+    let g = alloc.alloc(h0, 48).unwrap(); // same-shard cache reuse
+    publish(h0, ledger, g, 48);
+}
+
+/// Reads the sharded layout words and every chunk descriptor; returns
+/// `(chunks_base, large_start, allocated small slots)`. Panics on any
+/// descriptor whose class word is not `{0} ∪ CLASS_SIZES` — after a crash
+/// at *any* flush boundary there must be no third state.
+fn scan_chunks(h: &mut PmemHandle) -> (PAddr, PAddr, Vec<(PAddr, usize)>) {
+    let n_chunks = h.read_u64(HEAP_START + 8) as usize;
+    let large_start = h.read_u64(HEAP_START + 24) as PAddr;
+    let desc_base = HEAP_START + DESC_BYTES;
+    let chunks_base = desc_base + n_chunks * DESC_BYTES;
+    let mut slots = Vec::new();
+    for c in 0..n_chunks {
+        let desc = desc_base + c * DESC_BYTES;
+        let cw = h.read_u64(desc) as usize;
+        if cw == 0 {
+            continue;
+        }
+        assert!(
+            CLASS_SIZES.contains(&cw),
+            "chunk {c} has corrupt class word {cw:#x} after crash"
+        );
+        let spc = (CHUNK_BYTES / cw).min(256);
+        for slot in 0..spc {
+            let w = h.read_u64(desc + 32 + (slot / 64) * 8);
+            if w >> (slot % 64) & 1 == 1 {
+                slots.push((chunks_base + c * CHUNK_BYTES + slot * cw, cw));
+            }
+        }
+    }
+    (chunks_base, large_start, slots)
+}
+
+/// Full post-crash invariant check for the sharded policy.
+fn check_recovered_sharded(pool: &PmemPool, ledger: PAddr) {
+    let mut h = pool.handle();
+    // Recovery itself validates the magic and every class word it reads.
+    let alloc = NvAllocator::attach_with(&mut h, AllocPolicy::Sharded { shards: SHARDS });
+    let (_, large_start, slots) = scan_chunks(&mut h);
+    let large = walk_heap_from(&mut h, large_start);
+    check_free_list_from(&mut h, &large, large_start);
+
+    // Ledger-live blocks must still be allocated in persistent state.
+    let n = h.read_u64(ledger) as usize;
+    let mut live: Vec<(PAddr, usize)> = Vec::new();
+    for i in 0..n {
+        let e = ledger + 8 + i * 32;
+        if h.read_u64(e + 16) != 1 {
+            continue;
+        }
+        let (addr, size) = (h.read_u64(e) as PAddr, h.read_u64(e + 8) as usize);
+        if addr >= large_start {
+            let blk = large
+                .iter()
+                .find(|b| b.payload == addr)
+                .unwrap_or_else(|| panic!("live large block {addr:#x} vanished"));
+            assert!(blk.allocated, "live large block {addr:#x} lost its allocated bit");
+            assert!(blk.size >= size, "live large block {addr:#x} shrank");
+        } else {
+            let slot = slots
+                .iter()
+                .find(|(s, _)| *s == addr)
+                .unwrap_or_else(|| panic!("live small block {addr:#x} lost its bitmap bit"));
+            assert!(slot.1 >= size, "live small block {addr:#x} in an undersized class");
+        }
+        live.push((addr, size));
+    }
+    // No two live blocks overlap (double-allocation would show up here).
+    for (i, &(x, xs)) in live.iter().enumerate() {
+        for &(y, ys) in &live[i + 1..] {
+            assert!(x + xs <= y || y + ys <= x, "live blocks {x:#x}/{y:#x} overlap");
+        }
+    }
+
+    // Leaks are bounded: one interrupted allocator op plus one in-flight
+    // publish can each strand a block, never more.
+    let covered = |addr: PAddr| live.iter().any(|&(a, _)| a == addr);
+    let leaked_small = slots.iter().filter(|(a, _)| !covered(*a)).count();
+    let leaked_large = large.iter().filter(|b| b.allocated && !covered(b.payload)).count();
+    assert!(
+        leaked_small + leaked_large <= 2,
+        "too many stranded blocks: {leaked_small} small + {leaked_large} large"
+    );
+
+    // The recovered heap still serves every class, disjointly from every
+    // surviving block and from itself.
+    let mut fresh_blocks: Vec<(PAddr, usize)> = Vec::new();
+    for size in [8usize, 16, 48, 64, 200, 512, 1500, 16] {
+        let p = alloc.alloc(&mut h, size).expect("recovered sharded heap allocates");
+        for &(q, qs) in live.iter().chain(fresh_blocks.iter()) {
+            assert!(
+                p + size <= q || q + qs <= p,
+                "fresh allocation {p:#x} overlaps surviving block {q:#x}"
+            );
+        }
+        fresh_blocks.push((p, size));
+    }
+}
+
+/// Reference pass for the sharded script's persist-event span.
+fn sharded_persist_events() -> (u64, u64) {
+    let (pool, alloc, ledger) = fresh_sharded();
+    let setup = pool.persist_event_count();
+    let mut h0 = pool.handle();
+    let mut h1 = pool.handle();
+    h1.set_shard(1);
+    script_sharded(&alloc, &mut h0, &mut h1, ledger);
+    drop((h0, h1));
+    (setup, pool.persist_event_count())
+}
+
+#[test]
+fn sharded_allocator_survives_interruption_at_every_flush_boundary() {
+    let (setup_events, total_events) = sharded_persist_events();
+    assert!(
+        total_events - setup_events > 30,
+        "sharded script should span many flush boundaries, got {}",
+        total_events - setup_events
+    );
+    let policies = [CrashPolicy::DropDirty, CrashPolicy::losing([])];
+    for k in setup_events + 1..=total_events {
+        for policy in &policies {
+            let (pool, alloc, ledger) = fresh_sharded();
+            pool.set_persist_trap(Some(k));
+            let mut h0 = pool.handle();
+            let mut h1 = pool.handle();
+            h1.set_shard(1);
+            let r = quiet(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    script_sharded(&alloc, &mut h0, &mut h1, ledger)
+                }))
+            });
+            drop((h0, h1));
+            pool.set_persist_trap(None);
+            assert!(r.is_err(), "trap at event {k} must interrupt the sharded script");
+            pool.crash_with(k, policy);
+            check_recovered_sharded(&pool, ledger);
+        }
+    }
+}
+
+#[test]
+fn uninterrupted_sharded_script_recovers_clean() {
+    let (pool, alloc, ledger) = fresh_sharded();
+    let mut h0 = pool.handle();
+    let mut h1 = pool.handle();
+    h1.set_shard(1);
+    script_sharded(&alloc, &mut h0, &mut h1, ledger);
+    drop((h0, h1));
+    pool.crash(11);
+    check_recovered_sharded(&pool, ledger);
 }

@@ -1,0 +1,275 @@
+//! Property-based and directed tests of the sharded two-level allocator:
+//! model-checked disjointness under arbitrary concurrent alloc/free
+//! schedules across shards, crash survival of live blocks, rerun
+//! determinism, and `ido-par` job-count independence.
+//!
+//! "Concurrent" here means DES-concurrent: each shard has its own
+//! [`PmemHandle`] and the generated schedule interleaves operations across
+//! shards in an arbitrary (but deterministic, seed-derived) order — the
+//! same interleaving freedom real threads would have under the MinClock
+//! scheduler, without nondeterministic OS scheduling.
+
+use std::collections::BTreeMap;
+
+use ido_nvm::alloc::{AllocPolicy, NvAllocator, CLASS_SIZES, MAX_SMALL};
+use ido_nvm::root::RootTable;
+use ido_nvm::{NvmError, PmemPool, PoolConfig};
+use proptest::prelude::*;
+
+const SHARDS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// `(shard, size)` — size spans every small class plus large fallback.
+    Alloc(usize, usize),
+    /// `(shard, index into that shard's live set)` — frees may cross
+    /// shards: the *owning* shard is `index % live` over the global set.
+    Free(usize, usize),
+    Crash(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0usize..SHARDS, 8usize..1024).prop_map(|(s, sz)| Op::Alloc(s, sz)),
+        3 => (0usize..SHARDS, 0usize..128).prop_map(|(s, i)| Op::Free(s, i)),
+        1 => (0u64..1000).prop_map(Op::Crash),
+    ]
+}
+
+fn fresh_sharded(pool: &PmemPool) -> NvAllocator {
+    let mut h = pool.handle();
+    RootTable::format(&mut h);
+    NvAllocator::format_with(&mut h, pool.size(), AllocPolicy::Sharded { shards: SHARDS })
+}
+
+/// Replays `ops` against a sharded pool and the volatile model, checking
+/// disjointness and crash survival throughout. Returns the sequence of
+/// addresses handed out (the determinism tests compare these).
+fn replay(pool: &PmemPool, ops: &[Op]) -> Vec<usize> {
+    let alloc = fresh_sharded(pool);
+    let mut handles: Vec<_> = (0..SHARDS)
+        .map(|i| {
+            let mut h = pool.handle();
+            h.set_shard(i as u32);
+            h
+        })
+        .collect();
+    // Model: payload addr -> (size, rounded-class capacity).
+    let mut live: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut issued = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Alloc(shard, sz) => {
+                if let Ok(a) = alloc.alloc(&mut handles[shard], sz) {
+                    prop_assert_eq!(a % 8, 0, "misaligned allocation {:#x}", a);
+                    let cap = CLASS_SIZES
+                        .iter()
+                        .copied()
+                        .find(|&c| c >= sz)
+                        .unwrap_or(sz.next_multiple_of(8));
+                    for (&b, &bcap) in &live {
+                        prop_assert!(
+                            a + cap <= b || b + bcap <= a,
+                            "overlap: new [{:#x},{:#x}) vs live [{:#x},{:#x})",
+                            a, a + cap, b, b + bcap
+                        );
+                    }
+                    live.insert(a, cap);
+                    issued.push(a);
+                }
+            }
+            Op::Free(shard, i) => {
+                if !live.is_empty() {
+                    let k = *live.keys().nth(i % live.len()).expect("nonempty");
+                    live.remove(&k);
+                    // Frees go through an arbitrary shard's handle: blocks
+                    // may be freed by a different shard than allocated them.
+                    prop_assert!(alloc.free(&mut handles[shard], k).is_ok());
+                }
+            }
+            Op::Crash(seed) => {
+                drop(std::mem::take(&mut handles));
+                pool.crash(seed);
+                let mut h = pool.handle();
+                let alloc2 =
+                    NvAllocator::attach_with(&mut h, AllocPolicy::Sharded { shards: SHARDS });
+                for (&b, _) in &live {
+                    prop_assert!(
+                        alloc2.size_of(&mut h, b).is_ok(),
+                        "lost live block {:#x} across crash", b
+                    );
+                }
+                drop(h);
+                handles = (0..SHARDS)
+                    .map(|i| {
+                        let mut h = pool.handle();
+                        h.set_shard(i as u32);
+                        h
+                    })
+                    .collect();
+            }
+        }
+    }
+    issued
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary interleaved alloc/free/crash schedules across 4 shards
+    /// never hand out overlapping blocks, and completed allocations
+    /// survive crashes.
+    #[test]
+    fn sharded_allocator_never_overlaps_across_shards(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        replay(&pool, &ops);
+    }
+
+    /// The same schedule replayed on a fresh pool yields the exact same
+    /// address sequence: the sharded allocator is deterministic (no
+    /// wall-clock, no ambient randomness).
+    #[test]
+    fn sharded_allocator_is_deterministic(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+    ) {
+        let a = replay(&PmemPool::new(PoolConfig::small_for_tests()), &ops);
+        let b = replay(&PmemPool::new(PoolConfig::small_for_tests()), &ops);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// `ido-par` fan-out does not perturb allocator results: the same set of
+/// independent churn points produces byte-identical outcomes under 1 and 2
+/// workers. This is the in-process twin of the CI `IDO_JOBS` diff on
+/// `BENCH_alloc.json`.
+#[test]
+fn par_jobs_do_not_change_allocator_results() {
+    fn churn_point(seed: u64) -> (u64, Vec<usize>) {
+        let pool = PmemPool::new(PoolConfig {
+            size: 1 << 20,
+            trace: PoolConfig::small_for_tests().trace,
+            ..PoolConfig::default()
+        });
+        let alloc = fresh_sharded(&pool);
+        let mut h = pool.handle();
+        h.set_shard((seed % SHARDS as u64) as u32);
+        let mut x = seed | 1;
+        let mut live = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..200 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if !live.is_empty() && x & 3 == 0 {
+                let victim = (x >> 32) as usize % live.len();
+                alloc.free(&mut h, live.swap_remove(victim)).expect("free");
+            } else {
+                let a = alloc.alloc(&mut h, 8 + (x as usize >> 8 & 0x1F8)).expect("alloc");
+                live.push(a);
+                addrs.push(a);
+            }
+        }
+        (h.clock_ns(), addrs)
+    }
+    let seeds: Vec<u64> = (0..8).map(|i| 0x9E37_79B9 + 977 * i).collect();
+    let one = ido_par::par_map_jobs(1, seeds.clone(), churn_point);
+    let two = ido_par::par_map_jobs(2, seeds, churn_point);
+    assert_eq!(one, two, "worker count changed allocator outcomes");
+}
+
+// ------------------------- directed tests --------------------------
+
+#[test]
+fn sizes_round_up_to_class_capacity() {
+    let pool = PmemPool::new(PoolConfig::small_for_tests());
+    let alloc = fresh_sharded(&pool);
+    let mut h = pool.handle();
+    for (req, want) in [(1, 8), (8, 8), (9, 16), (48, 64), (65, 128), (512, 512)] {
+        let a = alloc.alloc(&mut h, req).expect("alloc");
+        assert_eq!(alloc.size_of(&mut h, a).expect("size_of"), want, "request {req}");
+    }
+    // Above MAX_SMALL: the legacy list rounds to 8, not to a class.
+    let a = alloc.alloc(&mut h, MAX_SMALL + 1).expect("large alloc");
+    let got = alloc.size_of(&mut h, a).expect("size_of");
+    assert!(got >= MAX_SMALL + 1 && got % 8 == 0, "large size {got}");
+}
+
+#[test]
+fn double_free_is_rejected_without_corruption() {
+    let pool = PmemPool::new(PoolConfig::small_for_tests());
+    let alloc = fresh_sharded(&pool);
+    let mut h = pool.handle();
+    let a = alloc.alloc(&mut h, 64).expect("alloc");
+    let b = alloc.alloc(&mut h, 64).expect("alloc");
+    alloc.free(&mut h, a).expect("first free");
+    assert!(matches!(alloc.free(&mut h, a), Err(NvmError::InvalidFree { .. })), "double free");
+    // The other block is untouched and the heap still serves requests.
+    assert_eq!(alloc.size_of(&mut h, b).expect("b alive"), 64);
+    let c = alloc.alloc(&mut h, 64).expect("alloc after double free");
+    assert_ne!(c, b);
+}
+
+#[test]
+fn exhaustion_returns_oom_and_recovers_after_free() {
+    let pool = PmemPool::new(PoolConfig::small_for_tests());
+    let alloc = fresh_sharded(&pool);
+    let mut h = pool.handle();
+    let mut blocks = Vec::new();
+    loop {
+        match alloc.alloc(&mut h, 512) {
+            Ok(a) => blocks.push(a),
+            Err(NvmError::OutOfMemory { .. }) => break,
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+        assert!(blocks.len() < 1 << 20, "never exhausts");
+    }
+    // Freeing anything makes that class servable again.
+    let victim = blocks[blocks.len() / 2];
+    alloc.free(&mut h, victim).expect("free");
+    let again = alloc.alloc(&mut h, 512).expect("alloc after free");
+    assert_eq!(again, victim, "class cache should recycle the freed slot");
+}
+
+#[test]
+fn stealing_keeps_blocks_disjoint_when_one_shard_hoards() {
+    let pool = PmemPool::new(PoolConfig::small_for_tests());
+    let alloc = fresh_sharded(&pool);
+    let mut rich = pool.handle();
+    rich.set_shard(0);
+    let mut poor = pool.handle();
+    poor.set_shard(1);
+    // Shard 0 allocates then frees a pile of 64-byte blocks, stuffing its
+    // volatile cache.
+    let mut hoard: Vec<usize> = (0..64).map(|_| alloc.alloc(&mut rich, 64).expect("hoard")).collect();
+    for a in hoard.drain(..) {
+        alloc.free(&mut rich, a).expect("hoard free");
+    }
+    // Consume the free-chunk supply so shard 1's refills must steal.
+    let mut filler = Vec::new();
+    while let Ok(a) = alloc.alloc(&mut rich, 512) {
+        filler.push(a);
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..32 {
+        let a = alloc.alloc(&mut poor, 64).expect("steal-backed alloc");
+        assert!(seen.insert(a), "stolen slot {a:#x} handed out twice");
+        for &f in &filler {
+            assert!(a + 64 <= f || f + 512 <= a, "stolen slot overlaps filler");
+        }
+    }
+}
+
+#[test]
+fn large_allocations_fall_back_to_the_list_and_recycle() {
+    let pool = PmemPool::new(PoolConfig::small_for_tests());
+    let alloc = fresh_sharded(&pool);
+    let mut h = pool.handle();
+    let a = alloc.alloc(&mut h, 4096).expect("large");
+    let b = alloc.alloc(&mut h, 4096).expect("large");
+    assert!(a + 4096 <= b || b + 4096 <= a);
+    alloc.free(&mut h, a).expect("free large");
+    let c = alloc.alloc(&mut h, 4000).expect("first-fit reuse");
+    assert_eq!(c, a, "freed large block should be reused first-fit");
+}

@@ -9,7 +9,7 @@ use ido_ir::{
     BinOp, BlockId, DecodedInst, DecodedProgram, FuncId, Inst, Operand, Pc, Program, Reg, RtOp,
     StackSlot, Tier2Entry, Tier2Program,
 };
-use ido_nvm::alloc::NvAllocator;
+use ido_nvm::alloc::{AllocPolicy, NvAllocator};
 use ido_nvm::root::RootTable;
 use ido_nvm::{PmemHandle, PmemPool, PoolConfig, PAddr};
 use ido_trace::{Category, EventKind};
@@ -132,6 +132,15 @@ pub struct VmConfig {
     pub page_copy_ns: u64,
     /// NVThreads cost of writing one dirty page to the redo log at commit.
     pub page_log_ns: u64,
+    /// Persistent-heap allocator policy (see [`AllocPolicy`]). The default
+    /// [`AllocPolicy::Legacy`] keeps the historical layout and event
+    /// sequences that the trace goldens pin.
+    pub alloc: AllocPolicy,
+    /// Maximum number of threads this VM can host. Sizes the persistent
+    /// thread registry, so it shifts heap addresses: leave it at the
+    /// default ([`MAX_THREADS`]) unless a sweep needs more than 128
+    /// threads.
+    pub max_threads: usize,
 }
 
 impl Default for VmConfig {
@@ -156,6 +165,8 @@ impl Default for VmConfig {
             page_bytes: 4096,
             page_copy_ns: 1200,
             page_log_ns: 2500,
+            alloc: AllocPolicy::default(),
+            max_threads: MAX_THREADS,
         }
     }
 }
@@ -342,7 +353,7 @@ impl Vm {
         let pool = PmemPool::new(config.pool.clone());
         let mut h = pool.handle();
         let roots = RootTable::format(&mut h);
-        let alloc = NvAllocator::format(&mut h, pool.size());
+        let alloc = NvAllocator::format_with(&mut h, pool.size(), config.alloc);
         let code = Arc::new(DecodedProgram::decode(&instrumented.program));
         let t2 = (config.tier == ExecTier::Tier2)
             .then(|| Arc::new(Tier2Program::compile(&instrumented.program)));
@@ -368,7 +379,7 @@ impl Vm {
             step_hook: None,
         };
         // Thread registry: [count][entries: 4 words each].
-        let bytes = 8 + MAX_THREADS * 32;
+        let bytes = 8 + vm.config.max_threads * 32;
         let registry = vm.alloc.alloc(&mut h, bytes).expect("registry allocation");
         h.write_u64(registry, 0);
         h.persist(registry, 8);
@@ -382,7 +393,7 @@ impl Vm {
     pub fn attach(pool: PmemPool, instrumented: Instrumented, config: VmConfig) -> Vm {
         let mut h = pool.handle();
         let roots = RootTable::attach(&mut h).expect("pool must be formatted");
-        let alloc = NvAllocator::attach();
+        let alloc = NvAllocator::attach_with(&mut h, config.alloc);
         let registry = roots.root(&mut h, THREADS_ROOT).expect("thread registry root");
         let code = Arc::new(DecodedProgram::decode(&instrumented.program));
         let t2 = (config.tier == ExecTier::Tier2)
@@ -463,9 +474,11 @@ impl Vm {
         let fid = self.program.find(func).unwrap_or_else(|| panic!("no function `{func}`"));
         let f = self.program.function(fid);
         assert_eq!(f.params().len(), args.len(), "argument count mismatch for `{func}`");
-        assert!(self.threads.len() < MAX_THREADS, "thread limit reached");
+        assert!(self.threads.len() < self.config.max_threads, "thread limit reached");
 
+        let idx = self.threads.len();
         let mut h = self.pool.handle();
+        h.set_shard(idx as u32);
         let ido_size = IdoLogLayout::size_for(self.max_regs);
         let jd_size = JustDoLogLayout::size_for(self.max_regs);
         let ido_base = self.alloc.alloc(&mut h, ido_size).expect("ido log alloc");
@@ -487,7 +500,6 @@ impl Vm {
         app_log.reset(&mut h);
 
         // Publish in the registry: entries first, then the count.
-        let idx = self.threads.len();
         let entry = self.registry + 8 + idx * 32;
         h.write_u64(entry, ido_base as u64);
         h.write_u64(entry + 8, jd_base as u64);
@@ -560,9 +572,11 @@ impl Vm {
         lock_slots: [Option<u64>; LOCK_ARRAY_SLOTS],
     ) -> ThreadCtx {
         let f = self.program.function(frame_func);
+        let mut handle = self.pool.handle();
+        handle.set_shard(idx as u32);
         ThreadCtx {
             id: ThreadId(idx),
-            handle: self.pool.handle(),
+            handle,
             frames: vec![Frame { func: frame_func, pc, regs, stack_base, ret_reg: None }],
             status: Status::Runnable,
             recovery: true,
@@ -649,6 +663,29 @@ impl Vm {
         }
     }
 
+    /// MinClock pick plus the runner-up's `(clock, index)` key, found in a
+    /// single pass over the threads. The runner-up bounds how long the
+    /// pick may keep running before the scheduler must reconsider, so
+    /// tier 2 needs both — computing them together halves the per-segment
+    /// scheduling scan at high thread counts.
+    fn pick_minclock2(&self) -> Option<(usize, Option<(u64, usize)>)> {
+        let mut best: Option<(u64, usize)> = None;
+        let mut second: Option<(u64, usize)> = None;
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.status != Status::Runnable {
+                continue;
+            }
+            let key = (t.handle.clock_ns(), i);
+            if best.is_none_or(|b| key < b) {
+                second = best;
+                best = Some(key);
+            } else if second.is_none_or(|s| key < s) {
+                second = Some(key);
+            }
+        }
+        best.map(|(_, i)| (i, second))
+    }
+
     /// Fires the step hook (if installed) for the step just executed by
     /// thread `pick`; returns the hook's verdict.
     fn fire_hook(&mut self, pick: usize) -> StepControl {
@@ -708,9 +745,18 @@ impl Vm {
         let t2 = Arc::clone(self.t2.as_ref().expect("tier-2 program compiled at construction"));
         let mut remaining = budget;
         while remaining > 0 {
-            let pick = match self.pick_runnable() {
-                Some(p) => p,
-                None => return self.stalled_outcome(),
+            // MinClock finds the pick and the runner-up (the segment's
+            // clock bound) in one scan; Random draws via pick_runnable so
+            // the RNG stream matches tier 1 word for word.
+            let (pick, min_other) = match self.config.sched {
+                SchedPolicy::MinClock => match self.pick_minclock2() {
+                    Some(p) => p,
+                    None => return self.stalled_outcome(),
+                },
+                SchedPolicy::Random => match self.pick_runnable() {
+                    Some(p) => (p, None),
+                    None => return self.stalled_outcome(),
+                },
             };
             let th = &self.threads[pick];
             let pc = th.frames.last().expect("runnable thread has a frame").pc;
@@ -746,15 +792,6 @@ impl Vm {
             let mut burn_rng = false;
             match self.config.sched {
                 SchedPolicy::MinClock => {
-                    let mut min_other: Option<(u64, usize)> = None;
-                    for (i, t) in self.threads.iter().enumerate() {
-                        if i != pick && t.status == Status::Runnable {
-                            let key = (t.handle.clock_ns(), i);
-                            if min_other.map_or(true, |m| key < m) {
-                                min_other = Some(key);
-                            }
-                        }
-                    }
                     if let Some((clock, idx)) = min_other {
                         // `pick` keeps running while (clock, pick) is still
                         // minimal: strictly-below when pick > idx,
@@ -782,8 +819,20 @@ impl Vm {
             // stepper instead, which is observationally identical for a
             // single instruction. Never taken with a hook installed: the
             // oracle must crash genuine tier-2 machine states.
+            // The segment gate charges the JustDo per-step memory tax into
+            // its pending work *before* re-checking the clock limit, so a
+            // taxed thread whose clock is within one tax of the limit also
+            // gets exactly one step. Folding the tax in here lets those
+            // picks (the common case in multi-thread JustDo sweeps, where
+            // MinClock rotates threads every step or two) skip segment
+            // setup/teardown entirely.
+            let tax = if self.scheme == Scheme::JustDo && self.threads[pick].fase_active {
+                self.config.justdo_mem_tax_ns
+            } else {
+                0
+            };
             let single_by_clock = clock_limit
-                .is_some_and(|lim| self.threads[pick].handle.clock_ns() >= lim);
+                .is_some_and(|lim| self.threads[pick].handle.clock_ns() + tax >= lim);
             if !hooked && !burn_rng && (max_steps == 1 || single_by_clock) {
                 self.step_thread(pick, &code);
                 self.steps += 1;

@@ -8,10 +8,45 @@
 //! per-thread `lock_array`s.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use ido_nvm::CachePadded;
 
 /// Dense VM thread identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ThreadId(pub usize);
+
+/// Seed-free multiplicative hasher for pool-address keys. Lock holders are
+/// 8-byte-aligned pool addresses whose low bits carry no entropy; SipHash
+/// (the std default) is both slower than needed on the hot lock path and
+/// randomly seeded per process, which would make `HashMap` iteration order
+/// a run-to-run variable. This hasher is deterministic, so any future code
+/// that iterates the table cannot silently break schedule reproducibility.
+#[derive(Debug, Default)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // Fibonacci multiplicative hash; the xor-fold feeds the high
+        // (well-mixed) bits into the bucket index.
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+}
+
+/// A `HashMap` keyed by pool addresses, using the deterministic
+/// [`AddrHasher`].
+pub type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
 
 #[derive(Debug, Default)]
 struct LockState {
@@ -20,9 +55,14 @@ struct LockState {
 }
 
 /// The VM's table of transient locks, keyed by indirect-holder address.
+///
+/// Each lock's state is cache-line padded: high-thread sweeps run many VMs
+/// concurrently on host threads, and hot lock entries of neighbouring
+/// simulations must not false-share when allocators place tables close
+/// together.
 #[derive(Debug, Default)]
 pub struct LockTable {
-    locks: HashMap<u64, LockState>,
+    locks: AddrMap<CachePadded<LockState>>,
 }
 
 /// Error from [`LockTable::release`]: the caller does not own the lock.

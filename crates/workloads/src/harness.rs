@@ -183,6 +183,48 @@ mod tests {
     }
 
     #[test]
+    fn alloc_churn_runs_under_every_scheme_and_policy() {
+        use crate::micro::AllocChurnSpec;
+        use ido_nvm::AllocPolicy;
+        for scheme in Scheme::ALL {
+            let stats = smoke(&AllocChurnSpec, scheme, 2);
+            assert!(stats.sim_ns > 0, "alloc_churn under {scheme}");
+        }
+        for alloc in [AllocPolicy::GlobalDes, AllocPolicy::Sharded { shards: 4 }] {
+            let cfg = VmConfig { alloc, ..small_config() };
+            run_workload(Scheme::Origin, &AllocChurnSpec, 4, 40, cfg);
+        }
+    }
+
+    #[test]
+    fn sharded_allocator_beats_global_mutex_under_churn() {
+        use crate::micro::AllocChurnSpec;
+        use ido_nvm::AllocPolicy;
+        let threads = 16;
+        let global = run_workload(
+            Scheme::Origin,
+            &AllocChurnSpec,
+            threads,
+            40,
+            VmConfig { alloc: AllocPolicy::GlobalDes, ..small_config() },
+        );
+        let sharded = run_workload(
+            Scheme::Origin,
+            &AllocChurnSpec,
+            threads,
+            40,
+            VmConfig { alloc: AllocPolicy::Sharded { shards: threads }, ..small_config() },
+        );
+        assert!(
+            sharded.mops() > global.mops() * 2.0,
+            "sharded allocator must scale past the global mutex at {threads}T: \
+             global={:.3} sharded={:.3} Mops/s",
+            global.mops(),
+            sharded.mops()
+        );
+    }
+
+    #[test]
     fn ido_beats_justdo_on_stack_throughput() {
         let ido = smoke(&StackSpec, Scheme::Ido, 4);
         let justdo = smoke(&StackSpec, Scheme::JustDo, 4);

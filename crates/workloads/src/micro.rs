@@ -731,3 +731,121 @@ impl WorkloadSpec for TwinSpec {
         assert!(v0 <= total_ops, "overcounted: {v0} increments from {total_ops} FASEs");
     }
 }
+
+// ---------------------------------------------------------------------
+// Allocator churn
+// ---------------------------------------------------------------------
+
+/// Slots in each thread's private persistent pointer array.
+const CHURN_SLOTS: u64 = 64;
+
+/// The allocator-stress workload: each thread churns a private array of
+/// persistent pointer slots, allocating into empty slots and freeing full
+/// ones, with sizes spread across every small size class. Unlike the four
+/// Section V-B structures (which deliberately pre-allocate arenas so the
+/// persistence runtimes dominate), this workload puts `nv_malloc`/`nv_free`
+/// itself on the hot path — it is what the 64–256-thread allocator scaling
+/// sweeps run to compare [`ido_nvm::AllocPolicy`] variants.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllocChurnSpec;
+
+impl WorkloadSpec for AllocChurnSpec {
+    fn name(&self) -> String {
+        "alloc_churn".into()
+    }
+
+    fn build_program(&self) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("worker", 3);
+        let x = f.param(0);
+        let n_ops = f.param(1);
+        let slots = f.param(2);
+        let i = f.new_reg();
+
+        let head = f.new_block();
+        let body = f.new_block();
+        let do_alloc = f.new_block();
+        let do_free = f.new_block();
+        let cont = f.new_block();
+        let exit = f.new_block();
+
+        f.mov(i, 0i64);
+        f.jump(head);
+
+        f.switch_to(head);
+        let c = f.new_reg();
+        f.bin(BinOp::Lt, c, i, n_ops);
+        f.branch(c, body, exit);
+
+        f.switch_to(body);
+        emit_xorshift(&mut f, x);
+        // cell = &slots[x % CHURN_SLOTS]
+        let off = f.new_reg();
+        let cell = f.new_reg();
+        f.bin(BinOp::And, off, x, (CHURN_SLOTS as i64 - 1) * 8);
+        f.bin(BinOp::Add, cell, slots, off);
+        let ptr = f.new_reg();
+        f.load(ptr, cell, 0);
+        f.branch(ptr, do_free, do_alloc);
+
+        // Empty slot: allocate 8..=512 bytes (hits every small class) and
+        // publish the address into the slot.
+        f.switch_to(do_alloc);
+        let size = f.new_reg();
+        let node = f.new_reg();
+        f.bin(BinOp::And, size, x, 0x1F8i64);
+        f.bin(BinOp::Add, size, size, 8i64);
+        f.alloc(node, size);
+        f.store(node, 0, Operand::Reg(x));
+        f.store(cell, 0, Operand::Reg(node));
+        f.jump(cont);
+
+        // Full slot: retire the pointer, then free the block.
+        f.switch_to(do_free);
+        f.store(cell, 0, 0i64);
+        f.free(ptr);
+        f.jump(cont);
+
+        f.switch_to(cont);
+        f.bin(BinOp::Add, i, i, 1i64);
+        f.jump(head);
+
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish().expect("alloc churn worker verifies");
+        pb.finish()
+    }
+
+    fn setup(&self, vm: &mut Vm, threads: usize, _ops: u64) -> Vec<u64> {
+        vm.setup(|h, alloc, _| {
+            let bytes = threads as u64 * CHURN_SLOTS * 8;
+            let slots = alloc.alloc(h, bytes as usize).expect("churn slot array");
+            for w in 0..threads as u64 * CHURN_SLOTS {
+                h.write_u64(slots + (w * 8) as usize, 0);
+            }
+            h.persist(slots, bytes as usize);
+            vec![slots as u64, bytes]
+        })
+    }
+
+    fn worker_args(&self, base: &[u64], thread: usize, ops: u64) -> Vec<u64> {
+        let slots = base[0] + thread as u64 * CHURN_SLOTS * 8;
+        vec![0x9E3779B9u64 + 977 * thread as u64, ops, slots]
+    }
+
+    fn verify(&self, vm: &Vm, base: &[u64], _total_ops: u64) {
+        let mut h = vm.pool().handle();
+        // Every published slot must hold a plausible heap pointer (and
+        // distinct slots distinct pointers); the VM would already have
+        // panicked on a double-alloc'd or corrupt free, so this checks the
+        // slot array itself survived intact.
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..base[1] / 8 {
+            let v = h.read_u64(base[0] as PAddr + (w * 8) as usize) as PAddr;
+            if v != 0 {
+                assert_eq!(v % 8, 0, "slot holds unaligned pointer {v:#x}");
+                assert!(seen.insert(v), "two slots hold the same block {v:#x}");
+            }
+        }
+    }
+}

@@ -70,4 +70,27 @@ diff /tmp/bench_jobs1.json.steps BENCH_interp.json.steps \
   || { echo "IDO_JOBS=2 changed simulation results"; exit 1; }
 rm -f /tmp/bench_jobs1.json /tmp/bench_jobs1.json.steps BENCH_interp.json.steps
 
+echo "== allocator crash sweeps (persist-trap boundary enumeration) =="
+# Named gates for the sharded two-level allocator: every-flush-boundary
+# interruption sweeps (legacy + sharded policies) and the cross-shard
+# property tests. Both also run under the workspace pass above — kept
+# explicit so an allocator crash-consistency regression is named in the
+# CI log.
+cargo test -q -p ido-nvm --test alloc_crash
+cargo test -q -p ido-nvm --test alloc_shard
+
+echo "== allocator scaling smoke (quick mode, asserts >= 4x at 64T) =="
+# Quick-mode runs rewrite BENCH_alloc.json; preserve the committed
+# full-sweep numbers and restore them after the determinism diff.
+cp BENCH_alloc.json /tmp/bench_alloc_committed.json
+IDO_BENCH_QUICK=1 IDO_JOBS=1 cargo run -q --release -p ido-bench --bin alloc_bench
+cp BENCH_alloc.json /tmp/bench_alloc_jobs1.json
+IDO_BENCH_QUICK=1 IDO_JOBS=2 cargo run -q --release -p ido-bench --bin alloc_bench
+# BENCH_alloc.json holds only simulated quantities, so it must be
+# byte-identical for any worker count.
+cmp /tmp/bench_alloc_jobs1.json BENCH_alloc.json \
+  || { echo "IDO_JOBS=2 changed allocator bench results"; exit 1; }
+mv /tmp/bench_alloc_committed.json BENCH_alloc.json
+rm -f /tmp/bench_alloc_jobs1.json
+
 echo "CI OK"
