@@ -9,6 +9,7 @@
 
 use ido_bench::{bench_config, ops_per_thread, run_point, with_nvm_delay, write_csv};
 use ido_compiler::Scheme;
+use ido_nvm::MetricsConfig;
 use ido_workloads::kv::{memcached::MemcachedSpec, redis::RedisSpec};
 use ido_workloads::WorkloadSpec;
 
@@ -46,7 +47,10 @@ fn main() {
         println!();
         let mut base = [0.0f64; 3];
         for delay in DELAYS_NS {
-            let cfg = with_nvm_delay(bench_config(*pool_mib + 192, 1 << 15), delay);
+            let mut cfg = with_nvm_delay(bench_config(*pool_mib + 192, 1 << 15), delay);
+            // Metrics on: the kv workloads bracket every op with span
+            // markers, so each point also yields latency quantiles.
+            cfg.pool.metrics = MetricsConfig::on();
             print!("{delay:>10}");
             for (si, scheme) in schemes.iter().enumerate() {
                 let stats = run_point(spec.as_ref(), *scheme, *threads, *ops, cfg.clone());
@@ -55,12 +59,24 @@ fn main() {
                     base[si] = mops;
                 }
                 print!("{:>12.3} ({:>3.0}%)", mops, 100.0 * mops / base[si]);
-                rows.push(format!("{label},{delay},{},{mops:.4}", scheme.name()));
+                let m = stats.metrics.expect("metrics were enabled");
+                // Whole-run quantiles over both op kinds (gets + puts).
+                let mut lat = ido_trace::Hist::default();
+                for h in &m.per_kind {
+                    lat.merge(h);
+                }
+                rows.push(format!(
+                    "{label},{delay},{},{mops:.4},{},{},{}",
+                    scheme.name(),
+                    lat.value_at_quantile(0.50),
+                    lat.value_at_quantile(0.99),
+                    lat.value_at_quantile(0.999),
+                ));
             }
             println!();
         }
     }
-    write_csv("fig9_latency", "case,delay_ns,scheme,mops", &rows);
+    write_csv("fig9_latency", "case,delay_ns,scheme,mops,p50_ns,p99_ns,p999_ns", &rows);
 
     println!("\nshape check: JUSTDO should fall fastest with delay (it fences per store);");
     println!("iDO and Atlas should hold most of their throughput through ~100 ns.");

@@ -18,32 +18,65 @@
 
 use ido_bench::{bench_config, ops_per_thread};
 use ido_compiler::{instrument_program, Scheme};
-use ido_trace::TraceConfig;
+use ido_nvm::MetricsConfig;
+use ido_trace::{TraceConfig, RECOVERY_PHASES};
 use ido_vm::{recover, RecoveryConfig, SchedPolicy, Vm};
 use ido_workloads::micro::{ListSpec, MapSpec, QueueSpec, StackSpec};
 use ido_workloads::WorkloadSpec;
 
 const THREADS: usize = 64;
 const KILL_TIMES_S: [u64; 6] = [1, 10, 20, 30, 40, 50];
+/// Window width for the recovery-progress time series (simulated ns).
+const WINDOW_NS: u64 = 1_000_000;
+
+/// Per-window recovery activity: `(window index, start ns, per-phase ns)`.
+type PhaseWindows = Vec<(usize, u64, [u64; RECOVERY_PHASES])>;
 
 struct Calibration {
     entries_per_sim_sec: f64,
     atlas_fixed_ns: f64,
     atlas_per_entry_ns: f64,
     ido_recovery_ns: f64,
-    /// Measured `[scan, resume, release]` split of the Atlas recovery, ns.
-    atlas_phase_ns: [u64; 3],
-    /// Measured `[scan, resume, release]` split of the iDO recovery, ns.
-    ido_phase_ns: [u64; 3],
+    /// Measured `[scan, resume, release, rebuild]` split of the Atlas recovery, ns.
+    atlas_phase_ns: [u64; RECOVERY_PHASES],
+    /// Measured `[scan, resume, release, rebuild]` split of the iDO recovery, ns.
+    ido_phase_ns: [u64; RECOVERY_PHASES],
+    /// Windowed recovery progress of the Atlas calibration crash.
+    atlas_windows: PhaseWindows,
+    /// Windowed recovery progress of the iDO calibration crash.
+    ido_windows: PhaseWindows,
+}
+
+/// Extracts the non-empty recovery windows from a drained metrics series
+/// and cross-checks that the windowed split sums exactly to the per-phase
+/// totals measured from the trace stream (two independent observers of the
+/// same spans).
+fn recovery_windows(
+    metrics: Option<ido_nvm::ServiceMetrics>,
+    trace_phase_ns: [u64; RECOVERY_PHASES],
+) -> PhaseWindows {
+    let m = metrics.expect("metrics were enabled for the recovery run");
+    assert_eq!(
+        m.recovery_phase_totals(),
+        trace_phase_ns,
+        "windowed recovery split must sum to the trace-derived phase totals"
+    );
+    m.windows
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.recovery_ns.iter().any(|&ns| ns > 0))
+        .map(|(i, w)| (i, i as u64 * m.window_ns, w.recovery_ns))
+        .collect()
 }
 
 fn calibrate(spec: &dyn WorkloadSpec, ops: u64) -> Calibration {
     let rc = RecoveryConfig::default();
 
     // Atlas calibration run: measure log growth and real recovery cost.
-    // Tracing is switched on *after* the crash, so only the recovery's own
-    // phase markers land in the trace (the workload run stays untraced).
-    let (atlas_sim_ns, atlas_entries, atlas_recovery, atlas_phase_ns) = {
+    // Tracing and metrics are switched on *after* the crash, so only the
+    // recovery's own phase markers land in the trace (the workload run
+    // stays untraced).
+    let (atlas_sim_ns, atlas_entries, atlas_recovery, atlas_phase_ns, atlas_windows) = {
         let program = spec.build_program();
         let inst = instrument_program(program, Scheme::Atlas).expect("instrument atlas");
         let mut cfg = bench_config(256, 1 << 15);
@@ -57,14 +90,16 @@ fn calibrate(spec: &dyn WorkloadSpec, ops: u64) -> Calibration {
         let sim_ns = vm.max_clock_ns();
         let pool = vm.crash(1);
         pool.set_trace(TraceConfig::on());
+        pool.set_metrics(MetricsConfig::with_window(WINDOW_NS));
         let traced = pool.clone();
         let report = recover(pool, inst, cfg, rc);
         let phases = traced.take_trace().map(|t| t.recovery_phase_ns()).unwrap_or_default();
-        (sim_ns, report.log_entries_scanned, report.sim_ns, phases)
+        let windows = recovery_windows(traced.take_metrics(), phases);
+        (sim_ns, report.log_entries_scanned, report.sim_ns, phases, windows)
     };
 
     // iDO recovery cost on the same workload (constant by design).
-    let (ido_recovery_ns, ido_phase_ns) = {
+    let (ido_recovery_ns, ido_phase_ns, ido_windows) = {
         let program = spec.build_program();
         let inst = instrument_program(program, Scheme::Ido).expect("instrument ido");
         let mut cfg = bench_config(256, 1 << 15);
@@ -78,10 +113,12 @@ fn calibrate(spec: &dyn WorkloadSpec, ops: u64) -> Calibration {
         vm.run_steps(vm.steps() + ops * THREADS as u64 / 2);
         let pool = vm.crash(2);
         pool.set_trace(TraceConfig::on());
+        pool.set_metrics(MetricsConfig::with_window(WINDOW_NS));
         let traced = pool.clone();
         let report = recover(pool, inst, cfg, rc);
         let phases = traced.take_trace().map(|t| t.recovery_phase_ns()).unwrap_or_default();
-        (report.sim_ns as f64, phases)
+        let windows = recovery_windows(traced.take_metrics(), phases);
+        (report.sim_ns as f64, phases, windows)
     };
 
     let fixed = rc.base_ns as f64 + rc.per_thread_ns as f64 * THREADS as f64;
@@ -97,6 +134,8 @@ fn calibrate(spec: &dyn WorkloadSpec, ops: u64) -> Calibration {
         ido_recovery_ns,
         atlas_phase_ns,
         ido_phase_ns,
+        atlas_windows,
+        ido_windows,
     }
 }
 
@@ -118,10 +157,19 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut phase_rows = Vec::new();
+    let mut window_rows = Vec::new();
     for (name, spec) in &specs {
         let cal = calibrate(spec.as_ref(), ops);
         for (scheme, p) in [("Atlas", cal.atlas_phase_ns), ("iDO", cal.ido_phase_ns)] {
-            phase_rows.push(format!("{name},{scheme},{},{},{}", p[0], p[1], p[2]));
+            phase_rows.push(format!("{name},{scheme},{},{},{},{}", p[0], p[1], p[2], p[3]));
+        }
+        for (scheme, windows) in [("Atlas", &cal.atlas_windows), ("iDO", &cal.ido_windows)] {
+            for (w, start_ns, p) in windows {
+                window_rows.push(format!(
+                    "{name},{scheme},{w},{start_ns},{},{},{},{}",
+                    p[0], p[1], p[2], p[3]
+                ));
+            }
         }
         print!("{name:>12}");
         let mut cols = Vec::new();
@@ -145,23 +193,36 @@ fn main() {
     // phase markers in the trace stream (log scan / FASE resume / lock
     // release — the paper's description of both recovery procedures).
     println!("\n== Table I aux — measured recovery phase split (ms, calibration crash) ==");
-    println!("{:>12} {:>7} {:>12} {:>12} {:>12}", "structure", "scheme", "log scan", "resume", "release");
+    println!(
+        "{:>12} {:>7} {:>12} {:>12} {:>12} {:>12}",
+        "structure", "scheme", "log scan", "resume", "release", "rebuild"
+    );
     for row in &phase_rows {
         let f: Vec<&str> = row.split(',').collect();
         let ms = |s: &str| s.parse::<u64>().unwrap_or(0) as f64 / 1e6;
         println!(
-            "{:>12} {:>7} {:>12.3} {:>12.3} {:>12.3}",
+            "{:>12} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
             f[0],
             f[1],
             ms(f[2]),
             ms(f[3]),
-            ms(f[4])
+            ms(f[4]),
+            ms(f[5])
         );
     }
     ido_bench::write_csv(
         "table1_recovery_phases",
-        "structure,scheme,scan_ns,resume_ns,release_ns",
+        "structure,scheme,scan_ns,resume_ns,release_ns,rebuild_ns",
         &phase_rows,
+    );
+    // Windowed recovery progress of the same crashes: each row is one
+    // 1 ms window of one scheme's recovery with the simulated ns that
+    // window spent in each phase. The splits are cross-checked in
+    // `calibrate` to sum exactly to the per-phase totals above.
+    ido_bench::write_csv(
+        "table1_recovery_windows",
+        "structure,scheme,window,start_ns,scan_ns,resume_ns,release_ns,rebuild_ns",
+        &window_rows,
     );
 
     println!("\npaper (Table I, for comparison):");

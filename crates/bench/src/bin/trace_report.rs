@@ -168,8 +168,55 @@ fn main() -> ExitCode {
     chrome.add_trace(1, &post);
     write_figure_file(&mut emitted, "trace_recovery.trace.json", chrome.finish());
 
+    // Service demo: a traced + metered service-workload crash/recover
+    // cycle under the sharded allocator. This is the only section that
+    // emits op-span events (`op-begin`/`op-end`, from the workload's
+    // metrics markers) and the allocator `rebuild` recovery phase (from
+    // the sharded re-attach descriptor scan), so the smoke's all-kinds
+    // check covers them; the windowed metrics ride along as Perfetto
+    // counter tracks in the same file.
+    let (svc_pre, svc_post) = {
+        let spec = ido_workloads::service::ServiceSpec::with_range(512);
+        let inst = instrument_program(spec.build_program(), Scheme::Ido).expect("instrument ido");
+        let mut scfg = cfg.clone();
+        scfg.sched = SchedPolicy::MinClock;
+        scfg.alloc = ido_nvm::AllocPolicy::Sharded { shards: 4 };
+        scfg.pool.metrics = ido_nvm::MetricsConfig::with_window(100_000);
+        let mut vm = Vm::new(inst.clone(), scfg.clone());
+        let base = spec.setup(&mut vm, THREADS, ops);
+        for t in 0..THREADS {
+            vm.spawn("worker", &spec.worker_args(&base, t, ops));
+        }
+        vm.run_steps(vm.steps() + 40 * ops);
+        let t_crash = vm.max_clock_ns();
+        let pool = vm.crash(7);
+        let svc_pre = pool.take_trace().expect("service pre-crash trace");
+        let traced = pool.clone();
+        let rc = RecoveryConfig { base_ns: 300_000, per_thread_ns: 50_000, entry_scan_ns: 250 };
+        pool.set_metrics(ido_nvm::MetricsConfig::with_window(100_000).at_base(t_crash + rc.base_ns));
+        let _ = recover(pool, inst, scfg, rc);
+        let svc_post = traced.take_trace().expect("service recovery trace");
+        let mut metrics = traced.take_metrics().expect("service metrics");
+        metrics.note_crash(t_crash);
+        let mut chrome = ChromeTrace::new();
+        chrome.add_process(0, "service pre-crash");
+        chrome.add_trace(0, &svc_pre);
+        chrome.add_process(1, "service recovery");
+        chrome.add_trace(1, &svc_post);
+        chrome.add_process(2, "service metrics");
+        metrics.add_counter_tracks(&mut chrome, 2);
+        write_figure_file(&mut emitted, "trace_service.trace.json", chrome.finish());
+        (svc_pre, svc_post)
+    };
+    let svc_phases = svc_post.recovery_phase_ns();
+    println!(
+        "service demo (iDO service crash): ops traced {}, rebuild {:.3} ms",
+        svc_pre.counts_by_kind()[EventKind::OpEnd as usize],
+        svc_phases[3] as f64 / 1e6,
+    );
+
     if smoke {
-        return self_check(&emitted, &[&pre, &post]);
+        return self_check(&emitted, &[&pre, &post, &svc_pre, &svc_post]);
     }
     ExitCode::SUCCESS
 }
@@ -206,6 +253,18 @@ fn self_check(emitted: &[(String, String)], traces: &[&Trace]) -> ExitCode {
     if traces[1].counts_by_kind()[EventKind::RecoveryEnd as usize] == 0 || phases[1] == 0 {
         eprintln!("SMOKE FAIL: recovery trace lacks phase spans ({phases:?})");
         ok = false;
+    }
+    // The service pair must carry op spans and the allocator rebuild phase.
+    if let [_, _, svc_pre, svc_post] = traces {
+        if svc_pre.counts_by_kind()[EventKind::OpEnd as usize] == 0 {
+            eprintln!("SMOKE FAIL: service trace has no op spans");
+            ok = false;
+        }
+        let svc_phases = svc_post.recovery_phase_ns();
+        if svc_phases[3] == 0 {
+            eprintln!("SMOKE FAIL: service recovery has no rebuild phase ({svc_phases:?})");
+            ok = false;
+        }
     }
     if ok {
         println!("trace smoke OK: {} files valid, all {} event kinds present", emitted.len(), EventKind::ALL.len());

@@ -170,6 +170,17 @@ impl<'a> FunctionBuilder<'a> {
         self.emit(Inst::Delay { ns });
     }
 
+    /// Opens a service-operation span of the given kind for the metrics
+    /// layer (0 = generic, 1 = get, 2 = put). Free and side-effect free.
+    pub fn op_begin(&mut self, kind: impl Into<Operand>) {
+        self.emit(Inst::OpMark { kind: kind.into(), begin: true });
+    }
+
+    /// Closes the open service-operation span of the given kind.
+    pub fn op_end(&mut self, kind: impl Into<Operand>) {
+        self.emit(Inst::OpMark { kind: kind.into(), begin: false });
+    }
+
     /// Begin a programmer-delineated durable region.
     pub fn durable_begin(&mut self) {
         self.emit(Inst::DurableBegin);

@@ -334,6 +334,18 @@ pub enum Inst {
         /// Nanoseconds of application compute to charge.
         ns: u64,
     },
+    /// A service-operation span marker for the metrics layer: `begin`
+    /// opens (and `!begin` closes) an operation of the given kind
+    /// (0 = generic, 1 = get, 2 = put; evaluated at run time so mixed
+    /// loops can pick the kind in a register). Charges no simulated time
+    /// and has no memory effect — pure and idempotent, like
+    /// [`Inst::RegionMarker`].
+    OpMark {
+        /// Operation kind operand (clamped by the metrics layer).
+        kind: Operand,
+        /// True opens the span, false closes it.
+        begin: bool,
+    },
     /// A runtime operation inserted by instrumentation.
     Rt(RtOp),
     /// Unconditional jump.
@@ -397,6 +409,7 @@ impl Inst {
                 }
             }
             Inst::RegionMarker | Inst::Delay { .. } => {}
+            Inst::OpMark { kind, .. } => v.extend(kind.as_reg()),
             Inst::Rt(rt) => v.extend(rt.uses()),
             Inst::Jump { .. } => {}
             Inst::Branch { cond, .. } => v.extend(cond.as_reg()),
@@ -496,6 +509,16 @@ mod tests {
         let ret = Inst::Ret { val: None };
         assert!(ret.is_terminator());
         assert!(ret.targets().is_empty());
+    }
+
+    #[test]
+    fn op_mark_uses_its_kind_register() {
+        let m = Inst::OpMark { kind: Operand::Reg(r(9)), begin: true };
+        assert_eq!(m.def_reg(), None);
+        assert_eq!(m.uses(), vec![r(9)]);
+        assert!(!m.is_terminator());
+        let imm = Inst::OpMark { kind: Operand::Imm(1), begin: false };
+        assert!(imm.uses().is_empty());
     }
 
     #[test]

@@ -135,6 +135,9 @@ impl fmt::Display for Inst {
             }
             Inst::RegionMarker => write!(f, "region_marker"),
             Inst::Delay { ns } => write!(f, "delay {ns}ns"),
+            Inst::OpMark { kind, begin } => {
+                write!(f, "{} {kind}", if *begin { "op_begin" } else { "op_end" })
+            }
             Inst::Rt(rt) => write!(f, "{rt}"),
             Inst::Jump { target } => write!(f, "jump bb{}", target.0),
             Inst::Branch { cond, then_bb, else_bb } => {

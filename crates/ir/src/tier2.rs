@@ -270,12 +270,14 @@ pub fn fusible(inst: &Inst) -> bool {
         | Inst::RegionMarker
         | Inst::DurableBegin
         | Inst::DurableEnd => true,
-        // Frame manipulation, allocator state, and every scheme runtime op
-        // (log scopes, boundaries, recovery) deopt to tier 1.
+        // Frame manipulation, allocator state, metrics span markers, and
+        // every scheme runtime op (log scopes, boundaries, recovery) deopt
+        // to tier 1, which is the single implementation site for them.
         Inst::Call { .. }
         | Inst::Ret { .. }
         | Inst::Alloc { .. }
         | Inst::Free { .. }
+        | Inst::OpMark { .. }
         | Inst::Rt(_) => false,
     }
 }

@@ -1,0 +1,678 @@
+//! Deterministic windowed service metrics over the simulated clock.
+//!
+//! ido-trace answers "where did simulated time go" in aggregate; this
+//! crate answers the questions a service is judged on: per-operation
+//! latency quantiles, throughput over time, and what clients observe
+//! *while a shard recovers*. Everything is driven by simulated
+//! nanoseconds, so every series is byte-identical across runs and across
+//! `IDO_JOBS` settings — wall-clock time never enters the data.
+//!
+//! The layer mirrors the trace subsystem's shape:
+//!
+//! * **Emission** ([`MetricsHandle`] / [`MetricsBuf`]): the disabled path
+//!   is one branch on a null-pointer-optimized `Option<Box<_>>`; the
+//!   enabled path records op begin/end spans into preallocated inline
+//!   arrays and a window vector sized up front — nothing allocates per
+//!   step (pinned by `workloads/tests/no_alloc_hot_loop.rs`).
+//! * **Timeline composition**: each buffer carries a `base_ns` offset
+//!   added to the emitting handle's segment-local clock, so a run that
+//!   crashes and recovers can lay its pre-crash, recovery, and post-crash
+//!   segments onto one global windowed timeline (the pool's
+//!   `set_metrics` mirrors `set_trace`: it only affects handles created
+//!   afterwards).
+//! * **Aggregation** ([`ServiceMetrics`]): cell-wise merged windows
+//!   (ops/window goodput per op kind, latency [`Hist`] with exact
+//!   quantile extraction, persist-counter deltas, recovery-phase ns),
+//!   exported as CSV rows, a Prometheus-style text snapshot, and
+//!   Perfetto counter tracks.
+
+#![deny(missing_docs)]
+
+use ido_trace::chrome::ChromeTrace;
+use ido_trace::{Hist, RecoveryPhase, RECOVERY_PHASES};
+
+/// Number of distinct operation kinds (0 = generic, 1 = get, 2 = put).
+pub const OP_KINDS: usize = 3;
+
+/// Stable display names for the op kinds, by index.
+pub const OP_KIND_NAMES: [&str; OP_KINDS] = ["generic", "get", "put"];
+
+/// Windows preallocated per buffer so the hot path never allocates while
+/// the composed timeline stays under this many windows (growth beyond is
+/// amortized and happens only at a window-boundary crossing).
+pub const PREALLOC_WINDOWS: usize = 64;
+
+/// Default window width: 1 simulated millisecond.
+pub const DEFAULT_WINDOW_NS: u64 = 1_000_000;
+
+/// Pool-level metrics configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Whether handles created from the pool carry metrics buffers.
+    pub enabled: bool,
+    /// Window width in simulated ns (at least 1 when enabled).
+    pub window_ns: u64,
+    /// Global-timeline offset added to every handle-local timestamp.
+    pub base_ns: u64,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig { enabled: false, window_ns: DEFAULT_WINDOW_NS, base_ns: 0 }
+    }
+}
+
+impl MetricsConfig {
+    /// An enabled config with the default window width at base 0.
+    pub fn on() -> Self {
+        MetricsConfig { enabled: true, ..MetricsConfig::default() }
+    }
+
+    /// An enabled config with the given window width at base 0.
+    pub fn with_window(window_ns: u64) -> Self {
+        MetricsConfig { enabled: true, window_ns: window_ns.max(1), base_ns: 0 }
+    }
+
+    /// The same config with a different timeline base.
+    pub fn at_base(self, base_ns: u64) -> Self {
+        MetricsConfig { base_ns, ..self }
+    }
+}
+
+/// Persist-activity counters — a metrics-layer mirror of the NVM pool's
+/// `StatsSnapshot` (ido-metrics cannot depend on ido-nvm, which depends
+/// on it; the pool converts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Persistent-heap loads.
+    pub loads: u64,
+    /// Cached persistent-heap stores.
+    pub stores: u64,
+    /// Non-temporal stores.
+    pub nt_stores: u64,
+    /// Cache-line write-backs issued.
+    pub clwbs: u64,
+    /// Persist fences drained.
+    pub fences: u64,
+    /// Cache lines made persistent.
+    pub lines_persisted: u64,
+    /// Log payload bytes appended.
+    pub log_bytes: u64,
+}
+
+impl Counters {
+    /// CSV column names, matching [`Counters::csv_fields`] order.
+    pub const CSV_HEADER: &'static str =
+        "loads,stores,nt_stores,clwbs,fences,lines_persisted,log_bytes";
+
+    /// Field-wise `self - earlier` (saturating).
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            loads: self.loads.saturating_sub(earlier.loads),
+            stores: self.stores.saturating_sub(earlier.stores),
+            nt_stores: self.nt_stores.saturating_sub(earlier.nt_stores),
+            clwbs: self.clwbs.saturating_sub(earlier.clwbs),
+            fences: self.fences.saturating_sub(earlier.fences),
+            lines_persisted: self.lines_persisted.saturating_sub(earlier.lines_persisted),
+            log_bytes: self.log_bytes.saturating_sub(earlier.log_bytes),
+        }
+    }
+
+    /// Field-wise accumulate.
+    pub fn add(&mut self, other: &Counters) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.nt_stores += other.nt_stores;
+        self.clwbs += other.clwbs;
+        self.fences += other.fences;
+        self.lines_persisted += other.lines_persisted;
+        self.log_bytes += other.log_bytes;
+    }
+
+    /// Comma-joined fields in [`Counters::CSV_HEADER`] order.
+    pub fn csv_fields(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{}",
+            self.loads,
+            self.stores,
+            self.nt_stores,
+            self.clwbs,
+            self.fences,
+            self.lines_persisted,
+            self.log_bytes
+        )
+    }
+}
+
+/// One window of the timeline: everything that completed inside
+/// `[i·window_ns, (i+1)·window_ns)` on the global simulated clock.
+#[derive(Debug, Clone, Default)]
+pub struct WindowCell {
+    /// Operations completed in this window, by op kind.
+    pub ops: [u64; OP_KINDS],
+    /// Latency histogram of those operations (simulated ns).
+    pub lat: Hist,
+    /// Persist-counter deltas attributed to this window.
+    pub counters: Counters,
+    /// Recovery time spent inside this window, by phase
+    /// (`[scan, resume, release, rebuild]`, simulated ns).
+    pub recovery_ns: [u64; RECOVERY_PHASES],
+}
+
+impl WindowCell {
+    /// Total operations completed in this window (the goodput numerator).
+    pub fn goodput(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &WindowCell) {
+        for (a, b) in self.ops.iter_mut().zip(other.ops.iter()) {
+            *a += *b;
+        }
+        self.lat.merge(&other.lat);
+        self.counters.add(&other.counters);
+        for (a, b) in self.recovery_ns.iter_mut().zip(other.recovery_ns.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+/// A per-thread metrics accumulator. All state is inline or preallocated;
+/// recording an op span touches no allocator (growth of the window vector
+/// happens only when the timeline outruns [`PREALLOC_WINDOWS`], and only
+/// at a window-boundary crossing).
+#[derive(Debug)]
+pub struct MetricsBuf {
+    thread: u16,
+    window_ns: u64,
+    base_ns: u64,
+    /// The open op span: `(kind, global begin ts)`.
+    open: Option<(usize, u64)>,
+    /// Whole-run latency histograms by op kind.
+    pub per_kind: [Hist; OP_KINDS],
+    windows: Vec<WindowCell>,
+    /// Counter snapshot at the last attribution point; the next op end
+    /// attributes the delta since it to the current window.
+    last: Counters,
+}
+
+impl MetricsBuf {
+    /// A buffer for `thread` with the given window width and timeline
+    /// base.
+    pub fn new(thread: u16, window_ns: u64, base_ns: u64) -> Box<MetricsBuf> {
+        let mut windows = Vec::new();
+        windows.reserve_exact(PREALLOC_WINDOWS);
+        Box::new(MetricsBuf {
+            thread,
+            window_ns: window_ns.max(1),
+            base_ns,
+            open: None,
+            per_kind: Default::default(),
+            windows,
+            last: Counters::default(),
+        })
+    }
+
+    /// The thread id this buffer records for.
+    pub fn thread(&self) -> u16 {
+        self.thread
+    }
+
+    /// Window width in simulated ns.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    #[inline]
+    fn cell_at(&mut self, global_ts: u64) -> &mut WindowCell {
+        let idx = (global_ts / self.window_ns) as usize;
+        while self.windows.len() <= idx {
+            self.windows.push(WindowCell::default());
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Opens an op span of `kind` (clamped) at handle-local `ts_ns`.
+    #[inline]
+    pub fn op_begin(&mut self, kind: u64, ts_ns: u64) {
+        let kind = (kind as usize).min(OP_KINDS - 1);
+        self.open = Some((kind, self.base_ns + ts_ns));
+    }
+
+    /// Closes the open op span at handle-local `ts_ns`, attributing the
+    /// latency and the counter delta since the previous close to the
+    /// window containing the (global) end timestamp. A close without an
+    /// open span is ignored; the close's kind argument is ignored in
+    /// favor of the open span's kind (mirroring the trace pairing).
+    #[inline]
+    pub fn op_end(&mut self, _kind: u64, ts_ns: u64, counters: &Counters) {
+        let Some((kind, begin)) = self.open.take() else { return };
+        let end = self.base_ns + ts_ns;
+        let lat = end.saturating_sub(begin);
+        self.per_kind[kind].record(lat);
+        let delta = counters.delta_since(&self.last);
+        self.last = *counters;
+        let cell = self.cell_at(end);
+        cell.ops[kind] += 1;
+        cell.lat.record(lat);
+        cell.counters.add(&delta);
+    }
+
+    /// Attributes the recovery span `[t0, t1)` (global timeline ns) of
+    /// `phase` to every window it overlaps, split exactly.
+    pub fn recovery_span(&mut self, phase: RecoveryPhase, t0: u64, t1: u64) {
+        let pi = phase as usize - 1;
+        let w = self.window_ns;
+        let mut cur = t0;
+        while cur < t1 {
+            let next = (cur / w + 1) * w;
+            let end = next.min(t1);
+            self.cell_at(cur).recovery_ns[pi] += end - cur;
+            cur = end;
+        }
+    }
+
+    /// The global-timeline offset this buffer applies.
+    pub fn base_ns(&self) -> u64 {
+        self.base_ns
+    }
+}
+
+/// The emission handle a `PmemHandle` carries. Disabled metrics is
+/// `MetricsHandle(None)`: one predictable untaken branch per marker,
+/// no allocation — identical shape to `TraceHandle`.
+#[derive(Debug, Default)]
+pub struct MetricsHandle(Option<Box<MetricsBuf>>);
+
+impl MetricsHandle {
+    /// The disabled handle (`const`-foldable).
+    pub const OFF: MetricsHandle = MetricsHandle(None);
+
+    /// A handle recording into `buf`.
+    pub fn new(buf: Box<MetricsBuf>) -> MetricsHandle {
+        MetricsHandle(Some(buf))
+    }
+
+    /// True when op spans are being recorded.
+    #[inline(always)]
+    pub fn is_on(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Direct access to the buffer, when on.
+    #[inline(always)]
+    pub fn as_buf_mut(&mut self) -> Option<&mut MetricsBuf> {
+        self.0.as_deref_mut()
+    }
+
+    /// Takes the buffer out (for folding into a pool-level collector).
+    pub fn take(&mut self) -> Option<Box<MetricsBuf>> {
+        self.0.take()
+    }
+}
+
+/// The merged, deterministic windowed view of a service run: the
+/// cell-wise sum of every folded per-thread buffer (and, via
+/// [`ServiceMetrics::merge`], of every shard).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Window width in simulated ns.
+    pub window_ns: u64,
+    /// The windowed timeline, index = global ts / `window_ns`.
+    pub windows: Vec<WindowCell>,
+    /// Whole-run latency histograms by op kind.
+    pub per_kind: [Hist; OP_KINDS],
+    /// Global timestamps at which a pool crashed, in note order.
+    pub crashes: Vec<u64>,
+}
+
+impl ServiceMetrics {
+    /// CSV header matching [`ServiceMetrics::csv_rows`].
+    pub const CSV_HEADER: &'static str = "window,start_ns,goodput,generic,gets,puts,p50_ns,p90_ns,p99_ns,p999_ns,loads,stores,nt_stores,clwbs,fences,lines_persisted,log_bytes,scan_ns,resume_ns,release_ns,rebuild_ns";
+
+    /// Merges folded buffers into one deterministic timeline. Buffers are
+    /// ordered by thread id first, so the result is independent of fold
+    /// (handle drop) order; all cell contents are order-independent sums.
+    pub fn from_bufs(window_ns: u64, mut bufs: Vec<Box<MetricsBuf>>) -> ServiceMetrics {
+        bufs.sort_by_key(|b| b.thread());
+        let mut m = ServiceMetrics { window_ns: window_ns.max(1), ..ServiceMetrics::default() };
+        for b in &bufs {
+            if m.windows.len() < b.windows.len() {
+                m.windows.resize(b.windows.len(), WindowCell::default());
+            }
+            for (cell, other) in m.windows.iter_mut().zip(b.windows.iter()) {
+                cell.merge(other);
+            }
+            for (h, o) in m.per_kind.iter_mut().zip(b.per_kind.iter()) {
+                h.merge(o);
+            }
+        }
+        m
+    }
+
+    /// Folds another timeline (e.g. a different shard of the same
+    /// service) into `self`, cell-wise. Window widths must match.
+    pub fn merge(&mut self, other: &ServiceMetrics) {
+        assert_eq!(self.window_ns, other.window_ns, "window widths must match to merge");
+        if self.windows.len() < other.windows.len() {
+            self.windows.resize(other.windows.len(), WindowCell::default());
+        }
+        for (cell, o) in self.windows.iter_mut().zip(other.windows.iter()) {
+            cell.merge(o);
+        }
+        for (h, o) in self.per_kind.iter_mut().zip(other.per_kind.iter()) {
+            h.merge(o);
+        }
+        self.crashes.extend_from_slice(&other.crashes);
+    }
+
+    /// Records that a pool crashed at global timestamp `ts`.
+    pub fn note_crash(&mut self, ts: u64) {
+        self.crashes.push(ts);
+    }
+
+    /// Total operations completed across the whole timeline.
+    pub fn total_ops(&self) -> u64 {
+        self.windows.iter().map(WindowCell::goodput).sum()
+    }
+
+    /// Recovery-phase totals summed over all windows
+    /// (`[scan, resume, release, rebuild]`, simulated ns).
+    pub fn recovery_phase_totals(&self) -> [u64; RECOVERY_PHASES] {
+        let mut out = [0u64; RECOVERY_PHASES];
+        for w in &self.windows {
+            for (t, v) in out.iter_mut().zip(w.recovery_ns.iter()) {
+                *t += v;
+            }
+        }
+        out
+    }
+
+    /// One CSV row per window, in [`ServiceMetrics::CSV_HEADER`] order.
+    pub fn csv_rows(&self) -> Vec<String> {
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                format!(
+                    "{i},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    i as u64 * self.window_ns,
+                    w.goodput(),
+                    w.ops[0],
+                    w.ops[1],
+                    w.ops[2],
+                    w.lat.value_at_quantile(0.50),
+                    w.lat.value_at_quantile(0.90),
+                    w.lat.value_at_quantile(0.99),
+                    w.lat.value_at_quantile(0.999),
+                    w.counters.csv_fields(),
+                    w.recovery_ns[0],
+                    w.recovery_ns[1],
+                    w.recovery_ns[2],
+                    w.recovery_ns[3],
+                )
+            })
+            .collect()
+    }
+
+    /// A Prometheus text-exposition snapshot of the whole run. `labels`
+    /// is spliced into every sample (e.g. `scheme="ido"`), empty for
+    /// none. Deterministic: fixed metric order, integer values only.
+    pub fn prometheus_text(&self, labels: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let lbl = |extra: &str| -> String {
+            match (labels.is_empty(), extra.is_empty()) {
+                (true, true) => String::new(),
+                (true, false) => format!("{{{extra}}}"),
+                (false, true) => format!("{{{labels}}}"),
+                (false, false) => format!("{{{labels},{extra}}}"),
+            }
+        };
+        out.push_str("# TYPE ido_ops_total counter\n");
+        for (k, name) in OP_KIND_NAMES.iter().enumerate() {
+            let total: u64 = self.windows.iter().map(|w| w.ops[k]).sum();
+            let _ = writeln!(out, "ido_ops_total{} {total}", lbl(&format!("kind=\"{name}\"")));
+        }
+        out.push_str("# TYPE ido_op_latency_ns summary\n");
+        for (k, name) in OP_KIND_NAMES.iter().enumerate() {
+            let h = &self.per_kind[k];
+            for (q, qs) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")] {
+                let _ = writeln!(
+                    out,
+                    "ido_op_latency_ns{} {}",
+                    lbl(&format!("kind=\"{name}\",quantile=\"{qs}\"")),
+                    h.value_at_quantile(q)
+                );
+            }
+            let _ = writeln!(out, "ido_op_latency_ns_sum{} {}", lbl(&format!("kind=\"{name}\"")), h.sum());
+            let _ = writeln!(out, "ido_op_latency_ns_count{} {}", lbl(&format!("kind=\"{name}\"")), h.count());
+        }
+        out.push_str("# TYPE ido_recovery_ns_total counter\n");
+        let totals = self.recovery_phase_totals();
+        for (p, total) in RecoveryPhase::ALL.iter().zip(totals.iter()) {
+            let _ = writeln!(
+                out,
+                "ido_recovery_ns_total{} {total}",
+                lbl(&format!("phase=\"{}\"", p.name()))
+            );
+        }
+        out.push_str("# TYPE ido_crashes_total counter\n");
+        let _ = writeln!(out, "ido_crashes_total{} {}", lbl(""), self.crashes.len());
+        out
+    }
+
+    /// Emits the windowed series as Perfetto counter tracks under
+    /// process `pid`: one goodput track (per-kind sub-series), one
+    /// latency-quantile track, and one recovery-progress track (ns of
+    /// recovery work per window, by phase — the series that shows a
+    /// shard coming back).
+    pub fn add_counter_tracks(&self, chrome: &mut ChromeTrace, pid: u32) {
+        for (i, w) in self.windows.iter().enumerate() {
+            let ts = i as u64 * self.window_ns;
+            chrome.add_counter(
+                pid,
+                "goodput (ops/window)",
+                ts,
+                &[("generic", w.ops[0]), ("get", w.ops[1]), ("put", w.ops[2])],
+            );
+            chrome.add_counter(
+                pid,
+                "op latency (ns)",
+                ts,
+                &[
+                    ("p50", w.lat.value_at_quantile(0.50)),
+                    ("p99", w.lat.value_at_quantile(0.99)),
+                    ("p999", w.lat.value_at_quantile(0.999)),
+                ],
+            );
+            chrome.add_counter(
+                pid,
+                "recovery (ns/window)",
+                ts,
+                &[
+                    ("scan", w.recovery_ns[0]),
+                    ("resume", w.recovery_ns[1]),
+                    ("release", w.recovery_ns[2]),
+                    ("rebuild", w.recovery_ns[3]),
+                ],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(stores: u64, clwbs: u64) -> Counters {
+        Counters { stores, clwbs, ..Counters::default() }
+    }
+
+    #[test]
+    fn config_default_is_disabled() {
+        let c = MetricsConfig::default();
+        assert!(!c.enabled);
+        assert_eq!(c.window_ns, DEFAULT_WINDOW_NS);
+        assert!(MetricsConfig::on().enabled);
+        assert_eq!(MetricsConfig::with_window(500).at_base(77).base_ns, 77);
+    }
+
+    #[test]
+    fn op_span_lands_in_the_end_window_with_latency_and_delta() {
+        let mut b = MetricsBuf::new(0, 1000, 0);
+        b.op_begin(1, 950);
+        b.op_end(1, 1100, &counters(5, 2));
+        let m = ServiceMetrics::from_bufs(1000, vec![b]);
+        assert_eq!(m.windows.len(), 2);
+        assert_eq!(m.windows[0].goodput(), 0);
+        assert_eq!(m.windows[1].ops, [0, 1, 0]);
+        assert_eq!(m.windows[1].lat.max(), 150);
+        assert_eq!(m.windows[1].counters.stores, 5);
+        assert_eq!(m.windows[1].counters.clwbs, 2);
+        assert_eq!(m.per_kind[1].count(), 1);
+    }
+
+    #[test]
+    fn counter_deltas_are_attributed_incrementally() {
+        let mut b = MetricsBuf::new(0, 1000, 0);
+        b.op_begin(2, 0);
+        b.op_end(2, 10, &counters(5, 0));
+        b.op_begin(2, 1500);
+        b.op_end(2, 1600, &counters(12, 3));
+        let m = ServiceMetrics::from_bufs(1000, vec![b]);
+        assert_eq!(m.windows[0].counters.stores, 5);
+        assert_eq!(m.windows[1].counters.stores, 7, "delta since previous close");
+        assert_eq!(m.windows[1].counters.clwbs, 3);
+    }
+
+    #[test]
+    fn base_offset_shifts_the_timeline() {
+        let mut b = MetricsBuf::new(0, 1000, 5000);
+        b.op_begin(0, 10);
+        b.op_end(0, 20, &Counters::default());
+        let m = ServiceMetrics::from_bufs(1000, vec![b]);
+        assert_eq!(m.windows.len(), 6);
+        assert_eq!(m.windows[5].ops[0], 1);
+    }
+
+    #[test]
+    fn unmatched_end_is_ignored_and_kind_clamps() {
+        let mut b = MetricsBuf::new(0, 1000, 0);
+        b.op_end(1, 10, &Counters::default());
+        b.op_begin(99, 20);
+        b.op_end(99, 30, &Counters::default());
+        let m = ServiceMetrics::from_bufs(1000, vec![b]);
+        assert_eq!(m.total_ops(), 1);
+        assert_eq!(m.windows[0].ops[OP_KINDS - 1], 1, "kind clamped to the last index");
+    }
+
+    #[test]
+    fn recovery_span_splits_exactly_across_windows() {
+        let mut b = MetricsBuf::new(0, 1000, 0);
+        b.recovery_span(RecoveryPhase::Scan, 500, 2500);
+        b.recovery_span(RecoveryPhase::Rebuild, 2500, 2600);
+        let m = ServiceMetrics::from_bufs(1000, vec![b]);
+        assert_eq!(m.windows[0].recovery_ns[0], 500);
+        assert_eq!(m.windows[1].recovery_ns[0], 1000);
+        assert_eq!(m.windows[2].recovery_ns[0], 500);
+        assert_eq!(m.windows[2].recovery_ns[3], 100);
+        assert_eq!(m.recovery_phase_totals(), [2000, 0, 0, 100]);
+    }
+
+    #[test]
+    fn merge_is_fold_order_independent() {
+        let mk = |thread: u16, ts: u64| {
+            let mut b = MetricsBuf::new(thread, 1000, 0);
+            b.op_begin(1, ts);
+            b.op_end(1, ts + 50, &Counters::default());
+            b
+        };
+        let a = ServiceMetrics::from_bufs(1000, vec![mk(0, 100), mk(1, 2100)]);
+        let b = ServiceMetrics::from_bufs(1000, vec![mk(1, 2100), mk(0, 100)]);
+        assert_eq!(a.csv_rows(), b.csv_rows());
+        assert_eq!(a.total_ops(), 2);
+    }
+
+    #[test]
+    fn shard_merge_sums_cells_and_keeps_crashes() {
+        let mk = |ts: u64| {
+            let mut b = MetricsBuf::new(0, 1000, 0);
+            b.op_begin(2, ts);
+            b.op_end(2, ts + 10, &counters(1, 1));
+            ServiceMetrics::from_bufs(1000, vec![b])
+        };
+        let mut a = mk(100);
+        a.note_crash(700);
+        let b = mk(150);
+        a.merge(&b);
+        assert_eq!(a.windows[0].ops[2], 2);
+        assert_eq!(a.windows[0].counters.stores, 2);
+        assert_eq!(a.crashes, vec![700]);
+    }
+
+    #[test]
+    fn csv_rows_match_header_arity() {
+        let mut b = MetricsBuf::new(0, 1000, 0);
+        b.op_begin(1, 10);
+        b.op_end(1, 20, &counters(3, 1));
+        let m = ServiceMetrics::from_bufs(1000, vec![b]);
+        let cols = ServiceMetrics::CSV_HEADER.split(',').count();
+        for row in m.csv_rows() {
+            assert_eq!(row.split(',').count(), cols, "row {row}");
+        }
+    }
+
+    #[test]
+    fn prometheus_snapshot_has_all_families() {
+        let mut b = MetricsBuf::new(0, 1000, 0);
+        b.op_begin(1, 0);
+        b.op_end(1, 40, &Counters::default());
+        b.recovery_span(RecoveryPhase::Resume, 0, 300);
+        let mut m = ServiceMetrics::from_bufs(1000, vec![b]);
+        m.note_crash(123);
+        let text = m.prometheus_text("scheme=\"ido\"");
+        assert!(text.contains("ido_ops_total{scheme=\"ido\",kind=\"get\"} 1"));
+        assert!(text.contains("ido_op_latency_ns{scheme=\"ido\",kind=\"get\",quantile=\"0.99\"} 40"));
+        assert!(text.contains("ido_recovery_ns_total{scheme=\"ido\",phase=\"resume\"} 300"));
+        assert!(text.contains("ido_crashes_total{scheme=\"ido\"} 1"));
+        // Unlabeled form still renders valid sample lines.
+        let plain = m.prometheus_text("");
+        assert!(plain.contains("ido_crashes_total 1"));
+    }
+
+    #[test]
+    fn counter_tracks_render_into_chrome_export() {
+        let mut b = MetricsBuf::new(0, 1000, 0);
+        b.op_begin(2, 100);
+        b.op_end(2, 350, &Counters::default());
+        b.recovery_span(RecoveryPhase::Scan, 1000, 1400);
+        let m = ServiceMetrics::from_bufs(1000, vec![b]);
+        let mut c = ChromeTrace::new();
+        c.add_process(1, "svc");
+        m.add_counter_tracks(&mut c, 1);
+        let s = c.finish();
+        ido_trace::json::validate_json(&s).expect("counter export is valid JSON");
+        assert!(s.contains("goodput (ops/window)"));
+        assert!(s.contains("\"p999\":250"));
+        assert!(s.contains("\"scan\":400"));
+    }
+
+    #[test]
+    fn handle_off_is_inert_and_on_records() {
+        let mut h = MetricsHandle::OFF;
+        assert!(!h.is_on());
+        assert!(h.as_buf_mut().is_none());
+        assert!(h.take().is_none());
+        let mut h = MetricsHandle::new(MetricsBuf::new(3, 1000, 0));
+        assert!(h.is_on());
+        if let Some(b) = h.as_buf_mut() {
+            b.op_begin(0, 1);
+            b.op_end(0, 2, &Counters::default());
+        }
+        let buf = h.take().expect("buffer present");
+        assert_eq!(buf.thread(), 3);
+        assert!(!h.is_on(), "taken handle is off");
+    }
+}

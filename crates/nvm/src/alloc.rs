@@ -69,6 +69,7 @@ use std::sync::{Arc, Mutex};
 use crate::pool::PmemHandle;
 use crate::root::{ALLOC_META_ADDR, HEAP_START};
 use crate::{NvmError, PAddr};
+use ido_trace::{EventKind, RecoveryPhase};
 
 const ALLOCATED_BIT: u64 = 1 << 63;
 const HEADER_BYTES: usize = 8;
@@ -260,6 +261,8 @@ impl NvAllocator {
                 NvAllocator { inner: Inner::GlobalDes { avail: Arc::new(Mutex::new(0)) } }
             }
             AllocPolicy::Sharded { shards } => {
+                let rebuild_t0 = h.clock_ns();
+                h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Rebuild as u64, 0);
                 let magic = h.read_u64(META_MAGIC);
                 assert_eq!(magic, SHARD_MAGIC, "pool is not sharded-formatted");
                 let n_chunks = h.read_u64(META_NCHUNKS) as usize;
@@ -302,6 +305,13 @@ impl NvAllocator {
                         state.partial[k].push(c as u32);
                     }
                 }
+                let rebuild_t1 = h.clock_ns();
+                h.trace_event(
+                    EventKind::RecoveryEnd,
+                    RecoveryPhase::Rebuild as u64,
+                    rebuild_t1 - rebuild_t0,
+                );
+                h.metrics_recovery(RecoveryPhase::Rebuild, rebuild_t0, rebuild_t1);
                 NvAllocator { inner: Inner::Sharded { state: Arc::new(Mutex::new(state)) } }
             }
         }

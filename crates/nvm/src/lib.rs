@@ -65,6 +65,9 @@ pub use latency::{EmulationMode, LatencyModel};
 pub use line::{line_of, line_offset, CACHE_LINE};
 pub use pool::{CrashOutcome, CrashPolicy, PmemHandle, PmemPool, PoolConfig};
 pub use stats::{PersistStats, StatsSnapshot};
+// Re-exported so pool users can configure windowed metrics without a
+// direct ido-metrics dependency.
+pub use ido_metrics::{MetricsConfig, ServiceMetrics};
 
 /// A byte offset into a [`PmemPool`]'s address space.
 ///

@@ -4,7 +4,10 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use ido_trace::{Category, CostBreakdown, EventKind, Trace, TraceBuf, TraceConfig, TraceHandle};
+use ido_metrics::{Counters, MetricsBuf, MetricsConfig, MetricsHandle, ServiceMetrics};
+use ido_trace::{
+    Category, CostBreakdown, EventKind, RecoveryPhase, Trace, TraceBuf, TraceConfig, TraceHandle,
+};
 
 use crate::journal::{Journal, PersistEvent, PersistEventKind};
 use crate::latency::LatencyModel;
@@ -77,6 +80,9 @@ pub struct PoolConfig {
     /// `IDO_TRACE` / `IDO_TRACE_BUF` from the environment, so every
     /// binary supports tracing without plumbing a flag.
     pub trace: TraceConfig,
+    /// Windowed service metrics for handles of this pool (off by
+    /// default; the service harnesses opt in explicitly).
+    pub metrics: MetricsConfig,
 }
 
 impl Default for PoolConfig {
@@ -86,6 +92,7 @@ impl Default for PoolConfig {
             latency: LatencyModel::default(),
             crash_policy: CrashPolicy::DropDirty,
             trace: TraceConfig::from_env(),
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -99,6 +106,7 @@ impl PoolConfig {
             latency: LatencyModel::zero(),
             crash_policy: CrashPolicy::DropDirty,
             trace: TraceConfig { enabled: false, ..TraceConfig::default() },
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -124,6 +132,18 @@ struct Inner {
     trace_next_tid: AtomicU64,
     /// Rings folded from dropped handles, awaiting [`PmemPool::take_trace`].
     trace_bufs: Mutex<Vec<Box<TraceBuf>>>,
+    /// Metrics state, sampled at handle creation exactly like tracing —
+    /// [`PmemPool::set_metrics`] affects only handles created afterwards,
+    /// which is what lets a crash-under-load harness lay pre-crash,
+    /// recovery, and post-crash segments onto one global timeline via the
+    /// base offset.
+    metrics_enabled: AtomicBool,
+    metrics_window_ns: AtomicU64,
+    metrics_base_ns: AtomicU64,
+    metrics_next_tid: AtomicU64,
+    /// Buffers folded from dropped handles, awaiting
+    /// [`PmemPool::take_metrics`].
+    metrics_bufs: Mutex<Vec<Box<MetricsBuf>>>,
 }
 
 impl Inner {
@@ -206,6 +226,7 @@ impl PmemPool {
         let mk = zeroed_atomics;
         let config = PoolConfig { size, ..config };
         let trace = config.trace;
+        let metrics = config.metrics;
         PmemPool {
             inner: Arc::new(Inner {
                 volatile: mk(words),
@@ -219,6 +240,11 @@ impl PmemPool {
                 trace_buf_entries: AtomicUsize::new(trace.buf_entries),
                 trace_next_tid: AtomicU64::new(0),
                 trace_bufs: Mutex::new(Vec::new()),
+                metrics_enabled: AtomicBool::new(metrics.enabled),
+                metrics_window_ns: AtomicU64::new(metrics.window_ns.max(1)),
+                metrics_base_ns: AtomicU64::new(metrics.base_ns),
+                metrics_next_tid: AtomicU64::new(0),
+                metrics_bufs: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -251,6 +277,18 @@ impl PmemPool {
         } else {
             TraceHandle::OFF
         };
+        let metrics = if self.inner.metrics_enabled.load(Ordering::Relaxed) {
+            let tid = self
+                .inner
+                .metrics_next_tid
+                .fetch_add(1, Ordering::Relaxed)
+                .min(u16::MAX as u64 - 1) as u16;
+            let window = self.inner.metrics_window_ns.load(Ordering::Relaxed);
+            let base = self.inner.metrics_base_ns.load(Ordering::Relaxed);
+            MetricsHandle::new(MetricsBuf::new(tid, window, base))
+        } else {
+            MetricsHandle::OFF
+        };
         PmemHandle {
             inner: Arc::clone(&self.inner),
             latency: self.inner.config.latency,
@@ -258,6 +296,7 @@ impl PmemPool {
             pending: Vec::new(),
             stats: PersistStats::default(),
             trace,
+            metrics,
             costs: CostBreakdown::default(),
             log_depth: 0,
             shard: 0,
@@ -288,6 +327,35 @@ impl PmemPool {
             return None;
         }
         Some(Trace::from_bufs(bufs))
+    }
+
+    /// Reconfigures windowed metrics for handles created **after** this
+    /// call (the same semantics as [`PmemPool::set_trace`]). Crash-under-
+    /// load harnesses call this between segments with an updated
+    /// `base_ns` so every segment's handles land on one global timeline.
+    pub fn set_metrics(&self, config: MetricsConfig) {
+        self.inner.metrics_window_ns.store(config.window_ns.max(1), Ordering::Relaxed);
+        self.inner.metrics_base_ns.store(config.base_ns, Ordering::Relaxed);
+        self.inner.metrics_enabled.store(config.enabled, Ordering::Relaxed);
+    }
+
+    /// True when newly created handles will record op spans.
+    pub fn metrics_enabled(&self) -> bool {
+        self.inner.metrics_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Merges every metrics buffer folded so far (handles must have been
+    /// dropped) into one deterministic [`ServiceMetrics`] timeline,
+    /// resetting the collector and the metrics-thread counter. Returns
+    /// `None` when metrics never produced anything.
+    pub fn take_metrics(&self) -> Option<ServiceMetrics> {
+        let bufs = std::mem::take(&mut *self.inner.metrics_bufs.lock().expect("metrics collector"));
+        self.inner.metrics_next_tid.store(0, Ordering::Relaxed);
+        if bufs.is_empty() && !self.metrics_enabled() {
+            return None;
+        }
+        let window = self.inner.metrics_window_ns.load(Ordering::Relaxed);
+        Some(ServiceMetrics::from_bufs(window, bufs))
     }
 
     /// Number of crashes injected so far.
@@ -496,6 +564,7 @@ pub struct PmemHandle {
     pending: Vec<usize>,
     stats: PersistStats,
     trace: TraceHandle,
+    metrics: MetricsHandle,
     /// Per-category simulated-time attribution, accumulated
     /// unconditionally (a single add per charge — cheaper than branching
     /// on the trace handle in the per-instruction hot path) and folded
@@ -618,6 +687,58 @@ impl PmemHandle {
     /// logical time jumps forward to a lock-release event).
     pub fn set_clock_ns(&mut self, ns: u64) {
         self.clock_ns = ns;
+    }
+
+    /// True when this handle records windowed op metrics.
+    #[inline]
+    pub fn metrics_on(&self) -> bool {
+        self.metrics.is_on()
+    }
+
+    /// Opens a service-operation span of `kind` (0 = generic, 1 = get,
+    /// 2 = put) at the current simulated time. One untaken branch per
+    /// marker when metrics and tracing are both off; allocates nothing
+    /// either way.
+    #[inline]
+    pub fn op_begin(&mut self, kind: u64) {
+        if let Some(buf) = self.metrics.as_buf_mut() {
+            buf.op_begin(kind, self.clock_ns);
+        }
+        if let Some(buf) = self.trace.as_buf_mut() {
+            trace_push(buf, self.clock_ns, EventKind::OpBegin, kind, 0);
+        }
+    }
+
+    /// Closes the open service-operation span: records its latency into
+    /// the window containing the end timestamp and attributes the
+    /// persist-counter delta since the previous close to that window.
+    #[inline]
+    pub fn op_end(&mut self, kind: u64) {
+        if let Some(buf) = self.metrics.as_buf_mut() {
+            let c = Counters {
+                loads: self.stats.loads,
+                stores: self.stats.stores,
+                nt_stores: self.stats.nt_stores,
+                clwbs: self.stats.clwbs,
+                fences: self.stats.fences,
+                lines_persisted: self.stats.lines_persisted,
+                log_bytes: self.stats.log_bytes,
+            };
+            buf.op_end(kind, self.clock_ns, &c);
+        }
+        if let Some(buf) = self.trace.as_buf_mut() {
+            trace_push(buf, self.clock_ns, EventKind::OpEnd, kind, 0);
+        }
+    }
+
+    /// Attributes the recovery span `[t0_ns, t1_ns)` (this handle's
+    /// clock domain) of `phase` to the windowed metrics timeline.
+    /// Recovery drivers call this beside the `RecoveryEnd` trace event.
+    pub fn metrics_recovery(&mut self, phase: RecoveryPhase, t0_ns: u64, t1_ns: u64) {
+        if let Some(buf) = self.metrics.as_buf_mut() {
+            let base = buf.base_ns();
+            buf.recovery_span(phase, base + t0_ns, base + t1_ns);
+        }
     }
 
     /// This handle's allocator shard affinity (see
@@ -897,6 +1018,9 @@ impl Drop for PmemHandle {
             // `costs` field); it becomes part of the trace only here.
             buf.costs.merge(&self.costs);
             self.inner.trace_bufs.lock().expect("trace collector poisoned").push(buf);
+        }
+        if let Some(buf) = self.metrics.take() {
+            self.inner.metrics_bufs.lock().expect("metrics collector poisoned").push(buf);
         }
     }
 }
@@ -1373,6 +1497,93 @@ mod tests {
         let t = p.take_trace().unwrap();
         assert_eq!(t.events.len(), 1);
         assert_eq!(t.events[0].a, 16);
+    }
+
+    fn metered_pool() -> PmemPool {
+        let mut cfg = PoolConfig::small_for_tests();
+        cfg.latency = LatencyModel::default();
+        cfg.metrics = MetricsConfig::with_window(1_000);
+        PmemPool::new(cfg)
+    }
+
+    #[test]
+    fn metrics_are_off_by_default() {
+        let p = pool();
+        let mut h = p.handle();
+        assert!(!h.metrics_on());
+        h.op_begin(1);
+        h.op_end(1);
+        drop(h);
+        assert!(p.take_metrics().is_none());
+    }
+
+    #[test]
+    fn op_spans_record_latency_and_counter_deltas() {
+        let p = metered_pool();
+        let mut h = p.handle();
+        h.op_begin(2);
+        h.write_u64(0, 1);
+        h.persist(0, 8);
+        h.op_end(2);
+        let spanned = h.clock_ns();
+        drop(h);
+        let m = p.take_metrics().expect("metrics enabled");
+        assert_eq!(m.total_ops(), 1);
+        let w = &m.windows[(spanned / 1_000) as usize];
+        assert_eq!(w.ops[2], 1);
+        assert_eq!(w.lat.max(), spanned, "span covered the whole handle life");
+        assert_eq!(w.counters.stores, 1);
+        assert_eq!(w.counters.clwbs, 1);
+        assert_eq!(w.counters.fences, 1);
+    }
+
+    #[test]
+    fn op_spans_also_emit_trace_events_when_tracing() {
+        let mut cfg = PoolConfig::small_for_tests();
+        cfg.trace = TraceConfig { enabled: true, buf_entries: 64 };
+        let p = PmemPool::new(cfg);
+        let mut h = p.handle();
+        h.op_begin(1);
+        h.advance(40);
+        h.op_end(1);
+        drop(h);
+        let t = p.take_trace().unwrap();
+        let counts = t.counts_by_kind();
+        assert_eq!(counts[EventKind::OpBegin as usize], 1);
+        assert_eq!(counts[EventKind::OpEnd as usize], 1);
+        let end = t.events.iter().find(|e| e.kind == EventKind::OpEnd).unwrap();
+        assert_eq!(end.b, 40, "OpEnd carries the span duration");
+    }
+
+    #[test]
+    fn set_metrics_affects_only_later_handles_and_applies_base() {
+        let p = pool();
+        let mut h = p.handle();
+        h.op_begin(0);
+        h.op_end(0);
+        p.set_metrics(MetricsConfig::with_window(1_000).at_base(5_000));
+        drop(h);
+        let mut h2 = p.handle();
+        h2.op_begin(1);
+        h2.advance(10);
+        h2.op_end(1);
+        h2.metrics_recovery(RecoveryPhase::Rebuild, 10, 30);
+        drop(h2);
+        let m = p.take_metrics().unwrap();
+        assert_eq!(m.total_ops(), 1, "pre-enable handle recorded nothing");
+        assert_eq!(m.windows[5].ops[1], 1, "base offset shifts the window");
+        assert_eq!(m.windows[5].recovery_ns[3], 20);
+    }
+
+    #[test]
+    fn take_metrics_drains_collector() {
+        let p = metered_pool();
+        let mut h = p.handle();
+        h.op_begin(0);
+        h.op_end(0);
+        drop(h);
+        assert_eq!(p.take_metrics().unwrap().total_ops(), 1);
+        assert_eq!(p.take_metrics().unwrap().total_ops(), 0, "collector drained");
     }
 
     #[test]

@@ -109,6 +109,29 @@ impl ChromeTrace {
         }
     }
 
+    /// Adds one sample to a counter track (`"C"` record).
+    ///
+    /// Perfetto renders successive samples of the same `(pid, name)` as a
+    /// stepped area chart — one call per window boundary turns a windowed
+    /// series into a counter track. `series` maps sub-series name →
+    /// integer value (kept sorted by the caller for deterministic bytes);
+    /// values are plain integers so no float formatting is involved.
+    pub fn add_counter(&mut self, pid: u32, name: &str, ts_ns: u64, series: &[(&str, u64)]) {
+        let mut args = String::new();
+        for (i, (k, v)) in series.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            let _ = write!(args, "\"{}\":{v}", esc(k));
+        }
+        let r = format!(
+            "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":0,\"ts\":{},\"name\":\"{}\",\"args\":{{{args}}}}}",
+            us(ts_ns),
+            esc(name),
+        );
+        self.push_record(&r);
+    }
+
     /// Renders the complete `{"traceEvents": [...]}` document.
     pub fn finish(self) -> String {
         format!("{{\n  \"traceEvents\": [\n{}\n  ],\n  \"displayTimeUnit\": \"ns\"\n}}\n", self.body)
@@ -165,6 +188,20 @@ mod tests {
             c.finish()
         };
         assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn counter_tracks_render_as_c_records() {
+        let mut c = ChromeTrace::new();
+        c.add_process(1, "svc");
+        c.add_counter(1, "goodput", 0, &[("get", 10), ("put", 3)]);
+        c.add_counter(1, "goodput", 1_000_000, &[("get", 12), ("put", 4)]);
+        let s = c.finish();
+        validate_json(&s).expect("counter export must emit valid JSON");
+        assert!(s.contains("\"ph\":\"C\""));
+        assert!(s.contains("\"name\":\"goodput\""));
+        assert!(s.contains("\"get\":12") && s.contains("\"put\":4"));
+        assert!(s.contains("\"ts\":1000.000"));
     }
 
     #[test]

@@ -34,10 +34,16 @@ pub enum EventKind {
     Crash = 11,
     /// A simulated thread ran to completion.
     ThreadDone = 12,
+    /// A service-level operation began. `a` = op kind (workload-defined;
+    /// 0 = generic, 1 = get, 2 = put).
+    OpBegin = 13,
+    /// A service-level operation ended. `a` = op kind, `b` = duration in
+    /// simulated ns.
+    OpEnd = 14,
 }
 
 /// Number of distinct [`EventKind`]s.
-pub const EVENT_KINDS: usize = 13;
+pub const EVENT_KINDS: usize = 15;
 
 impl EventKind {
     /// Every kind, in discriminant order.
@@ -55,6 +61,8 @@ impl EventKind {
         EventKind::RecoveryEnd,
         EventKind::Crash,
         EventKind::ThreadDone,
+        EventKind::OpBegin,
+        EventKind::OpEnd,
     ];
 
     /// Stable display name (also the `"k"` arg in the Chrome export).
@@ -73,6 +81,8 @@ impl EventKind {
             EventKind::RecoveryEnd => "recovery-end",
             EventKind::Crash => "crash",
             EventKind::ThreadDone => "thread-done",
+            EventKind::OpBegin => "op-begin",
+            EventKind::OpEnd => "op-end",
         }
     }
 }
@@ -108,7 +118,10 @@ pub enum Category {
     Fence = 3,
 }
 
-/// The three recovery phases the per-phase timings attribute to.
+/// Number of distinct [`RecoveryPhase`]s.
+pub const RECOVERY_PHASES: usize = 4;
+
+/// The recovery phases the per-phase timings attribute to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum RecoveryPhase {
@@ -118,15 +131,26 @@ pub enum RecoveryPhase {
     Resume = 2,
     /// Log retirement and lock release.
     Release = 3,
+    /// Allocator metadata rebuild (sharded `attach_with` descriptor scan).
+    Rebuild = 4,
 }
 
 impl RecoveryPhase {
+    /// Every phase, in discriminant order.
+    pub const ALL: [RecoveryPhase; RECOVERY_PHASES] = [
+        RecoveryPhase::Scan,
+        RecoveryPhase::Resume,
+        RecoveryPhase::Release,
+        RecoveryPhase::Rebuild,
+    ];
+
     /// Decodes the `a` payload of a recovery event.
     pub fn from_u64(v: u64) -> Option<RecoveryPhase> {
         match v {
             1 => Some(RecoveryPhase::Scan),
             2 => Some(RecoveryPhase::Resume),
             3 => Some(RecoveryPhase::Release),
+            4 => Some(RecoveryPhase::Rebuild),
             _ => None,
         }
     }
@@ -137,6 +161,7 @@ impl RecoveryPhase {
             RecoveryPhase::Scan => "scan",
             RecoveryPhase::Resume => "resume",
             RecoveryPhase::Release => "release",
+            RecoveryPhase::Rebuild => "rebuild",
         }
     }
 }
@@ -162,10 +187,10 @@ mod tests {
 
     #[test]
     fn recovery_phase_roundtrip() {
-        for p in [RecoveryPhase::Scan, RecoveryPhase::Resume, RecoveryPhase::Release] {
+        for p in RecoveryPhase::ALL {
             assert_eq!(RecoveryPhase::from_u64(p as u64), Some(p));
         }
         assert_eq!(RecoveryPhase::from_u64(0), None);
-        assert_eq!(RecoveryPhase::from_u64(4), None);
+        assert_eq!(RecoveryPhase::from_u64(5), None);
     }
 }

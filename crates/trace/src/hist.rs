@@ -105,9 +105,19 @@ impl Hist {
         out
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile value
-    /// (`q` in `[0, 1]`; 0 when empty).
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// Value at quantile `q` (`q` in `[0, 1]`; 0 when empty).
+    ///
+    /// Semantics (exact over the bucketed data): the target rank is
+    /// `max(1, ceil(q·n))`; the cumulative bucket counts are scanned in
+    /// ascending order until the rank is covered, and the result is the
+    /// **inclusive upper bound** of that bucket, clamped to [`Hist::max`].
+    /// Because every recorded value lies at or below its bucket's upper
+    /// bound, the result never under-reports: it equals the true
+    /// order-statistic for values in the exact unit buckets (`< SUB`)
+    /// and over-reports by at most one sub-bucket width (≈12% relative)
+    /// above them. The clamp makes `value_at_quantile(1.0) == max()`
+    /// exactly.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
         if self.n == 0 {
             return 0;
         }
@@ -116,10 +126,16 @@ impl Hist {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return if i + 1 < HIST_BUCKETS { lower_bound(i + 1) - 1 } else { u64::MAX };
+                let hi = if i + 1 < HIST_BUCKETS { lower_bound(i + 1) - 1 } else { u64::MAX };
+                return hi.min(self.max);
             }
         }
         self.max
+    }
+
+    /// Alias for [`Hist::value_at_quantile`], kept for older call sites.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.value_at_quantile(q)
     }
 }
 
@@ -187,5 +203,71 @@ mod tests {
         assert!((40..=70).contains(&p50), "p50 bucket edge {p50}");
         assert!(h.quantile(1.0) >= 100);
         assert_eq!(Hist::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn value_at_quantile_is_exact_in_unit_buckets() {
+        // Values below SUB land in exact unit buckets, so the quantile is
+        // the true order-statistic.
+        let mut h = Hist::default();
+        for v in [0u64, 1, 1, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.value_at_quantile(0.2), 0); // rank 1 of 5
+        assert_eq!(h.value_at_quantile(0.5), 1); // rank 3
+        assert_eq!(h.value_at_quantile(0.8), 2); // rank 4
+        assert_eq!(h.value_at_quantile(1.0), 3);
+    }
+
+    #[test]
+    fn value_at_quantile_never_under_reports_and_clamps_to_max() {
+        let mut h = Hist::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for q in [0.5f64, 0.9, 0.99, 0.999] {
+            let true_rank = ((q * 1000.0).ceil() as u64).max(1);
+            let est = h.value_at_quantile(q);
+            assert!(est >= true_rank, "q={q}: {est} < {true_rank}");
+            // Over-report bounded by one sub-bucket (≈12% relative).
+            assert!(est as f64 <= true_rank as f64 * (1.0 + 1.0 / SUB as f64) + 1.0);
+        }
+        // p100 is the exact max, not a bucket edge beyond it.
+        assert_eq!(h.value_at_quantile(1.0), 1000);
+        // Quantiles above the top recorded rank clamp to max too.
+        let mut one = Hist::default();
+        one.record(77);
+        assert_eq!(one.value_at_quantile(0.999), 77);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Hist::default();
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(h.value_at_quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn merged_histogram_quantiles_match_combined_recording() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        let mut both = Hist::default();
+        for v in 1..=500u64 {
+            a.record(v);
+            both.record(v);
+        }
+        for v in 501..=1000u64 {
+            b.record(v * 3);
+            both.record(v * 3);
+        }
+        a.merge(&b);
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(a.value_at_quantile(q), both.value_at_quantile(q), "q={q}");
+        }
+        // Merging an empty histogram changes nothing.
+        let snapshot = a.value_at_quantile(0.99);
+        a.merge(&Hist::default());
+        assert_eq!(a.value_at_quantile(0.99), snapshot);
     }
 }

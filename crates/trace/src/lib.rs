@@ -34,7 +34,7 @@ mod hist;
 pub mod json;
 mod ring;
 
-pub use event::{Category, Event, EventKind, RecoveryPhase, EVENT_KINDS};
+pub use event::{Category, Event, EventKind, RecoveryPhase, EVENT_KINDS, RECOVERY_PHASES};
 pub use hist::{Hist, HIST_BUCKETS};
 pub use ring::{CostBreakdown, TraceBuf, TraceHandle};
 
@@ -137,10 +137,10 @@ impl Trace {
     }
 
     /// Summed durations of recovery phases, indexed by [`RecoveryPhase`]
-    /// (`[scan, resume, release]` in simulated ns), read from the
-    /// duration payload of [`EventKind::RecoveryEnd`] events.
-    pub fn recovery_phase_ns(&self) -> [u64; 3] {
-        let mut out = [0u64; 3];
+    /// (`[scan, resume, release, rebuild]` in simulated ns), read from
+    /// the duration payload of [`EventKind::RecoveryEnd`] events.
+    pub fn recovery_phase_ns(&self) -> [u64; RECOVERY_PHASES] {
+        let mut out = [0u64; RECOVERY_PHASES];
         for e in &self.events {
             if e.kind == EventKind::RecoveryEnd {
                 if let Some(p) = RecoveryPhase::from_u64(e.a) {
@@ -233,10 +233,12 @@ mod tests {
                 (30, EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, 20),
                 (31, EventKind::RecoveryBegin, RecoveryPhase::Scan as u64, 0),
                 (36, EventKind::RecoveryEnd, RecoveryPhase::Scan as u64, 5),
+                (40, EventKind::RecoveryBegin, RecoveryPhase::Rebuild as u64, 0),
+                (47, EventKind::RecoveryEnd, RecoveryPhase::Rebuild as u64, 7),
             ],
         );
         let t = Trace::from_bufs(vec![b]);
-        assert_eq!(t.recovery_phase_ns(), [15, 20, 0]);
+        assert_eq!(t.recovery_phase_ns(), [15, 20, 0, 7]);
     }
 
     #[test]

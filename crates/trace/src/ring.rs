@@ -62,6 +62,7 @@ pub struct TraceBuf {
     /// Region size histogram (exact, overflow-immune).
     pub region_hist: Hist,
     fase_enter_ns: u64,
+    op_enter_ns: u64,
 }
 
 impl TraceBuf {
@@ -76,6 +77,7 @@ impl TraceBuf {
             fase_hist: Hist::default(),
             region_hist: Hist::default(),
             fase_enter_ns: 0,
+            op_enter_ns: 0,
         })
     }
 
@@ -113,12 +115,13 @@ impl TraceBuf {
                 self.fase_hist.record(ts_ns.saturating_sub(self.fase_enter_ns));
             }
             EventKind::RegionBoundary => self.region_hist.record(a),
+            EventKind::OpBegin => self.op_enter_ns = ts_ns,
             _ => {}
         }
-        let b = if kind == EventKind::FaseExit {
-            ts_ns.saturating_sub(self.fase_enter_ns)
-        } else {
-            b
+        let b = match kind {
+            EventKind::FaseExit => ts_ns.saturating_sub(self.fase_enter_ns),
+            EventKind::OpEnd => ts_ns.saturating_sub(self.op_enter_ns),
+            _ => b,
         };
         let e = Event { ts_ns, a, b, kind, thread: self.thread };
         self.pushed += 1;
@@ -271,6 +274,16 @@ mod tests {
         let mut last = None;
         b.for_each_ordered(|e| last = Some(e));
         assert_eq!(last.unwrap().b, 50, "FaseExit carries its duration");
+    }
+
+    #[test]
+    fn op_pairing_stamps_duration_on_op_end() {
+        let mut b = TraceBuf::new(0, 8);
+        b.push(100, EventKind::OpBegin, 2, 0);
+        b.push(175, EventKind::OpEnd, 2, 0);
+        let mut last = None;
+        b.for_each_ordered(|e| last = Some(e));
+        assert_eq!(last.unwrap().b, 75, "OpEnd carries its duration");
     }
 
     #[test]

@@ -187,8 +187,8 @@ mod tests {
     fn lint_of_current_tree_is_clean() {
         let report = lint_workloads(&RuntimeModel::for_tests());
         assert!(report.is_clean(), "verifier found violations:\n{report}");
-        // 6 standard workloads x 7 schemes.
-        assert_eq!(report.entries.len(), 6 * Scheme::ALL.len());
+        // 7 standard workloads x 7 schemes.
+        assert_eq!(report.entries.len(), 7 * Scheme::ALL.len());
     }
 
     #[test]

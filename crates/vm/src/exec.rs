@@ -1152,6 +1152,19 @@ impl Vm {
             Inst::RegionMarker => {
                 self.advance(t);
             }
+            &Inst::OpMark { kind, begin } => {
+                // Pure span marker: charges no simulated time so the metrics
+                // layer observes the same timeline whether or not workloads
+                // annotate their operations.
+                let k = self.eval(t, kind);
+                let h = &mut self.threads[t].handle;
+                if begin {
+                    h.op_begin(k);
+                } else {
+                    h.op_end(k);
+                }
+                self.advance(t);
+            }
             &Inst::Delay { ns } => {
                 self.charge(t, ns);
                 self.advance(t);

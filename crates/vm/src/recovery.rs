@@ -324,6 +324,7 @@ fn recover_resumption(
     let scan_ns = h.clock_ns() - scan_t0 + rc.per_thread_ns * entries.len() as u64;
     h.set_clock_ns(scan_t0 + scan_ns);
     h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Scan as u64, scan_ns);
+    h.metrics_recovery(RecoveryPhase::Scan, scan_t0, scan_t0 + scan_ns);
     // Resume phase: execute every interrupted FASE forward to completion.
     h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Resume as u64, 0);
     let outcome = vm.run();
@@ -331,6 +332,7 @@ fn recover_resumption(
     let resume_ns = vm.max_clock_ns();
     h.set_clock_ns(scan_t0 + scan_ns + resume_ns);
     h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, resume_ns);
+    h.metrics_recovery(RecoveryPhase::Resume, scan_t0 + scan_ns, scan_t0 + scan_ns + resume_ns);
     // Release phase: recovery threads release their locks as part of FASE
     // completion (measured inside Resume), so this span records only the
     // handoff back to the application.
@@ -413,6 +415,7 @@ fn recover_atlas(
         }
     }
     h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Scan as u64, h.clock_ns() - scan_t0);
+    h.metrics_recovery(RecoveryPhase::Scan, scan_t0, h.clock_ns());
     let resume_t0 = h.clock_ns();
     h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Resume as u64, 0);
 
@@ -468,6 +471,7 @@ fn recover_atlas(
     }
     h.sfence();
     h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, h.clock_ns() - resume_t0);
+    h.metrics_recovery(RecoveryPhase::Resume, resume_t0, h.clock_ns());
     let release_t0 = h.clock_ns();
     h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Release as u64, 0);
 
@@ -479,6 +483,7 @@ fn recover_atlas(
         }
     }
     h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Release as u64, h.clock_ns() - release_t0);
+    h.metrics_recovery(RecoveryPhase::Release, release_t0, h.clock_ns());
 
     report.rolled_back = undone.iter().filter(|u| **u).count();
     report.undo_entries = rollback.len();
@@ -515,6 +520,7 @@ fn recover_nvml(
             }
         }
         h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Scan as u64, h.clock_ns() - scan_t0);
+        h.metrics_recovery(RecoveryPhase::Scan, scan_t0, h.clock_ns());
         let resume_t0 = h.clock_ns();
         h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Resume as u64, 0);
         let mut any = false;
@@ -536,12 +542,14 @@ fn recover_nvml(
             report.rolled_back += 1;
         }
         h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, h.clock_ns() - resume_t0);
+        h.metrics_recovery(RecoveryPhase::Resume, resume_t0, h.clock_ns());
         let release_t0 = h.clock_ns();
         h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Release as u64, 0);
         if !log.reset_budgeted(h, budget) {
             return false; // crash mid-retirement
         }
         h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Release as u64, h.clock_ns() - release_t0);
+        h.metrics_recovery(RecoveryPhase::Release, release_t0, h.clock_ns());
     }
     report.sim_ns += rc.per_thread_ns * entries.len() as u64 + h.clock_ns();
     true
@@ -566,6 +574,7 @@ fn recover_redo(
         report.log_entries_scanned += n;
         if n == 0 {
             h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Scan as u64, h.clock_ns() - scan_t0);
+            h.metrics_recovery(RecoveryPhase::Scan, scan_t0, h.clock_ns());
             continue;
         }
         let mut committed = false;
@@ -577,6 +586,7 @@ fn recover_redo(
             }
         }
         h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Scan as u64, h.clock_ns() - scan_t0);
+        h.metrics_recovery(RecoveryPhase::Scan, scan_t0, h.clock_ns());
         let resume_t0 = h.clock_ns();
         h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Resume as u64, 0);
         if committed {
@@ -597,12 +607,14 @@ fn recover_redo(
             report.rolled_back += 1;
         }
         h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, h.clock_ns() - resume_t0);
+        h.metrics_recovery(RecoveryPhase::Resume, resume_t0, h.clock_ns());
         let release_t0 = h.clock_ns();
         h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Release as u64, 0);
         if !log.reset_budgeted(h, budget) {
             return false; // crash mid-retirement
         }
         h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Release as u64, h.clock_ns() - release_t0);
+        h.metrics_recovery(RecoveryPhase::Release, release_t0, h.clock_ns());
     }
     report.sim_ns += rc.per_thread_ns * entries.len() as u64 + h.clock_ns();
     true

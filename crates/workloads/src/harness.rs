@@ -68,6 +68,10 @@ pub struct RunStats {
     /// Merged event trace, when the pool was configured with tracing on
     /// (`PoolConfig::trace`). `None` when tracing was disabled.
     pub trace: Option<ido_trace::Trace>,
+    /// Windowed service metrics (op latency quantiles, goodput, persist
+    /// counters), when the pool was configured with metrics on
+    /// (`PoolConfig::metrics`). `None` when metrics were disabled.
+    pub metrics: Option<ido_nvm::ServiceMetrics>,
 }
 
 impl RunStats {
@@ -126,6 +130,7 @@ pub fn run_workload(
         mem_stats: pool.global_stats(),
         log_entries,
         trace: pool.take_trace(),
+        metrics: pool.take_metrics(),
     }
 }
 

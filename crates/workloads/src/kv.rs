@@ -251,6 +251,11 @@ pub mod memcached {
             f.bin(BinOp::And, sel, shifted, 1023i64);
             let is_put = f.new_reg();
             f.bin(BinOp::Lt, is_put, sel, put_permille);
+            // Metrics span: kind 1 = get, 2 = put. Opened before the lock
+            // so the recorded latency includes queueing behind it.
+            let op_kind = f.new_reg();
+            f.bin(BinOp::Add, op_kind, is_put, 1i64);
+            f.op_begin(op_kind);
 
             // Whole operation under the global lock (Memcached 1.2.4).
             f.lock(lock);
@@ -277,6 +282,7 @@ pub mod memcached {
             f.jump(cont);
 
             f.switch_to(cont);
+            f.op_end(op_kind);
             f.bin(BinOp::Add, i, i, 1i64);
             f.jump(head);
 
@@ -386,6 +392,10 @@ pub mod redis {
             f.bin(BinOp::And, sel, shifted, 1023i64);
             let is_put = f.new_reg();
             f.bin(BinOp::Lt, is_put, sel, put_permille);
+            // Metrics span: kind 1 = get, 2 = put.
+            let op_kind = f.new_reg();
+            f.bin(BinOp::Add, op_kind, is_put, 1i64);
+            f.op_begin(op_kind);
 
             let slot = f.new_reg();
             emit_bucket_slot(&mut f, slot, directory, key, n_buckets);
@@ -410,6 +420,7 @@ pub mod redis {
             emit_chain_get(&mut f, succ2, key, cont);
 
             f.switch_to(cont);
+            f.op_end(op_kind);
             f.bin(BinOp::Add, i, i, 1i64);
             f.jump(head);
 

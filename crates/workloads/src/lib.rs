@@ -15,7 +15,11 @@
 //! * a **Redis-like** single-threaded object store using programmer-
 //!   delineated durable regions, driven by a power-law key distribution
 //!   over configurable key ranges with an 80/20 get/put mix
-//!   ([`kv::redis`]).
+//!   ([`kv::redis`]);
+//! * a **service-style** fixed-slot store with striped-lock puts and
+//!   lock-free gets, designed to stay drivable across a crash (no arena
+//!   cursor) — the crash-under-load workload of `service_bench`
+//!   ([`service`]).
 //!
 //! The [`harness`] module runs any workload under any scheme in the VM's
 //! min-clock (discrete-event) mode and reports simulated throughput, the
@@ -27,6 +31,7 @@
 pub mod harness;
 pub mod kv;
 pub mod micro;
+pub mod service;
 mod util;
 
 pub use harness::{run_workload, RunStats, WorkloadSpec};
@@ -44,5 +49,6 @@ pub fn standard_specs() -> Vec<Box<dyn WorkloadSpec>> {
         Box::new(micro::MapSpec::default()),
         Box::new(kv::memcached::MemcachedSpec::insertion_intensive()),
         Box::new(kv::redis::RedisSpec::with_range(256)),
+        Box::new(service::ServiceSpec::with_range(256)),
     ]
 }

@@ -15,6 +15,12 @@
 //! creation (wrapping overwrites, never grows), so the traced hot loop
 //! must also measure zero allocations.
 //!
+//! The metrics subsystem makes the same promise: with
+//! `PoolConfig::metrics` enabled, every op span lands in the handle's
+//! preallocated `MetricsBuf` (fixed-size histograms, window cells
+//! preallocated up front), so a hot loop bracketed by `op_begin`/`op_end`
+//! markers must also measure zero allocations.
+//!
 //! The tier-2 block-compiled engine (ISSUE 6) inherits the guarantee: a
 //! segment run borrows the thread's register file (`mem::take` of the
 //! frame's `Vec`, returned at segment exit), the compiled `Tier2Program`
@@ -125,6 +131,42 @@ fn store_loop() -> ido_ir::Program {
     pb.finish()
 }
 
+/// `worker(n)`: the store loop with each iteration bracketed by metrics
+/// op-span markers — the distilled *metered* hot path (span open/close,
+/// latency record, counter-delta attribution per iteration).
+fn op_span_loop() -> ido_ir::Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.new_function("worker", 1);
+    let n = f.param(0);
+    let i = f.new_reg();
+    let base = f.new_reg();
+
+    let head = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+
+    f.alloc(base, 64i64);
+    f.mov(i, 0i64);
+    f.jump(head);
+
+    f.switch_to(head);
+    let c = f.new_reg();
+    f.bin(BinOp::Lt, c, i, n);
+    f.branch(c, body, exit);
+
+    f.switch_to(body);
+    f.op_begin(2i64);
+    f.store(base, 0, i);
+    f.op_end(2i64);
+    f.bin(BinOp::Add, i, i, 1i64);
+    f.jump(head);
+
+    f.switch_to(exit);
+    f.ret(None);
+    f.finish().expect("op span loop verifies");
+    pb.finish()
+}
+
 /// Runs `program` for a measured 100k-step window and returns the VM for
 /// post-window assertions.
 fn measure_window(program: ido_ir::Program, cfg: VmConfig, what: &str) -> Vm {
@@ -183,4 +225,25 @@ fn hot_loop_makes_zero_allocations_per_step() {
     t2t.tier = ExecTier::Tier2;
     t2t.pool.trace = ido_trace::TraceConfig { enabled: true, buf_entries: 256 };
     measure_window(store_loop(), t2t, "tier-2 traced");
+
+    // Phase 5: metrics enabled — every iteration opens and closes an op
+    // span (histogram record + counter-delta attribution). A huge window
+    // keeps the whole run in cell 0, so the preallocated window vector
+    // never grows inside the measured window.
+    let mut mcfg = VmConfig::for_tests();
+    mcfg.pool.metrics = ido_nvm::MetricsConfig::with_window(1 << 40);
+    let vm = measure_window(op_span_loop(), mcfg, "metered");
+    let pool = vm.pool().clone();
+    drop(vm); // fold the thread's metrics buffer into the pool collector
+    let m = pool.take_metrics().expect("metrics were on");
+    assert!(m.total_ops() > 10_000, "window must record op spans ({} ops)", m.total_ops());
+    assert_eq!(m.total_ops(), m.per_kind[2].count(), "all spans carry the put kind");
+
+    // Phase 6: tier 2 with metrics on — op markers are non-fusible, so
+    // the tier-1 stepper executes them between fused segments; still
+    // allocation-free.
+    let mut t2m = VmConfig::for_tests();
+    t2m.tier = ExecTier::Tier2;
+    t2m.pool.metrics = ido_nvm::MetricsConfig::with_window(1 << 40);
+    measure_window(op_span_loop(), t2m, "tier-2 metered");
 }

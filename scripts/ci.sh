@@ -79,6 +79,36 @@ echo "== allocator crash sweeps (persist-trap boundary enumeration) =="
 cargo test -q -p ido-nvm --test alloc_crash
 cargo test -q -p ido-nvm --test alloc_shard
 
+echo "== windowed metrics gates: golden series, fan-out determinism, zero-alloc =="
+# Named gates for the metrics subsystem: the checked-in iDO window-series
+# golden, the jobs-invariant shard fan-out, and the metered hot loop's
+# zero-allocation pin. All also run under the workspace pass above.
+cargo test -q -p ido-workloads --test service_metrics
+cargo test -q -p ido-workloads --test no_alloc_hot_loop
+
+echo "== service bench smoke (crash under load, online-recovery windows) =="
+# Quick-mode runs rewrite BENCH_service.json; preserve the committed
+# full-run numbers and restore them after the determinism diff. The
+# binary itself asserts the crash lands mid-traffic for every durable
+# scheme, re-verifies the recovered table, and validates every emitted
+# JSON artifact before writing it.
+cp BENCH_service.json /tmp/bench_service_committed.json
+IDO_BENCH_QUICK=1 IDO_JOBS=1 cargo run -q --release -p ido-bench --bin service_bench
+cp BENCH_service.json /tmp/bench_service_jobs1.json
+IDO_BENCH_QUICK=1 IDO_JOBS=2 cargo run -q --release -p ido-bench --bin service_bench
+# BENCH_service.json holds only simulated quantities, so it must be
+# byte-identical for any worker count.
+cmp /tmp/bench_service_jobs1.json BENCH_service.json \
+  || { echo "IDO_JOBS=2 changed service bench results"; exit 1; }
+mv /tmp/bench_service_committed.json BENCH_service.json
+rm -f /tmp/bench_service_jobs1.json
+
+echo "== metrics-off overhead guard (best-of-7 wall ns/step) =="
+# Disabled metrics must stay one untaken branch per marker: the guard
+# compares per-step wall cost of a marked vs unmarked hot loop and fails
+# CI if the disabled path grows past the tolerance.
+IDO_BENCH_QUICK=1 cargo run -q --release -p ido-bench --bin metrics_guard
+
 echo "== allocator scaling smoke (quick mode, asserts >= 4x at 64T) =="
 # Quick-mode runs rewrite BENCH_alloc.json; preserve the committed
 # full-sweep numbers and restore them after the determinism diff.
