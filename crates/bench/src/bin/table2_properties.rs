@@ -13,6 +13,12 @@ fn row(s: Scheme) -> (&'static str, &'static str, &'static str, &'static str, &'
         Scheme::JustDo => ("Lock-inferred FASE", "Resumption", "Store", "No", "No"),
         Scheme::Nvml => ("Programmer Delineated", "UNDO", "Object", "No", "Yes"),
         Scheme::Origin => ("(none)", "(none)", "(none)", "No", "-"),
+        // Outside the paper's Table II: the lock-free persistence family
+        // (ISSUE 9) has no lock-delineated FASEs at all — durability hangs
+        // off the recoverable-CAS descriptor, resolved (not resumed) at
+        // recovery.
+        Scheme::Nvtraverse => ("Lock-free op", "CAS resolve", "Cache line", "No", "Yes"),
+        Scheme::LfEager => ("Lock-free op", "CAS resolve", "Store", "No", "Yes"),
     }
 }
 

@@ -124,6 +124,14 @@ pub fn instrument_program(mut program: Program, scheme: Scheme) -> Result<Instru
 }
 
 fn instrument_function(func: &mut Function, scheme: Scheme) -> Result<(), CompileError> {
+    // The lock-free family has no FASEs to infer and no region partition;
+    // its entire protocol hangs off the recoverable CAS sites.
+    if scheme.is_lockfree() {
+        instrument_lockfree(func);
+        verify_function(func)?;
+        return Ok(());
+    }
+
     // Phase 2 (idempotent region formation) runs first for iDO because its
     // WAR repair mutates the code the later phases see.
     let analysis = if scheme == Scheme::Ido { Some(ido_idem::partition(func)) } else { None };
@@ -212,6 +220,9 @@ fn instrument_function(func: &mut Function, scheme: Scheme) -> Result<(), Compil
                             }
                         }
                         Scheme::Origin => unreachable!("handled above"),
+                        Scheme::Nvtraverse | Scheme::LfEager => {
+                            unreachable!("lockfree instrumented separately")
+                        }
                     }
                 }
                 Inst::Unlock { lock } => {
@@ -262,6 +273,9 @@ fn instrument_function(func: &mut Function, scheme: Scheme) -> Result<(), Compil
                             }
                         }
                         Scheme::Origin => unreachable!("handled above"),
+                        Scheme::Nvtraverse | Scheme::LfEager => {
+                            unreachable!("lockfree instrumented separately")
+                        }
                     }
                 }
                 Inst::DurableBegin => {
@@ -358,6 +372,49 @@ fn instrument_function(func: &mut Function, scheme: Scheme) -> Result<(), Compil
     apply_insertions(func, ins);
     verify_function(func)?;
     Ok(())
+}
+
+/// Lock-free family instrumentation: wraps every recoverable CAS in the
+/// flush-window / prepare / publish protocol —
+///
+/// ```text
+/// rt.lf_flush_window        (flush-on-traverse-exit: persist the window)
+/// rt.lf_cas_prepare [c] e->n  (persist the in-flight descriptor)
+/// dst = cas mem[c] e -> n     (linearization point)
+/// rt.lf_cas_publish [c] dst   (persist-before-escape; close descriptor)
+/// ```
+///
+/// Locks (there should be none in lock-free code) are left uninstrumented,
+/// like Origin: durability hangs entirely off the CAS descriptors, not off
+/// lock-delineated FASEs.
+fn instrument_lockfree(func: &mut Function) {
+    let mut ins: Insertions = BTreeMap::new();
+    for (bi, bb) in func.blocks().iter().enumerate() {
+        let b = BlockId(bi as u32);
+        for (i, inst) in bb.insts.iter().enumerate() {
+            if let Inst::Cas { dst, base, offset, expected, new } = inst {
+                push(&mut ins, (b, i), ST_LOCK_ACQ, Inst::Rt(RtOp::LfFlushWindow));
+                push(
+                    &mut ins,
+                    (b, i),
+                    ST_BOUNDARY,
+                    Inst::Rt(RtOp::LfCasPrepare {
+                        base: *base,
+                        offset: *offset,
+                        expected: *expected,
+                        new: *new,
+                    }),
+                );
+                push(
+                    &mut ins,
+                    (b, i + 1),
+                    ST_FASE_BEGIN,
+                    Inst::Rt(RtOp::LfCasPublish { base: *base, offset: *offset, taken: *dst }),
+                );
+            }
+        }
+    }
+    apply_insertions(func, ins);
 }
 
 /// Applies insertions highest-position-first so indices stay valid.
@@ -503,6 +560,41 @@ mod tests {
         let out = instrument_program(prog, Scheme::Mnemosyne).unwrap();
         assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::TxBegin)), 1);
         assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::TxCommit)), 1);
+    }
+
+    #[test]
+    fn lockfree_wraps_every_cas_in_the_detectable_protocol() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("lf", 2);
+        let p = f.param(0);
+        let n = f.param(1);
+        let d = f.new_reg();
+        f.store(n, 16, 7i64); // node init: plain store, not instrumented
+        f.cas(d, p, 0, 0i64, Operand::Reg(n));
+        f.ret(Some(Operand::Reg(d)));
+        f.finish().unwrap();
+        let prog = pb.finish();
+
+        for scheme in Scheme::LOCKFREE {
+            let out = instrument_program(prog.clone(), scheme).unwrap();
+            assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::LfFlushWindow)), 1);
+            assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::LfCasPrepare { .. })), 1);
+            assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::LfCasPublish { .. })), 1);
+            // No per-store logging: the plain store must stay bare.
+            assert_eq!(count_ops(&out.program, |r| matches!(r, RtOp::AtlasUndoLog { .. })), 0);
+
+            let f = out.program.function(ido_ir::FuncId(0));
+            let insts: Vec<&Inst> = f.blocks().iter().flat_map(|b| &b.insts).collect();
+            let pos = |pred: &dyn Fn(&Inst) -> bool| insts.iter().position(|i| pred(i)).unwrap();
+            let flush = pos(&|i| matches!(i, Inst::Rt(RtOp::LfFlushWindow)));
+            let prep = pos(&|i| matches!(i, Inst::Rt(RtOp::LfCasPrepare { .. })));
+            let cas = pos(&|i| matches!(i, Inst::Cas { .. }));
+            let publ = pos(&|i| matches!(i, Inst::Rt(RtOp::LfCasPublish { .. })));
+            assert!(
+                flush < prep && prep < cas && cas + 1 == publ,
+                "flush({flush}) < prepare({prep}) < cas({cas}), publish({publ}) adjacent"
+            );
+        }
     }
 
     #[test]

@@ -20,6 +20,17 @@ pub enum Scheme {
     Nvml,
     /// NVThreads: page-granularity REDO logging at lock release.
     Nvthreads,
+    /// NVTraverse-style lock-free persistence: traverse without flushing,
+    /// flush the touched window only on exiting the traversal phase, then
+    /// perform a recoverable (detectable) CAS as the critical write. Not
+    /// part of the paper's lock-delineated evaluation matrix; a rival
+    /// scheme family from the retrieved related work.
+    Nvtraverse,
+    /// Eager lock-free persistence: every store (and the CAS cell) is
+    /// written back and fenced immediately — the flush-everything
+    /// contrast point for NVTraverse's deferred-flush rule, still using
+    /// the same detectable-CAS descriptors.
+    LfEager,
 }
 
 impl Scheme {
@@ -34,6 +45,11 @@ impl Scheme {
         Scheme::Nvthreads,
     ];
 
+    /// The lock-free scheme family (kept out of [`Scheme::ALL`]: the
+    /// paper's figures, lint matrix, and goldens enumerate only the seven
+    /// lock-delineated schemes; lock-free workloads opt in explicitly).
+    pub const LOCKFREE: [Scheme; 2] = [Scheme::Nvtraverse, Scheme::LfEager];
+
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {
         match self {
@@ -44,6 +60,8 @@ impl Scheme {
             Scheme::Mnemosyne => "Mnemosyne",
             Scheme::Nvml => "NVML",
             Scheme::Nvthreads => "NVThreads",
+            Scheme::Nvtraverse => "NVTraverse",
+            Scheme::LfEager => "LF-Eager",
         }
     }
 
@@ -56,6 +74,13 @@ impl Scheme {
     /// True for schemes that must track cross-FASE dependences (Table II).
     pub fn needs_dependence_tracking(self) -> bool {
         matches!(self, Scheme::Atlas | Scheme::Nvthreads)
+    }
+
+    /// True for the lock-free persistence family ([`Scheme::LOCKFREE`]):
+    /// no lock-delineated FASEs; durability hangs off the recoverable-CAS
+    /// protocol instead of region or store logs.
+    pub fn is_lockfree(self) -> bool {
+        matches!(self, Scheme::Nvtraverse | Scheme::LfEager)
     }
 }
 
@@ -71,10 +96,23 @@ mod tests {
 
     #[test]
     fn names_are_unique_and_nonempty() {
-        let mut names: Vec<_> = Scheme::ALL.iter().map(|s| s.name()).collect();
+        let mut names: Vec<_> =
+            Scheme::ALL.iter().chain(Scheme::LOCKFREE.iter()).map(|s| s.name()).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), Scheme::ALL.len());
+        assert_eq!(names.len(), Scheme::ALL.len() + Scheme::LOCKFREE.len());
+    }
+
+    #[test]
+    fn lockfree_family_is_disjoint_from_the_paper_matrix() {
+        for s in Scheme::LOCKFREE {
+            assert!(s.is_lockfree());
+            assert!(!s.recovers_by_resumption());
+            assert!(!Scheme::ALL.contains(&s));
+        }
+        for s in Scheme::ALL {
+            assert!(!s.is_lockfree());
+        }
     }
 
     #[test]

@@ -134,6 +134,26 @@ impl<'a> FunctionBuilder<'a> {
         self.emit(Inst::Store { base, offset, src: src.into() });
     }
 
+    /// `dst = CAS(mem[base + offset], expected -> new)` — the recoverable
+    /// compare-and-swap of the lock-free scheme family. `dst` receives 1
+    /// when the swap took effect.
+    pub fn cas(
+        &mut self,
+        dst: Reg,
+        base: Reg,
+        offset: i64,
+        expected: impl Into<Operand>,
+        new: impl Into<Operand>,
+    ) {
+        self.emit(Inst::Cas {
+            dst,
+            base,
+            offset,
+            expected: expected.into(),
+            new: new.into(),
+        });
+    }
+
     /// `dst = stack[slot]`.
     pub fn load_stack(&mut self, dst: Reg, slot: StackSlot) {
         self.emit(Inst::LoadStack { dst, slot });

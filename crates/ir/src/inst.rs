@@ -188,6 +188,43 @@ pub enum RtOp {
         /// Slot about to be stored.
         slot: StackSlot,
     },
+
+    // --- Lock-free scheme family (NVTraverse / LF-Eager) ---
+    /// Flush-on-traverse-exit: write back every cache line the thread
+    /// touched since its last window flush (tracked loads and stores under
+    /// NVTraverse) and fence. Inserted immediately before the recoverable
+    /// CAS so everything the critical write depends on — the new node's
+    /// contents and every link observed during traversal — is durable
+    /// before the CAS value can escape to other threads.
+    LfFlushWindow,
+    /// Publish the thread's persistent CAS descriptor (`lf_state` slot):
+    /// sequence number, target address, expected and new values, state =
+    /// in-flight — one cache line, persisted with a single write-back +
+    /// fence before the CAS executes. This is what makes a crashed CAS
+    /// *detectable*: recovery reads the descriptor and resolves
+    /// taken-xor-not-taken from the cell's owner/sequence tag.
+    LfCasPrepare {
+        /// Base register of the CAS target cell.
+        base: Reg,
+        /// Byte offset of the CAS target cell.
+        offset: i64,
+        /// Value the CAS expects to find.
+        expected: Operand,
+        /// Value the CAS installs.
+        new: Operand,
+    },
+    /// Persist-before-escape: write back + fence the CAS cell's line when
+    /// the CAS succeeded (making the linearized write durable), then
+    /// durably close the descriptor (state = done, success counter bumped
+    /// on a taken CAS) so the operation is no longer in flight.
+    LfCasPublish {
+        /// Base register of the CAS target cell.
+        base: Reg,
+        /// Byte offset of the CAS target cell.
+        offset: i64,
+        /// The CAS result register (1 = taken, 0 = failed).
+        taken: Reg,
+    },
 }
 
 impl RtOp {
@@ -214,7 +251,17 @@ impl RtOp {
             RtOp::AtlasUndoLogStack { .. }
             | RtOp::NvmlTxAddStack { .. }
             | RtOp::NvthreadsPageTouchStack { .. } => {}
+            RtOp::LfCasPrepare { base, expected, new, .. } => {
+                v.push(*base);
+                v.extend(expected.as_reg());
+                v.extend(new.as_reg());
+            }
+            RtOp::LfCasPublish { base, taken, .. } => {
+                v.push(*base);
+                v.push(*taken);
+            }
             RtOp::FaseBegin | RtOp::FaseEnd | RtOp::TxBegin | RtOp::TxCommit => {}
+            RtOp::LfFlushWindow => {}
         }
         v
     }
@@ -286,6 +333,27 @@ pub enum Inst {
         offset: i64,
         /// Value stored.
         src: Operand,
+    },
+    /// `dst = (mem[base + offset] == expected)`; on success stores `new`
+    /// to `mem[base + offset]` and tags the cell's adjacent owner/sequence
+    /// word — the linearization point of the recoverable-CAS protocol used
+    /// by the lock-free scheme family. The cell is a `[value, tag]` pair
+    /// on one cache line (the tag word lives at `offset + 8`); under a
+    /// lock-free scheme the VM persists the outgoing occupant and credits
+    /// a superseded owner's descriptor before installing the new value, so
+    /// recovery can always resolve a crashed CAS. Executes atomically
+    /// (single interpreter step).
+    Cas {
+        /// Receives 1 if the CAS took effect, 0 otherwise.
+        dst: Reg,
+        /// Address base register of the target cell's value word.
+        base: Reg,
+        /// Byte offset of the target cell's value word.
+        offset: i64,
+        /// Value the cell must currently hold.
+        expected: Operand,
+        /// Value installed on success.
+        new: Operand,
     },
     /// `dst = nv_malloc(size)`.
     Alloc {
@@ -377,6 +445,7 @@ impl Inst {
             | Inst::Bin { dst, .. }
             | Inst::LoadStack { dst, .. }
             | Inst::Load { dst, .. }
+            | Inst::Cas { dst, .. }
             | Inst::Alloc { dst, .. } => Some(*dst),
             Inst::Call { ret, .. } => *ret,
             _ => None,
@@ -398,6 +467,11 @@ impl Inst {
             Inst::Store { base, src, .. } => {
                 v.push(*base);
                 v.extend(src.as_reg());
+            }
+            Inst::Cas { base, expected, new, .. } => {
+                v.push(*base);
+                v.extend(expected.as_reg());
+                v.extend(new.as_reg());
             }
             Inst::Alloc { size, .. } => v.extend(size.as_reg()),
             Inst::Free { base } => v.push(*base),
@@ -455,12 +529,12 @@ impl Inst {
 
     /// True if this instruction writes persistent heap memory.
     pub fn is_heap_store(&self) -> bool {
-        matches!(self, Inst::Store { .. })
+        matches!(self, Inst::Store { .. } | Inst::Cas { .. })
     }
 
     /// True if this instruction reads persistent heap memory.
     pub fn is_heap_load(&self) -> bool {
-        matches!(self, Inst::Load { .. })
+        matches!(self, Inst::Load { .. } | Inst::Cas { .. })
     }
 }
 
@@ -489,6 +563,32 @@ mod tests {
         let ld = Inst::Load { dst: r(0), base: r(1), offset: 0 };
         assert_eq!(ld.def_reg(), Some(r(0)));
         assert!(ld.is_heap_load());
+    }
+
+    #[test]
+    fn def_use_of_cas() {
+        let cas = Inst::Cas {
+            dst: r(0),
+            base: r(1),
+            offset: 0,
+            expected: Operand::Reg(r(2)),
+            new: Operand::Reg(r(3)),
+        };
+        assert_eq!(cas.def_reg(), Some(r(0)));
+        assert_eq!(cas.uses(), vec![r(1), r(2), r(3)]);
+        assert!(cas.is_heap_store());
+        assert!(cas.is_heap_load());
+
+        let prep = RtOp::LfCasPrepare {
+            base: r(1),
+            offset: 0,
+            expected: Operand::Reg(r(2)),
+            new: Operand::Imm(7),
+        };
+        assert_eq!(prep.uses(), vec![r(1), r(2)]);
+        let publ = RtOp::LfCasPublish { base: r(1), offset: 0, taken: r(0) };
+        assert_eq!(publ.uses(), vec![r(1), r(0)]);
+        assert!(RtOp::LfFlushWindow.uses().is_empty());
     }
 
     #[test]

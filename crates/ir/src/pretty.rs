@@ -101,6 +101,13 @@ impl fmt::Display for RtOp {
             RtOp::NvthreadsPageTouchStack { slot } => {
                 write!(f, "rt.nvthreads_page_touch stack[{slot}]")
             }
+            RtOp::LfFlushWindow => write!(f, "rt.lf_flush_window"),
+            RtOp::LfCasPrepare { base, offset, expected, new } => {
+                write!(f, "rt.lf_cas_prepare [{base}+{offset}] {expected} -> {new}")
+            }
+            RtOp::LfCasPublish { base, offset, taken } => {
+                write!(f, "rt.lf_cas_publish [{base}+{offset}] taken={taken}")
+            }
         }
     }
 }
@@ -114,6 +121,9 @@ impl fmt::Display for Inst {
             Inst::StoreStack { slot, src } => write!(f, "stack[{slot}] = {src}"),
             Inst::Load { dst, base, offset } => write!(f, "{dst} = mem[{base}+{offset}]"),
             Inst::Store { base, offset, src } => write!(f, "mem[{base}+{offset}] = {src}"),
+            Inst::Cas { dst, base, offset, expected, new } => {
+                write!(f, "{dst} = cas mem[{base}+{offset}] {expected} -> {new}")
+            }
             Inst::Alloc { dst, size } => write!(f, "{dst} = alloc {size}"),
             Inst::Free { base } => write!(f, "free {base}"),
             Inst::Lock { lock } => write!(f, "lock {lock}"),

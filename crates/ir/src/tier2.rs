@@ -270,7 +270,8 @@ pub fn fusible(inst: &Inst) -> bool {
         | Inst::RegionMarker
         | Inst::DurableBegin
         | Inst::DurableEnd => true,
-        // Frame manipulation, allocator state, metrics span markers, and
+        // Frame manipulation, allocator state, metrics span markers, the
+        // recoverable CAS (whose persist protocol lives in tier 1), and
         // every scheme runtime op (log scopes, boundaries, recovery) deopt
         // to tier 1, which is the single implementation site for them.
         Inst::Call { .. }
@@ -278,6 +279,7 @@ pub fn fusible(inst: &Inst) -> bool {
         | Inst::Alloc { .. }
         | Inst::Free { .. }
         | Inst::OpMark { .. }
+        | Inst::Cas { .. }
         | Inst::Rt(_) => false,
     }
 }

@@ -1,0 +1,228 @@
+//! The recoverable-CAS primitive and the NVTraverse flush window.
+
+use ido_nvm::{line_of, PmemHandle, CACHE_LINE, PAddr};
+
+use crate::desc::{
+    encode_tag, tag_owner, tag_seq, LfState, CELL_TAG, DESC_DONE, DESC_EXPECTED, DESC_NEW,
+    DESC_SEQ, DESC_STATE, DESC_SUPER, DESC_TARGET, STATE_DONE_EMPTY, STATE_DONE_TAKEN,
+    STATE_INFLIGHT,
+};
+
+/// The set of cache lines an operation has touched since its last flush —
+/// NVTraverse's "journey": traversal reads and node-initialization writes
+/// go unflushed until the operation exits the traversal phase, then the
+/// whole window is written back with a single fence before the critical
+/// CAS. This persists every link the CAS depends on (so no durable state
+/// can be built on a value that a crash could revert) and the new node's
+/// contents (so a crash can never expose a reachable node with torn
+/// contents).
+#[derive(Debug, Default)]
+pub struct FlushWindow {
+    lines: Vec<PAddr>,
+}
+
+impl FlushWindow {
+    /// An empty window.
+    pub fn new() -> FlushWindow {
+        FlushWindow::default()
+    }
+
+    /// Notes that the operation touched `addr`.
+    pub fn note(&mut self, addr: PAddr) {
+        // `line_of` yields a line *index*; store the line-start byte
+        // address so `flush` can hand it straight to `clwb`.
+        self.lines.push(line_of(addr) * CACHE_LINE);
+    }
+
+    /// Writes back every noted line that is still volatile (deduplicated,
+    /// dirty-filtered) and fences, emptying the window.
+    ///
+    /// The dirty filter is sound because the structures maintain the
+    /// NVTraverse reachability invariant: a published node was flushed by
+    /// its inserter before the linking CAS, so a traversed line can only
+    /// be non-persistent when it holds this op's own stores or a
+    /// neighbor's not-yet-published install — exactly the lines the
+    /// paper's "critical zone" rule flushes.
+    pub fn flush(&mut self, h: &mut PmemHandle) {
+        self.lines.sort_unstable();
+        self.lines.dedup();
+        for &line in &self.lines {
+            if h.is_line_dirty(line) {
+                h.clwb(line);
+            }
+        }
+        h.sfence();
+        self.lines.clear();
+    }
+}
+
+/// Per-thread volatile CAS issuing state: the monotone sequence counter
+/// feeding the persistent descriptor.
+#[derive(Debug)]
+pub struct RcasThread {
+    /// This thread's slot in the [`LfState`] table.
+    pub t: u32,
+    seq: u64,
+}
+
+impl RcasThread {
+    /// A fresh issuing context for thread `t`, continuing after any
+    /// sequence number already persisted in the descriptor (so re-attach
+    /// after a crash never reuses a sequence number).
+    pub fn attach(h: &mut PmemHandle, st: &LfState, t: u32) -> RcasThread {
+        let seq = h.read_u64(st.slot(t) + DESC_SEQ);
+        RcasThread { t, seq }
+    }
+
+    /// The recoverable CAS: returns true when `mem[target]` held
+    /// `expected` and `new` was installed. The caller must flush its
+    /// [`FlushWindow`] immediately before calling (the VM's instrumented
+    /// twin enforces this ordering structurally).
+    ///
+    /// `target` is the cell's value word; the owner/sequence tag lives at
+    /// `target + 8` and must share its cache line (see
+    /// [`crate::desc::CELL_TAG`]).
+    ///
+    /// Linearization is the caller's schedule — the simulated-NVM handle
+    /// is not itself atomic; the VM serializes conflicting steps, and
+    /// native tests drive deterministic schedules. What this primitive
+    /// guarantees is the *crash* contract: after a crash at any persist
+    /// boundary, [`LfState::resolve`] returns taken or not-taken, never
+    /// an ambiguous or inconsistent answer.
+    pub fn rcas(
+        &mut self,
+        h: &mut PmemHandle,
+        st: &LfState,
+        target: PAddr,
+        expected: u64,
+        new: u64,
+    ) -> bool {
+        self.seq += 1;
+        let s = self.seq;
+        let slot = st.slot(self.t);
+
+        // Prepare: durably publish the in-flight descriptor (one line).
+        h.write_u64(slot + DESC_SEQ, s);
+        h.write_u64(slot + DESC_TARGET, target as u64);
+        h.write_u64(slot + DESC_EXPECTED, expected);
+        h.write_u64(slot + DESC_NEW, new);
+        h.write_u64(slot + DESC_STATE, STATE_INFLIGHT);
+        h.clwb(slot);
+        h.sfence();
+
+        let cur = h.read_u64(target);
+        if cur != expected {
+            // Failed CAS: nothing was written, so recovery would resolve
+            // not-taken; close the descriptor durably (the publish step of
+            // the instrumented twin does the same for `taken = 0`).
+            h.write_u64(slot + DESC_STATE, STATE_DONE_EMPTY);
+            h.clwb(slot);
+            h.sfence();
+            return false;
+        }
+
+        // Persist the outgoing occupant before overwriting it, and credit
+        // a superseded owner so its crashed publish stays detectable.
+        let prev_tag = h.read_u64(target + CELL_TAG);
+        h.clwb(target);
+        h.sfence();
+        if let Some(prev_owner) = tag_owner(prev_tag) {
+            if prev_owner < st.threads {
+                let prev_slot = st.slot(prev_owner);
+                let prev_seq = tag_seq(prev_tag);
+                if h.read_u64(prev_slot + DESC_SUPER) < prev_seq {
+                    h.write_u64(prev_slot + DESC_SUPER, prev_seq);
+                    h.clwb(prev_slot);
+                    h.sfence();
+                }
+            }
+        }
+
+        // Install (volatile; the pair shares a line so it cannot tear).
+        h.write_u64(target, new);
+        h.write_u64(target + CELL_TAG, encode_tag(self.t, s));
+
+        // Publish: persist-before-escape, then close the descriptor.
+        h.clwb(target);
+        h.sfence();
+        let done = h.read_u64(slot + DESC_DONE);
+        h.write_u64(slot + DESC_DONE, done + 1);
+        h.write_u64(slot + DESC_STATE, STATE_DONE_TAKEN);
+        h.clwb(slot);
+        h.sfence();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::Resolution;
+    use ido_nvm::alloc::NvAllocator;
+    use ido_nvm::{PmemPool, PoolConfig};
+
+    fn setup() -> (PmemPool, NvAllocator, LfState, PAddr) {
+        let pool = PmemPool::new(PoolConfig::small_for_tests());
+        let mut h = pool.handle();
+        let alloc = NvAllocator::format(&mut h, pool.size());
+        let st = LfState::create(&mut h, &alloc, 4).unwrap();
+        let raw = alloc.alloc(&mut h, 128).unwrap();
+        let cell = crate::desc::align64(raw);
+        h.write_u64(cell, 0);
+        h.write_u64(cell + CELL_TAG, 0);
+        h.persist(cell, 16);
+        drop(h);
+        (pool, alloc, st, cell)
+    }
+
+    #[test]
+    fn successful_cas_is_durable_and_closed() {
+        let (pool, _alloc, st, cell) = setup();
+        let mut h = pool.handle();
+        let mut th = RcasThread::attach(&mut h, &st, 0);
+        assert!(th.rcas(&mut h, &st, cell, 0, 41));
+        assert!(!th.rcas(&mut h, &st, cell, 0, 42), "stale expected fails");
+        assert!(th.rcas(&mut h, &st, cell, 41, 43));
+        drop(h);
+        pool.crash(1);
+        let mut h = pool.handle();
+        assert_eq!(h.read_u64(cell), 43);
+        assert_eq!(st.resolve(&mut h, 0), Resolution::Closed);
+        assert_eq!(st.done_count(&mut h, 0), 2);
+    }
+
+    #[test]
+    fn crash_at_every_persist_boundary_resolves_unambiguously() {
+        // Sweep a trap over every persist the second CAS performs; after
+        // each simulated crash, recovery must classify the in-flight
+        // operation as taken xor not-taken, consistently with memory.
+        for trap in 1..32u64 {
+            let (pool, _alloc, st, cell) = setup();
+            let mut h = pool.handle();
+            let mut th = RcasThread::attach(&mut h, &st, 1);
+            assert!(th.rcas(&mut h, &st, cell, 0, 7));
+            let base_events = pool.persist_event_count();
+            pool.set_persist_trap(Some(base_events + trap));
+            let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                th.rcas(&mut h, &st, cell, 7, 9)
+            }))
+            .is_err();
+            pool.set_persist_trap(None);
+            drop(h);
+            if !hit {
+                break; // trap beyond the op's last persist: sweep done
+            }
+            pool.crash(0xC0FFEE ^ trap);
+            let mut h = pool.handle();
+            let r = st.resolve_and_close(&mut h, 1);
+            let v = h.read_u64(cell);
+            match r {
+                Resolution::Taken => assert_eq!(v, 9, "trap {trap}"),
+                Resolution::NotTaken => assert_eq!(v, 7, "trap {trap}"),
+                Resolution::Closed => assert!(v == 7 || v == 9, "trap {trap}"),
+            }
+            // Recovery is idempotent: a second pass finds nothing open.
+            assert_eq!(st.resolve(&mut h, 1), Resolution::Closed, "trap {trap}");
+        }
+    }
+}

@@ -195,6 +195,16 @@ pub struct MetricsBuf {
     /// Counter snapshot at the last attribution point; the next op end
     /// attributes the delta since it to the current window.
     last: Counters,
+    /// Spans lost to an `op_begin` arriving while another span was still
+    /// open (the earlier begin is discarded). Non-zero means the
+    /// instrumentation has unbalanced begin/end markers — every dropped
+    /// span is an op missing from goodput and latency.
+    pub dropped_spans: u64,
+    /// Spans whose end timestamp was *before* their begin (clock went
+    /// backwards); the latency was clamped to zero rather than recorded
+    /// as a huge wrapped value. Always a harness bug — debug builds also
+    /// assert on it.
+    pub clamped_spans: u64,
 }
 
 impl MetricsBuf {
@@ -211,6 +221,8 @@ impl MetricsBuf {
             per_kind: Default::default(),
             windows,
             last: Counters::default(),
+            dropped_spans: 0,
+            clamped_spans: 0,
         })
     }
 
@@ -234,9 +246,20 @@ impl MetricsBuf {
     }
 
     /// Opens an op span of `kind` (clamped) at handle-local `ts_ns`.
+    /// A begin arriving while another span is still open *replaces* it;
+    /// the discarded span is counted in [`MetricsBuf::dropped_spans`]
+    /// (it used to vanish silently, hiding unbalanced instrumentation).
     #[inline]
     pub fn op_begin(&mut self, kind: u64, ts_ns: u64) {
         let kind = (kind as usize).min(OP_KINDS - 1);
+        if self.open.is_some() {
+            self.dropped_spans += 1;
+            debug_assert!(
+                false,
+                "op_begin(kind={kind}) with a span already open: \
+                 unbalanced begin/end instrumentation"
+            );
+        }
         self.open = Some((kind, self.base_ns + ts_ns));
     }
 
@@ -244,11 +267,22 @@ impl MetricsBuf {
     /// latency and the counter delta since the previous close to the
     /// window containing the (global) end timestamp. A close without an
     /// open span is ignored; the close's kind argument is ignored in
-    /// favor of the open span's kind (mirroring the trace pairing).
+    /// favor of the open span's kind (mirroring the trace pairing). An
+    /// end timestamp before the begin (the clock went backwards — always
+    /// a harness bug) records zero latency and is counted in
+    /// [`MetricsBuf::clamped_spans`]; debug builds assert on it.
     #[inline]
     pub fn op_end(&mut self, _kind: u64, ts_ns: u64, counters: &Counters) {
         let Some((kind, begin)) = self.open.take() else { return };
         let end = self.base_ns + ts_ns;
+        if end < begin {
+            self.clamped_spans += 1;
+            debug_assert!(
+                false,
+                "op_end at {end} before its begin at {begin}: \
+                 non-monotonic span timestamps"
+            );
+        }
         let lat = end.saturating_sub(begin);
         self.per_kind[kind].record(lat);
         let delta = counters.delta_since(&self.last);
@@ -325,6 +359,12 @@ pub struct ServiceMetrics {
     pub per_kind: [Hist; OP_KINDS],
     /// Global timestamps at which a pool crashed, in note order.
     pub crashes: Vec<u64>,
+    /// Total spans discarded by an overlapping `op_begin`, summed over
+    /// every folded buffer (see [`MetricsBuf::dropped_spans`]).
+    pub dropped_spans: u64,
+    /// Total spans with a non-monotonic end timestamp, summed over every
+    /// folded buffer (see [`MetricsBuf::clamped_spans`]).
+    pub clamped_spans: u64,
 }
 
 impl ServiceMetrics {
@@ -347,8 +387,33 @@ impl ServiceMetrics {
             for (h, o) in m.per_kind.iter_mut().zip(b.per_kind.iter()) {
                 h.merge(o);
             }
+            m.dropped_spans += b.dropped_spans;
+            m.clamped_spans += b.clamped_spans;
         }
         m
+    }
+
+    /// Validates the span accounting: returns one human-readable finding
+    /// per anomaly (empty = every op span was recorded exactly once with
+    /// a well-formed latency). The service harness asserts this is empty
+    /// at the end of a run; dashboards can surface it as a health check.
+    pub fn validate(&self) -> Vec<String> {
+        let mut findings = Vec::new();
+        if self.dropped_spans > 0 {
+            findings.push(format!(
+                "{} op span(s) dropped by overlapping op_begin markers: \
+                 goodput and latency undercount by that many ops",
+                self.dropped_spans
+            ));
+        }
+        if self.clamped_spans > 0 {
+            findings.push(format!(
+                "{} op span(s) had a non-monotonic end timestamp \
+                 (latency clamped to zero)",
+                self.clamped_spans
+            ));
+        }
+        findings
     }
 
     /// Folds another timeline (e.g. a different shard of the same
@@ -365,6 +430,8 @@ impl ServiceMetrics {
             h.merge(o);
         }
         self.crashes.extend_from_slice(&other.crashes);
+        self.dropped_spans += other.dropped_spans;
+        self.clamped_spans += other.clamped_spans;
     }
 
     /// Records that a pool crashed at global timestamp `ts`.
@@ -566,6 +633,65 @@ mod tests {
         let m = ServiceMetrics::from_bufs(1000, vec![b]);
         assert_eq!(m.total_ops(), 1);
         assert_eq!(m.windows[0].ops[OP_KINDS - 1], 1, "kind clamped to the last index");
+    }
+
+    #[test]
+    fn overlapping_begin_is_counted_not_silent() {
+        let mut b = MetricsBuf::new(0, 1000, 0);
+        b.op_begin(1, 10);
+        // Second begin while the first span is still open: debug builds
+        // assert; the span loss is counted either way.
+        let overlap = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.op_begin(2, 20);
+        }));
+        assert_eq!(overlap.is_err(), cfg!(debug_assertions));
+        assert_eq!(b.dropped_spans, 1, "the discarded span must be counted");
+        b.op_end(2, 30, &Counters::default());
+        let m = ServiceMetrics::from_bufs(1000, vec![b]);
+        assert_eq!(m.dropped_spans, 1);
+        assert_eq!(m.total_ops(), 1, "only the surviving span lands");
+        let findings = m.validate();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("dropped"), "{findings:?}");
+    }
+
+    #[test]
+    fn non_monotonic_end_is_clamped_and_counted() {
+        let mut b = MetricsBuf::new(0, 1000, 500);
+        b.op_begin(0, 100); // global begin = 600
+        // End with a handle-local timestamp that lands *before* the
+        // begin on the global timeline.
+        let backwards = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.op_end(0, 50, &Counters::default());
+        }));
+        assert_eq!(backwards.is_err(), cfg!(debug_assertions));
+        assert_eq!(b.clamped_spans, 1, "the clamp must be counted");
+        if !cfg!(debug_assertions) {
+            // Release builds record the span with zero latency.
+            assert_eq!(b.per_kind[0].count(), 1);
+            assert_eq!(b.per_kind[0].max(), 0);
+        }
+        let m = ServiceMetrics::from_bufs(1000, vec![b]);
+        assert_eq!(m.clamped_spans, 1);
+        assert!(m.validate().iter().any(|f| f.contains("non-monotonic")), "{:?}", m.validate());
+    }
+
+    #[test]
+    fn clean_run_validates_empty_and_merge_sums_accounting() {
+        let mut a = MetricsBuf::new(0, 1000, 0);
+        a.op_begin(1, 0);
+        a.op_end(1, 10, &Counters::default());
+        let ma = ServiceMetrics::from_bufs(1000, vec![a]);
+        assert!(ma.validate().is_empty());
+
+        let mut x = ServiceMetrics::from_bufs(1000, Vec::new());
+        x.dropped_spans = 2;
+        x.clamped_spans = 1;
+        let mut y = ServiceMetrics::from_bufs(1000, Vec::new());
+        y.dropped_spans = 3;
+        y.merge(&x);
+        assert_eq!(y.dropped_spans, 5);
+        assert_eq!(y.clamped_spans, 1);
     }
 
     #[test]

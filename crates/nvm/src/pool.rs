@@ -832,6 +832,15 @@ impl PmemHandle {
         self.inner.journal.record(|| PersistEventKind::NtStore { addr, value });
     }
 
+    /// True if the line containing `addr` has unpersisted stores. Flush
+    /// machinery that maintains the invariant "everything reachable is
+    /// already persistent" (the NVTraverse traversal window) uses this to
+    /// skip write-backs of lines other operations have already published.
+    #[inline]
+    pub fn is_line_dirty(&self, addr: PAddr) -> bool {
+        self.inner.is_dirty(line_of(addr))
+    }
+
     /// Issues a write-back (`clwb`) for the line containing `addr`. The line
     /// is only guaranteed persistent after the next [`PmemHandle::sfence`].
     #[inline]

@@ -57,7 +57,10 @@ pub(crate) fn check(func: &Function, scheme: Scheme, diags: &mut Vec<Diagnostic>
             check_store_records(func, scheme, &fase, diags);
         }
         Scheme::Mnemosyne => check_tx_open(func, &cfg, &fase, diags),
-        Scheme::Ido | Scheme::Origin => {}
+        // The lock-free family never reaches here (verify_instrumented
+        // dispatches it to `crate::lockfree` before the FASE checks), and
+        // its instrumented code has no lock-delineated FASEs anyway.
+        Scheme::Ido | Scheme::Origin | Scheme::Nvtraverse | Scheme::LfEager => {}
     }
 }
 

@@ -62,6 +62,19 @@ pub enum Invariant {
     /// A log maintenance step is not crash-safe (probed dynamically —
     /// e.g. log retirement that can resurrect a stale committed tail).
     RecoveryIdempotence,
+    /// Lock-free family: a recoverable CAS executes without the window
+    /// flush (NVTraverse's flush-on-traverse-exit), so the installed
+    /// value can escape while lines it depends on are still volatile.
+    FlushOnTraverseExit,
+    /// Lock-free family: a recoverable CAS completes without writing
+    /// back its cell line before the descriptor closes, so a completed
+    /// operation's effect can be lost.
+    PersistBeforeEscape,
+    /// Lock-free family: a CAS is not announced by an adjacent matching
+    /// persistent descriptor (or a descriptor op is orphaned), so a
+    /// crash leaves an in-flight operation recovery cannot resolve
+    /// taken-xor-not-taken.
+    CasDetectable,
 }
 
 impl fmt::Display for Invariant {
@@ -78,6 +91,9 @@ impl fmt::Display for Invariant {
             Invariant::LockRecord => "lock-record",
             Invariant::LogLayout => "log-layout",
             Invariant::RecoveryIdempotence => "recovery-idempotence",
+            Invariant::FlushOnTraverseExit => "flush-on-traverse-exit",
+            Invariant::PersistBeforeEscape => "persist-before-escape",
+            Invariant::CasDetectable => "cas-detectable",
         };
         f.write_str(s)
     }

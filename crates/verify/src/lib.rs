@@ -32,6 +32,7 @@ pub mod diag;
 pub mod differential;
 mod ido;
 mod baselines;
+mod lockfree;
 pub mod model;
 
 pub use diag::{Diagnostic, Invariant};
@@ -47,6 +48,12 @@ pub use model::RuntimeModel;
 pub fn verify_instrumented(inst: &Instrumented, model: &RuntimeModel) -> Vec<Diagnostic> {
     let mut diags = model.layout_diagnostics(inst.scheme);
     for func in inst.program.functions() {
+        if inst.scheme.is_lockfree() {
+            // No lock-delineated FASEs: the recoverable-CAS contract
+            // replaces the region/log invariants wholesale.
+            lockfree::check(func, inst.scheme, model, &mut diags);
+            continue;
+        }
         baselines::check(func, inst.scheme, &mut diags);
         if inst.scheme == Scheme::Ido {
             ido::check(func, model, &mut diags);

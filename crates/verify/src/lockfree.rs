@@ -1,0 +1,339 @@
+//! Static checks for the lock-free scheme family (`Nvtraverse` /
+//! `LfEager`): the recoverable-CAS instrumentation contract.
+//!
+//! The family makes no FASE promise — there are no lock-delineated
+//! regions to cover. Instead its atomicity contract hangs on three
+//! per-CAS invariants, checked structurally on the instrumented IR:
+//!
+//! 1. **Flush-on-traverse-exit** ([`Invariant::FlushOnTraverseExit`]):
+//!    every `Inst::Cas` is immediately preceded by `LfFlushWindow`, so
+//!    the new node's contents and every link the critical write depends
+//!    on are durable before the CAS value can escape to other threads.
+//!    A CAS without the window flush can publish a pointer to a node
+//!    whose contents line is still volatile — the crash state the
+//!    odd-value invariant of the lock-free workloads catches dynamically.
+//! 2. **Detectability** ([`Invariant::CasDetectable`]): every `Inst::Cas`
+//!    is announced by an *adjacent, matching* `LfCasPrepare` (same cell,
+//!    same expected/new operands) and no descriptor op is orphaned. A
+//!    CAS whose descriptor names a different cell — or none — leaves an
+//!    in-flight operation recovery cannot resolve taken-xor-not-taken.
+//! 3. **Persist-before-escape** ([`Invariant::PersistBeforeEscape`]):
+//!    every `Inst::Cas` is immediately followed by the matching
+//!    `LfCasPublish` (cell write-back + fence, then durable descriptor
+//!    close), so a linearized write is durable before the operation is
+//!    considered complete and the descriptor slot is reusable.
+//!
+//! The [`RuntimeModel`] contributes what the IR cannot show: the VM's
+//! `lf_bug_*` injection flags turn the runtime ops into no-ops while the
+//! instrumentation still *looks* intact, so the model maps each flag back
+//! to the invariant it breaks. The differential tests cross-check both
+//! directions against the crash oracle on the same configuration.
+//!
+//! Soundness caveats, mirroring DESIGN.md §13: adjacency is syntactic
+//! (the checks require the runtime ops in the same block as the CAS,
+//! which is how `instrument_lockfree` emits them — a hand-built program
+//! with the ops behind an edge split is rejected even if dynamically
+//! sound), and the analysis does not prove the *cell layout* obligation
+//! (value and tag sharing a cache line); that is enforced dynamically by
+//! `NvtList::check_invariants`' alignment assertions.
+
+use ido_compiler::Scheme;
+use ido_idem::Pos;
+use ido_ir::{BlockId, Function, Inst, RtOp};
+
+use crate::diag::{Diagnostic, Invariant};
+use crate::model::RuntimeModel;
+
+/// Runs the recoverable-CAS structural checks on one instrumented
+/// function.
+pub(crate) fn check(
+    func: &Function,
+    scheme: Scheme,
+    model: &RuntimeModel,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (bi, bb) in func.blocks().iter().enumerate() {
+        let b = BlockId(bi as u32);
+        for (i, inst) in bb.insts.iter().enumerate() {
+            match inst {
+                Inst::Cas { dst, base, offset, expected, new } => {
+                    let pos = (b, i);
+                    // (2) detectability: adjacent matching prepare.
+                    match i.checked_sub(1).map(|j| &bb.insts[j]) {
+                        Some(Inst::Rt(RtOp::LfCasPrepare {
+                            base: pb,
+                            offset: po,
+                            expected: pe,
+                            new: pn,
+                        })) if pb == base && po == offset && pe == expected && pn == new => {}
+                        Some(Inst::Rt(RtOp::LfCasPrepare { .. })) => diags.push(diag(
+                            func,
+                            scheme,
+                            pos,
+                            Invariant::CasDetectable,
+                            "descriptor prepare names a different cell or values than \
+                             the CAS it announces: recovery would resolve the wrong \
+                             operation"
+                                .into(),
+                        )),
+                        _ => diags.push(diag(
+                            func,
+                            scheme,
+                            pos,
+                            Invariant::CasDetectable,
+                            "CAS without an adjacent descriptor prepare: a crash \
+                             mid-CAS leaves an in-flight operation recovery cannot \
+                             resolve"
+                                .into(),
+                        )),
+                    }
+                    // (1) flush-on-traverse-exit: window flush right
+                    // before the prepare.
+                    match i.checked_sub(2).map(|j| &bb.insts[j]) {
+                        Some(Inst::Rt(RtOp::LfFlushWindow)) => {}
+                        _ => diags.push(diag(
+                            func,
+                            scheme,
+                            pos,
+                            Invariant::FlushOnTraverseExit,
+                            "CAS without a window flush: the value can escape while \
+                             the lines it depends on (new node contents, traversed \
+                             links) are still volatile"
+                                .into(),
+                        )),
+                    }
+                    // (3) persist-before-escape: adjacent matching publish.
+                    match bb.insts.get(i + 1) {
+                        Some(Inst::Rt(RtOp::LfCasPublish {
+                            base: qb,
+                            offset: qo,
+                            taken,
+                        })) if qb == base && qo == offset && taken == dst => {}
+                        Some(Inst::Rt(RtOp::LfCasPublish { .. })) => diags.push(diag(
+                            func,
+                            scheme,
+                            pos,
+                            Invariant::PersistBeforeEscape,
+                            "publish names a different cell or result register than \
+                             its CAS: the linearized write's line is never written \
+                             back"
+                                .into(),
+                        )),
+                        _ => diags.push(diag(
+                            func,
+                            scheme,
+                            pos,
+                            Invariant::PersistBeforeEscape,
+                            "CAS without an adjacent publish: the operation completes \
+                             with its cell line volatile and its descriptor open"
+                                .into(),
+                        )),
+                    }
+                    // Model-driven findings: instrumentation intact but
+                    // the runtime op is a no-op under bug injection.
+                    // LF-Eager persists every store at the store itself,
+                    // so its (always-empty) window flush being a no-op
+                    // breaks nothing — the finding applies to NVTraverse,
+                    // whose durability rides entirely on the window.
+                    if !model.lf_window_flushed && scheme == Scheme::Nvtraverse {
+                        diags.push(diag(
+                            func,
+                            scheme,
+                            pos,
+                            Invariant::FlushOnTraverseExit,
+                            "runtime clears the flush window without writing it back \
+                             (lf_bug_skip_window_flush): the window flush is \
+                             structurally present but persists nothing"
+                                .into(),
+                        ));
+                    }
+                    if !model.lf_publish_flushes_cell {
+                        diags.push(diag(
+                            func,
+                            scheme,
+                            pos,
+                            Invariant::PersistBeforeEscape,
+                            "runtime closes the descriptor without writing back the \
+                             cell line (lf_bug_skip_publish): a crash after close \
+                             can lose a completed operation's effect"
+                                .into(),
+                        ));
+                    }
+                }
+                // Orphaned descriptor ops: each must be adjacent to the
+                // CAS it serves, or the descriptor lifecycle is broken.
+                Inst::Rt(RtOp::LfFlushWindow) => {
+                    if !matches!(
+                        bb.insts.get(i + 1),
+                        Some(Inst::Rt(RtOp::LfCasPrepare { .. }))
+                    ) {
+                        diags.push(diag(
+                            func,
+                            scheme,
+                            (b, i),
+                            Invariant::CasDetectable,
+                            "window flush not followed by a descriptor prepare: \
+                             orphaned lock-free runtime op".into(),
+                        ));
+                    }
+                }
+                Inst::Rt(RtOp::LfCasPrepare { .. }) => {
+                    if !matches!(bb.insts.get(i + 1), Some(Inst::Cas { .. })) {
+                        diags.push(diag(
+                            func,
+                            scheme,
+                            (b, i),
+                            Invariant::CasDetectable,
+                            "descriptor prepare not followed by its CAS: the slot is \
+                             left in-flight with no operation to resolve".into(),
+                        ));
+                    }
+                }
+                Inst::Rt(RtOp::LfCasPublish { .. }) => {
+                    if !matches!(i.checked_sub(1).map(|j| &bb.insts[j]), Some(Inst::Cas { .. })) {
+                        diags.push(diag(
+                            func,
+                            scheme,
+                            (b, i),
+                            Invariant::CasDetectable,
+                            "publish without a preceding CAS: closes a descriptor \
+                             for an operation that never executed".into(),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn diag(
+    func: &Function,
+    scheme: Scheme,
+    pos: Pos,
+    invariant: Invariant,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        scheme,
+        function: func.name().to_string(),
+        pos: Some(pos),
+        invariant,
+        message,
+        witness: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ido_compiler::instrument_program;
+    use ido_ir::{Operand, ProgramBuilder};
+    use ido_vm::VmConfig;
+    use ido_workloads::WorkloadSpec;
+
+    use crate::verify_instrumented;
+
+    fn lf_program() -> ido_ir::Program {
+        ido_workloads::lockfree::LfListSpec.build_program()
+    }
+
+    #[test]
+    fn instrumented_lockfree_workloads_are_clean() {
+        let model = RuntimeModel::for_tests();
+        for spec in ido_workloads::lockfree_specs() {
+            for scheme in Scheme::LOCKFREE {
+                let inst = instrument_program(spec.build_program(), scheme).unwrap();
+                let diags = verify_instrumented(&inst, &model);
+                assert!(diags.is_empty(), "{}/{scheme}: {diags:?}", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn bare_cas_is_flagged_on_all_three_invariants() {
+        // Build a minimal function with a naked CAS (no instrumentation).
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("worker", 1);
+        let p = f.param(0);
+        let d = f.new_reg();
+        f.cas(d, p, 0, 0i64, 1i64);
+        f.ret(None);
+        f.finish().unwrap();
+        let program = pb.finish();
+        let mut diags = Vec::new();
+        let func = &program.functions()[0];
+        check(func, Scheme::Nvtraverse, &RuntimeModel::for_tests(), &mut diags);
+        let kinds: Vec<Invariant> = diags.iter().map(|d| d.invariant).collect();
+        assert!(kinds.contains(&Invariant::CasDetectable), "{diags:?}");
+        assert!(kinds.contains(&Invariant::FlushOnTraverseExit), "{diags:?}");
+        assert!(kinds.contains(&Invariant::PersistBeforeEscape), "{diags:?}");
+    }
+
+    #[test]
+    fn orphaned_descriptor_ops_are_flagged() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("worker", 1);
+        let p = f.param(0);
+        f.emit(Inst::Rt(RtOp::LfFlushWindow));
+        f.emit(Inst::Rt(RtOp::LfCasPrepare {
+            base: p,
+            offset: 0,
+            expected: Operand::Imm(0),
+            new: Operand::Imm(1),
+        }));
+        // No CAS follows; then a publish with no CAS before it.
+        let t = f.new_reg();
+        f.emit(Inst::Rt(RtOp::LfCasPublish { base: p, offset: 0, taken: t }));
+        f.ret(None);
+        f.finish().unwrap();
+        let program = pb.finish();
+        let mut diags = Vec::new();
+        check(
+            &program.functions()[0],
+            Scheme::LfEager,
+            &RuntimeModel::for_tests(),
+            &mut diags,
+        );
+        let orphans = diags
+            .iter()
+            .filter(|d| d.invariant == Invariant::CasDetectable)
+            .count();
+        assert_eq!(orphans, 2, "prepare-without-CAS and publish-without-CAS: {diags:?}");
+    }
+
+    #[test]
+    fn bug_injection_flags_map_to_their_invariants() {
+        let model_ok = RuntimeModel::for_tests();
+
+        let mut cfg = VmConfig::for_tests();
+        cfg.lf_bug_skip_window_flush = true;
+        let model_window = RuntimeModel::from_config(&cfg);
+
+        let mut cfg = VmConfig::for_tests();
+        cfg.lf_bug_skip_publish = true;
+        let model_publish = RuntimeModel::from_config(&cfg);
+
+        for scheme in Scheme::LOCKFREE {
+            let inst = instrument_program(lf_program(), scheme).unwrap();
+            assert!(verify_instrumented(&inst, &model_ok).is_empty());
+            let dw = verify_instrumented(&inst, &model_window);
+            if scheme == Scheme::Nvtraverse {
+                assert!(
+                    dw.iter().all(|d| d.invariant == Invariant::FlushOnTraverseExit)
+                        && !dw.is_empty(),
+                    "{scheme}: {dw:?}"
+                );
+            } else {
+                // LF-Eager does not depend on the window flush.
+                assert!(dw.is_empty(), "{scheme}: {dw:?}");
+            }
+            let dp = verify_instrumented(&inst, &model_publish);
+            assert!(
+                dp.iter().all(|d| d.invariant == Invariant::PersistBeforeEscape)
+                    && !dp.is_empty(),
+                "{scheme}: {dp:?}"
+            );
+        }
+    }
+}

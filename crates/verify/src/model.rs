@@ -37,6 +37,16 @@ pub struct RuntimeModel {
     /// fences before the next region's first store, which is equally
     /// sound, so this field produces no diagnostics.
     pub eager_recovery_pc_fence: bool,
+    /// Lock-free family: true when `LfFlushWindow` actually writes back
+    /// and fences the tracked window (false under
+    /// `lf_bug_skip_window_flush`, which the verifier flags as
+    /// [`Invariant::FlushOnTraverseExit`] for NVTraverse).
+    pub lf_window_flushed: bool,
+    /// Lock-free family: true when `LfCasPublish` writes back the CAS
+    /// cell's line before durably closing the descriptor (false under
+    /// `lf_bug_skip_publish`, flagged as
+    /// [`Invariant::PersistBeforeEscape`]).
+    pub lf_publish_flushes_cell: bool,
     /// Violations found by the dynamic layout probes, materialized into
     /// [`Diagnostic`]s per scheme by [`RuntimeModel::layout_diagnostics`].
     pub layout_violations: Vec<(Invariant, String)>,
@@ -49,6 +59,8 @@ impl RuntimeModel {
         RuntimeModel {
             boundary_flushes_region_stores: !cfg.ido_bug_skip_store_flush,
             eager_recovery_pc_fence: cfg.ido_eager_step2_fence,
+            lf_window_flushed: !cfg.lf_bug_skip_window_flush,
+            lf_publish_flushes_cell: !cfg.lf_bug_skip_publish,
             layout_violations: probe_layouts(),
         }
     }

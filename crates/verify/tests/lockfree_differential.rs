@@ -1,0 +1,76 @@
+//! Differential cross-check for the lock-free family: the static
+//! verifier's verdict on each (workload, scheme) pair must agree with the
+//! crash oracle's exploration of the identical instrumented program and
+//! VM configuration — clean/clean on the honest runtime, flagged/caught
+//! under each injected bug, including the asymmetric case (the window
+//! flush flag is a no-op for the eager scheme, so *both* sides must stay
+//! clean there; flagging it statically would be a disagreement).
+
+use ido_compiler::Scheme;
+use ido_crashtest::OracleConfig;
+use ido_verify::{differential, Invariant};
+use ido_workloads::lockfree::{LfListSpec, LfMapSpec};
+use ido_workloads::WorkloadSpec;
+
+fn small_map() -> LfMapSpec {
+    LfMapSpec { buckets: 4, key_range: 32, put_permille: 700 }
+}
+
+/// Honest runtime: statically clean and dynamically clean, for both
+/// lock-free schemes on both workloads.
+#[test]
+fn honest_runtime_agrees_clean_on_both_schemes() {
+    let cfg = OracleConfig::default();
+    let specs: [&dyn WorkloadSpec; 2] = [&LfListSpec, &small_map()];
+    for scheme in Scheme::LOCKFREE {
+        for spec in specs {
+            let r = differential(spec, scheme, &cfg);
+            assert!(r.agree, "disagreement: {r}");
+            assert!(r.diagnostics.is_empty(), "{scheme}/{}: {:?}", spec.name(), r.diagnostics);
+            assert!(r.exploration.counterexample.is_none(), "{scheme}/{}", spec.name());
+        }
+    }
+}
+
+/// Skipped window flush: statically flagged as flush-on-traverse-exit and
+/// dynamically caught — but only under NVTraverse. Under the eager scheme
+/// the window is always empty, so both sides must report clean; the
+/// scheme-gating in the static pass exists precisely to keep this case in
+/// agreement.
+#[test]
+fn skipped_window_flush_agrees_dirty_under_nvtraverse_clean_under_eager() {
+    let mut cfg = OracleConfig::default();
+    cfg.vm.lf_bug_skip_window_flush = true;
+
+    let r = differential(&LfListSpec, Scheme::Nvtraverse, &cfg);
+    assert!(r.agree, "disagreement: {r}");
+    assert!(
+        r.diagnostics.iter().any(|d| d.invariant == Invariant::FlushOnTraverseExit),
+        "expected a flush-on-traverse-exit finding: {:?}",
+        r.diagnostics
+    );
+    assert!(r.exploration.counterexample.is_some(), "oracle side must also catch it");
+
+    let e = differential(&LfListSpec, Scheme::LfEager, &cfg);
+    assert!(e.agree, "disagreement: {e}");
+    assert!(e.diagnostics.is_empty(), "eager scheme must stay clean: {:?}", e.diagnostics);
+    assert!(e.exploration.counterexample.is_none());
+}
+
+/// Skipped publish write-back: statically flagged as
+/// persist-before-escape and dynamically caught under both schemes.
+#[test]
+fn skipped_publish_agrees_dirty_under_both_schemes() {
+    let mut cfg = OracleConfig::default();
+    cfg.vm.lf_bug_skip_publish = true;
+    for scheme in Scheme::LOCKFREE {
+        let r = differential(&LfListSpec, scheme, &cfg);
+        assert!(r.agree, "disagreement: {r}");
+        assert!(
+            r.diagnostics.iter().any(|d| d.invariant == Invariant::PersistBeforeEscape),
+            "{scheme}: expected a persist-before-escape finding: {:?}",
+            r.diagnostics
+        );
+        assert!(r.exploration.counterexample.is_some(), "{scheme}: oracle side must catch it");
+    }
+}

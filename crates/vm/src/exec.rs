@@ -9,6 +9,11 @@ use ido_ir::{
     BinOp, BlockId, DecodedInst, DecodedProgram, FuncId, Inst, Operand, Pc, Program, Reg, RtOp,
     StackSlot, Tier2Entry, Tier2Program,
 };
+use ido_lockfree::{
+    encode_tag, tag_owner, tag_seq, LfState, CELL_TAG, DESC_DONE, DESC_EXPECTED, DESC_NEW,
+    DESC_SEQ, DESC_STATE, DESC_SUPER, DESC_TARGET, STATE_DONE_EMPTY, STATE_DONE_TAKEN,
+    STATE_INFLIGHT,
+};
 use ido_nvm::alloc::{AllocPolicy, NvAllocator};
 use ido_nvm::root::RootTable;
 use ido_nvm::{PmemHandle, PmemPool, PoolConfig, PAddr};
@@ -28,6 +33,10 @@ pub const GLOBAL_TX_LOCK: u64 = 8;
 
 /// Root name under which the VM's thread registry is published.
 pub const THREADS_ROOT: &str = "vm_threads";
+
+/// Root name under which lock-free schemes publish the persistent CAS
+/// descriptor table (an [`ido_lockfree::LfState`] base address).
+pub const LF_STATE_ROOT: &str = "lf_state";
 
 /// Maximum threads a VM instance supports.
 pub const MAX_THREADS: usize = 128;
@@ -117,6 +126,22 @@ pub struct VmConfig {
     /// and must make the crash oracle report a minimal counterexample.
     /// Never enable outside oracle validation tests.
     pub ido_bug_skip_store_flush: bool,
+    /// **Deliberate bug injection** (lock-free oracle self-test only):
+    /// make `rt.lf_flush_window` a no-op under NVTraverse, so the
+    /// traversal window (visited links, new-node contents) is never
+    /// written back before the recoverable CAS. A crash after the CAS
+    /// persists can then expose a reachable node whose contents were
+    /// lost — the flush-on-traverse-exit violation the oracle and the
+    /// static verifier must both catch. Never enable outside validation
+    /// tests.
+    pub lf_bug_skip_window_flush: bool,
+    /// **Deliberate bug injection** (lock-free oracle self-test only): in
+    /// `rt.lf_cas_publish`, close the descriptor as done-taken *without*
+    /// first writing back the CAS target cell. This breaks
+    /// persist-before-escape: the durable success counter can then claim
+    /// an install that a crash reverts. Never enable outside validation
+    /// tests.
+    pub lf_bug_skip_publish: bool,
     /// Execution engine (see [`ExecTier`]).
     pub tier: ExecTier,
     /// **Deliberate bug injection** (differential-harness self-test only):
@@ -160,6 +185,8 @@ impl Default for VmConfig {
             ido_unmerged_acquire_fence: false,
             ido_no_coalescing: false,
             ido_bug_skip_store_flush: false,
+            lf_bug_skip_window_flush: false,
+            lf_bug_skip_publish: false,
             tier: ExecTier::Tier1,
             tier2_bug_misfuse_store_clwb: false,
             page_bytes: 4096,
@@ -243,6 +270,11 @@ pub(crate) struct ThreadCtx {
     /// but not yet fenced. It must drain before the next persistent store
     /// executes (or at the next fence, whichever comes first).
     pub(crate) pc_fence_pending: bool,
+    /// NVTraverse only: persistent *loads* also join the flush window
+    /// (`region_stores`), because a recoverable CAS may depend on a link
+    /// value that is itself not yet persisted — the window must cover the
+    /// whole journey, reads included, before the critical write.
+    pub(crate) lf_track_loads: bool,
     /// Commit drains sort by address, so an unordered map is safe here.
     pub(crate) tx_write_set: HashMap<PAddr, u64>,
     pub(crate) mn_cursor: usize,
@@ -332,6 +364,9 @@ pub struct Vm {
     atlas_rt_available: u64,
     max_regs: u32,
     registry: PAddr,
+    /// The persistent CAS descriptor table — present exactly for the
+    /// lock-free scheme family ([`Scheme::is_lockfree`]).
+    lf_state: Option<LfState>,
     profile: Profile,
     steps: u64,
     step_hook: Option<StepHook>,
@@ -374,6 +409,7 @@ impl Vm {
             lock_release_stamps: HashMap::new(),
             atlas_rt_available: 0,
             registry: 0,
+            lf_state: None,
             profile: Profile::new(),
             steps: 0,
             step_hook: None,
@@ -385,6 +421,16 @@ impl Vm {
         h.persist(registry, 8);
         vm.roots.set_root(&mut h, THREADS_ROOT, registry).expect("registry root");
         vm.registry = registry;
+        // Lock-free schemes additionally publish the persistent CAS
+        // descriptor table. Allocated after the registry (and only for
+        // this family) so heap addresses of every other scheme are
+        // untouched — the trace goldens stay byte-identical.
+        if vm.scheme.is_lockfree() {
+            let st = LfState::create(&mut h, &vm.alloc, vm.config.max_threads as u32)
+                .expect("lf_state allocation");
+            vm.roots.set_root(&mut h, LF_STATE_ROOT, st.base).expect("lf_state root");
+            vm.lf_state = Some(st);
+        }
         vm.roots.mark_in_use(&mut h);
         vm
     }
@@ -395,6 +441,9 @@ impl Vm {
         let roots = RootTable::attach(&mut h).expect("pool must be formatted");
         let alloc = NvAllocator::attach_with(&mut h, config.alloc);
         let registry = roots.root(&mut h, THREADS_ROOT).expect("thread registry root");
+        let lf_state = roots
+            .root(&mut h, LF_STATE_ROOT)
+            .map(|base| LfState { base, threads: config.max_threads as u32 });
         let code = Arc::new(DecodedProgram::decode(&instrumented.program));
         let t2 = (config.tier == ExecTier::Tier2)
             .then(|| Arc::new(Tier2Program::compile(&instrumented.program)));
@@ -415,6 +464,7 @@ impl Vm {
             lock_release_stamps: HashMap::new(),
             atlas_rt_available: 0,
             registry,
+            lf_state,
             profile: Profile::new(),
             steps: 0,
             step_hook: None,
@@ -439,6 +489,13 @@ impl Vm {
     /// The VM's configuration.
     pub fn config(&self) -> &VmConfig {
         &self.config
+    }
+
+    /// The persistent CAS descriptor table — `Some` exactly for the
+    /// lock-free scheme family. Workload verification reads per-thread
+    /// durable success counters through it.
+    pub fn lf_state(&self) -> Option<LfState> {
+        self.lf_state
     }
 
     /// Dynamic region profile collected so far (meaningful for iDO runs).
@@ -544,6 +601,7 @@ impl Vm {
             in_tx: false,
             fase_active: false,
             pc_fence_pending: false,
+            lf_track_loads: self.scheme == Scheme::Nvtraverse,
             tx_write_set: HashMap::new(),
             mn_cursor: 0,
             dirty_pages: HashSet::new(),
@@ -597,6 +655,7 @@ impl Vm {
             in_tx: false,
             fase_active: false,
             pc_fence_pending: false,
+            lf_track_loads: self.scheme == Scheme::Nvtraverse,
             tx_write_set: HashMap::new(),
             mn_cursor: 0,
             dirty_pages: HashSet::new(),
@@ -1178,8 +1237,65 @@ impl Vm {
                 self.charge(t, self.config.inst_cost_ns);
                 self.set_pc(t, if c != 0 { then_bb } else { else_bb });
             }
+            &Inst::Cas { dst, base, offset, expected, new } => {
+                let addr = mem_addr(self.read_reg(t, base), offset);
+                let expected = self.eval(t, expected);
+                let new = self.eval(t, new);
+                self.charge(t, self.config.inst_cost_ns);
+                let taken = self.exec_cas(t, addr, expected, new);
+                self.write_reg(t, dst, taken as u64);
+                self.advance(t);
+            }
             Inst::Rt(op) => self.exec_rt(t, pc, op),
         }
+    }
+
+    /// The compare-and-swap step. Under the lock-free schemes this is the
+    /// *middle* of the recoverable-CAS protocol (the instrumenter brackets
+    /// the instruction with `rt.lf_cas_prepare` / `rt.lf_cas_publish`):
+    /// persist the outgoing occupant before overwriting it, credit a
+    /// superseded owner, then install the value/tag pair volatilely —
+    /// mirroring `ido_lockfree::RcasThread::rcas` step for step. Under
+    /// every other scheme it is a plain read-compare-scheme-store.
+    fn exec_cas(&mut self, t: usize, addr: PAddr, expected: u64, new: u64) -> bool {
+        if !self.scheme.is_lockfree() {
+            let cur = self.scheme_load(t, addr);
+            if cur != expected {
+                return false;
+            }
+            self.scheme_store(t, addr, new);
+            return true;
+        }
+        let st = self.lf_state.expect("lock-free scheme has a descriptor table");
+        let th = &mut self.threads[t];
+        let cur = th.handle.read_u64(addr);
+        if cur != expected {
+            // Failed CAS: nothing written; publish closes the descriptor.
+            return false;
+        }
+        // Persist the outgoing occupant before overwriting it, and credit
+        // a superseded owner so its crashed publish stays detectable.
+        let prev_tag = th.handle.read_u64(addr + CELL_TAG);
+        th.handle.clwb(addr);
+        th.handle.sfence();
+        if let Some(prev_owner) = tag_owner(prev_tag) {
+            if prev_owner < st.threads {
+                let prev_slot = st.slot(prev_owner);
+                let prev_seq = tag_seq(prev_tag);
+                if th.handle.read_u64(prev_slot + DESC_SUPER) < prev_seq {
+                    th.handle.write_u64(prev_slot + DESC_SUPER, prev_seq);
+                    th.handle.clwb(prev_slot);
+                    th.handle.sfence();
+                }
+            }
+        }
+        // Install (volatile; the cell pair shares a line so it cannot
+        // tear). The tag's sequence number is the one the prepare step
+        // just persisted in this thread's descriptor.
+        let s = th.handle.read_u64(st.slot(t as u32) + DESC_SEQ);
+        th.handle.write_u64(addr, new);
+        th.handle.write_u64(addr + CELL_TAG, encode_tag(t as u32, s));
+        true
     }
 
     fn finish_thread(&mut self, t: usize) {
@@ -1263,7 +1379,10 @@ impl Vm {
                         th.tx_write_set.clear();
                         th.dirty_pages.clear();
                     }
-                    Scheme::Origin | Scheme::Mnemosyne => {}
+                    Scheme::Origin
+                    | Scheme::Mnemosyne
+                    | Scheme::Nvtraverse
+                    | Scheme::LfEager => {}
                 }
                 self.advance(t);
             }
@@ -1308,12 +1427,92 @@ impl Vm {
                         log.append(&mut th.handle, LogEntryKind::Commit, 0, 0, stamp);
                     }
                     Scheme::Nvthreads => self.nvthreads_commit(t),
-                    Scheme::Origin | Scheme::Mnemosyne => {}
+                    Scheme::Origin
+                    | Scheme::Mnemosyne
+                    | Scheme::Nvtraverse
+                    | Scheme::LfEager => {}
                 }
                 self.threads[t].handle.trace_event(EventKind::FaseExit, 0, 0);
                 if self.threads[t].recovery {
                     self.threads[t].halt_after_release = true;
                 }
+                self.advance(t);
+            }
+            RtOp::LfFlushWindow => {
+                // Exit of the NVTraverse traversal phase: write back the
+                // journey (links read, new-node contents written) with one
+                // fence, immediately before the recoverable CAS — but only
+                // the lines that can still be volatile. Every published
+                // node was flushed by its inserter before its linking CAS,
+                // so a traversed line is non-persistent only when it holds
+                // this op's own stores or a neighbor's not-yet-published
+                // install; the dirty filter is the simulator's exact form
+                // of the paper's "flush only the critical zone" rule.
+                // LF-Eager persists every store at the store itself, so
+                // its window is always empty and this is a no-op shape.
+                let th = &mut self.threads[t];
+                if self.config.lf_bug_skip_window_flush {
+                    th.region_stores.clear();
+                } else {
+                    th.region_stores.sort_unstable();
+                    th.region_stores.dedup_by_key(|a| ido_nvm::line_of(*a));
+                    for i in 0..th.region_stores.len() {
+                        let addr = th.region_stores[i];
+                        if th.handle.is_line_dirty(addr) {
+                            th.handle.clwb(addr);
+                        }
+                    }
+                    th.region_stores.clear();
+                    th.handle.sfence();
+                }
+                self.advance(t);
+            }
+            &RtOp::LfCasPrepare { base, offset, expected, new } => {
+                // Durably publish the in-flight descriptor (one line, one
+                // write-back + fence) before the CAS touches the cell —
+                // mirrors the prepare step of `RcasThread::rcas`. The
+                // sequence number continues from the persisted one, so a
+                // post-crash re-attach never reuses a sequence number.
+                let target = mem_addr(self.read_reg(t, base), offset);
+                let expected = self.eval(t, expected);
+                let new = self.eval(t, new);
+                let st = self.lf_state.expect("lock-free scheme has a descriptor table");
+                let slot = st.slot(t as u32);
+                let th = &mut self.threads[t];
+                let s = th.handle.read_u64(slot + DESC_SEQ) + 1;
+                th.handle.write_u64(slot + DESC_SEQ, s);
+                th.handle.write_u64(slot + DESC_TARGET, target as u64);
+                th.handle.write_u64(slot + DESC_EXPECTED, expected);
+                th.handle.write_u64(slot + DESC_NEW, new);
+                th.handle.write_u64(slot + DESC_STATE, STATE_INFLIGHT);
+                th.handle.clwb(slot);
+                th.handle.sfence();
+                self.advance(t);
+            }
+            &RtOp::LfCasPublish { base, offset, taken } => {
+                // Persist-before-escape, then close the descriptor. A
+                // failed CAS also closes durably (done-empty): that persist
+                // per attempt is the descriptor-tracking tax the bench
+                // attributes to the lock-free family.
+                let target = mem_addr(self.read_reg(t, base), offset);
+                let taken = self.read_reg(t, taken) != 0;
+                let st = self.lf_state.expect("lock-free scheme has a descriptor table");
+                let slot = st.slot(t as u32);
+                let skip_cell_flush = self.config.lf_bug_skip_publish;
+                let th = &mut self.threads[t];
+                if taken {
+                    if !skip_cell_flush {
+                        th.handle.clwb(target);
+                        th.handle.sfence();
+                    }
+                    let done = th.handle.read_u64(slot + DESC_DONE);
+                    th.handle.write_u64(slot + DESC_DONE, done + 1);
+                    th.handle.write_u64(slot + DESC_STATE, STATE_DONE_TAKEN);
+                } else {
+                    th.handle.write_u64(slot + DESC_STATE, STATE_DONE_EMPTY);
+                }
+                th.handle.clwb(slot);
+                th.handle.sfence();
                 self.advance(t);
             }
             RtOp::IdoBoundary { out_regs, .. } => {
@@ -1774,12 +1973,32 @@ pub(crate) fn scheme_store(scheme: Scheme, th: &mut ThreadCtx, addr: PAddr, valu
         Scheme::Origin => {
             th.handle.write_u64(addr, value);
         }
+        Scheme::Nvtraverse => {
+            // Traversal-phase store: joins the flush window, written back
+            // only at `rt.lf_flush_window` (exit of the traversal phase).
+            th.handle.write_u64(addr, value);
+            th.region_stores.push(addr);
+        }
+        Scheme::LfEager => {
+            // Eager baseline: every persistent store is written back and
+            // fenced at the store itself (no window, maximal fencing).
+            th.handle.write_u64(addr, value);
+            th.handle.clwb(addr);
+            th.handle.sfence();
+        }
     }
 }
 
 /// The scheme-specific persistent-load semantics (transactional schemes
 /// read through their write sets), shared by both execution tiers.
 pub(crate) fn scheme_load(th: &mut ThreadCtx, addr: PAddr) -> u64 {
+    if th.lf_track_loads {
+        // NVTraverse: the journey's *reads* join the flush window too — a
+        // recoverable CAS must never depend on a link value that a crash
+        // could revert.
+        th.region_stores.push(addr);
+    }
+
     if th.in_tx {
         if let Some(v) = th.tx_write_set.get(&addr) {
             // Still charge a (cheap) lookup as a cached load.

@@ -37,7 +37,7 @@ mod tier2;
 
 pub use exec::{
     ExecTier, RunOutcome, SchedPolicy, Status, StepControl, StepHook, StepInfo, Vm, VmConfig,
-    GLOBAL_TX_LOCK, MAX_THREADS, THREADS_ROOT,
+    GLOBAL_TX_LOCK, LF_STATE_ROOT, MAX_THREADS, THREADS_ROOT,
 };
 pub use locks::ThreadId;
 pub use profile::Profile;

@@ -294,6 +294,9 @@ pub fn recover_budgeted(
             recover_resumption(pool, instrumented, vm_config, rc, &entries, &mut report, false, &mut h);
             true
         }
+        Scheme::Nvtraverse | Scheme::LfEager => {
+            recover_lockfree(&mut h, &roots, &vm_config, rc, count, &mut report, &mut left)
+        }
         Scheme::Atlas => recover_atlas(&mut h, vm_config, rc, &entries, &mut report, &mut left),
         Scheme::Nvml => recover_nvml(&mut h, vm_config, rc, &entries, &mut report, &mut left),
         Scheme::Mnemosyne | Scheme::Nvthreads => {
@@ -301,6 +304,58 @@ pub fn recover_budgeted(
         }
     };
     complete.then_some(report)
+}
+
+/// Lock-free (NVTraverse / LF-Eager) recovery: resolve every registered
+/// thread's persistent CAS descriptor to taken xor not-taken and durably
+/// close it ([`ido_lockfree::LfState::resolve_and_close`]). No FASEs, no
+/// logs, no resumption threads — recovery work is one descriptor line per
+/// thread, independent of how much the crashed run executed. Each closed
+/// in-flight descriptor counts against the persist-operation budget;
+/// returns `false` (mid-protocol, remaining descriptors still in flight)
+/// on exhaustion. The pass is idempotent, so a crash during recovery just
+/// reruns it.
+fn recover_lockfree(
+    h: &mut PmemHandle,
+    roots: &RootTable,
+    vm_config: &VmConfig,
+    rc: RecoveryConfig,
+    thread_count: usize,
+    report: &mut RecoveryReport,
+    budget: &mut u64,
+) -> bool {
+    use ido_lockfree::{LfState, Resolution};
+    let base = roots.root(h, crate::exec::LF_STATE_ROOT).expect("lock-free descriptor table root");
+    let st = LfState { base, threads: vm_config.max_threads as u32 };
+    let scan_t0 = h.clock_ns();
+    h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Scan as u64, 0);
+    h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Scan as u64, h.clock_ns() - scan_t0);
+    h.metrics_recovery(RecoveryPhase::Scan, scan_t0, h.clock_ns());
+    let resume_t0 = h.clock_ns();
+    h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Resume as u64, 0);
+    for t in 0..thread_count.min(st.threads as usize) {
+        // Peek first so closed descriptors cost no budget (and no write).
+        if st.resolve(h, t as u32) == Resolution::Closed {
+            continue;
+        }
+        if *budget == 0 {
+            return false; // crash mid-resolution: rerun resolves the rest
+        }
+        *budget -= 1;
+        st.resolve_and_close(h, t as u32);
+        // Reported as "resumed": the descriptor's operation was driven to
+        // its durable conclusion, the family's analogue of resuming an
+        // interrupted FASE.
+        report.resumed += 1;
+    }
+    h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Resume as u64, h.clock_ns() - resume_t0);
+    h.metrics_recovery(RecoveryPhase::Resume, resume_t0, h.clock_ns());
+    let release_t0 = h.clock_ns();
+    h.trace_event(EventKind::RecoveryBegin, RecoveryPhase::Release as u64, 0);
+    h.trace_event(EventKind::RecoveryEnd, RecoveryPhase::Release as u64, 0);
+    h.metrics_recovery(RecoveryPhase::Release, release_t0, h.clock_ns());
+    report.sim_ns += rc.per_thread_ns * thread_count as u64 + h.clock_ns();
+    true
 }
 
 /// Recovery via resumption (iDO and JUSTDO).

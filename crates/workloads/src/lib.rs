@@ -30,6 +30,7 @@
 
 pub mod harness;
 pub mod kv;
+pub mod lockfree;
 pub mod micro;
 pub mod service;
 mod util;
@@ -51,4 +52,13 @@ pub fn standard_specs() -> Vec<Box<dyn WorkloadSpec>> {
         Box::new(kv::redis::RedisSpec::with_range(256)),
         Box::new(service::ServiceSpec::with_range(256)),
     ]
+}
+
+/// The lock-free workload suite (ISSUE 9): specs that only run under the
+/// recoverable-CAS scheme family (`Scheme::LOCKFREE`). Kept separate from
+/// [`standard_specs`] — the seven-spec standard suite is pinned by the
+/// lint matrix and goldens, and these specs' `Inst::Cas` would be
+/// rejected by the lock-delineated schemes' instrumentation anyway.
+pub fn lockfree_specs() -> Vec<Box<dyn WorkloadSpec>> {
+    vec![Box::new(lockfree::LfListSpec), Box::new(lockfree::LfMapSpec::default())]
 }

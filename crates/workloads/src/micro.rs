@@ -640,6 +640,107 @@ impl WorkloadSpec for MapSpec {
     }
 }
 
+/// The hand-over-hand hash map with a *configurable* get/put mix — the
+/// lock-delineated comparator for the lock-free contention benchmark
+/// (`lockfree_bench`). Identical to [`MapSpec`] except the op choice is a
+/// permille draw instead of the fixed 50/50 bit, so the same read/write
+/// mixes can be applied to both the iDO-instrumented lock-based map and
+/// the recoverable-CAS map. Kept separate so [`MapSpec`]'s program (and
+/// the goldens derived from it) stays byte-stable.
+#[derive(Debug, Clone, Copy)]
+pub struct HohMapMixSpec {
+    /// Number of buckets.
+    pub buckets: u64,
+    /// Key range.
+    pub key_range: u64,
+    /// Puts per 1000 operations; the rest are gets.
+    pub put_permille: u64,
+}
+
+impl WorkloadSpec for HohMapMixSpec {
+    fn name(&self) -> String {
+        format!(
+            "hoh-map-mix(buckets={},range={},put={}‰)",
+            self.buckets, self.key_range, self.put_permille
+        )
+    }
+
+    fn build_program(&self) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("worker", 7);
+        let directory = f.param(0); // [n_buckets][sentinel_0]...
+        let x = f.param(1);
+        let n_ops = f.param(2);
+        let range = f.param(3);
+        let n_buckets = f.param(4);
+        let put_pm = f.param(5);
+        let arena = f.param(6);
+        emit_worker_loop(&mut f, x, n_ops, |f, cont| {
+            let key = f.new_reg();
+            emit_uniform_key(f, key, x, range);
+            let b = f.new_reg();
+            emit_bucket_hash(f, b, key, n_buckets);
+            let off = f.new_reg();
+            f.bin(BinOp::Mul, off, b, 8i64);
+            let slot = f.new_reg();
+            f.bin(BinOp::Add, slot, directory, Operand::Reg(off));
+            let sentinel = f.new_reg();
+            f.load(sentinel, slot, 8);
+            // opbit = ((x >> 13) mod 1000) < put_permille — different bits
+            // than the key draw so op kind and key are decorrelated.
+            let r = f.new_reg();
+            f.bin(BinOp::Shr, r, x, 13i64);
+            let rm = f.new_reg();
+            f.bin(BinOp::And, rm, r, 0x7FFF_FFFFi64);
+            let pm = f.new_reg();
+            f.bin(BinOp::Rem, pm, rm, 1000i64);
+            let opbit = f.new_reg();
+            f.bin(BinOp::Lt, opbit, pm, put_pm);
+            emit_hoh_op(f, sentinel, key, x, opbit, arena, cont);
+        });
+        f.finish().expect("hoh-map-mix worker verifies");
+        pb.finish()
+    }
+
+    fn setup(&self, vm: &mut Vm, threads: usize, ops: u64) -> Vec<u64> {
+        let arena = alloc_arena(vm, threads, ops, 40);
+        let buckets = self.buckets;
+        vm.setup(|h, alloc, _| {
+            let directory = alloc.alloc(h, 8 + buckets as usize * 8).expect("directory");
+            h.write_u64(directory, buckets);
+            for i in 0..buckets as usize {
+                let sentinel = build_node(h, alloc, -1, 0, 0);
+                h.write_u64(directory + 8 + i * 8, sentinel as u64);
+            }
+            h.persist(directory, 8 + buckets as usize * 8);
+            vec![directory as u64, arena as u64, ops * 40]
+        })
+    }
+
+    fn worker_args(&self, base: &[u64], thread: usize, ops: u64) -> Vec<u64> {
+        let arena = base[1] + thread as u64 * base[2];
+        vec![
+            base[0],
+            0xFEED_BEEFu64 + 313 * thread as u64,
+            ops,
+            self.key_range,
+            self.buckets,
+            self.put_permille,
+            arena,
+        ]
+    }
+
+    fn verify(&self, vm: &Vm, base: &[u64], total_ops: u64) {
+        let mut h = vm.pool().handle();
+        let directory = base[0] as PAddr;
+        let n = h.read_u64(directory);
+        for i in 0..n as usize {
+            let sentinel = h.read_u64(directory + 8 + i * 8) as PAddr;
+            verify_sorted_chain(&mut h, sentinel, total_ops + 1);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Twin counter (crash-oracle microbenchmark)
 // ---------------------------------------------------------------------

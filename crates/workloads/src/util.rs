@@ -53,15 +53,23 @@ pub fn emit_arena_take(f: &mut FunctionBuilder<'_>, dst: Reg, cursor: Reg, size:
     f.bin(BinOp::Add, cursor, cursor, size);
 }
 
-/// Emits the Fibonacci bucket hash `dst = ((key * C) >> 32) mod buckets`.
+/// Emits the Fibonacci bucket hash
+/// `dst = ((key * 0x9E37_79B9_7F4A_7C15) >> 32) mod buckets`, bit-exact
+/// with the native `PHashMap::bucket_of` and `NvtMap::bucket_of`.
+///
+/// Bit-exactness matters: the native structures' `check_invariants`
+/// recompute the hash to assert home-bucket placement, so the crash
+/// oracle can only wire those checkers against IR-built map states if
+/// the IR worker and the native code agree on every key's bucket. (The
+/// original emitter multiplied by a truncated 32-bit constant and
+/// shifted by 16 — disagreeing with the native hash for almost every
+/// key, which the structures-oracle differential surfaced.)
 pub fn emit_bucket_hash(f: &mut FunctionBuilder<'_>, dst: Reg, key: Reg, buckets: Reg) {
     let mixed = f.new_reg();
-    f.bin(BinOp::Mul, mixed, key, 0x9E37_79B9i64);
+    f.bin(BinOp::Mul, mixed, key, 0x9E37_79B9_7F4A_7C15u64 as i64);
     let hi = f.new_reg();
-    f.bin(BinOp::Shr, hi, mixed, 16i64);
-    let pos = f.new_reg();
-    f.bin(BinOp::And, pos, hi, 0x7FFF_FFFFi64);
-    f.bin(BinOp::Rem, dst, pos, buckets);
+    f.bin(BinOp::Shr, hi, mixed, 32i64); // logical shift: top 32 bits clear
+    f.bin(BinOp::Rem, dst, hi, buckets);
 }
 
 #[cfg(test)]
@@ -82,6 +90,8 @@ mod tests {
         emit_uniform_key(&mut f, k1, x, range);
         emit_powerlaw_key(&mut f, k2, x, range);
         emit_bucket_hash(&mut f, b, k1, range);
+        let b2 = f.new_reg();
+        emit_bucket_hash(&mut f, b2, k2, range);
         f.ret(Some(Operand::Reg(b)));
         assert!(f.finish().is_ok());
     }

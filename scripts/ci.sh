@@ -109,6 +109,38 @@ echo "== metrics-off overhead guard (best-of-7 wall ns/step) =="
 # CI if the disabled path grows past the tolerance.
 IDO_BENCH_QUICK=1 cargo run -q --release -p ido-bench --bin metrics_guard
 
+echo "== lock-free scheme gates: oracle sweeps, differential, rcas proptests =="
+# Named gates for the recoverable lock-free family: exhaustive crash
+# exploration of the lock-free list/map on both execution tiers (clean
+# sweeps + injected window-flush/publish bugs caught), the seed
+# structures' native invariant checkers under oracle exploration, the
+# static/dynamic differential on the lock-free invariants, the
+# crash-at-every-persist-boundary rcas proptests, and the metrics
+# span-accounting regression tests. All also run under the workspace
+# pass above — kept explicit so a lock-free crash-consistency
+# regression is named in the CI log.
+cargo test -q -p ido-crashtest --test lockfree_oracle
+cargo test -q -p ido-crashtest --test structures_oracle
+cargo test -q -p ido-verify --test lockfree_differential
+cargo test -q -p ido-lockfree --test rcas_proptest
+cargo test -q -p ido-metrics
+
+echo "== lock-free contention smoke (quick mode, window <= eager clwb gate) =="
+# Quick-mode runs rewrite BENCH_lockfree.json; preserve the committed
+# full-sweep numbers and restore them after the determinism diff. The
+# binary itself asserts every point completes and that window flushing
+# never issues more clwbs than eager flushing.
+cp BENCH_lockfree.json /tmp/bench_lockfree_committed.json
+IDO_BENCH_QUICK=1 IDO_JOBS=1 cargo run -q --release -p ido-bench --bin lockfree_bench
+cp BENCH_lockfree.json /tmp/bench_lockfree_jobs1.json
+IDO_BENCH_QUICK=1 IDO_JOBS=2 cargo run -q --release -p ido-bench --bin lockfree_bench
+# BENCH_lockfree.json holds only simulated quantities, so it must be
+# byte-identical for any worker count.
+cmp /tmp/bench_lockfree_jobs1.json BENCH_lockfree.json \
+  || { echo "IDO_JOBS=2 changed lock-free bench results"; exit 1; }
+mv /tmp/bench_lockfree_committed.json BENCH_lockfree.json
+rm -f /tmp/bench_lockfree_jobs1.json
+
 echo "== allocator scaling smoke (quick mode, asserts >= 4x at 64T) =="
 # Quick-mode runs rewrite BENCH_alloc.json; preserve the committed
 # full-sweep numbers and restore them after the determinism diff.
