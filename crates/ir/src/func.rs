@@ -82,7 +82,7 @@ impl BasicBlock {
 }
 
 /// A function: parameters, blocks, registers, and stack frame shape.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     name: String,
     params: Vec<Reg>,
@@ -94,6 +94,21 @@ pub struct Function {
 impl Function {
     pub(crate) fn new(name: String, params: Vec<Reg>, next_reg: u32) -> Self {
         Function { name, params, blocks: Vec::new(), next_reg, n_stack_slots: 0 }
+    }
+
+    /// Assembles a function from explicit parts, bypassing the builder.
+    /// This is the constructor the textual frontend uses: a parsed
+    /// function carries explicit register/slot counts (`regs=`/`slots=`
+    /// in the `fn` header) that need not be inferable from the body.
+    /// Callers should run [`crate::verify_function`] on the result.
+    pub fn from_raw_parts(
+        name: String,
+        params: Vec<Reg>,
+        blocks: Vec<BasicBlock>,
+        num_regs: u32,
+        num_stack_slots: u32,
+    ) -> Function {
+        Function { name, params, blocks, next_reg: num_regs, n_stack_slots: num_stack_slots }
     }
 
     /// The function's name.
@@ -169,7 +184,7 @@ impl Function {
 }
 
 /// A whole program: a set of functions sharing a call graph.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     funcs: Vec<Function>,
 }
@@ -183,6 +198,13 @@ impl Program {
     pub(crate) fn push_function(&mut self, f: Function) -> FuncId {
         self.funcs.push(f);
         FuncId(self.funcs.len() as u32 - 1)
+    }
+
+    /// Appends a fully built function, returning its id. Ids are dense
+    /// and assigned in insertion order — the textual frontend relies on
+    /// this to resolve `fnN` call references positionally.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        self.push_function(f)
     }
 
     /// All functions, indexed by [`FuncId`].

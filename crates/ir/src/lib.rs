@@ -55,6 +55,7 @@ pub mod opt;
 mod pretty;
 pub mod reaching;
 mod reg;
+pub mod semantics;
 pub mod tier2;
 mod verify;
 
@@ -62,6 +63,8 @@ pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use decoded::{DecodedFunction, DecodedInst, DecodedProgram};
 pub use func::{BasicBlock, BlockId, FuncId, Function, Pc, Program};
 pub use inst::{BinOp, Inst, LockToken, RtOp};
+pub use pretty::{is_bare_name, FnName};
 pub use reg::{Operand, Reg, RegClass, StackSlot};
+pub use semantics::{eval_binop, ALL_BINOPS};
 pub use tier2::{T2Kind, Tier2Block, Tier2Entry, Tier2Function, Tier2Op, Tier2Program, Tier2Segment};
 pub use verify::{verify_function, VerifyError};

@@ -137,39 +137,12 @@ fn rewrite_uses(inst: &mut Inst, known: &HashMap<Reg, Operand>) -> usize {
     n
 }
 
+/// Folds `a <op> b` through the shared runtime semantics
+/// ([`crate::semantics::eval_binop`]): the folder used to carry its own
+/// copy of the Div/Rem/shift/signed-compare rules, and any edit to one
+/// copy silently diverged constant-folded programs from runtime behavior.
 fn fold(op: BinOp, a: i64, b: i64) -> i64 {
-    let (ua, ub) = (a as u64, b as u64);
-    let r = match op {
-        BinOp::Add => ua.wrapping_add(ub),
-        BinOp::Sub => ua.wrapping_sub(ub),
-        BinOp::Mul => ua.wrapping_mul(ub),
-        BinOp::Div => {
-            if b == 0 {
-                0
-            } else {
-                a.wrapping_div(b) as u64
-            }
-        }
-        BinOp::Rem => {
-            if b == 0 {
-                0
-            } else {
-                a.wrapping_rem(b) as u64
-            }
-        }
-        BinOp::And => ua & ub,
-        BinOp::Or => ua | ub,
-        BinOp::Xor => ua ^ ub,
-        BinOp::Shl => ua.wrapping_shl(ub as u32 & 63),
-        BinOp::Shr => ua.wrapping_shr(ub as u32 & 63),
-        BinOp::Eq => (a == b) as u64,
-        BinOp::Ne => (a != b) as u64,
-        BinOp::Lt => (a < b) as u64,
-        BinOp::Le => (a <= b) as u64,
-        BinOp::Gt => (a > b) as u64,
-        BinOp::Ge => (a >= b) as u64,
-    };
-    r as i64
+    crate::semantics::eval_binop(op, a as u64, b as u64) as i64
 }
 
 /// Removes pure instructions whose results are dead.

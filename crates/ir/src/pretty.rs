@@ -1,10 +1,73 @@
 //! Human-readable printing of IR.
+//!
+//! The output doubles as the canonical textual IR format consumed by the
+//! `ido-lang` frontend, so every form here must be unambiguously
+//! re-parseable: byte offsets print as `+o`/`-o` (never `+-o`), function
+//! names that are not bare identifiers are quoted and escaped, and the
+//! `fn` header carries explicit `regs=`/`slots=` counts because neither
+//! is always inferable from the body (fresh registers and slots may be
+//! allocated but never mentioned).
 
 use std::fmt;
 
-use crate::func::{BasicBlock, Function};
+use crate::func::{BasicBlock, Function, Program};
 use crate::inst::{BinOp, Inst, RtOp};
 use crate::reg::{Operand, Reg, RegClass, StackSlot};
+
+/// True when a function name can print bare (unquoted): a C-style
+/// identifier. Anything else is quoted by [`FnName`].
+pub fn is_bare_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Prints a function name in canonical form: bare when it is an
+/// identifier, otherwise double-quoted with `\\`, `\"`, `\n`, `\t`,
+/// `\r`, and `\xNN` (other ASCII control bytes) escapes.
+pub struct FnName<'a>(pub &'a str);
+
+impl fmt::Display for FnName<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if is_bare_name(self.0) {
+            return f.write_str(self.0);
+        }
+        f.write_str("\"")?;
+        for c in self.0.chars() {
+            match c {
+                '\\' => f.write_str("\\\\")?,
+                '"' => f.write_str("\\\"")?,
+                '\n' => f.write_str("\\n")?,
+                '\t' => f.write_str("\\t")?,
+                '\r' => f.write_str("\\r")?,
+                c if (c as u32) < 0x20 || c as u32 == 0x7f => {
+                    write!(f, "\\x{:02x}", c as u32)?
+                }
+                c => f.write_fmt(format_args!("{c}"))?,
+            }
+        }
+        f.write_str("\"")
+    }
+}
+
+/// A byte offset in an address expression: prints `+o` for non-negative
+/// and `-|o|` for negative values (the naive `+{offset}` used to render
+/// `-8` as the unparseable `+-8`). `i64::MIN` prints via its unsigned
+/// magnitude, which has no i64 negation.
+struct Off(i64);
+
+impl fmt::Display for Off {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 0 {
+            write!(f, "-{}", self.0.unsigned_abs())
+        } else {
+            write!(f, "+{}", self.0)
+        }
+    }
+}
 
 impl fmt::Display for Reg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -79,7 +142,7 @@ impl fmt::Display for RtOp {
             RtOp::IdoLockAcquired { lock } => write!(f, "rt.ido_lock_acquired {lock}"),
             RtOp::IdoLockReleasing { lock } => write!(f, "rt.ido_lock_releasing {lock}"),
             RtOp::JustDoLog { base, offset, value } => {
-                write!(f, "rt.justdo_log [{base}+{offset}] <- {value}")
+                write!(f, "rt.justdo_log [{base}{}] <- {value}", Off(*offset))
             }
             RtOp::JustDoLockAcquired { lock } => write!(f, "rt.justdo_lock_acquired {lock}"),
             RtOp::JustDoLockReleasing { lock } => write!(f, "rt.justdo_lock_releasing {lock}"),
@@ -87,26 +150,26 @@ impl fmt::Display for RtOp {
                 write!(f, "rt.justdo_log stack[{slot}] <- {value}")
             }
             RtOp::JustDoShadow { reg } => write!(f, "rt.justdo_shadow {reg}"),
-            RtOp::AtlasUndoLog { base, offset } => write!(f, "rt.atlas_undo [{base}+{offset}]"),
+            RtOp::AtlasUndoLog { base, offset } => write!(f, "rt.atlas_undo [{base}{}]", Off(*offset)),
             RtOp::AtlasUndoLogStack { slot } => write!(f, "rt.atlas_undo stack[{slot}]"),
             RtOp::AtlasLockAcquired { lock } => write!(f, "rt.atlas_lock_acquired {lock}"),
             RtOp::AtlasLockReleasing { lock } => write!(f, "rt.atlas_lock_releasing {lock}"),
             RtOp::TxBegin => write!(f, "rt.tx_begin"),
             RtOp::TxCommit => write!(f, "rt.tx_commit"),
-            RtOp::NvmlTxAdd { base, offset } => write!(f, "rt.nvml_tx_add [{base}+{offset}]"),
+            RtOp::NvmlTxAdd { base, offset } => write!(f, "rt.nvml_tx_add [{base}{}]", Off(*offset)),
             RtOp::NvmlTxAddStack { slot } => write!(f, "rt.nvml_tx_add stack[{slot}]"),
             RtOp::NvthreadsPageTouch { base, offset } => {
-                write!(f, "rt.nvthreads_page_touch [{base}+{offset}]")
+                write!(f, "rt.nvthreads_page_touch [{base}{}]", Off(*offset))
             }
             RtOp::NvthreadsPageTouchStack { slot } => {
                 write!(f, "rt.nvthreads_page_touch stack[{slot}]")
             }
             RtOp::LfFlushWindow => write!(f, "rt.lf_flush_window"),
             RtOp::LfCasPrepare { base, offset, expected, new } => {
-                write!(f, "rt.lf_cas_prepare [{base}+{offset}] {expected} -> {new}")
+                write!(f, "rt.lf_cas_prepare [{base}{}] {expected} -> {new}", Off(*offset))
             }
             RtOp::LfCasPublish { base, offset, taken } => {
-                write!(f, "rt.lf_cas_publish [{base}+{offset}] taken={taken}")
+                write!(f, "rt.lf_cas_publish [{base}{}] taken={taken}", Off(*offset))
             }
         }
     }
@@ -119,10 +182,10 @@ impl fmt::Display for Inst {
             Inst::Bin { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
             Inst::LoadStack { dst, slot } => write!(f, "{dst} = stack[{slot}]"),
             Inst::StoreStack { slot, src } => write!(f, "stack[{slot}] = {src}"),
-            Inst::Load { dst, base, offset } => write!(f, "{dst} = mem[{base}+{offset}]"),
-            Inst::Store { base, offset, src } => write!(f, "mem[{base}+{offset}] = {src}"),
+            Inst::Load { dst, base, offset } => write!(f, "{dst} = mem[{base}{}]", Off(*offset)),
+            Inst::Store { base, offset, src } => write!(f, "mem[{base}{}] = {src}", Off(*offset)),
             Inst::Cas { dst, base, offset, expected, new } => {
-                write!(f, "{dst} = cas mem[{base}+{offset}] {expected} -> {new}")
+                write!(f, "{dst} = cas mem[{base}{}] {expected} -> {new}", Off(*offset))
             }
             Inst::Alloc { dst, size } => write!(f, "{dst} = alloc {size}"),
             Inst::Free { base } => write!(f, "free {base}"),
@@ -172,19 +235,34 @@ impl fmt::Display for BasicBlock {
 
 impl fmt::Display for Function {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fn {}(", self.name())?;
+        write!(f, "fn {}(", FnName(self.name()))?;
         for (i, p) in self.params().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{p}")?;
         }
-        writeln!(f, ") {{")?;
+        writeln!(f, ") regs={} slots={} {{", self.num_regs(), self.num_stack_slots())?;
         for (bi, bb) in self.blocks().iter().enumerate() {
             writeln!(f, "  bb{bi}:")?;
             write!(f, "{bb}")?;
         }
         writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Program {
+    /// Prints every function in [`crate::FuncId`] order (the order is
+    /// load-bearing: `call fnN(...)` references functions by index, so a
+    /// parser must assign ids in printing order).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, func) in self.functions().iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{func}")?;
+        }
+        Ok(())
     }
 }
 
@@ -205,7 +283,7 @@ mod tests {
         let id = f.finish().unwrap();
         let prog = pb.finish();
         let s = format!("{}", prog.function(id));
-        assert!(s.contains("fn demo(r0)"));
+        assert!(s.contains("fn demo(r0) regs=2 slots=0 {"), "{s}");
         assert!(s.contains("r1 = add r0, 1"));
         assert!(s.contains("mem[r1+8] = 7"));
         assert!(s.contains("ret r1"));
@@ -215,5 +293,82 @@ mod tests {
     fn rtop_printing() {
         let rt = RtOp::IdoBoundary { out_regs: vec![Reg::int(1)], out_slots: vec![StackSlot(0)] };
         assert_eq!(format!("{rt}"), "rt.ido_boundary regs=[r1] slots=[s0]");
+    }
+
+    #[test]
+    fn negative_offsets_print_with_a_single_sign() {
+        // Regression: `mem[{base}+{offset}]` rendered offset -8 as the
+        // unparseable `mem[r1+-8]`. Every address form must use +o / -o.
+        let r = Reg::int(1);
+        let st = Inst::Store { base: r, offset: -8, src: Operand::Imm(7) };
+        assert_eq!(format!("{st}"), "mem[r1-8] = 7");
+        let ld = Inst::Load { dst: Reg::int(0), base: r, offset: 8 };
+        assert_eq!(format!("{ld}"), "r0 = mem[r1+8]");
+        let cas = Inst::Cas {
+            dst: Reg::int(0),
+            base: r,
+            offset: -16,
+            expected: Operand::Imm(0),
+            new: Operand::Imm(1),
+        };
+        assert_eq!(format!("{cas}"), "r0 = cas mem[r1-16] 0 -> 1");
+        // The one offset with no i64 negation still prints its magnitude.
+        let min = Inst::Load { dst: Reg::int(0), base: r, offset: i64::MIN };
+        assert_eq!(format!("{min}"), "r0 = mem[r1-9223372036854775808]");
+        // Rt ops carry offsets too.
+        let rt = RtOp::JustDoLog { base: r, offset: -24, value: Operand::Reg(Reg::int(5)) };
+        assert_eq!(format!("{rt}"), "rt.justdo_log [r1-24] <- r5");
+        let prep = RtOp::LfCasPrepare {
+            base: r,
+            offset: -8,
+            expected: Operand::Reg(Reg::int(2)),
+            new: Operand::Imm(7),
+        };
+        assert_eq!(format!("{prep}"), "rt.lf_cas_prepare [r1-8] r2 -> 7");
+    }
+
+    #[test]
+    fn non_identifier_function_names_are_quoted_and_escaped() {
+        // Regression: names with spaces, quotes, or leading digits printed
+        // bare, so `fn list push(r0)` could never re-parse.
+        assert!(is_bare_name("worker_1"));
+        assert!(!is_bare_name("list push"));
+        assert!(!is_bare_name("9lives"));
+        assert!(!is_bare_name(""));
+        assert_eq!(format!("{}", FnName("worker")), "worker");
+        assert_eq!(format!("{}", FnName("list push")), "\"list push\"");
+        assert_eq!(format!("{}", FnName("a\"b\\c")), "\"a\\\"b\\\\c\"");
+        assert_eq!(format!("{}", FnName("tab\there")), "\"tab\\there\"");
+        assert_eq!(format!("{}", FnName("\x01")), "\"\\x01\"");
+    }
+
+    #[test]
+    fn op_marks_and_delays_print_canonically() {
+        assert_eq!(
+            format!("{}", Inst::OpMark { kind: Operand::Imm(1), begin: true }),
+            "op_begin 1"
+        );
+        assert_eq!(
+            format!("{}", Inst::OpMark { kind: Operand::Reg(Reg::int(9)), begin: false }),
+            "op_end r9"
+        );
+        assert_eq!(format!("{}", Inst::Delay { ns: 100 }), "delay 100ns");
+        assert_eq!(format!("{}", Operand::Imm(i64::MIN)), "-9223372036854775808");
+    }
+
+    #[test]
+    fn program_prints_functions_in_id_order() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.new_function("first", 0);
+        f.ret(None);
+        f.finish().unwrap();
+        let mut g = pb.new_function("second", 0);
+        g.ret(None);
+        g.finish().unwrap();
+        let prog = pb.finish();
+        let s = format!("{prog}");
+        let first = s.find("fn first").unwrap();
+        let second = s.find("fn second").unwrap();
+        assert!(first < second, "{s}");
     }
 }

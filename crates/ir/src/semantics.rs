@@ -1,0 +1,131 @@
+//! The single source of truth for [`BinOp`] evaluation.
+//!
+//! Three consumers must agree bit-for-bit on these rules — the tier-1
+//! interpreter, the tier-2 block-compiled engine (both via
+//! `ido_vm::exec::eval_binop`, a re-export of [`eval_binop`]), and the
+//! constant folder in [`crate::opt`]. They used to be hand-kept copies;
+//! any edit to one silently diverged constant-folded programs from
+//! runtime behavior, which is exactly the kind of bug the cross-tier
+//! differential harness cannot see (both tiers shared the runtime copy).
+//! Keeping one definition here makes divergence unrepresentable.
+//!
+//! The rules themselves (all values are 64-bit words):
+//!
+//! * `Add`/`Sub`/`Mul` wrap.
+//! * `Div`/`Rem` are **signed** and total: a zero divisor yields 0 (like
+//!   a trap handler that returns a default), and `i64::MIN / -1` wraps
+//!   to `i64::MIN` rather than trapping.
+//! * `Shl`/`Shr` are **logical** shifts with the count taken modulo 64.
+//! * `Eq`/`Ne` compare bit patterns; `Lt`/`Le`/`Gt`/`Ge` compare
+//!   **signed** values. Comparisons produce 0 or 1.
+
+use crate::inst::BinOp;
+
+/// Evaluates `a <op> b` over 64-bit words.
+///
+/// This is the program semantics of [`crate::inst::Inst::Bin`] — the
+/// definition the VM executes, tier-2 fuses, and the optimizer folds.
+#[inline]
+pub fn eval_binop(op: BinOp, a: u64, b: u64) -> u64 {
+    let (sa, sb) = (a as i64, b as i64);
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if sb == 0 {
+                0
+            } else {
+                sa.wrapping_div(sb) as u64
+            }
+        }
+        BinOp::Rem => {
+            if sb == 0 {
+                0
+            } else {
+                sa.wrapping_rem(sb) as u64
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        BinOp::Eq => (a == b) as u64,
+        BinOp::Ne => (a != b) as u64,
+        BinOp::Lt => (sa < sb) as u64,
+        BinOp::Le => (sa <= sb) as u64,
+        BinOp::Gt => (sa > sb) as u64,
+        BinOp::Ge => (sa >= sb) as u64,
+    }
+}
+
+/// Every [`BinOp`], for exhaustive sweeps in tests and fuzzers.
+pub const ALL_BINOPS: [BinOp; 16] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_arithmetic() {
+        assert_eq!(eval_binop(BinOp::Add, u64::MAX, 1), 0);
+        assert_eq!(eval_binop(BinOp::Sub, 3, 5), (-2i64) as u64);
+        assert_eq!(eval_binop(BinOp::Mul, 1 << 63, 2), 0);
+    }
+
+    #[test]
+    fn division_extremes() {
+        // Total division: zero divisor yields 0 for any dividend.
+        assert_eq!(eval_binop(BinOp::Div, 7, 0), 0);
+        assert_eq!(eval_binop(BinOp::Rem, u64::MAX, 0), 0);
+        // The one overflowing case of signed division wraps instead of
+        // trapping: i64::MIN / -1 == i64::MIN (and the remainder is 0).
+        let min = i64::MIN as u64;
+        let neg1 = (-1i64) as u64;
+        assert_eq!(eval_binop(BinOp::Div, min, neg1), min);
+        assert_eq!(eval_binop(BinOp::Rem, min, neg1), 0);
+        // Signed, not unsigned, division: -7 / 2 == -3 (trunc toward 0).
+        assert_eq!(eval_binop(BinOp::Div, (-7i64) as u64, 2), (-3i64) as u64);
+        assert_eq!(eval_binop(BinOp::Rem, (-7i64) as u64, 2), (-1i64) as u64);
+    }
+
+    #[test]
+    fn shift_counts_wrap_modulo_64() {
+        assert_eq!(eval_binop(BinOp::Shl, 1, 65), 2);
+        assert_eq!(eval_binop(BinOp::Shl, 1, 64), 1);
+        assert_eq!(eval_binop(BinOp::Shr, u64::MAX, 63), 1);
+        // Logical (not arithmetic) right shift of a negative word.
+        assert_eq!(eval_binop(BinOp::Shr, (-1i64) as u64, 1), u64::MAX >> 1);
+        // Counts are masked from the full 64-bit operand, so a huge
+        // immediate behaves like its low six bits.
+        assert_eq!(eval_binop(BinOp::Shr, 8, u64::MAX), 8 >> 63);
+    }
+
+    #[test]
+    fn comparisons_are_signed() {
+        assert_eq!(eval_binop(BinOp::Lt, (-1i64) as u64, 0), 1);
+        assert_eq!(eval_binop(BinOp::Gt, (-1i64) as u64, 0), 0);
+        assert_eq!(eval_binop(BinOp::Le, i64::MIN as u64, i64::MAX as u64), 1);
+        assert_eq!(eval_binop(BinOp::Ge, 0, (-5i64) as u64), 1);
+        assert_eq!(eval_binop(BinOp::Eq, u64::MAX, u64::MAX), 1);
+        assert_eq!(eval_binop(BinOp::Ne, 1, 2), 1);
+    }
+}

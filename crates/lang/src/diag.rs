@@ -1,0 +1,194 @@
+//! Spanned, multi-label diagnostics for the textual frontend.
+//!
+//! Every error the lexer, parser, or scenario layer reports carries at
+//! least one byte span into the source it was parsing, so the renderer
+//! can show the offending line with a caret. Secondary labels point at
+//! related positions (the duplicate key's first occurrence, the `regs=`
+//! header a register count violates, …).
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string. Spans are
+/// produced by the lexer and never extend past `source.len()`; an
+/// end-of-input span is `[len, len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the spanned text.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// True when the span lies within a source of `len` bytes.
+    pub fn in_bounds(&self, len: usize) -> bool {
+        self.start <= self.end && self.end <= len
+    }
+}
+
+/// One labeled position inside a diagnostic.
+#[derive(Debug, Clone)]
+pub struct Label {
+    /// Where.
+    pub span: Span,
+    /// What this position contributes to the error.
+    pub message: String,
+}
+
+/// A frontend error: a headline message, a primary label, and any number
+/// of secondary labels pointing at related source positions.
+#[derive(Debug, Clone)]
+pub struct LangError {
+    /// Headline statement of the problem.
+    pub message: String,
+    /// The position the error is *at*.
+    pub primary: Label,
+    /// Related positions (first definition, enclosing construct, …).
+    pub secondary: Vec<Label>,
+}
+
+impl LangError {
+    /// An error with only a primary label.
+    pub fn new(message: impl Into<String>, span: Span, label: impl Into<String>) -> LangError {
+        LangError {
+            message: message.into(),
+            primary: Label { span, message: label.into() },
+            secondary: Vec::new(),
+        }
+    }
+
+    /// Adds a secondary label.
+    pub fn with_note(mut self, span: Span, message: impl Into<String>) -> LangError {
+        self.secondary.push(Label { span, message: message.into() });
+        self
+    }
+
+    /// Renders the error against the source it was produced from, with a
+    /// line/column header, the source line, and a caret run under the
+    /// spanned text — one block per label.
+    pub fn render(&self, filename: &str, source: &str) -> String {
+        let mut out = format!("error: {}\n", self.message);
+        render_label(&mut out, filename, source, &self.primary, true);
+        for l in &self.secondary {
+            render_label(&mut out, filename, source, l, false);
+        }
+        out
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// 1-based `(line, column)` of a byte offset.
+fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(source.len());
+    let before = &source.as_bytes()[..offset];
+    let line = before.iter().filter(|&&b| b == b'\n').count() + 1;
+    let line_start = before.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    (line, offset - line_start + 1)
+}
+
+/// The full text of the line containing `offset` (no trailing newline).
+fn line_text(source: &str, offset: usize) -> (&str, usize) {
+    let offset = offset.min(source.len());
+    let start = source.as_bytes()[..offset]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |p| p + 1);
+    let end = source.as_bytes()[offset..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map_or(source.len(), |p| offset + p);
+    (&source[start..end], start)
+}
+
+fn render_label(out: &mut String, filename: &str, source: &str, label: &Label, primary: bool) {
+    let (line, col) = line_col(source, label.span.start);
+    let (text, line_start) = line_text(source, label.span.start);
+    let kind = if primary { "-->" } else { "note:" };
+    out.push_str(&format!("  {kind} {filename}:{line}:{col}\n"));
+    let lineno = format!("{line}");
+    let pad = " ".repeat(lineno.len());
+    out.push_str(&format!("   {lineno} | {text}\n"));
+    // Caret run under the spanned bytes of this line (at least one caret;
+    // clamp to the line's end for multi-line spans).
+    let from = label.span.start.saturating_sub(line_start);
+    let upto = label.span.end.saturating_sub(line_start).min(text.len()).max(from + 1);
+    let marker = if primary { '^' } else { '-' };
+    let mut underline = String::new();
+    for (i, ch) in text.char_indices() {
+        if i >= upto {
+            break;
+        }
+        if i < from {
+            // Preserve alignment under tabs.
+            underline.push(if ch == '\t' { '\t' } else { ' ' });
+        } else {
+            underline.push(marker);
+        }
+    }
+    if underline.len() < from + 1 {
+        // Span starts at or past end of line (e.g. at the newline).
+        while underline.len() < from {
+            underline.push(' ');
+        }
+        underline.push(marker);
+    }
+    out.push_str(&format!("   {pad} | {underline} {}\n", label.message));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_line_caret_and_notes() {
+        let src = "scenario demo {\n  threads 2\n  threads 4\n}\n";
+        let second = src.rfind("threads").unwrap();
+        let first = src.find("threads").unwrap();
+        let e = LangError::new(
+            "duplicate key `threads`",
+            Span::new(second, second + 7),
+            "redefined here",
+        )
+        .with_note(Span::new(first, first + 7), "first defined here");
+        let r = e.render("demo.ido", src);
+        assert!(r.contains("error: duplicate key `threads`"), "{r}");
+        assert!(r.contains("demo.ido:3:3"), "{r}");
+        assert!(r.contains("^^^^^^^ redefined here"), "{r}");
+        assert!(r.contains("demo.ido:2:3"), "{r}");
+        assert!(r.contains("------- first defined here"), "{r}");
+    }
+
+    #[test]
+    fn end_of_input_span_renders() {
+        let src = "fn f() regs=0 slots=0 {";
+        let e = LangError::new("unclosed block", Span::new(src.len(), src.len()), "expected `}`");
+        let r = e.render("x.ido", src);
+        assert!(r.contains("x.ido:1:24"), "{r}");
+        assert!(r.contains("expected `}`"), "{r}");
+    }
+
+    #[test]
+    fn span_utilities() {
+        let a = Span::new(3, 5);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert!(a.in_bounds(5));
+        assert!(!b.in_bounds(11));
+        assert_eq!(line_col("ab\ncd", 4), (2, 2));
+    }
+}

@@ -1,0 +1,214 @@
+//! Rendering verifier diagnostics against a source listing.
+//!
+//! `ido-verify` diagnostics point into the **instrumented** program —
+//! `(function, block, index)` positions that exist only after the
+//! per-scheme instrumentation pass ran, so they have no spans into the
+//! original `.ido` file. The [`Listing`] bridges that gap: it
+//! pretty-prints the instrumented program with line numbers and maps
+//! every instruction position to its line, so a witness path renders as
+//! a sequence of real, numbered source lines with the violating
+//! instruction underlined.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use ido_ir::{FnName, Program};
+use ido_verify::Diagnostic;
+
+/// A line-numbered pretty-printed program with a position index.
+pub struct Listing {
+    lines: Vec<String>,
+    /// `(function name, block id, instruction index)` → 0-based line.
+    index: HashMap<(String, u32, u32), usize>,
+}
+
+impl Listing {
+    /// Builds the listing for `program` (typically the *instrumented*
+    /// program a verifier run was pointed at).
+    pub fn new(program: &Program) -> Listing {
+        let mut lines = Vec::new();
+        let mut index = HashMap::new();
+        for (fi, func) in program.functions().iter().enumerate() {
+            if fi > 0 {
+                lines.push(String::new());
+            }
+            let mut header = format!("fn {}(", FnName(func.name()));
+            for (i, p) in func.params().iter().enumerate() {
+                if i > 0 {
+                    header.push_str(", ");
+                }
+                let _ = write!(header, "{p}");
+            }
+            let _ = write!(
+                header,
+                ") regs={} slots={} {{",
+                func.num_regs(),
+                func.num_stack_slots()
+            );
+            lines.push(header);
+            for (bi, bb) in func.blocks().iter().enumerate() {
+                lines.push(format!("  bb{bi}:"));
+                for (ii, inst) in bb.insts.iter().enumerate() {
+                    index.insert(
+                        (func.name().to_string(), bi as u32, ii as u32),
+                        lines.len(),
+                    );
+                    lines.push(format!("    {inst}"));
+                }
+            }
+            lines.push("}".to_string());
+        }
+        Listing { lines, index }
+    }
+
+    /// The full listing text (identical to the program's `Display`).
+    pub fn text(&self) -> String {
+        let mut s = self.lines.join("\n");
+        s.push('\n');
+        s
+    }
+
+    /// 1-based line number of an instruction, if the position exists.
+    pub fn line_of(&self, function: &str, block: u32, inst: u32) -> Option<usize> {
+        self.index.get(&(function.to_string(), block, inst)).map(|&l| l + 1)
+    }
+
+    /// Text of a 1-based line.
+    pub fn line_text(&self, line: usize) -> Option<&str> {
+        self.lines.get(line.checked_sub(1)?).map(String::as_str)
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when the listing is empty (an empty program).
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// Renders one verifier diagnostic against the listing: an
+/// `error[invariant]` header, the violating instruction excerpted with a
+/// caret run, then the witness path as numbered, line-anchored steps.
+pub fn render_diagnostic(d: &Diagnostic, listing: &Listing) -> String {
+    let mut out = format!("error[{}]: {}\n", d.invariant, d.message);
+    let _ = writeln!(out, "  scheme {}, function `{}`", d.scheme, d.function);
+
+    // Anchored excerpt with a caret under the violating instruction.
+    if let Some((b, i)) = d.pos {
+        match listing.line_of(&d.function, b.0, i as u32) {
+            Some(line) => {
+                let text = listing.line_text(line).unwrap_or("");
+                let lineno = format!("{line}");
+                let pad = " ".repeat(lineno.len());
+                let _ = writeln!(out, "  --> listing line {line} (b{}:{i})", b.0);
+                let _ = writeln!(out, "   {lineno} | {text}");
+                let indent = text.len() - text.trim_start().len();
+                let carets = "^".repeat(text.trim_start().len().max(1));
+                let _ = writeln!(
+                    out,
+                    "   {pad} | {}{carets} violating instruction",
+                    " ".repeat(indent)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  at b{}:{i} (position not in listing)", b.0);
+            }
+        }
+    }
+
+    // Witness path: origin first, violation last.
+    if !d.witness.is_empty() {
+        let _ = writeln!(out, "  witness path:");
+        for (step, &(b, i)) in d.witness.iter().enumerate() {
+            match listing.line_of(&d.function, b.0, i as u32) {
+                Some(line) => {
+                    let text = listing.line_text(line).map(str::trim_start).unwrap_or("");
+                    let _ = writeln!(
+                        out,
+                        "    {}. b{}:{} line {line}: {text}",
+                        step + 1,
+                        b.0,
+                        i
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "    {}. b{}:{} (not in listing)", step + 1, b.0, i);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program_text;
+    use ido_compiler::Scheme;
+    use ido_ir::BlockId;
+    use ido_verify::Invariant;
+
+    fn demo_program() -> Program {
+        parse_program_text(
+            "fn worker(r0) regs=2 slots=0 {\n  bb0:\n    lock r0\n    mem[r0+8] = 1\n    unlock r0\n    ret\n}\n",
+        )
+        .unwrap()
+        .program
+    }
+
+    #[test]
+    fn listing_matches_program_display_and_indexes_lines() {
+        let p = demo_program();
+        let l = Listing::new(&p);
+        assert_eq!(l.text(), format!("{p}"));
+        assert_eq!(l.line_of("worker", 0, 0), Some(3));
+        assert_eq!(l.line_text(3), Some("    lock r0"));
+        assert_eq!(l.line_of("worker", 0, 3), Some(6));
+        assert_eq!(l.line_of("worker", 9, 0), None);
+        assert_eq!(l.line_of("nope", 0, 0), None);
+        assert!(!l.is_empty());
+        assert_eq!(l.len(), 7);
+    }
+
+    #[test]
+    fn render_shows_caret_and_witness_lines() {
+        let p = demo_program();
+        let l = Listing::new(&p);
+        let d = Diagnostic {
+            scheme: Scheme::Ido,
+            function: "worker".into(),
+            pos: Some((BlockId(0), 1)),
+            invariant: Invariant::BoundaryCoverage,
+            message: "store not covered by a boundary".into(),
+            witness: vec![(BlockId(0), 0), (BlockId(0), 1)],
+        };
+        let r = render_diagnostic(&d, &l);
+        assert!(r.contains("error[boundary-coverage]: store not covered"), "{r}");
+        assert!(r.contains("scheme iDO, function `worker`"), "{r}");
+        assert!(r.contains("--> listing line 4 (b0:1)"), "{r}");
+        assert!(r.contains("    mem[r0+8] = 1"), "{r}");
+        assert!(r.contains("^^^^^^^^^^^^^ violating instruction"), "{r}");
+        assert!(r.contains("1. b0:0 line 3: lock r0"), "{r}");
+        assert!(r.contains("2. b0:1 line 4: mem[r0+8] = 1"), "{r}");
+    }
+
+    #[test]
+    fn render_survives_positions_outside_the_listing() {
+        let p = demo_program();
+        let l = Listing::new(&p);
+        let d = Diagnostic {
+            scheme: Scheme::Atlas,
+            function: "<runtime log layout>".into(),
+            pos: None,
+            invariant: Invariant::LogLayout,
+            message: "entry straddles a cache line".into(),
+            witness: vec![],
+        };
+        let r = render_diagnostic(&d, &l);
+        assert!(r.contains("error[log-layout]"), "{r}");
+        assert!(!r.contains("listing line"), "{r}");
+    }
+}

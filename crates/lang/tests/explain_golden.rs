@@ -1,0 +1,80 @@
+//! Golden for `ido explain`-style diagnostic rendering (ISSUE 10): inject
+//! the `ido_bug_skip_store_flush` model bug, run the static verifier over
+//! the instrumented stack workload, and pin the full rendered output —
+//! header, anchored excerpt with caret, and the line-numbered witness
+//! path — byte-for-byte.
+//!
+//! Regenerate with `IDO_BLESS=1 cargo test -p ido-lang --test
+//! explain_golden` after an intentional change, and review the diff.
+
+use std::path::PathBuf;
+
+use ido_compiler::{instrument_program, Scheme};
+use ido_lang::{render_diagnostic, Listing};
+use ido_verify::{verify_instrumented, RuntimeModel};
+use ido_vm::VmConfig;
+use ido_workloads::micro::StackSpec;
+use ido_workloads::WorkloadSpec;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/explain_skip_store_flush.txt")
+}
+
+/// The full explain rendering of every finding the verifier produces for
+/// the sabotaged runtime model, against the instrumented listing.
+fn rendered_findings() -> String {
+    let inst =
+        instrument_program(StackSpec.build_program(), Scheme::Ido).expect("instruments cleanly");
+    let mut cfg = VmConfig::for_tests();
+    cfg.ido_bug_skip_store_flush = true;
+    let model = RuntimeModel::from_config(&cfg);
+    let findings = verify_instrumented(&inst, &model);
+    assert!(
+        !findings.is_empty(),
+        "the skip-store-flush injection must produce at least one finding"
+    );
+    let listing = Listing::new(&inst.program);
+    let mut out = String::new();
+    for d in &findings {
+        out.push_str(&render_diagnostic(d, &listing));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn explain_rendering_matches_the_checked_in_golden() {
+    let got = rendered_findings();
+    // Every rendered finding must anchor its violating instruction and
+    // witness steps to real listing lines — no "(not in listing)" holes.
+    assert!(!got.contains("not in listing"), "unanchored position in:\n{got}");
+    assert!(got.contains("witness path:"), "no witness path rendered:\n{got}");
+
+    let bless = std::env::var("IDO_BLESS").is_ok_and(|v| v == "1");
+    let path = golden_path();
+    if bless {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {} ({e}); regenerate with IDO_BLESS=1", path.display())
+    });
+    assert_eq!(
+        got,
+        want,
+        "explain rendering diverged from {} — if intentional, regenerate with IDO_BLESS=1",
+        path.display()
+    );
+}
+
+/// The same verifier run against the *honest* model must be clean — the
+/// golden above documents the injected bug, not a real one.
+#[test]
+fn honest_model_produces_no_findings_to_explain() {
+    let inst =
+        instrument_program(StackSpec.build_program(), Scheme::Ido).expect("instruments cleanly");
+    let model = RuntimeModel::from_config(&VmConfig::for_tests());
+    let findings = verify_instrumented(&inst, &model);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}

@@ -106,16 +106,44 @@ impl Counters {
         "loads,stores,nt_stores,clwbs,fences,lines_persisted,log_bytes";
 
     /// Field-wise `self - earlier` (saturating).
+    ///
+    /// Persist counters are monotonic, so a regression (`earlier` above
+    /// `self` in any field) means the caller composed snapshots from
+    /// different buffers or out of order — a real accounting bug that a
+    /// bare saturating subtraction masks as a zero delta. Use
+    /// [`Counters::delta_since_counting`] on paths that must surface
+    /// such bugs; this convenience form is for callers that have already
+    /// validated monotonicity.
     pub fn delta_since(&self, earlier: &Counters) -> Counters {
-        Counters {
-            loads: self.loads.saturating_sub(earlier.loads),
-            stores: self.stores.saturating_sub(earlier.stores),
-            nt_stores: self.nt_stores.saturating_sub(earlier.nt_stores),
-            clwbs: self.clwbs.saturating_sub(earlier.clwbs),
-            fences: self.fences.saturating_sub(earlier.fences),
-            lines_persisted: self.lines_persisted.saturating_sub(earlier.lines_persisted),
-            log_bytes: self.log_bytes.saturating_sub(earlier.log_bytes),
-        }
+        self.delta_since_counting(earlier).0
+    }
+
+    /// Field-wise `self - earlier`, counting clamped fields: returns the
+    /// saturating delta plus the number of fields in which `earlier`
+    /// exceeded `self` (0 = clean monotonic delta). Each clamped field
+    /// is a masked counter regression — the metrics layer accumulates
+    /// these into [`MetricsBuf::clamped_counter_deltas`] and surfaces
+    /// them through [`ServiceMetrics::validate`].
+    pub fn delta_since_counting(&self, earlier: &Counters) -> (Counters, u64) {
+        let mut clamped = 0u64;
+        let mut sub = |a: u64, b: u64| {
+            if a < b {
+                clamped += 1;
+                0
+            } else {
+                a - b
+            }
+        };
+        let delta = Counters {
+            loads: sub(self.loads, earlier.loads),
+            stores: sub(self.stores, earlier.stores),
+            nt_stores: sub(self.nt_stores, earlier.nt_stores),
+            clwbs: sub(self.clwbs, earlier.clwbs),
+            fences: sub(self.fences, earlier.fences),
+            lines_persisted: sub(self.lines_persisted, earlier.lines_persisted),
+            log_bytes: sub(self.log_bytes, earlier.log_bytes),
+        };
+        (delta, clamped)
     }
 
     /// Field-wise accumulate.
@@ -205,6 +233,14 @@ pub struct MetricsBuf {
     /// as a huge wrapped value. Always a harness bug — debug builds also
     /// assert on it.
     pub clamped_spans: u64,
+    /// Counter-delta fields clamped to zero because the snapshot at an
+    /// `op_end` was *below* the previous attribution point. Persist
+    /// counters are monotonic within one buffer, so any clamp means
+    /// snapshots from different buffers (or segments) were composed out
+    /// of order — the per-window persist columns silently undercount.
+    /// Used to vanish into `saturating_sub`; now counted and surfaced
+    /// through [`ServiceMetrics::validate`]. Debug builds also assert.
+    pub clamped_counter_deltas: u64,
 }
 
 impl MetricsBuf {
@@ -223,6 +259,7 @@ impl MetricsBuf {
             last: Counters::default(),
             dropped_spans: 0,
             clamped_spans: 0,
+            clamped_counter_deltas: 0,
         })
     }
 
@@ -285,7 +322,16 @@ impl MetricsBuf {
         }
         let lat = end.saturating_sub(begin);
         self.per_kind[kind].record(lat);
-        let delta = counters.delta_since(&self.last);
+        let (delta, clamped) = counters.delta_since_counting(&self.last);
+        if clamped > 0 {
+            self.clamped_counter_deltas += clamped;
+            debug_assert!(
+                false,
+                "persist counters regressed across an op span ({clamped} \
+                 field(s) clamped): snapshots composed from different \
+                 buffers or out of order"
+            );
+        }
         self.last = *counters;
         let cell = self.cell_at(end);
         cell.ops[kind] += 1;
@@ -365,6 +411,10 @@ pub struct ServiceMetrics {
     /// Total spans with a non-monotonic end timestamp, summed over every
     /// folded buffer (see [`MetricsBuf::clamped_spans`]).
     pub clamped_spans: u64,
+    /// Total counter-delta fields clamped by a regressed snapshot,
+    /// summed over every folded buffer (see
+    /// [`MetricsBuf::clamped_counter_deltas`]).
+    pub clamped_counter_deltas: u64,
 }
 
 impl ServiceMetrics {
@@ -389,6 +439,7 @@ impl ServiceMetrics {
             }
             m.dropped_spans += b.dropped_spans;
             m.clamped_spans += b.clamped_spans;
+            m.clamped_counter_deltas += b.clamped_counter_deltas;
         }
         m
     }
@@ -413,6 +464,14 @@ impl ServiceMetrics {
                 self.clamped_spans
             ));
         }
+        if self.clamped_counter_deltas > 0 {
+            findings.push(format!(
+                "{} persist-counter delta field(s) clamped to zero by a \
+                 regressed snapshot: per-window persist columns \
+                 undercount (buffer composition out of order)",
+                self.clamped_counter_deltas
+            ));
+        }
         findings
     }
 
@@ -432,6 +491,7 @@ impl ServiceMetrics {
         self.crashes.extend_from_slice(&other.crashes);
         self.dropped_spans += other.dropped_spans;
         self.clamped_spans += other.clamped_spans;
+        self.clamped_counter_deltas += other.clamped_counter_deltas;
     }
 
     /// Records that a pool crashed at global timestamp `ts`.
@@ -674,6 +734,49 @@ mod tests {
         let m = ServiceMetrics::from_bufs(1000, vec![b]);
         assert_eq!(m.clamped_spans, 1);
         assert!(m.validate().iter().any(|f| f.contains("non-monotonic")), "{:?}", m.validate());
+    }
+
+    #[test]
+    fn regressed_counter_snapshot_is_clamped_and_counted() {
+        // Direct delta: a regression in two fields clamps those fields
+        // to zero and reports exactly two clamp events.
+        let earlier = counters(10, 4);
+        let later = counters(7, 2); // stores and clwbs both went backwards
+        let (delta, clamped) = later.delta_since_counting(&earlier);
+        assert_eq!(clamped, 2, "one clamp event per regressed field");
+        assert_eq!(delta.stores, 0);
+        assert_eq!(delta.clwbs, 0);
+        // The convenience form still saturates (same delta, count hidden).
+        assert_eq!(later.delta_since(&earlier), delta);
+        // A monotonic pair is clean.
+        assert_eq!(earlier.delta_since_counting(&later), (counters(3, 2), 0));
+
+        // Through the buffer: an op span whose end snapshot regresses
+        // asserts in debug builds and is counted either way.
+        let mut b = MetricsBuf::new(0, 1000, 0);
+        b.op_begin(0, 0);
+        b.op_end(0, 10, &counters(10, 4));
+        b.op_begin(0, 20);
+        let regress = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.op_end(0, 30, &counters(7, 2));
+        }));
+        assert_eq!(regress.is_err(), cfg!(debug_assertions));
+        assert_eq!(b.clamped_counter_deltas, 2, "the masked regression must be counted");
+        let m = ServiceMetrics::from_bufs(1000, vec![b]);
+        assert_eq!(m.clamped_counter_deltas, 2);
+        let findings = m.validate();
+        assert!(
+            findings.iter().any(|f| f.contains("persist-counter delta")),
+            "{findings:?}"
+        );
+
+        // Merge sums the accounting across shards.
+        let mut other = ServiceMetrics::from_bufs(1000, Vec::new());
+        other.clamped_counter_deltas = 3;
+        let mut total = ServiceMetrics::from_bufs(1000, Vec::new());
+        total.merge(&m);
+        total.merge(&other);
+        assert_eq!(total.clamped_counter_deltas, 5);
     }
 
     #[test]

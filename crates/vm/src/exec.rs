@@ -6,9 +6,11 @@ use std::sync::Arc;
 
 use ido_compiler::{Instrumented, Scheme};
 use ido_ir::{
-    BinOp, BlockId, DecodedInst, DecodedProgram, FuncId, Inst, Operand, Pc, Program, Reg, RtOp,
+    BlockId, DecodedInst, DecodedProgram, FuncId, Inst, Operand, Pc, Program, Reg, RtOp,
     StackSlot, Tier2Entry, Tier2Program,
 };
+#[cfg(test)]
+use ido_ir::BinOp;
 use ido_lockfree::{
     encode_tag, tag_owner, tag_seq, LfState, CELL_TAG, DESC_DONE, DESC_EXPECTED, DESC_NEW,
     DESC_SEQ, DESC_STATE, DESC_SUPER, DESC_TARGET, STATE_DONE_EMPTY, STATE_DONE_TAKEN,
@@ -2032,39 +2034,11 @@ fn drain_write_set(ws: &mut HashMap<PAddr, u64>) -> Vec<(PAddr, u64)> {
     writes
 }
 
-pub(crate) fn eval_binop(op: BinOp, a: u64, b: u64) -> u64 {
-    let (sa, sb) = (a as i64, b as i64);
-    match op {
-        BinOp::Add => a.wrapping_add(b),
-        BinOp::Sub => a.wrapping_sub(b),
-        BinOp::Mul => a.wrapping_mul(b),
-        BinOp::Div => {
-            if sb == 0 {
-                0
-            } else {
-                sa.wrapping_div(sb) as u64
-            }
-        }
-        BinOp::Rem => {
-            if sb == 0 {
-                0
-            } else {
-                sa.wrapping_rem(sb) as u64
-            }
-        }
-        BinOp::And => a & b,
-        BinOp::Or => a | b,
-        BinOp::Xor => a ^ b,
-        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
-        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
-        BinOp::Eq => (a == b) as u64,
-        BinOp::Ne => (a != b) as u64,
-        BinOp::Lt => (sa < sb) as u64,
-        BinOp::Le => (sa <= sb) as u64,
-        BinOp::Gt => (sa > sb) as u64,
-        BinOp::Ge => (sa >= sb) as u64,
-    }
-}
+// Binary-op semantics are shared with the constant folder and tier-2
+// lowering via `ido_ir::semantics` — a single definition, so the
+// interpreter cannot silently diverge from folded programs. Re-exported
+// under the old path for `tier2.rs` and the tests below.
+pub(crate) use ido_ir::semantics::eval_binop;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,103 @@
+//! Pins the single shared definition of binary-op semantics
+//! (`ido_ir::semantics::eval_binop`) against every consumer: the tier-1
+//! interpreter, the tier-2 block-compiled engine, and the constant
+//! folder. The three used to be hand-kept copies; this property makes
+//! any future divergence fail on the extreme inputs where integer
+//! semantics actually differ between plausible implementations —
+//! `i64::MIN / -1`, shift counts ≥ 64, division by zero, and signed
+//! vs unsigned comparisons of high-bit values.
+
+use ido_compiler::{instrument_program, Scheme};
+use ido_ir::{eval_binop, BinOp, Operand, ProgramBuilder, ALL_BINOPS};
+use ido_vm::{ExecTier, RunOutcome, Vm, VmConfig};
+use proptest::prelude::*;
+
+/// Runs `a <op> b` through the real pipeline: when `fold` is set the
+/// operands are immediates (so `optimize` constant-folds the Bin away
+/// and the VM merely returns the folded immediate), otherwise they are
+/// registers (so the VM's `eval_binop` executes the op).
+fn run_op(op: BinOp, a: u64, b: u64, fold: bool, tier: ExecTier) -> u64 {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.new_function("main", 2);
+    let (pa, pb_reg) = (f.param(0), f.param(1));
+    let dst = f.new_reg();
+    if fold {
+        f.bin(op, dst, a as i64, b as i64);
+    } else {
+        f.bin(op, dst, pa, pb_reg);
+    }
+    f.ret(Some(Operand::Reg(dst)));
+    f.finish().unwrap();
+    let mut program = pb.finish();
+    if fold {
+        let stats = ido_ir::opt::optimize_program(&mut program);
+        assert_eq!(stats.folded, 1, "immediate bin op must constant-fold");
+    }
+    let inst = instrument_program(program, Scheme::Origin).unwrap();
+    let mut cfg = VmConfig::for_tests();
+    cfg.tier = tier;
+    let mut vm = Vm::new(inst, cfg);
+    let t = vm.spawn("main", &[a, b]);
+    assert_eq!(vm.run(), RunOutcome::Completed);
+    vm.return_value(t).expect("main returns a value")
+}
+
+/// The inputs where implementations historically disagree, crossed with
+/// every op by the property below.
+const EXTREMES: [u64; 10] = [
+    0,
+    1,
+    2,
+    63,
+    64,
+    65,
+    u64::MAX,          // -1 as i64
+    i64::MIN as u64,   // the one overflowing dividend
+    i64::MAX as u64,
+    0x8000_0000_0000_0001, // negative, not MIN
+];
+
+#[test]
+fn folder_interpreter_and_tier2_agree_on_extremes() {
+    for op in ALL_BINOPS {
+        for &a in &EXTREMES {
+            for &b in &EXTREMES {
+                let reference = eval_binop(op, a, b);
+                assert_eq!(
+                    run_op(op, a, b, true, ExecTier::Tier1),
+                    reference,
+                    "constant folder diverges on {op:?}({a:#x}, {b:#x})"
+                );
+                assert_eq!(
+                    run_op(op, a, b, false, ExecTier::Tier1),
+                    reference,
+                    "tier-1 interpreter diverges on {op:?}({a:#x}, {b:#x})"
+                );
+                assert_eq!(
+                    run_op(op, a, b, false, ExecTier::Tier2),
+                    reference,
+                    "tier-2 engine diverges on {op:?}({a:#x}, {b:#x})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random operands (biased toward sign/width boundaries by the u64
+    /// strategy) through all three consumers at once.
+    #[test]
+    fn binop_consumers_agree_on_random_operands(
+        op_idx in 0usize..ALL_BINOPS.len(),
+        a in 0u64..=u64::MAX,
+        b in 0u64..=u64::MAX,
+    ) {
+        let op = ALL_BINOPS[op_idx];
+        let reference = eval_binop(op, a, b);
+        prop_assert_eq!(run_op(op, a, b, true, ExecTier::Tier1), reference);
+        prop_assert_eq!(run_op(op, a, b, false, ExecTier::Tier1), reference);
+        prop_assert_eq!(run_op(op, a, b, false, ExecTier::Tier2), reference);
+    }
+}

@@ -28,9 +28,10 @@
 //! arithmetic — so tier-2 segments must also execute allocation-free.
 //! All phases run sequentially in the single test below.
 //!
-//! This file must contain only this test: the global allocator counts
-//! every allocation in the process, so an unrelated concurrent test would
-//! pollute the measured window.
+//! Counting is scoped to the test's own thread (see `MEASURED_THREAD`),
+//! so allocations on other process threads — notably libtest's main
+//! thread, whose timed channel recv can allocate on scheduler wakeups —
+//! cannot pollute the measured window.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,20 +44,39 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// Count only the measuring thread's allocations. The process has other
+// live threads — libtest's main thread waits on a channel whose timed
+// recv can re-register (and allocate) on scheduler wakeups, which is
+// load-dependent — and charging those to the hot loop made this test
+// flake under a busy machine. The hot loop runs entirely on the test
+// thread, so a thread-scoped count pins the same guarantee without the
+// cross-thread noise. (`const`-init TLS never allocates, so reading the
+// flag inside the allocator cannot recurse; `try_with` covers TLS
+// teardown.)
+thread_local! {
+    static MEASURED_THREAD: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn note() {
+    if MEASURED_THREAD.try_with(|f| f.get()).unwrap_or(false) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, l: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        note();
         System.alloc(l)
     }
     unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
         System.dealloc(p, l)
     }
     unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        note();
         System.realloc(p, l, n)
     }
     unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        note();
         System.alloc_zeroed(l)
     }
 }
@@ -195,6 +215,8 @@ fn measure_window(program: ido_ir::Program, cfg: VmConfig, what: &str) -> Vm {
 
 #[test]
 fn hot_loop_makes_zero_allocations_per_step() {
+    MEASURED_THREAD.with(|f| f.set(true));
+
     // Phase 1: tracing disabled (the default) — the original guarantee.
     measure_window(arithmetic_loop(), VmConfig::for_tests(), "decoded-instruction");
 

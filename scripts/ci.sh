@@ -155,4 +155,42 @@ cmp /tmp/bench_alloc_jobs1.json BENCH_alloc.json \
 mv /tmp/bench_alloc_committed.json BENCH_alloc.json
 rm -f /tmp/bench_alloc_jobs1.json
 
+echo "== textual frontend gates: corpus round-trip, diagnostics goldens, fuzz =="
+# Named gates for the `.ido` frontend: the corpus suite (parse +
+# pretty-print round-trip, both-tier byte-identity vs the Rust builder,
+# mutation fuzz, crash-oracle smoke), the random-program round-trip
+# fuzzer, and the pinned parser/explain diagnostic renderings. All also
+# run under the workspace pass above — kept explicit so a frontend
+# regression is named in the CI log.
+cargo test -q -p ido-repro --test corpus
+cargo test -q -p ido-lang --test roundtrip_fuzz
+cargo test -q -p ido-lang --test diagnostics_golden
+cargo test -q -p ido-lang --test explain_golden
+
+echo "== ido verify over the scenario corpus (static atomicity, all schemes) =="
+# Every checked-in scenario must verify clean under every scheme it names.
+for f in corpus/*.ido; do
+  cargo run -q --release -p ido-repro --bin ido -- verify "$f"
+done
+
+echo "== ido run --compare-builder: corpus runs byte-identical to the builder =="
+# The CLI re-runs each scheme from the native Rust-builder program and
+# requires identical steps, simulated clocks, stats, and pool-image hash.
+for f in corpus/*.ido; do
+  cargo run -q --release -p ido-repro --bin ido -- run "$f" --compare-builder > /dev/null
+done
+
+echo "== ido run determinism: --jobs 2 must match --jobs 1 byte-for-byte =="
+cargo run -q --release -p ido-repro --bin ido -- run corpus/map.ido --jobs 1 \
+  > /tmp/ido_run_jobs1.json
+cargo run -q --release -p ido-repro --bin ido -- run corpus/map.ido --jobs 2 \
+  > /tmp/ido_run_jobs2.json
+cmp /tmp/ido_run_jobs1.json /tmp/ido_run_jobs2.json \
+  || { echo "--jobs 2 changed ido run output"; exit 1; }
+IDO_JOBS=2 cargo run -q --release -p ido-repro --bin ido -- run corpus/map.ido \
+  > /tmp/ido_run_envjobs.json
+cmp /tmp/ido_run_jobs1.json /tmp/ido_run_envjobs.json \
+  || { echo "IDO_JOBS=2 changed ido run output"; exit 1; }
+rm -f /tmp/ido_run_jobs1.json /tmp/ido_run_jobs2.json /tmp/ido_run_envjobs.json
+
 echo "CI OK"

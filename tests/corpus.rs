@@ -1,0 +1,288 @@
+//! Corpus gates (ISSUE 10): every checked-in `.ido` scenario must parse,
+//! round-trip through the pretty-printer, and — the headline gate — drive
+//! runs that are **byte-identical** to the equivalent Rust-builder
+//! workload on both execution tiers: same step counts, same simulated
+//! clocks, same stats counters, same event trace, same final pool image.
+//!
+//! A deterministic mutation fuzzer then hammers each corpus file: every
+//! seeded mutation must either fail to parse with a diagnostic whose
+//! spans stay inside the mutated source, or survive the whole
+//! compile→verify front half (pretty-print round-trip, instrumentation,
+//! static verification) without panicking. Mutated programs are *not*
+//! executed — a mutated loop bound can diverge and the VM has no step
+//! budget — so the crash-oracle smoke runs on unmutated scenarios only.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ido_compiler::{instrument_program, Scheme};
+use ido_crashtest::OracleConfig;
+use ido_lang::{parse_program_text, parse_scenario, Scenario};
+use ido_nvm::StatsSnapshot;
+use ido_trace::{Trace, TraceConfig};
+use ido_vm::{ExecTier, RunOutcome, SchedPolicy, Vm, VmConfig};
+use ido_verify::{verify_instrumented, RuntimeModel};
+use ido_workloads::WorkloadSpec;
+
+/// The nine standard workloads re-expressed as `.ido` files.
+const CORPUS: [&str; 9] = [
+    "lf_list", "lf_map", "list", "map", "memcached", "queue", "redis", "service", "stack",
+];
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+fn read_corpus(name: &str) -> String {
+    let path = corpus_dir().join(format!("{name}.ido"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn parse_corpus(name: &str) -> (String, Scenario) {
+    let src = read_corpus(name);
+    let scenario = parse_scenario(&src)
+        .unwrap_or_else(|e| panic!("{}", e.render(&format!("{name}.ido"), &src)));
+    (src, scenario)
+}
+
+/// The corpus is a curated set: a stray or missing file is a checked-in
+/// mistake, not a new workload.
+#[test]
+fn corpus_holds_exactly_the_nine_standard_scenarios() {
+    let mut found: Vec<String> = fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    found.sort();
+    let expected: Vec<String> = CORPUS.iter().map(|n| format!("{n}.ido")).collect();
+    assert_eq!(found, expected, "corpus/ contents drifted from the expected nine files");
+}
+
+/// Every corpus file parses, carries an explicit program section, and that
+/// program round-trips exactly through the canonical pretty-printer.
+#[test]
+fn corpus_programs_round_trip_through_the_pretty_printer() {
+    for name in CORPUS {
+        let (_, scenario) = parse_corpus(name);
+        let parsed = scenario
+            .program
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}.ido has no program section"));
+        let printed = format!("{}", parsed.program);
+        let reparsed = parse_program_text(&printed)
+            .unwrap_or_else(|e| panic!("{name}.ido: reparse failed:\n{}", e.render("pretty", &printed)));
+        assert_eq!(
+            format!("{}", reparsed.program),
+            printed,
+            "{name}.ido: pretty-print is not a fixpoint"
+        );
+    }
+}
+
+/// Everything observable about one run.
+struct Observed {
+    steps: u64,
+    sim_ns: u64,
+    image: Vec<u8>,
+    stats: StatsSnapshot,
+    trace: Trace,
+}
+
+fn observe(spec: &dyn WorkloadSpec, scheme: Scheme, scenario: &Scenario, tier: ExecTier) -> Observed {
+    let inst = instrument_program(spec.build_program(), scheme).expect("instruments cleanly");
+    let mut cfg = VmConfig::for_tests();
+    cfg.seed = scenario.seed;
+    cfg.sched = SchedPolicy::MinClock;
+    cfg.tier = tier;
+    cfg.pool.trace = TraceConfig::on();
+    let mut vm = Vm::new(inst, cfg);
+    let base = spec.setup(&mut vm, scenario.threads, scenario.ops);
+    for t in 0..scenario.threads {
+        vm.spawn("worker", &spec.worker_args(&base, t, scenario.ops));
+    }
+    assert_eq!(vm.run(), RunOutcome::Completed, "{} under {scheme} ({tier:?})", spec.name());
+    spec.verify(&vm, &base, scenario.threads as u64 * scenario.ops);
+    let steps = vm.steps();
+    let sim_ns = vm.max_clock_ns();
+    let image = vm.pool().persistent_snapshot();
+    let pool = vm.pool().clone();
+    drop(vm); // fold per-thread stats and trace rings into the pool
+    Observed {
+        steps,
+        sim_ns,
+        image,
+        stats: pool.global_stats(),
+        trace: pool.take_trace().expect("tracing was enabled"),
+    }
+}
+
+/// Asserts every observable matches, reporting the first divergence.
+fn assert_identical(a: &Observed, b: &Observed, what: &str) {
+    assert_eq!(a.steps, b.steps, "{what}: step counts diverge");
+    assert_eq!(a.sim_ns, b.sim_ns, "{what}: simulated clocks diverge");
+    assert_eq!(a.stats, b.stats, "{what}: StatsSnapshot counters diverge");
+    assert_eq!(a.trace.pushed, b.trace.pushed, "{what}: trace event counts diverge");
+    assert_eq!(a.trace.dropped, b.trace.dropped, "{what}: trace drop counts diverge");
+    assert_eq!(a.trace.costs, b.trace.costs, "{what}: cost attribution diverges");
+    if a.trace.events != b.trace.events {
+        let i = a
+            .trace
+            .first_divergence(&b.trace)
+            .unwrap_or_else(|| a.trace.events.len().min(b.trace.events.len()));
+        panic!(
+            "{what}: traces diverge at event {i}:\n  corpus:  {:?}\n  builder: {:?}",
+            a.trace.events.get(i),
+            b.trace.events.get(i)
+        );
+    }
+    assert_eq!(a.image.len(), b.image.len(), "{what}: image sizes diverge");
+    if a.image != b.image {
+        let i = a.image.iter().zip(&b.image).position(|(x, y)| x != y).unwrap();
+        panic!(
+            "{what}: pool images diverge at byte {i:#x}: corpus={:#04x} builder={:#04x}",
+            a.image[i], b.image[i]
+        );
+    }
+}
+
+/// The headline gate: a corpus-driven run (program text from the `.ido`
+/// file) is byte-identical to the Rust-builder equivalent for every
+/// scheme the scenario names, on both execution tiers.
+#[test]
+fn corpus_runs_are_byte_identical_to_the_rust_builder_on_both_tiers() {
+    for name in CORPUS {
+        let (_, scenario) = parse_corpus(name);
+        let corpus_spec = scenario.spec();
+        let native = scenario.kind.native_spec(scenario.range);
+        for &scheme in &scenario.schemes {
+            for tier in [ExecTier::Tier1, ExecTier::Tier2] {
+                let what = format!("{name}.ido under {scheme} ({tier:?})");
+                let a = observe(&corpus_spec, scheme, &scenario, tier);
+                let b = observe(native.as_ref(), scheme, &scenario, tier);
+                assert_identical(&a, &b, &what);
+            }
+        }
+    }
+}
+
+/// A tiny deterministic LCG; the fuzzer must not depend on ambient
+/// randomness so failures replay from the printed (file, round) pair.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// ASCII bytes a mutation may introduce: enough to corrupt identifiers,
+/// numbers, punctuation, and line structure without leaving ASCII.
+const FUZZ_BYTES: &[u8] = b"abcrsz0159{}[]()=+-<>,:?#\"\n .";
+
+fn mutate(src: &str, rng: &mut Lcg) -> Option<String> {
+    let mut bytes = src.as_bytes().to_vec();
+    match rng.below(4) {
+        0 => {
+            // Overwrite one byte.
+            let i = rng.below(bytes.len());
+            bytes[i] = FUZZ_BYTES[rng.below(FUZZ_BYTES.len())];
+        }
+        1 => {
+            // Insert one byte.
+            let i = rng.below(bytes.len() + 1);
+            bytes.insert(i, FUZZ_BYTES[rng.below(FUZZ_BYTES.len())]);
+        }
+        2 => {
+            // Delete a short run.
+            let i = rng.below(bytes.len());
+            let n = (1 + rng.below(8)).min(bytes.len() - i);
+            bytes.drain(i..i + n);
+        }
+        _ => {
+            // Truncate (models a partially-written file).
+            bytes.truncate(rng.below(bytes.len() + 1));
+        }
+    }
+    let mutated = String::from_utf8(bytes).ok()?;
+    (mutated != src).then_some(mutated)
+}
+
+/// Mutation fuzz: each seeded corruption either fails to parse with a
+/// spanned diagnostic (all spans in bounds, so the renderer can excerpt
+/// the mutated source without panicking) or survives pretty-print
+/// round-trip + instrumentation + static verification under every scheme
+/// the scenario names. No mutated program is ever executed.
+#[test]
+fn corpus_mutations_parse_fail_with_spans_or_survive_compile_and_verify() {
+    const ROUNDS: usize = 48;
+    for (fi, name) in CORPUS.iter().enumerate() {
+        let src = read_corpus(name);
+        let mut rng = Lcg(0x1d0_c0de ^ (fi as u64) << 32);
+        for round in 0..ROUNDS {
+            let Some(mutated) = mutate(&src, &mut rng) else { continue };
+            let what = format!("{name}.ido mutation round {round}");
+            match parse_scenario(&mutated) {
+                Err(e) => {
+                    assert!(
+                        e.primary.span.in_bounds(mutated.len()),
+                        "{what}: primary span {:?} out of bounds (len {})",
+                        e.primary.span,
+                        mutated.len()
+                    );
+                    for note in &e.secondary {
+                        assert!(
+                            note.span.in_bounds(mutated.len()),
+                            "{what}: secondary span {:?} out of bounds",
+                            note.span
+                        );
+                    }
+                    // The renderer must excerpt the mutated source cleanly.
+                    let _ = e.render("fuzz.ido", &mutated);
+                }
+                Ok(scenario) => {
+                    let Some(parsed) = &scenario.program else { continue };
+                    let printed = format!("{}", parsed.program);
+                    let reparsed = parse_program_text(&printed).unwrap_or_else(|e| {
+                        panic!("{what}: accepted program does not reparse:\n{}", e.render("pretty", &printed))
+                    });
+                    assert_eq!(
+                        format!("{}", reparsed.program),
+                        printed,
+                        "{what}: accepted program is not a pretty-print fixpoint"
+                    );
+                    for &scheme in &scenario.schemes {
+                        // Either outcome of instrumentation is fine; what
+                        // must not happen is a panic.
+                        if let Ok(inst) = instrument_program(parsed.program.clone(), scheme) {
+                            let model = RuntimeModel::from_config(&VmConfig::for_tests());
+                            let _ = verify_instrumented(&inst, &model);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Crash-oracle smoke over unmutated corpus scenarios: one durable and
+/// one scheme-per-line KV scenario survive exhaustive smoke-level crash
+/// injection under iDO with zero counterexamples.
+#[test]
+fn corpus_scenarios_survive_the_crash_oracle_smoke() {
+    for name in ["stack", "redis"] {
+        let (_, scenario) = parse_corpus(name);
+        let spec = scenario.spec();
+        let mut cfg = OracleConfig::smoke();
+        cfg.vm.seed = scenario.seed;
+        cfg.vm.tier = scenario.tier;
+        let exploration = ido_crashtest::explore(&spec, Scheme::Ido, &cfg);
+        assert!(
+            exploration.counterexample.is_none(),
+            "{name}.ido: crash-oracle smoke found a counterexample:\n{exploration}"
+        );
+    }
+}
